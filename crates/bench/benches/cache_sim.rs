@@ -1,0 +1,74 @@
+//! Throughput of the memory-system substrate: raw set-associative cache
+//! accesses and full backend accesses on each platform family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memhier_core::machine::{LatencyParams, MachineSpec, NetworkKind};
+use memhier_core::platform::ClusterSpec;
+use memhier_sim::backend::ClusterBackend;
+use memhier_sim::cache::{LineState, SetAssocCache};
+use memhier_sim::homemap::HomeMap;
+use memhier_trace::SyntheticTrace;
+use std::hint::black_box;
+
+fn addresses(n: usize) -> Vec<u64> {
+    SyntheticTrace::new(1.2, 5000.0, 64, 7).take(n).collect()
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let addrs = addresses(100_000);
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("setassoc_256k_2way", |b| {
+        b.iter(|| {
+            let mut cache = SetAssocCache::new(256 * 1024, 2, 64);
+            for &a in &addrs {
+                if cache.lookup(a).is_none() {
+                    cache.insert(a, LineState::Shared);
+                }
+            }
+            black_box(cache.capacity_bytes())
+        })
+    });
+    g.finish();
+}
+
+fn bench_backend(c: &mut Criterion) {
+    let addrs = addresses(100_000);
+    let mut g = c.benchmark_group("backend_access");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+
+    let cases: Vec<(&str, ClusterSpec)> = vec![
+        ("smp4", ClusterSpec::single(MachineSpec::new(4, 256, 128, 200.0))),
+        (
+            "cow4_eth100",
+            ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Ethernet100),
+        ),
+        (
+            "clump2x2_atm",
+            ClusterSpec::cluster(MachineSpec::new(2, 256, 64, 200.0), 2, NetworkKind::Atm155),
+        ),
+    ];
+    for (name, cluster) in cases {
+        g.bench_with_input(BenchmarkId::new("platform", name), &cluster, |b, cluster| {
+            let nn = cluster.machines as usize;
+            b.iter(|| {
+                let mut be = ClusterBackend::new(
+                    cluster,
+                    LatencyParams::paper(),
+                    HomeMap::new(nn, 256),
+                );
+                let procs = be.total_procs();
+                let mut now = 0u64;
+                for (i, &a) in addrs.iter().enumerate() {
+                    now += 4;
+                    black_box(be.access(i % procs, a, i % 5 == 0, now));
+                }
+                be.counts()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_backend);
+criterion_main!(benches);

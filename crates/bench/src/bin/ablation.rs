@@ -1,0 +1,4 @@
+//! E14 — arrival-model and tail-mode ablation of the analytic model.
+fn main() {
+    memhier_bench::experiments::ablation().print();
+}

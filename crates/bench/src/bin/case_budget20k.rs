@@ -1,0 +1,4 @@
+//! E8 — §6 case study 2: the $20,000 budget (TPC-C included).
+fn main() {
+    memhier_bench::experiments::case_budget(20_000.0, true).print();
+}

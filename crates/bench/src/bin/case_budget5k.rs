@@ -1,0 +1,4 @@
+//! E7 — §6 case study 1: the $5,000 budget.
+fn main() {
+    memhier_bench::experiments::case_budget(5000.0, false).print();
+}

@@ -1,0 +1,4 @@
+//! E10 — the §6 FFT Ethernet-vs-ATM equal-cost comparison (~4× gap).
+fn main() {
+    memhier_bench::experiments::case_fft_4x().print();
+}

@@ -1,0 +1,8 @@
+//! E9 — §6 case study 3: upgrading an existing cluster.
+fn main() {
+    let extra = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2500.0);
+    memhier_bench::experiments::case_upgrade(extra).print();
+}

@@ -1,0 +1,6 @@
+//! §5.3.1 — coherence share of SMP bus traffic.
+use memhier_bench::runner::Sizes;
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    memhier_bench::experiments::coherence_traffic(Sizes::from_args(&args)).print();
+}

@@ -1,0 +1,9 @@
+//! E3 — regenerate Figure 2: model vs simulation on SMPs C1–C6.
+use memhier_bench::runner::Sizes;
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sizes = Sizes::from_args(&args);
+    let (_, chars) = memhier_bench::experiments::table2(sizes, false);
+    let (t, _) = memhier_bench::experiments::fig2_smp(sizes, &chars);
+    t.print();
+}

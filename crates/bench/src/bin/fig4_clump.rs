@@ -1,0 +1,10 @@
+//! E5 — regenerate Figure 4: model vs simulation on clusters of SMPs
+//! C12–C15.
+use memhier_bench::runner::Sizes;
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sizes = Sizes::from_args(&args);
+    let (_, chars) = memhier_bench::experiments::table2(sizes, false);
+    let (t, _) = memhier_bench::experiments::fig4_clump(sizes, &chars);
+    t.print();
+}

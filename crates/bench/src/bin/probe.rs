@@ -1,0 +1,23 @@
+//! Diagnostic: per-level counts for one workload across COW configs.
+use memhier_bench::runner::{simulate_workload, Sizes};
+use memhier_core::params::configs;
+use memhier_workloads::registry::WorkloadKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sizes = Sizes::from_args(&args);
+    for cfg in [configs::c8(), configs::c9(), configs::c10(), configs::c11()] {
+        let run = simulate_workload(&sizes.workload(WorkloadKind::Lu), &cfg);
+        let l = run.report.levels;
+        println!(
+            "{}: E={:.3e} refs={} l1={} c2c={} local={} rclean={} rdirty={} disk={} upg={} barrier_wait={} wall={}",
+            cfg.name.clone().unwrap(),
+            run.report.e_instr_seconds,
+            run.report.total_refs,
+            l.l1_hits, l.cache_to_cache, l.local_memory, l.remote_clean, l.remote_dirty,
+            l.disk, l.upgrades,
+            run.report.barrier_wait_cycles,
+            run.report.wall_cycles,
+        );
+    }
+}

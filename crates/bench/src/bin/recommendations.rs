@@ -1,0 +1,4 @@
+//! E11 — the §6 recommendation matrix.
+fn main() {
+    memhier_bench::experiments::recommendations().print();
+}

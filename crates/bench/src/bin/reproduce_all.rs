@@ -1,0 +1,27 @@
+//! Run every experiment (E1–E11) in order — the one-command reproduction.
+//! Flags: --paper for the paper's §5.2 problem sizes (slow), --small.
+use memhier_bench::experiments as ex;
+use memhier_bench::runner::Sizes;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sizes = Sizes::from_args(&args);
+    ex::table1().print();
+    let (t2, chars) = ex::table2(sizes, true);
+    t2.print();
+    let kernels: Vec<_> = chars.iter().filter(|c| c.name != "TPC-C").cloned().collect();
+    ex::fig2_smp(sizes, &kernels).0.print();
+    ex::fig3_cow(sizes, &kernels).0.print();
+    ex::fig4_clump(sizes, &kernels).0.print();
+    ex::coherence_traffic(sizes).print();
+    ex::speedup(sizes).print();
+    ex::case_budget(5000.0, false).print();
+    ex::case_budget(20_000.0, true).print();
+    ex::case_upgrade(2500.0).print();
+    ex::case_fft_4x().print();
+    ex::recommendations().print();
+    ex::sensitivity().print();
+    ex::ablation().print();
+    ex::utilization(sizes, &kernels).print();
+    println!("{}", ex::sweep_map(20_000.0));
+}

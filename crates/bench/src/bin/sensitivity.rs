@@ -1,0 +1,4 @@
+//! E12 — sensitivity analysis (the "most sensitive factor" claim).
+fn main() {
+    memhier_bench::experiments::sensitivity().print();
+}

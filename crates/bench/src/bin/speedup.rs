@@ -1,0 +1,6 @@
+//! E6 — the model-vs-simulation cost claim (§5.3.3).
+use memhier_bench::runner::Sizes;
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    memhier_bench::experiments::speedup(Sizes::from_args(&args)).print();
+}

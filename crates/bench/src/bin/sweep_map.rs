@@ -1,0 +1,5 @@
+//! E13 — optimal-platform map over the (ρ, β) workload space.
+fn main() {
+    let budget = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000.0);
+    println!("{}", memhier_bench::experiments::sweep_map(budget));
+}

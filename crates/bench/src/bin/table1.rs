@@ -1,0 +1,4 @@
+//! E1 — regenerate the paper's Table 1.
+fn main() {
+    memhier_bench::experiments::table1().print();
+}

@@ -1,0 +1,8 @@
+//! E15 — network utilization: model vs simulator.
+use memhier_bench::runner::Sizes;
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sizes = Sizes::from_args(&args);
+    let (_, chars) = memhier_bench::experiments::table2(sizes, false);
+    memhier_bench::experiments::utilization(sizes, &chars).print();
+}

@@ -1,0 +1,135 @@
+//! Model-to-simulator calibration — the generalization of §5.3.2's
+//! "through experiments, we find that by adjusting the average remote
+//! memory access rate by a factor of 12.4%, the differences between
+//! modeled results and simulated results for all applications are below
+//! 10%".
+//!
+//! The paper picked **one global constant** by comparing against its
+//! simulators; we do the same by grid-searching the two rate knobs the
+//! model exposes (`coherence_adjustment` for the remote level,
+//! `disk_rate_scale` for the paging level) against a set of calibration
+//! points, then freeze them for the full comparison.
+
+use memhier_core::locality::WorkloadParams;
+use memhier_core::model::AnalyticModel;
+use memhier_core::platform::ClusterSpec;
+
+/// One calibration observation: a configuration, the workload's measured
+/// parameters, and the simulated `E(Instr)` in seconds.
+#[derive(Debug, Clone)]
+pub struct CalibPoint {
+    /// The platform.
+    pub cluster: ClusterSpec,
+    /// Measured workload parameters.
+    pub workload: WorkloadParams,
+    /// Simulated `E(Instr)`, seconds.
+    pub sim_seconds: f64,
+}
+
+/// Mean relative error of `model` against the points.
+pub fn mean_relative_error(model: &AnalyticModel, points: &[CalibPoint]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for p in points {
+        let e = model.evaluate_or_inf(&p.cluster, &p.workload);
+        if !e.is_finite() {
+            return f64::INFINITY;
+        }
+        acc += (e - p.sim_seconds).abs() / p.sim_seconds;
+    }
+    acc / points.len() as f64
+}
+
+/// Grid-search the two rate knobs; returns the calibrated model and its
+/// mean relative error.
+pub fn calibrate(base: &AnalyticModel, points: &[CalibPoint]) -> (AnalyticModel, f64) {
+    let mut best = base.clone();
+    let mut best_err = mean_relative_error(base, points);
+    // Coherence adjustment: the effective remote-rate multiplier is
+    // `1 + coh`.  Spanning two orders of magnitude in both directions
+    // covers workloads whose coherence traffic the capacity tail wildly
+    // under- or over-states.
+    let coh_grid: Vec<f64> = [
+        -0.95, -0.9, -0.8, -0.6, -0.4, -0.2, 0.0, 0.124, 0.3, 0.6, 1.0, 2.0, 4.0, 8.0, 16.0,
+        32.0, 64.0,
+    ]
+    .to_vec();
+    // Disk rate: 0 (resident workloads never page) to the raw tail.
+    let disk_grid: Vec<f64> = (0..=10).map(|i| i as f64 * 0.1).collect();
+    // Barrier skew: 0 (deterministic phases) to the full exponential
+    // order-statistics wait.
+    let barrier_grid: Vec<f64> = (0..=4).map(|i| i as f64 * 0.25).collect();
+    for &coh in &coh_grid {
+        for &disk in &disk_grid {
+            for &bar in &barrier_grid {
+                let mut m = base.clone();
+                m.coherence_adjustment = coh;
+                m.disk_rate_scale = disk;
+                m.barrier_scale = bar;
+                let err = mean_relative_error(&m, points);
+                if err < best_err {
+                    best_err = err;
+                    best = m;
+                }
+            }
+        }
+    }
+    (best, best_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memhier_core::machine::{MachineSpec, NetworkKind};
+
+    fn point(coh: f64, disk: f64) -> Vec<CalibPoint> {
+        // Synthesize "sim" numbers from a known model, then check the
+        // search recovers knobs with at-least-as-good error.
+        let truth = AnalyticModel {
+            coherence_adjustment: coh,
+            disk_rate_scale: disk,
+            ..AnalyticModel::default()
+        };
+        let w = WorkloadParams::new("FFT", 1.21, 103.26, 0.20).unwrap();
+        [
+            ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Ethernet100),
+            ClusterSpec::cluster(MachineSpec::new(1, 512, 64, 200.0), 4, NetworkKind::Atm155),
+            ClusterSpec::cluster(MachineSpec::new(1, 256, 32, 200.0), 2, NetworkKind::Ethernet10),
+        ]
+        .into_iter()
+        .map(|cluster| CalibPoint {
+            sim_seconds: truth.evaluate_or_inf(&cluster, &w),
+            cluster,
+            workload: w.clone(),
+        })
+        .collect()
+    }
+
+    #[test]
+    fn recovers_known_knobs() {
+        // Truth values chosen on the search grid, so recovery is exact.
+        let pts = point(0.6, 0.2);
+        let (m, err) = calibrate(&AnalyticModel::default(), &pts);
+        assert!(err < 1e-9, "err {err}");
+        assert!((m.coherence_adjustment - 0.6).abs() < 1e-12, "coh {}", m.coherence_adjustment);
+        assert!((m.disk_rate_scale - 0.2).abs() < 1e-12, "disk {}", m.disk_rate_scale);
+    }
+
+    #[test]
+    fn never_worse_than_base() {
+        let pts = point(1.2, 0.0);
+        let base = AnalyticModel::default();
+        let base_err = mean_relative_error(&base, &pts);
+        let (_, err) = calibrate(&base, &pts);
+        assert!(err <= base_err + 1e-12);
+    }
+
+    #[test]
+    fn empty_points_are_harmless() {
+        let (m, err) = calibrate(&AnalyticModel::default(), &[]);
+        assert_eq!(err, 0.0);
+        assert_eq!(m.coherence_adjustment, AnalyticModel::default().coherence_adjustment);
+    }
+}

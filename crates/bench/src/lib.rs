@@ -1,0 +1,25 @@
+//! # memhier-bench
+//!
+//! The experiment harness: everything needed to regenerate the paper's
+//! tables and figures (DESIGN.md experiment index E1–E11).
+//!
+//! * [`runner`] — glue between workloads, the trace analyzer, the
+//!   simulator, and the analytic model: `characterize` (Table 2's α/β/ρ
+//!   pipeline) and `simulate_workload` (one config × workload run).
+//! * [`calib`] — the §5.3.2 "adjust the rates until the model tracks the
+//!   simulator" calibration, generalized to a small grid search.
+//! * [`tables`] — aligned text tables plus JSON result dumps under
+//!   `target/experiments/`.
+//! * [`experiments`] — one function per paper artifact (Table 1/2,
+//!   Figures 2–4, the speed claim, the §6 case studies and
+//!   recommendations).
+//!
+//! Each experiment also has a binary in `src/bin/` (e.g. `fig2_smp`) and
+//! the Criterion benches under `benches/` cover the performance claims.
+
+pub mod calib;
+pub mod experiments;
+pub mod runner;
+pub mod tables;
+
+pub use runner::{characterize, simulate_workload, Characterization, SimRun, Sizes};

@@ -1,0 +1,135 @@
+//! Plain-text result tables and JSON provenance dumps.
+
+use serde::Serialize;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{:<width$}", c, width = widths[i.min(ncol - 1)]));
+            }
+            s.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&line(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&line(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Directory for experiment artifacts (`target/experiments`).
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// Dump a serializable result next to the printed table for provenance
+/// (EXPERIMENTS.md references these files).
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = experiments_dir().join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path).expect("create json");
+    let s = serde_json::to_string_pretty(value).expect("serialize");
+    f.write_all(s.as_bytes()).expect("write json");
+    eprintln!("[saved {}]", path.display());
+}
+
+/// Format seconds in the paper's per-figure scientific style.
+pub fn fmt_seconds(s: f64) -> String {
+    format!("{s:.3e}")
+}
+
+/// Format a relative difference as a signed percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T", &["a", "bbbb", "c"]);
+        t.row(vec!["xx".into(), "y".into(), "zzz".into()]);
+        let r = t.render();
+        assert!(r.contains("== T =="));
+        assert!(r.contains("a   bbbb  c"));
+        assert!(r.contains("xx  y     zzz"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_pct(0.0525), "+5.2%");
+        assert_eq!(fmt_pct(-0.101), "-10.1%");
+        assert!(fmt_seconds(9.3e-8).contains("e-8"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        save_json("test_artifact", &serde_json::json!({"x": 1}));
+        let p = experiments_dir().join("test_artifact.json");
+        let s = std::fs::read_to_string(p).unwrap();
+        assert!(s.contains("\"x\""));
+    }
+}

@@ -1,0 +1,35 @@
+//! Reproduction-quality regression guards.
+//!
+//! The fast test checks the pipeline end to end at small size; the
+//! `#[ignore]`d test re-runs the Figure-2 experiment at medium size and
+//! asserts the calibrated model stays inside the band EXPERIMENTS.md
+//! reports (run with `cargo test -p memhier-bench --test quality_guard --
+//! --ignored --nocapture`).
+
+use memhier_bench::experiments::{fig2_smp, table2};
+use memhier_bench::runner::Sizes;
+
+#[test]
+fn small_figure2_pipeline_is_sane() {
+    let (_, chars) = table2(Sizes::Small, false);
+    let (_, rows) = fig2_smp(Sizes::Small, &chars);
+    assert_eq!(rows.len(), 6 * 4, "6 configs x 4 kernels");
+    for r in &rows {
+        assert!(r.sim_seconds > 0.0 && r.sim_seconds.is_finite(), "{r:?}");
+        assert!(r.model_calibrated_seconds.is_finite(), "{r:?}");
+        // Calibrated model within 10x of simulation even at tiny sizes.
+        let ratio = r.model_calibrated_seconds / r.sim_seconds;
+        assert!((0.1..10.0).contains(&ratio), "{r:?}");
+    }
+}
+
+#[test]
+#[ignore = "several minutes: medium-size Figure 2 sweep"]
+fn medium_figure2_quality_band() {
+    let (_, chars) = table2(Sizes::Medium, false);
+    let (_, rows) = fig2_smp(Sizes::Medium, &chars);
+    let mean: f64 =
+        rows.iter().map(|r| r.diff_calibrated.abs()).sum::<f64>() / rows.len() as f64;
+    // EXPERIMENTS.md reports ~20%; guard against regressions past 35%.
+    assert!(mean < 0.35, "calibrated mean |diff| regressed to {mean:.3}");
+}

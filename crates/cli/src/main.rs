@@ -1,0 +1,445 @@
+//! `memhier` — the command-line front end to the IPPS'99 reproduction.
+//!
+//! ```text
+//! memhier configs                              list C1..C15
+//! memhier model --config C5 --workload FFT     analytic E(Instr)
+//! memhier model --all                          all configs x kernels
+//! memhier simulate --config C8 --workload LU   program-driven simulation
+//! memhier fit --workload Radix                 measure alpha/beta/rho
+//! memhier optimize --budget 20000 --workload Radix [--top 5]
+//! memhier upgrade --budget 2500 --workload FFT
+//! memhier recommend --workload FFT | --alpha A --beta B --rho R
+//! ```
+//!
+//! Size flags for simulate/fit: `--small`, `--paper` (default medium).
+
+use memhier_bench::runner::{characterize, simulate_workload, Sizes};
+use memhier_core::locality::WorkloadParams;
+use memhier_core::machine::{MachineSpec, NetworkKind};
+use memhier_core::model::AnalyticModel;
+use memhier_core::params::{self, configs};
+use memhier_core::platform::ClusterSpec;
+use memhier_cost::{optimize, pareto_frontier, plan_upgrade, recommend, CandidateSpace, PriceTable};
+use memhier_workloads::registry::WorkloadKind;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "configs" => cmd_configs(),
+        "model" => cmd_model(rest),
+        "simulate" => cmd_simulate(rest),
+        "fit" => cmd_fit(rest),
+        "optimize" => cmd_optimize(rest),
+        "pareto" => cmd_pareto(rest),
+        "upgrade" => cmd_upgrade(rest),
+        "recommend" => cmd_recommend(rest),
+        "reproduce" => cmd_reproduce(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "memhier — cluster memory-hierarchy model, simulator & optimizer (IPPS'99)
+
+USAGE:
+  memhier configs
+  memhier model    --config <C1..C15> --workload <FFT|LU|Radix|EDGE|TPC-C> [--json]
+  memhier model    --all [--json]
+  memhier simulate --config <C1..C15> --workload <name> [--small|--paper] [--json]
+  memhier fit      --workload <name> [--small|--paper] [--phases] [--json]
+  memhier optimize --budget <dollars> --workload <name> [--top <k>] [--json]
+  memhier pareto   --workload <name> [--json]
+  memhier upgrade  --budget <dollars> --workload <name> [--machines N --procs n
+                    --cache KB --mem MB --network <eth10|eth100|atm>]
+  memhier recommend (--workload <name> | --alpha A --beta B --rho R)
+  memhier reproduce <table1|table2|fig2|fig3|fig4|coherence|speedup|
+                     budget5k|budget20k|upgrade|fft4x|recommendations|
+                     sensitivity|ablation|sweep|utilization|all>
+                    [--small|--paper]";
+
+fn flag(rest: &[String], name: &str) -> Option<String> {
+    rest.iter().position(|a| a == name).and_then(|i| rest.get(i + 1).cloned())
+}
+
+fn has(rest: &[String], name: &str) -> bool {
+    rest.iter().any(|a| a == name)
+}
+
+fn parse_config(name: &str) -> Result<ClusterSpec, String> {
+    configs::all_configs()
+        .into_iter()
+        .find(|c| c.name.as_deref() == Some(name))
+        .ok_or_else(|| format!("unknown config `{name}` (try `memhier configs`)"))
+}
+
+fn parse_workload_kind(name: &str) -> Result<WorkloadKind, String> {
+    match name.to_ascii_uppercase().as_str() {
+        "FFT" => Ok(WorkloadKind::Fft),
+        "LU" => Ok(WorkloadKind::Lu),
+        "RADIX" => Ok(WorkloadKind::Radix),
+        "EDGE" => Ok(WorkloadKind::Edge),
+        "TPC-C" | "TPCC" => Ok(WorkloadKind::Tpcc),
+        other => Err(format!("unknown workload `{other}`")),
+    }
+}
+
+fn paper_params(kind: WorkloadKind) -> WorkloadParams {
+    match kind {
+        WorkloadKind::Fft => params::workload_fft(),
+        WorkloadKind::Lu => params::workload_lu(),
+        WorkloadKind::Radix => params::workload_radix(),
+        WorkloadKind::Edge => params::workload_edge(),
+        WorkloadKind::Tpcc => params::workload_tpcc(),
+    }
+}
+
+fn cmd_configs() -> Result<(), String> {
+    println!("Paper configurations (Tables 3-5):");
+    for c in configs::all_configs() {
+        println!("  {}", c.describe());
+    }
+    Ok(())
+}
+
+fn cmd_model(rest: &[String]) -> Result<(), String> {
+    let model = AnalyticModel::default();
+    let json = has(rest, "--json");
+    if has(rest, "--all") {
+        let mut out = Vec::new();
+        for c in configs::all_configs() {
+            for kind in WorkloadKind::PAPER {
+                let w = paper_params(kind);
+                let e = model.evaluate_or_inf(&c, &w);
+                if json {
+                    out.push(serde_json::json!({
+                        "config": c.name, "workload": w.name, "e_instr_seconds": e,
+                    }));
+                } else {
+                    println!(
+                        "{:4} {:6} E(Instr) = {:.3e} s",
+                        c.name.as_deref().unwrap_or("?"),
+                        w.name,
+                        e
+                    );
+                }
+            }
+        }
+        if json {
+            println!("{}", serde_json::to_string_pretty(&out).unwrap());
+        }
+        return Ok(());
+    }
+    let cfg = parse_config(&flag(rest, "--config").ok_or("--config required")?)?;
+    let kind = parse_workload_kind(&flag(rest, "--workload").ok_or("--workload required")?)?;
+    let w = paper_params(kind);
+    let p = model.evaluate(&cfg, &w).map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&p).unwrap());
+    } else {
+        println!("{} running {}", cfg.describe(), w.name);
+        println!("  T (memory time/ref)   = {:.2} cycles", p.t_cycles);
+        println!("  per-processor CPI     = {:.2}", p.per_proc_cpi);
+        println!("  barrier overhead      = {:.2} cycles/instr", p.barrier_cycles_per_instr);
+        println!(
+            "  E(Instr)              = {:.4} cycles = {:.3e} s",
+            p.e_instr_cycles, p.e_instr_seconds
+        );
+        println!("  levels:");
+        for l in &p.levels {
+            println!(
+                "    {:8} reach {:>8.5}  service {:>8.0}cy  effective {:>10.1}cy  util {:.3}",
+                l.name, l.reach_prob, l.service_cycles, l.effective_cycles, l.utilization
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(rest: &[String]) -> Result<(), String> {
+    let cfg = parse_config(&flag(rest, "--config").ok_or("--config required")?)?;
+    let kind = parse_workload_kind(&flag(rest, "--workload").ok_or("--workload required")?)?;
+    let sizes = Sizes::from_args(rest);
+    let w = sizes.workload(kind);
+    let run = simulate_workload(&w, &cfg);
+    if has(rest, "--json") {
+        println!("{}", serde_json::to_string_pretty(&run.report).unwrap());
+        return Ok(());
+    }
+    let r = &run.report;
+    println!("{} running {} ({:?} size)", cfg.describe(), kind.name(), sizes);
+    println!("  instructions = {}  refs = {}", r.total_instructions, r.total_refs);
+    println!(
+        "  wall = {} cycles;  E(Instr) = {:.4} cycles = {:.3e} s",
+        r.wall_cycles, r.e_instr_cycles, r.e_instr_seconds
+    );
+    println!(
+        "  levels: l1 {}  c2c {}  local {}  remote-clean {}  remote-dirty {}  disk {}",
+        r.levels.l1_hits,
+        r.levels.cache_to_cache,
+        r.levels.local_memory,
+        r.levels.remote_clean,
+        r.levels.remote_dirty,
+        r.levels.disk
+    );
+    println!(
+        "  coherence traffic = {:.1}% of {} bytes;  barriers = {} (wait {} cycles)",
+        r.traffic.coherence_fraction() * 100.0,
+        r.traffic.data_bytes + r.traffic.coherence_bytes,
+        r.barriers,
+        r.barrier_wait_cycles
+    );
+    Ok(())
+}
+
+fn cmd_fit(rest: &[String]) -> Result<(), String> {
+    let kind = parse_workload_kind(&flag(rest, "--workload").ok_or("--workload required")?)?;
+    let sizes = Sizes::from_args(rest);
+    if has(rest, "--phases") {
+        return cmd_fit_phases(kind, sizes, has(rest, "--json"));
+    }
+    let c = characterize(&sizes.workload(kind), 64);
+    if has(rest, "--json") {
+        println!("{}", serde_json::to_string_pretty(&c).unwrap());
+        return Ok(());
+    }
+    println!("{} ({:?} size):", c.name, sizes);
+    println!("  alpha = {:.3}   beta = {:.1} bytes   (R^2 = {:.4})", c.alpha, c.beta, c.r_squared);
+    println!(
+        "  rho = {:.3}   write fraction = {:.3}   sharing fraction = {:.3}",
+        c.rho, c.write_fraction, c.sharing_fraction
+    );
+    println!("  footprint = {:.0} bytes over {} refs", c.footprint_bytes, c.refs);
+    let w = paper_params(kind);
+    println!(
+        "  paper: alpha = {:.2}  beta = {:.1}  rho = {:.2}",
+        w.locality.alpha, w.locality.beta, w.rho
+    );
+    Ok(())
+}
+
+/// Per-phase locality fits (the bulk-synchronous structure of §3 makes a
+/// single global fit blur phases with very different locality).
+fn cmd_fit_phases(kind: WorkloadKind, sizes: Sizes, json: bool) -> Result<(), String> {
+    use memhier_trace::PhaseAnalyzer;
+    use memhier_workloads::spmd::stream_spmd;
+    let program = sizes.workload(kind).instantiate(1);
+    let (analyzer, _) = stream_spmd(program, |rxs| {
+        let rx = rxs.into_iter().next().expect("one process");
+        let mut an = PhaseAnalyzer::new(64);
+        while let Ok(batch) = rx.recv() {
+            for ev in batch {
+                match ev {
+                    memhier_sim::MemEvent::Barrier => an.barrier(),
+                    other => {
+                        if let Some(a) = other.address() {
+                            an.access(a);
+                        }
+                    }
+                }
+            }
+        }
+        an
+    });
+    let (phases, global) = analyzer.finish();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&phases).unwrap());
+        return Ok(());
+    }
+    println!("{} phases, {} global refs:", phases.len(), global.total_refs());
+    for p in &phases {
+        match &p.fit {
+            Some(f) => println!(
+                "  phase {:>3}: {:>9} refs  alpha={:.2} beta={:<10.1} R^2={:.3}  cold={:.1}%",
+                p.index,
+                p.refs,
+                f.alpha,
+                f.beta,
+                f.r_squared,
+                p.cold_fraction * 100.0
+            ),
+            None => println!(
+                "  phase {:>3}: {:>9} refs  (too few points to fit)  cold={:.1}%",
+                p.index,
+                p.refs,
+                p.cold_fraction * 100.0
+            ),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_optimize(rest: &[String]) -> Result<(), String> {
+    let budget: f64 =
+        flag(rest, "--budget").ok_or("--budget required")?.parse().map_err(|_| "bad --budget")?;
+    let kind = parse_workload_kind(&flag(rest, "--workload").ok_or("--workload required")?)?;
+    let top: usize = flag(rest, "--top").and_then(|s| s.parse().ok()).unwrap_or(3);
+    let w = paper_params(kind);
+    let ranked = optimize(
+        budget,
+        &w,
+        &AnalyticModel::default(),
+        &PriceTable::circa_1999(),
+        &CandidateSpace::paper_market(),
+    );
+    if ranked.is_empty() {
+        return Err(format!("nothing affordable under ${budget}"));
+    }
+    if has(rest, "--json") {
+        println!("{}", serde_json::to_string_pretty(&ranked[..top.min(ranked.len())]).unwrap());
+        return Ok(());
+    }
+    println!("Best clusters for {} under ${budget:.0}:", w.name);
+    for (i, r) in ranked.iter().take(top).enumerate() {
+        println!(
+            "  {}. {}  (${:.0}, E(Instr) = {:.3e} s)",
+            i + 1,
+            r.spec.describe(),
+            r.cost,
+            r.e_instr_seconds
+        );
+    }
+    Ok(())
+}
+
+fn cmd_pareto(rest: &[String]) -> Result<(), String> {
+    let kind = parse_workload_kind(&flag(rest, "--workload").ok_or("--workload required")?)?;
+    let w = paper_params(kind);
+    let frontier = pareto_frontier(
+        &w,
+        &AnalyticModel::default(),
+        &PriceTable::circa_1999(),
+        &CandidateSpace::paper_market(),
+    );
+    if has(rest, "--json") {
+        println!("{}", serde_json::to_string_pretty(&frontier).unwrap());
+        return Ok(());
+    }
+    println!("Cost / performance Pareto frontier for {}:", w.name);
+    for r in &frontier {
+        println!(
+            "  ${:>6.0}  E(Instr) = {:.3e} s  {}",
+            r.cost,
+            r.e_instr_seconds,
+            r.spec.describe()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_upgrade(rest: &[String]) -> Result<(), String> {
+    let budget: f64 =
+        flag(rest, "--budget").ok_or("--budget required")?.parse().map_err(|_| "bad --budget")?;
+    let kind = parse_workload_kind(&flag(rest, "--workload").ok_or("--workload required")?)?;
+    let machines: u32 = flag(rest, "--machines").and_then(|s| s.parse().ok()).unwrap_or(2);
+    let procs: u32 = flag(rest, "--procs").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let cache: u64 = flag(rest, "--cache").and_then(|s| s.parse().ok()).unwrap_or(256);
+    let mem: u64 = flag(rest, "--mem").and_then(|s| s.parse().ok()).unwrap_or(32);
+    let network = match flag(rest, "--network").as_deref() {
+        None | Some("eth10") => NetworkKind::Ethernet10,
+        Some("eth100") => NetworkKind::Ethernet100,
+        Some("atm") | Some("atm155") => NetworkKind::Atm155,
+        Some(o) => return Err(format!("unknown network `{o}`")),
+    };
+    let existing = if machines > 1 {
+        ClusterSpec::cluster(MachineSpec::new(procs, cache, mem, 200.0), machines, network)
+    } else {
+        ClusterSpec::single(MachineSpec::new(procs, cache, mem, 200.0))
+    };
+    let w = paper_params(kind);
+    let plans =
+        plan_upgrade(&existing, budget, &w, &AnalyticModel::default(), &PriceTable::circa_1999());
+    let best = plans.first().ok_or("no valid upgrade plans")?;
+    println!("Existing: {}", existing.describe());
+    println!("Best upgrade for {} with ${budget:.0}:", w.name);
+    println!("  actions: {}", best.actions.join(", "));
+    println!("  cost: ${:.0}", best.cost);
+    println!("  E(Instr): {:.3e} s", best.e_instr_seconds);
+    Ok(())
+}
+
+/// Dispatch to the experiment harness (same code the `memhier-bench`
+/// binaries run).
+fn cmd_reproduce(rest: &[String]) -> Result<(), String> {
+    use memhier_bench::experiments as ex;
+    let which = rest.first().cloned().ok_or("which experiment? (try `all`)")?;
+    let sizes = Sizes::from_args(rest);
+    let chars = || ex::table2(sizes, false).1;
+    match which.as_str() {
+        "table1" => ex::table1().print(),
+        "table2" => ex::table2(sizes, true).0.print(),
+        "fig2" => ex::fig2_smp(sizes, &chars()).0.print(),
+        "fig3" => ex::fig3_cow(sizes, &chars()).0.print(),
+        "fig4" => ex::fig4_clump(sizes, &chars()).0.print(),
+        "coherence" => ex::coherence_traffic(sizes).print(),
+        "speedup" => ex::speedup(sizes).print(),
+        "budget5k" => ex::case_budget(5000.0, false).print(),
+        "budget20k" => ex::case_budget(20_000.0, true).print(),
+        "upgrade" => ex::case_upgrade(2500.0).print(),
+        "fft4x" => ex::case_fft_4x().print(),
+        "recommendations" => ex::recommendations().print(),
+        "sensitivity" => ex::sensitivity().print(),
+        "ablation" => ex::ablation().print(),
+        "sweep" => println!("{}", ex::sweep_map(20_000.0)),
+        "utilization" => ex::utilization(sizes, &chars()).print(),
+        "all" => {
+            ex::table1().print();
+            let (t2, cs) = ex::table2(sizes, true);
+            t2.print();
+            let kernels: Vec<_> =
+                cs.iter().filter(|c| c.name != "TPC-C").cloned().collect();
+            ex::fig2_smp(sizes, &kernels).0.print();
+            ex::fig3_cow(sizes, &kernels).0.print();
+            ex::fig4_clump(sizes, &kernels).0.print();
+            ex::coherence_traffic(sizes).print();
+            ex::speedup(sizes).print();
+            ex::case_budget(5000.0, false).print();
+            ex::case_budget(20_000.0, true).print();
+            ex::case_upgrade(2500.0).print();
+            ex::case_fft_4x().print();
+            ex::recommendations().print();
+            ex::sensitivity().print();
+            ex::ablation().print();
+            ex::utilization(sizes, &kernels).print();
+            println!("{}", ex::sweep_map(20_000.0));
+        }
+        other => return Err(format!("unknown experiment `{other}`")),
+    }
+    Ok(())
+}
+
+fn cmd_recommend(rest: &[String]) -> Result<(), String> {
+    let w = if let Some(name) = flag(rest, "--workload") {
+        paper_params(parse_workload_kind(&name)?)
+    } else {
+        let alpha: f64 = flag(rest, "--alpha")
+            .ok_or("--alpha or --workload required")?
+            .parse()
+            .map_err(|_| "bad --alpha")?;
+        let beta: f64 =
+            flag(rest, "--beta").ok_or("--beta required")?.parse().map_err(|_| "bad --beta")?;
+        let rho: f64 =
+            flag(rest, "--rho").ok_or("--rho required")?.parse().map_err(|_| "bad --rho")?;
+        WorkloadParams::new("custom", alpha, beta, rho).map_err(|e| e.to_string())?
+    };
+    let r = recommend(&w);
+    println!("{}: {:?}", w.name, r.platform);
+    println!("  {}", r.rationale);
+    println!("  upgrade: {}", r.upgrade_advice);
+    Ok(())
+}

@@ -1,0 +1,158 @@
+//! End-to-end tests of the `memhier` binary (spawned as a subprocess).
+
+use std::process::Command;
+
+fn memhier(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_memhier"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let (ok, _, err) = memhier(&[]);
+    assert!(!ok);
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn help_succeeds() {
+    let (ok, out, _) = memhier(&["help"]);
+    assert!(ok);
+    assert!(out.contains("memhier"));
+    assert!(out.contains("optimize"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let (ok, _, err) = memhier(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn configs_lists_all_fifteen() {
+    let (ok, out, _) = memhier(&["configs"]);
+    assert!(ok);
+    for i in 1..=15 {
+        assert!(out.contains(&format!("C{i}:")), "missing C{i} in {out}");
+    }
+}
+
+#[test]
+fn model_prints_prediction() {
+    let (ok, out, _) = memhier(&["model", "--config", "C5", "--workload", "FFT"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("E(Instr)"));
+    assert!(out.contains("cache"));
+    assert!(out.contains("disk"));
+}
+
+#[test]
+fn model_json_is_valid_json() {
+    let (ok, out, _) = memhier(&["model", "--config", "C1", "--workload", "LU", "--json"]);
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    assert!(v.get("e_instr_seconds").is_some());
+}
+
+#[test]
+fn model_rejects_unknown_config() {
+    let (ok, _, err) = memhier(&["model", "--config", "C99", "--workload", "FFT"]);
+    assert!(!ok);
+    assert!(err.contains("unknown config"));
+}
+
+#[test]
+fn model_rejects_unknown_workload() {
+    let (ok, _, err) = memhier(&["model", "--config", "C1", "--workload", "SORT"]);
+    assert!(!ok);
+    assert!(err.contains("unknown workload"));
+}
+
+#[test]
+fn simulate_small_runs() {
+    let (ok, out, _) =
+        memhier(&["simulate", "--config", "C1", "--workload", "EDGE", "--small"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("wall ="));
+    assert!(out.contains("levels:"));
+}
+
+#[test]
+fn fit_small_reports_parameters() {
+    let (ok, out, _) = memhier(&["fit", "--workload", "EDGE", "--small"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("alpha ="));
+    assert!(out.contains("paper:"));
+}
+
+#[test]
+fn optimize_respects_budget_flag() {
+    let (ok, out, _) = memhier(&["optimize", "--budget", "5000", "--workload", "LU"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("Best clusters"));
+    let (ok, _, err) = memhier(&["optimize", "--budget", "100", "--workload", "LU"]);
+    assert!(!ok);
+    assert!(err.contains("nothing affordable"));
+}
+
+#[test]
+fn recommend_from_parameters() {
+    let (ok, out, _) =
+        memhier(&["recommend", "--alpha", "1.1", "--beta", "500", "--rho", "0.6"]);
+    assert!(ok);
+    assert!(out.contains("SingleSmp"), "{out}");
+}
+
+#[test]
+fn upgrade_prints_plan() {
+    let (ok, out, _) = memhier(&["upgrade", "--budget", "2500", "--workload", "FFT"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("Best upgrade"));
+    assert!(out.contains("actions:"));
+}
+
+#[test]
+fn pareto_frontier_prints_monotone_costs() {
+    let (ok, out, _) = memhier(&["pareto", "--workload", "Radix"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("Pareto frontier"));
+    let costs: Vec<f64> = out
+        .lines()
+        .filter_map(|l| l.trim().strip_prefix('$'))
+        .filter_map(|l| l.split_whitespace().next()?.parse().ok())
+        .collect();
+    assert!(costs.len() >= 3, "{out}");
+    assert!(costs.windows(2).all(|w| w[0] < w[1]), "{costs:?}");
+}
+
+#[test]
+fn fit_phases_segments_the_trace() {
+    let (ok, out, _) = memhier(&["fit", "--workload", "EDGE", "--small", "--phases"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("phases,"));
+    assert!(out.contains("phase   0:"));
+    // EDGE at small size: 2 iterations x 3 phases = 6 phases.
+    assert!(out.contains("phase   5:"), "{out}");
+}
+
+#[test]
+fn reproduce_table1_runs() {
+    let (ok, out, _) = memhier(&["reproduce", "table1"]);
+    assert!(ok);
+    assert!(out.contains("gray block A"));
+}
+
+#[test]
+fn reproduce_rejects_unknown_experiment() {
+    let (ok, _, err) = memhier(&["reproduce", "fig9"]);
+    assert!(!ok);
+    assert!(err.contains("unknown experiment"));
+}

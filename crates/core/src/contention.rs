@@ -1,0 +1,161 @@
+//! Queueing and synchronization mathematics (paper §4).
+//!
+//! * Shared-resource contention is an **M/D/1 queue**: memoryless arrivals
+//!   from the *other* processors at rate `λ`, deterministic service time
+//!   `ρ_s` (the uncontended device latency), one server.  The mean response
+//!   time is
+//!
+//!   ```text
+//!   t = ρ_s · (1 − u/2) / (1 − u),    u = λ·ρ_s
+//!   ```
+//!
+//!   which reduces to `ρ_s` at `u = 0` — i.e. to Jacob et al.'s
+//!   uniprocessor model at `n = 1`, the consistency property the paper
+//!   states for its eq. (9).
+//!
+//! * **Barrier waiting** uses order statistics: if each of `n` processes'
+//!   inter-barrier times is exponential with rate `λ_b`, the barrier cycle
+//!   of the whole system is the max of `n` exponentials with expectation
+//!   `E[X] = H_n/λ_b` (`H_n` the harmonic number), so the mean *wait* per
+//!   barrier is `(H_n − 1)/λ_b`.
+
+/// Mean response time of an M/D/1 queue: deterministic service time
+/// `service`, Poisson arrival rate `arrival` (in reciprocal units of
+/// `service`).  Returns `None` if the utilization `arrival·service ≥ 1`
+/// (queue is unstable, delay diverges).
+///
+/// ```
+/// use memhier_core::contention::md1_response;
+/// // No load: response equals the raw service time.
+/// assert_eq!(md1_response(50.0, 0.0), Some(50.0));
+/// // Saturated: diverges.
+/// assert_eq!(md1_response(50.0, 0.02), None);
+/// ```
+pub fn md1_response(service: f64, arrival: f64) -> Option<f64> {
+    debug_assert!(service >= 0.0 && arrival >= 0.0);
+    if service == 0.0 {
+        return Some(0.0);
+    }
+    let u = arrival * service;
+    if u >= 1.0 {
+        return None;
+    }
+    Some(service * (1.0 - 0.5 * u) / (1.0 - u))
+}
+
+/// Mean *waiting* time (response − service) of the same M/D/1 queue, i.e.
+/// the pure queueing delay `ρ_s·u / (2(1−u))`.  `None` when unstable.
+pub fn md1_wait(service: f64, arrival: f64) -> Option<f64> {
+    md1_response(service, arrival).map(|r| r - service)
+}
+
+/// `H_n = Σ_{i=1}^{n} 1/i`, the n-th harmonic number (`H_0 = 0`).
+pub fn harmonic(n: u32) -> f64 {
+    (1..=n).map(|i| 1.0 / i as f64).sum()
+}
+
+/// Expected barrier *cycle* time of an `n`-process system whose per-process
+/// inter-barrier times are exponential with rate `rate_b`:
+/// `E[max of n exponentials] = H_n / λ_b` (paper §4, order statistics).
+pub fn barrier_cycle(n: u32, rate_b: f64) -> f64 {
+    if rate_b <= 0.0 {
+        return 0.0;
+    }
+    harmonic(n) / rate_b
+}
+
+/// Expected per-barrier *waiting* time: `E[X] − 1/λ_b = (H_n − 1)/λ_b`,
+/// zero for `n ≤ 1` (a single process never waits at a barrier).
+pub fn barrier_wait(n: u32, rate_b: f64) -> f64 {
+    if n <= 1 || rate_b <= 0.0 {
+        return 0.0;
+    }
+    (harmonic(n) - 1.0) / rate_b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md1_zero_load_is_service_time() {
+        assert_eq!(md1_response(42.0, 0.0), Some(42.0));
+        assert_eq!(md1_wait(42.0, 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn md1_monotone_in_load() {
+        let mut prev = 0.0;
+        for i in 0..99 {
+            let arrival = i as f64 * 0.0001; // u up to 0.495 at service 50
+            let r = md1_response(50.0, arrival).unwrap();
+            assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn md1_diverges_at_saturation() {
+        assert_eq!(md1_response(50.0, 1.0 / 50.0), None);
+        assert_eq!(md1_response(50.0, 10.0), None);
+        // Just below saturation: huge but finite.
+        let r = md1_response(50.0, 0.99 / 50.0).unwrap();
+        assert!(r > 50.0 * 10.0);
+    }
+
+    #[test]
+    fn md1_matches_closed_form() {
+        // u = 0.5: response = s(1-0.25)/0.5 = 1.5 s.
+        let r = md1_response(10.0, 0.05).unwrap();
+        assert!((r - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn md1_zero_service() {
+        assert_eq!(md1_response(0.0, 5.0), Some(0.0));
+    }
+
+    #[test]
+    fn harmonic_values() {
+        assert_eq!(harmonic(0), 0.0);
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(2) - 1.5).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_grows_like_log() {
+        // H_n ≈ ln n + γ.
+        let n = 100_000u32;
+        let gamma = 0.577_215_664_901_532_9;
+        assert!((harmonic(n) - ((n as f64).ln() + gamma)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn barrier_wait_zero_for_uniprocessor() {
+        assert_eq!(barrier_wait(1, 0.001), 0.0);
+        assert_eq!(barrier_wait(0, 0.001), 0.0);
+    }
+
+    #[test]
+    fn barrier_wait_grows_with_n() {
+        let r = 1e-4;
+        assert!(barrier_wait(2, r) < barrier_wait(4, r));
+        assert!(barrier_wait(4, r) < barrier_wait(16, r));
+    }
+
+    #[test]
+    fn barrier_cycle_minus_mean_is_wait() {
+        let n = 8;
+        let r = 2e-5;
+        let cycle = barrier_cycle(n, r);
+        let wait = barrier_wait(n, r);
+        assert!((cycle - 1.0 / r - wait).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barrier_degenerate_rate() {
+        assert_eq!(barrier_cycle(4, 0.0), 0.0);
+        assert_eq!(barrier_wait(4, -1.0), 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types for model construction and evaluation.
+
+use std::fmt;
+
+/// Errors raised while validating parameters or evaluating the analytic model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A locality parameter was out of its legal domain (`α > 1`, `β > 1`).
+    InvalidLocality {
+        /// Offending parameter name (`"alpha"` or `"beta"`).
+        param: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// `ρ` (fraction of instructions referencing memory) must be in `[0, 1]`.
+    InvalidRho(f64),
+    /// A machine/cluster structural parameter was invalid (zero processors,
+    /// zero machines, zero capacity, …).
+    InvalidSpec(String),
+    /// A shared resource saturated under the open-arrival model: the M/D/1
+    /// utilization reached or exceeded 1, so the predicted queueing delay
+    /// diverges.  Contains the hierarchy level name and the utilization.
+    Saturated {
+        /// Human-readable name of the saturated level (e.g. `"memory bus"`).
+        level: &'static str,
+        /// The offending utilization (≥ 1).
+        utilization: f64,
+    },
+    /// The self-consistent fixed-point iteration failed to converge.
+    NoConvergence {
+        /// Number of iterations attempted.
+        iterations: u32,
+        /// Residual at the last iterate.
+        residual: f64,
+    },
+    /// A cluster spec requires a network but none was provided
+    /// (COW/CLUMP platforms need `ClusterSpec::network`).
+    MissingNetwork,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidLocality { param, value } => {
+                write!(f, "invalid locality parameter {param} = {value} (must be > 1)")
+            }
+            ModelError::InvalidRho(v) => {
+                write!(f, "invalid rho = {v} (must be within [0, 1])")
+            }
+            ModelError::InvalidSpec(msg) => write!(f, "invalid specification: {msg}"),
+            ModelError::Saturated { level, utilization } => write!(
+                f,
+                "{level} saturated: utilization {utilization:.3} >= 1, queueing delay diverges"
+            ),
+            ModelError::NoConvergence { iterations, residual } => write!(
+                f,
+                "fixed-point iteration did not converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            ModelError::MissingNetwork => {
+                write!(f, "cluster platform requires a network kind, none given")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameter() {
+        let e = ModelError::InvalidLocality { param: "alpha", value: 0.5 };
+        let s = e.to_string();
+        assert!(s.contains("alpha"));
+        assert!(s.contains("0.5"));
+    }
+
+    #[test]
+    fn display_saturated_mentions_level() {
+        let e = ModelError::Saturated { level: "memory bus", utilization: 1.2 };
+        assert!(e.to_string().contains("memory bus"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(ModelError::MissingNetwork);
+        assert!(e.to_string().contains("network"));
+    }
+}

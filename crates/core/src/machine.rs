@@ -1,0 +1,277 @@
+//! Machine, network, and latency parameter types (paper §2, §5.1).
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One machine of the (homogeneous) cluster: an `n`-processor SMP when
+/// `n_procs > 1`, a uniprocessor workstation when `n_procs == 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Processors per machine (`n` in the paper; 1, 2 or 4 in its studies).
+    pub n_procs: u32,
+    /// Per-processor cache capacity in bytes (`s1`).
+    pub cache_bytes: u64,
+    /// Main-memory capacity in bytes (`s2` contribution of one machine).
+    pub memory_bytes: u64,
+    /// Processor speed `S` in instructions per second (clock rate at the
+    /// paper's 1 instruction/cycle; 200 MHz in all its experiments).
+    pub clock_hz: f64,
+}
+
+impl MachineSpec {
+    /// Convenience constructor with sizes in the paper's customary units.
+    ///
+    /// ```
+    /// use memhier_core::machine::MachineSpec;
+    /// let m = MachineSpec::new(2, 256, 64, 200.0); // 2P, 256 KB, 64 MB, 200 MHz
+    /// assert_eq!(m.cache_bytes, 256 * 1024);
+    /// ```
+    pub fn new(n_procs: u32, cache_kb: u64, memory_mb: u64, clock_mhz: f64) -> Self {
+        MachineSpec {
+            n_procs,
+            cache_bytes: cache_kb * 1024,
+            memory_bytes: memory_mb * 1024 * 1024,
+            clock_hz: clock_mhz * 1e6,
+        }
+    }
+
+    /// Validate structural sanity.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.n_procs == 0 {
+            return Err(ModelError::InvalidSpec("machine with 0 processors".into()));
+        }
+        if self.cache_bytes == 0 || self.memory_bytes == 0 {
+            return Err(ModelError::InvalidSpec("zero cache or memory capacity".into()));
+        }
+        if self.cache_bytes >= self.memory_bytes {
+            return Err(ModelError::InvalidSpec(format!(
+                "cache ({}) must be smaller than memory ({})",
+                self.cache_bytes, self.memory_bytes
+            )));
+        }
+        if self.clock_hz.is_nan() || self.clock_hz <= 0.0 {
+            return Err(ModelError::InvalidSpec("non-positive clock".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Physical medium of Networks 2/3 (the cluster network).  The paper studies
+/// two bus networks (Ethernet) and one switch network (ATM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkKind {
+    /// 10 Mb/s Ethernet — a bus network.
+    Ethernet10,
+    /// 100 Mb/s Fast Ethernet — a bus network.
+    Ethernet100,
+    /// 155 Mb/s ATM — a switch network.
+    Atm155,
+}
+
+/// Topology class of a cluster network: a bus is one shared server; a switch
+/// provides independent paths that contend only at the destination port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkTopology {
+    /// Shared medium: every transfer occupies the single network resource.
+    Bus,
+    /// Crossbar-like switch: transfers contend only per destination port.
+    Switch,
+}
+
+impl NetworkKind {
+    /// The topology class of this medium (paper §2: Ethernet ⇒ bus,
+    /// ATM ⇒ switch).
+    pub fn topology(&self) -> NetworkTopology {
+        match self {
+            NetworkKind::Ethernet10 | NetworkKind::Ethernet100 => NetworkTopology::Bus,
+            NetworkKind::Atm155 => NetworkTopology::Switch,
+        }
+    }
+
+    /// Nominal bandwidth in megabits per second.
+    pub fn mbps(&self) -> f64 {
+        match self {
+            NetworkKind::Ethernet10 => 10.0,
+            NetworkKind::Ethernet100 => 100.0,
+            NetworkKind::Atm155 => 155.0,
+        }
+    }
+
+    /// All network kinds the paper evaluates, in bandwidth order.
+    pub const ALL: [NetworkKind; 3] =
+        [NetworkKind::Ethernet10, NetworkKind::Ethernet100, NetworkKind::Atm155];
+}
+
+impl fmt::Display for NetworkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkKind::Ethernet10 => write!(f, "10Mb bus"),
+            NetworkKind::Ethernet100 => write!(f, "100Mb bus"),
+            NetworkKind::Atm155 => write!(f, "155Mb switch"),
+        }
+    }
+}
+
+/// The paper's §5.1 latency table, in processor cycles.
+///
+/// All values are *incremental* costs charged when a reference must descend
+/// to the given level, exactly as listed in the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyParams {
+    /// One instruction execution: 1 cycle.
+    pub instr: f64,
+    /// Cache hit: 1 cycle.
+    pub cache_hit: f64,
+    /// Cache miss serviced by local memory: 50 cycles.
+    pub local_memory: f64,
+    /// Cache miss serviced by another processor's cache within an SMP
+    /// (snoop hit): 15 cycles.
+    pub smp_remote_cache: f64,
+    /// Memory miss serviced by the local disk: 2000 cycles.
+    pub local_disk: f64,
+    /// Cache miss serviced by a remote node's memory, per network kind
+    /// (COW: 45075 / 4575 / 3275 cycles for Eth10 / Eth100 / ATM).
+    pub remote_node_cow: [f64; 3],
+    /// Cache miss serviced by remotely *cached* (dirty) data, per network
+    /// kind (COW: 90150 / 9150 / 6550).
+    pub remote_cached_cow: [f64; 3],
+    /// CLUMP variants of the two remote costs (each +3 cycles for the
+    /// intra-SMP hop at the home node: 45078/4578/3278 and 90153/9153/6553).
+    pub remote_node_clump: [f64; 3],
+    /// See [`LatencyParams::remote_node_clump`].
+    pub remote_cached_clump: [f64; 3],
+}
+
+impl LatencyParams {
+    /// The exact §5.1 parameter set.
+    pub fn paper() -> Self {
+        LatencyParams {
+            instr: 1.0,
+            cache_hit: 1.0,
+            local_memory: 50.0,
+            smp_remote_cache: 15.0,
+            local_disk: 2000.0,
+            remote_node_cow: [45075.0, 4575.0, 3275.0],
+            remote_cached_cow: [90150.0, 9150.0, 6550.0],
+            remote_node_clump: [45078.0, 4578.0, 3278.0],
+            remote_cached_clump: [90153.0, 9153.0, 6553.0],
+        }
+    }
+
+    fn net_index(net: NetworkKind) -> usize {
+        match net {
+            NetworkKind::Ethernet10 => 0,
+            NetworkKind::Ethernet100 => 1,
+            NetworkKind::Atm155 => 2,
+        }
+    }
+
+    /// Remote-node fetch cost over `net` for a cluster of workstations.
+    pub fn remote_node(&self, net: NetworkKind, clump: bool) -> f64 {
+        let i = Self::net_index(net);
+        if clump {
+            self.remote_node_clump[i]
+        } else {
+            self.remote_node_cow[i]
+        }
+    }
+
+    /// Remotely-cached (dirty) fetch cost over `net`.
+    pub fn remote_cached(&self, net: NetworkKind, clump: bool) -> f64 {
+        let i = Self::net_index(net);
+        if clump {
+            self.remote_cached_clump[i]
+        } else {
+            self.remote_cached_cow[i]
+        }
+    }
+
+    /// Blended remote-access service time: `(1−f)·remote_node +
+    /// f·remote_cached` where `f` is the workload's dirty fraction.
+    pub fn remote_service(&self, net: NetworkKind, clump: bool, dirty_fraction: f64) -> f64 {
+        let f = dirty_fraction.clamp(0.0, 1.0);
+        (1.0 - f) * self.remote_node(net, clump) + f * self.remote_cached(net, clump)
+    }
+}
+
+impl Default for LatencyParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_constructor_units() {
+        let m = MachineSpec::new(4, 512, 128, 200.0);
+        assert_eq!(m.cache_bytes, 512 * 1024);
+        assert_eq!(m.memory_bytes, 128 * 1024 * 1024);
+        assert_eq!(m.clock_hz, 2e8);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn machine_validation_catches_errors() {
+        let mut m = MachineSpec::new(2, 256, 64, 200.0);
+        m.n_procs = 0;
+        assert!(m.validate().is_err());
+
+        let mut m = MachineSpec::new(2, 256, 64, 200.0);
+        m.cache_bytes = m.memory_bytes;
+        assert!(m.validate().is_err());
+
+        let mut m = MachineSpec::new(2, 256, 64, 200.0);
+        m.clock_hz = 0.0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn network_topology_classes() {
+        assert_eq!(NetworkKind::Ethernet10.topology(), NetworkTopology::Bus);
+        assert_eq!(NetworkKind::Ethernet100.topology(), NetworkTopology::Bus);
+        assert_eq!(NetworkKind::Atm155.topology(), NetworkTopology::Switch);
+    }
+
+    #[test]
+    fn network_bandwidth_order() {
+        let b: Vec<f64> = NetworkKind::ALL.iter().map(|n| n.mbps()).collect();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn paper_latencies_exact() {
+        let l = LatencyParams::paper();
+        assert_eq!(l.local_memory, 50.0);
+        assert_eq!(l.smp_remote_cache, 15.0);
+        assert_eq!(l.local_disk, 2000.0);
+        assert_eq!(l.remote_node(NetworkKind::Ethernet10, false), 45075.0);
+        assert_eq!(l.remote_node(NetworkKind::Ethernet100, false), 4575.0);
+        assert_eq!(l.remote_node(NetworkKind::Atm155, false), 3275.0);
+        assert_eq!(l.remote_cached(NetworkKind::Ethernet10, false), 90150.0);
+        assert_eq!(l.remote_node(NetworkKind::Ethernet10, true), 45078.0);
+        assert_eq!(l.remote_cached(NetworkKind::Atm155, true), 6553.0);
+    }
+
+    #[test]
+    fn remote_service_blend() {
+        let l = LatencyParams::paper();
+        let s = l.remote_service(NetworkKind::Ethernet100, false, 0.0);
+        assert_eq!(s, 4575.0);
+        let s = l.remote_service(NetworkKind::Ethernet100, false, 1.0);
+        assert_eq!(s, 9150.0);
+        let s = l.remote_service(NetworkKind::Ethernet100, false, 0.5);
+        assert!((s - (4575.0 + 9150.0) / 2.0).abs() < 1e-12);
+        // Clamps out-of-range fractions.
+        assert_eq!(l.remote_service(NetworkKind::Ethernet100, false, -3.0), 4575.0);
+    }
+
+    #[test]
+    fn display_matches_paper_naming() {
+        assert_eq!(NetworkKind::Ethernet10.to_string(), "10Mb bus");
+        assert_eq!(NetworkKind::Atm155.to_string(), "155Mb switch");
+    }
+}

@@ -1,0 +1,719 @@
+//! The analytic execution-time model (paper §4).
+//!
+//! For a cluster of `N` machines with `n` processors each, clocked at `S`
+//! instructions/second, running a workload with locality `(α, β)` and
+//! memory-reference density `ρ`, the model predicts
+//!
+//! ```text
+//! E(Instr) = (1/(n·N)) · (1/S + ρ·T)        (eq. 4)
+//! T = t1 + Σ_{i≥2} t_i^eff · m_{i−1}        (eq. 7)
+//! ```
+//!
+//! where `m_j = ∫_{s_j}^∞ p(x) dx` is the probability a reference misses
+//! all levels up to capacity `s_j`, and `t_i^eff` is the level-`i` service
+//! time inflated by M/D/1 queueing contention at shared resources
+//! (memory bus, cluster network, I/O bus).  Barrier synchronization adds an
+//! order-statistics term (see [`crate::contention`]).
+//!
+//! ## Levels per platform (paper Table 1 / Figure 1)
+//!
+//! | platform | levels used |
+//! |----------|-------------|
+//! | uniprocessor / SMP | cache → shared memory (bus-contended) → disk |
+//! | cluster of workstations | cache → local memory → remote memory (network-contended) → disk |
+//! | cluster of SMPs | cache → intra-SMP memory (bus-contended) → remote memory (network-contended) → disk |
+//!
+//! ## Reconstruction choices (DESIGN.md §2.3, substitution 6)
+//!
+//! * The paper's eq. (9)/(11) OCR is partially garbled; the M/D/1 algebra
+//!   here is pinned down by the paper's stated property that at `n = 1` the
+//!   model reduces to Jacob et al.'s uniprocessor model.
+//! * The paper feeds the queues with *open* arrivals `λ_i = ρ·S·m_i`
+//!   (processors never slow down).  Under heavy load this saturates
+//!   (`u ≥ 1`) and the prediction diverges, so we also provide a
+//!   **self-consistent** variant (the default) in which the arrival rate is
+//!   damped by the predicted slowdown itself, `λ_i = ρ·m_i / E_p` with
+//!   `E_p = 1 + ρT` the per-processor cycles per instruction, solved by
+//!   fixed-point iteration.  [`ArrivalModel`] selects between the two; the
+//!   ablation benchmark `optimizer` compares them.
+
+use crate::contention::{harmonic, md1_response};
+use crate::error::ModelError;
+use crate::locality::{Locality, WorkloadParams};
+use crate::machine::{LatencyParams, NetworkTopology};
+use crate::platform::{ClusterSpec, PlatformKind};
+use serde::{Deserialize, Serialize};
+
+/// How arrival rates at shared resources are derived (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrivalModel {
+    /// The paper's literal open-arrival assumption `λ = ρ·S·m`.
+    /// Diverges (returns [`ModelError::Saturated`]) when a queue saturates.
+    Open,
+    /// Arrival rates damped by the predicted per-instruction time, solved
+    /// self-consistently.  Never saturates; always converges in practice.
+    SelfConsistent,
+}
+
+/// Whether the locality tail honors the workload's data footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TailMode {
+    /// Use eq. (1) untruncated, as printed in the paper.  The heavy tail
+    /// stands in for sharing/coherence misses on cluster platforms.
+    Untruncated,
+    /// Zero the tail beyond the (per-process share of the) footprint.
+    /// Matches what a paging simulator observes for in-memory workloads.
+    Truncated,
+}
+
+/// Per-level diagnostic emitted by [`AnalyticModel::evaluate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelBreakdown {
+    /// Level name (`"cache"`, `"memory"`, `"remote"`, `"disk"`).
+    pub name: String,
+    /// Probability a memory reference reaches (at least) this level.
+    pub reach_prob: f64,
+    /// Uncontended service time, cycles.
+    pub service_cycles: f64,
+    /// Contention-inflated effective time, cycles.
+    pub effective_cycles: f64,
+    /// Utilization of the shared resource backing this level (0 for
+    /// private resources).
+    pub utilization: f64,
+}
+
+/// The model's output for one (cluster, workload) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Average memory-access time per reference `T`, in cycles.
+    pub t_cycles: f64,
+    /// Per-processor cycles per instruction, `1 + ρ·T` plus barrier wait.
+    pub per_proc_cpi: f64,
+    /// Application-level average execution time per instruction
+    /// `E(Instr)`, in cycles (per-proc CPI divided by `n·N`).
+    pub e_instr_cycles: f64,
+    /// `E(Instr)` in seconds at the machine's clock.
+    pub e_instr_seconds: f64,
+    /// Barrier waiting folded in, cycles per instruction.
+    pub barrier_cycles_per_instr: f64,
+    /// Per-level breakdown (cache first).
+    pub levels: Vec<LevelBreakdown>,
+    /// Fixed-point iterations used (1 for the open model).
+    pub iterations: u32,
+}
+
+impl Prediction {
+    /// Whole-application execution time (paper eq. 3):
+    /// `E(App) = (m + M) · E(Instr)` for a program of `total_instructions`.
+    pub fn app_seconds(&self, total_instructions: u64) -> f64 {
+        total_instructions as f64 * self.e_instr_seconds
+    }
+}
+
+/// The analytic model: latency table + evaluation policy knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticModel {
+    /// Hierarchy latency parameters (§5.1 values by default).
+    pub latencies: LatencyParams,
+    /// Arrival-rate policy (default [`ArrivalModel::SelfConsistent`]).
+    pub arrival: ArrivalModel,
+    /// Locality-tail policy (default [`TailMode::Untruncated`], as printed).
+    pub tail_mode: TailMode,
+    /// The §5.3.2 remote-access-rate adjustment compensating for unmodeled
+    /// coherence traffic: remote rates are multiplied by
+    /// `1 + coherence_adjustment` on cluster platforms.  Paper value 0.124.
+    pub coherence_adjustment: f64,
+    /// Scale on the disk level's reach probability.  1.0 = the raw
+    /// untruncated tail (paper formula); calibrating toward 0 matches a
+    /// paging simulator in which resident workloads only take cold misses
+    /// (the same measure-and-adjust methodology as §5.3.2).
+    pub disk_rate_scale: f64,
+    /// Scale on the order-statistics barrier term.  The paper's formula
+    /// assumes exponentially-random phase lengths, which yields a
+    /// `(H_q − 1)` cycles-per-instruction wait; real bulk-synchronous
+    /// kernels are far more deterministic, so calibration typically pulls
+    /// this well below 1.
+    pub barrier_scale: f64,
+    /// Fixed-point iteration cap for the self-consistent arrival model.
+    pub max_iterations: u32,
+    /// Relative convergence tolerance of the fixed point.
+    pub tolerance: f64,
+}
+
+impl Default for AnalyticModel {
+    fn default() -> Self {
+        AnalyticModel {
+            latencies: LatencyParams::paper(),
+            arrival: ArrivalModel::SelfConsistent,
+            tail_mode: TailMode::Untruncated,
+            coherence_adjustment: 0.124,
+            disk_rate_scale: 1.0,
+            barrier_scale: 1.0,
+            max_iterations: 10_000,
+            tolerance: 1e-12,
+        }
+    }
+}
+
+/// One queue-fed hierarchy level, before contention is applied.
+struct LevelSpec {
+    name: &'static str,
+    /// Probability a reference reaches this level.
+    reach: f64,
+    /// Uncontended service time in cycles.
+    service: f64,
+    /// Number of *other* clients whose traffic interferes at this level's
+    /// shared resource (0 ⇒ private, no queueing).
+    interferers: f64,
+    /// Rate multiplier on interfering traffic (coherence adjustment and
+    /// switch port dilution are folded in here).
+    rate_scale: f64,
+}
+
+impl AnalyticModel {
+    /// Evaluate the model for `cluster` running `workload`.
+    ///
+    /// Returns [`ModelError::Saturated`] under [`ArrivalModel::Open`] when a
+    /// shared resource's utilization reaches 1, and
+    /// [`ModelError::NoConvergence`] if the self-consistent fixed point
+    /// fails to settle (not observed for sane parameters).
+    pub fn evaluate(
+        &self,
+        cluster: &ClusterSpec,
+        workload: &WorkloadParams,
+    ) -> Result<Prediction, ModelError> {
+        cluster.validate()?;
+        if !(0.0..=1.0).contains(&workload.rho) {
+            return Err(ModelError::InvalidRho(workload.rho));
+        }
+        let levels = self.level_specs(cluster, workload)?;
+        let q = cluster.total_procs();
+        let rho = workload.rho;
+
+        // Barrier term: (H_q − 1) cycles per instruction (paper eq. 11's
+        // "+ (1/2 + … + 1/n)" term; see crate::contention docs).  Zero when
+        // the workload declares no barriers or there is a single processor.
+        let barrier = if workload.barrier_per_instr > 0.0 && q > 1 {
+            self.barrier_scale * (harmonic(q) - 1.0)
+        } else {
+            0.0
+        };
+
+        match self.arrival {
+            ArrivalModel::Open => {
+                let (t, lv) = self.apply_contention(&levels, rho, 1.0)?;
+                let per_proc = self.latencies.instr + rho * t + barrier;
+                Ok(self.finish(cluster, t, per_proc, barrier, lv, 1))
+            }
+            ArrivalModel::SelfConsistent => {
+                // Solve e = f(e) where f(e) = 1 + ρ·T(λ(e)) + barrier and
+                // λ ∝ 1/e.  f is monotonically decreasing in e (slower
+                // processors generate less interfering traffic), so
+                // g(e) = f(e) − e is strictly decreasing with a unique root;
+                // bisection is unconditionally robust where plain Picard
+                // iteration oscillates near saturation.
+                let f = |e: f64| -> Option<f64> {
+                    self.apply_contention(&levels, rho, 1.0 / e)
+                        .ok()
+                        .map(|(t, _)| self.latencies.instr + rho * t + barrier)
+                };
+                // Lower bracket: the uncontended CPI (f(e) ≥ e there, since
+                // contention only adds time).  Upper bracket: grow until
+                // f(hi) < hi; f is bounded once utilization < 1.
+                let e_unc = self.latencies.instr + barrier + rho * uncontended_t(&levels);
+                let mut lo = e_unc;
+                let mut hi = e_unc.max(2.0);
+                let mut iters = 0u32;
+                while f(hi).map(|v| v > hi).unwrap_or(true) {
+                    hi *= 2.0;
+                    iters += 1;
+                    if iters >= self.max_iterations || !hi.is_finite() {
+                        return Err(ModelError::NoConvergence {
+                            iterations: iters,
+                            residual: f64::INFINITY,
+                        });
+                    }
+                }
+                while (hi - lo) / hi.max(1e-30) > self.tolerance {
+                    iters += 1;
+                    if iters >= self.max_iterations {
+                        break;
+                    }
+                    let mid = 0.5 * (lo + hi);
+                    // Saturated at mid ⇒ f(mid) = ∞ > mid ⇒ root is above.
+                    match f(mid) {
+                        Some(v) if v <= mid => hi = mid,
+                        _ => lo = mid,
+                    }
+                }
+                let e = hi; // the stable side of the bracket
+                let (t, lv) = self.apply_contention(&levels, rho, 1.0 / e).map_err(|_| {
+                    ModelError::NoConvergence { iterations: iters, residual: hi - lo }
+                })?;
+                let per_proc = self.latencies.instr + rho * t + barrier;
+                Ok(self.finish(cluster, t, per_proc, barrier, lv, iters))
+            }
+        }
+    }
+
+    /// Like [`AnalyticModel::evaluate`] but maps saturation/non-convergence
+    /// to `E(Instr) = ∞`, which the optimizer treats as "reject this
+    /// configuration".
+    pub fn evaluate_or_inf(&self, cluster: &ClusterSpec, workload: &WorkloadParams) -> f64 {
+        match self.evaluate(cluster, workload) {
+            Ok(p) => p.e_instr_seconds,
+            Err(ModelError::Saturated { .. }) | Err(ModelError::NoConvergence { .. }) => {
+                f64::INFINITY
+            }
+            Err(_) => f64::INFINITY,
+        }
+    }
+
+    fn finish(
+        &self,
+        cluster: &ClusterSpec,
+        t: f64,
+        per_proc: f64,
+        barrier: f64,
+        levels: Vec<LevelBreakdown>,
+        iterations: u32,
+    ) -> Prediction {
+        let q = cluster.total_procs() as f64;
+        let e_cycles = per_proc / q;
+        Prediction {
+            t_cycles: t,
+            per_proc_cpi: per_proc,
+            e_instr_cycles: e_cycles,
+            e_instr_seconds: e_cycles / cluster.machine.clock_hz,
+            barrier_cycles_per_instr: barrier,
+            levels,
+            iterations,
+        }
+    }
+
+    /// Locality tail honoring the model's [`TailMode`].
+    fn tail(&self, loc: &Locality, s: f64, q: u32) -> f64 {
+        let mut l = *loc;
+        if self.tail_mode == TailMode::Untruncated {
+            l.footprint = None;
+        }
+        l.tail_scaled(s, q)
+    }
+
+    /// Build the hierarchy level list for the cluster's platform.
+    fn level_specs(
+        &self,
+        cluster: &ClusterSpec,
+        w: &WorkloadParams,
+    ) -> Result<Vec<LevelSpec>, ModelError> {
+        let lat = &self.latencies;
+        let m = &cluster.machine;
+        let n = m.n_procs as f64;
+        let q = cluster.total_procs();
+        let loc = &w.locality;
+        let s1 = m.cache_bytes as f64;
+        let s2 = m.memory_bytes as f64;
+        let m2 = self.tail(loc, s1, q); // miss past cache
+        let m3 = self.tail(loc, s2, q); // miss past one machine's memory
+
+        let mut levels = vec![LevelSpec {
+            name: "cache",
+            reach: 1.0,
+            service: lat.cache_hit,
+            interferers: 0.0,
+            rate_scale: 1.0,
+        }];
+
+        match cluster.platform() {
+            PlatformKind::Uniprocessor | PlatformKind::Smp => {
+                // Level 2: shared memory over the SMP bus.  A fraction of
+                // misses is served cache-to-cache at the snoop-hit cost.
+                let f = if m.n_procs > 1 { w.dirty_fraction.clamp(0.0, 1.0) } else { 0.0 };
+                let service = (1.0 - f) * lat.local_memory + f * lat.smp_remote_cache;
+                levels.push(LevelSpec {
+                    name: "memory",
+                    reach: m2,
+                    service,
+                    interferers: n - 1.0,
+                    rate_scale: 1.0,
+                });
+                // Level 3: local disk over the shared I/O bus.
+                levels.push(LevelSpec {
+                    name: "disk",
+                    reach: (m3 * self.disk_rate_scale).min(1.0),
+                    service: lat.local_disk,
+                    interferers: n - 1.0,
+                    rate_scale: 1.0,
+                });
+            }
+            PlatformKind::ClusterOfWorkstations | PlatformKind::ClusterOfSmps => {
+                let net = cluster.network.ok_or(ModelError::MissingNetwork)?;
+                let clump = cluster.platform() == PlatformKind::ClusterOfSmps;
+                let s3 = cluster.total_memory_bytes() as f64; // aggregate memory
+                let m4 = self.tail(loc, s3, q); // miss past aggregate memory
+                let coh = 1.0 + self.coherence_adjustment;
+
+                // Level 2: this machine's memory.  Private for a COW node;
+                // bus-contended among n processors inside a CLUMP node.
+                let (l2_service, l2_intf) = if clump {
+                    let f = w.dirty_fraction.clamp(0.0, 1.0);
+                    ((1.0 - f) * lat.local_memory + f * lat.smp_remote_cache, n - 1.0)
+                } else {
+                    (lat.local_memory, 0.0)
+                };
+                levels.push(LevelSpec {
+                    name: "memory",
+                    reach: m2,
+                    service: l2_service,
+                    interferers: l2_intf,
+                    rate_scale: 1.0,
+                });
+
+                // Level 3: remote memory over the cluster network.  Two
+                // flows reach it: capacity misses past the local memory
+                // (`m3`) and cache misses to data homed at another process
+                // (`sharing_fraction · m2` — coherence/sharing traffic the
+                // capacity tail cannot see).  Both carry the §5.3.2
+                // coherence adjustment.  Contention: a bus network is one
+                // server shared by all q processors; a switch contends only
+                // at the destination port, diluting interfering traffic by N.
+                let service = lat.remote_service(net, clump, w.dirty_fraction);
+                let sharing = w.sharing_fraction.clamp(0.0, 1.0);
+                let remote_reach = ((m3 + sharing * m2) * coh).min(1.0);
+                let (interferers, dilution) = match net.topology() {
+                    NetworkTopology::Bus => ((q as f64) - 1.0, 1.0),
+                    NetworkTopology::Switch => {
+                        ((q as f64) - 1.0, 1.0 / cluster.machines as f64)
+                    }
+                };
+                levels.push(LevelSpec {
+                    name: "remote",
+                    reach: remote_reach,
+                    service,
+                    interferers,
+                    rate_scale: coh * dilution,
+                });
+
+                // Level 4: disk (paging past the aggregate memory), served
+                // by the local disk through the node's I/O bus.
+                levels.push(LevelSpec {
+                    name: "disk",
+                    reach: (m4 * self.disk_rate_scale).min(1.0),
+                    service: lat.local_disk,
+                    interferers: if clump { n - 1.0 } else { 0.0 },
+                    rate_scale: 1.0,
+                });
+            }
+        }
+        Ok(levels)
+    }
+
+    /// Apply M/D/1 contention to each level.  `rate_damp` scales per-client
+    /// arrival rates (1.0 for the open model, `1/E_p` self-consistently).
+    /// Returns `(T, breakdown)`.
+    fn apply_contention(
+        &self,
+        levels: &[LevelSpec],
+        rho: f64,
+        rate_damp: f64,
+    ) -> Result<(f64, Vec<LevelBreakdown>), ModelError> {
+        let mut t = 0.0;
+        let mut out = Vec::with_capacity(levels.len());
+        for lv in levels {
+            let (eff, util) = if lv.interferers > 0.0 && lv.reach > 0.0 {
+                // Per-client arrival rate to this level, accesses/cycle.
+                let lambda = rho * lv.reach * rate_damp * lv.rate_scale;
+                let arrival = lv.interferers * lambda;
+                let util = arrival * lv.service;
+                match md1_response(lv.service, arrival) {
+                    Some(r) => (r, util),
+                    None => {
+                        return Err(ModelError::Saturated {
+                            level: lv.name,
+                            utilization: util,
+                        })
+                    }
+                }
+            } else {
+                (lv.service, 0.0)
+            };
+            t += lv.reach * eff;
+            out.push(LevelBreakdown {
+                name: lv.name.to_string(),
+                reach_prob: lv.reach,
+                service_cycles: lv.service,
+                effective_cycles: eff,
+                utilization: util,
+            });
+        }
+        Ok((t, out))
+    }
+}
+
+/// `T` with zero contention — the fixed-point seed.
+fn uncontended_t(levels: &[LevelSpec]) -> f64 {
+    levels.iter().map(|l| l.reach * l.service).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{MachineSpec, NetworkKind};
+
+    fn fft() -> WorkloadParams {
+        WorkloadParams::new("FFT", 1.21, 103.26, 0.20).unwrap()
+    }
+    fn radix() -> WorkloadParams {
+        WorkloadParams::new("Radix", 1.14, 120.84, 0.37).unwrap()
+    }
+    fn edge() -> WorkloadParams {
+        WorkloadParams::new("EDGE", 1.71, 85.03, 0.45).unwrap()
+    }
+
+    fn uni() -> ClusterSpec {
+        ClusterSpec::single(MachineSpec::new(1, 256, 64, 200.0))
+    }
+    fn smp(n: u32) -> ClusterSpec {
+        ClusterSpec::single(MachineSpec::new(n, 256, 128, 200.0))
+    }
+    fn cow(nn: u32, net: NetworkKind) -> ClusterSpec {
+        ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), nn, net)
+    }
+    fn clump(n: u32, nn: u32, net: NetworkKind) -> ClusterSpec {
+        ClusterSpec::cluster(MachineSpec::new(n, 256, 128, 200.0), nn, net)
+    }
+
+    #[test]
+    fn uniprocessor_reduces_to_jacob_model() {
+        // At n = 1 there is no contention and no barrier: T must equal the
+        // plain weighted sum of service times (Jacob et al.'s model), for
+        // both arrival policies.
+        let w = fft();
+        for arrival in [ArrivalModel::Open, ArrivalModel::SelfConsistent] {
+            let model = AnalyticModel { arrival, ..AnalyticModel::default() };
+            let p = model.evaluate(&uni(), &w).unwrap();
+            let loc = w.locality;
+            let m2 = loc.tail(256.0 * 1024.0);
+            let m3 = loc.tail(64.0 * 1024.0 * 1024.0);
+            let expect = 1.0 + 50.0 * m2 + 2000.0 * m3;
+            assert!(
+                (p.t_cycles - expect).abs() < 1e-9,
+                "{arrival:?}: T = {} vs closed form {expect}",
+                p.t_cycles
+            );
+            assert_eq!(p.barrier_cycles_per_instr, 0.0);
+        }
+    }
+
+    #[test]
+    fn e_instr_formula_holds() {
+        let model = AnalyticModel::default();
+        let w = fft();
+        let c = smp(4);
+        let p = model.evaluate(&c, &w).unwrap();
+        // E(Instr) = per_proc_cpi / (nN), seconds = cycles / clock.
+        assert!((p.e_instr_cycles - p.per_proc_cpi / 4.0).abs() < 1e-12);
+        assert!((p.e_instr_seconds - p.e_instr_cycles / 2e8).abs() < 1e-20);
+        // CPI decomposition.
+        let expect = 1.0 + w.rho * p.t_cycles + p.barrier_cycles_per_instr;
+        assert!((p.per_proc_cpi - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_processors_reduce_e_instr_for_cpu_bound() {
+        // FFT (small rho) on SMPs: E(Instr) should drop with n.
+        let model = AnalyticModel::default();
+        let w = fft();
+        let e2 = model.evaluate(&smp(2), &w).unwrap().e_instr_cycles;
+        let e4 = model.evaluate(&smp(4), &w).unwrap().e_instr_cycles;
+        assert!(e4 < e2, "e4 = {e4}, e2 = {e2}");
+    }
+
+    #[test]
+    fn bigger_cache_helps() {
+        let model = AnalyticModel::default();
+        let w = radix();
+        let small = ClusterSpec::single(MachineSpec::new(2, 256, 128, 200.0));
+        let big = ClusterSpec::single(MachineSpec::new(2, 512, 128, 200.0));
+        let es = model.evaluate(&small, &w).unwrap().e_instr_cycles;
+        let eb = model.evaluate(&big, &w).unwrap().e_instr_cycles;
+        assert!(eb < es, "512KB {eb} should beat 256KB {es}");
+    }
+
+    #[test]
+    fn faster_network_helps_cow() {
+        let model = AnalyticModel::default();
+        let w = fft();
+        let slow = model.evaluate(&cow(4, NetworkKind::Ethernet10), &w).unwrap();
+        let mid = model.evaluate(&cow(4, NetworkKind::Ethernet100), &w).unwrap();
+        let fast = model.evaluate(&cow(4, NetworkKind::Atm155), &w).unwrap();
+        assert!(slow.e_instr_cycles > mid.e_instr_cycles);
+        assert!(mid.e_instr_cycles > fast.e_instr_cycles);
+    }
+
+    #[test]
+    fn open_model_saturates_on_slow_ethernet() {
+        // The paper-literal open arrival model must detect divergence for a
+        // memory-bound workload on a big 10 Mb Ethernet cluster.
+        let model = AnalyticModel { arrival: ArrivalModel::Open, ..AnalyticModel::default() };
+        let w = radix();
+        let r = model.evaluate(&cow(8, NetworkKind::Ethernet10), &w);
+        assert!(
+            matches!(r, Err(ModelError::Saturated { .. })),
+            "expected saturation, got {r:?}"
+        );
+        // evaluate_or_inf maps that to infinity for the optimizer.
+        assert!(model
+            .evaluate_or_inf(&cow(8, NetworkKind::Ethernet10), &w)
+            .is_infinite());
+    }
+
+    #[test]
+    fn self_consistent_stays_finite_under_heavy_load() {
+        let model = AnalyticModel::default();
+        let w = radix();
+        let p = model.evaluate(&cow(8, NetworkKind::Ethernet10), &w).unwrap();
+        assert!(p.e_instr_cycles.is_finite());
+        assert!(p.iterations > 1);
+        // All reported utilizations must be stable.
+        for l in &p.levels {
+            assert!(l.utilization < 1.0, "{}: u = {}", l.name, l.utilization);
+        }
+    }
+
+    #[test]
+    fn self_consistent_matches_open_at_light_load() {
+        // EDGE has excellent locality: queues are nearly idle, so the two
+        // arrival policies must agree closely.
+        let w = edge();
+        let open = AnalyticModel { arrival: ArrivalModel::Open, ..AnalyticModel::default() };
+        let sc = AnalyticModel::default();
+        let c = smp(2);
+        let eo = open.evaluate(&c, &w).unwrap().e_instr_cycles;
+        let es = sc.evaluate(&c, &w).unwrap().e_instr_cycles;
+        assert!((eo - es).abs() / eo < 0.02, "open {eo} vs self-consistent {es}");
+    }
+
+    #[test]
+    fn clump_remote_costs_exceed_cow() {
+        // Same geometry, same workload: the CLUMP +3-cycle remote costs must
+        // make a (2x1)-CLUMP... rather, verify the latency table is wired:
+        // a CLUMP with n=2,N=2 over Eth10 uses 45078 not 45075.
+        let model = AnalyticModel::default();
+        let w = fft();
+        let p = model.evaluate(&clump(2, 2, NetworkKind::Ethernet10), &w).unwrap();
+        let remote = p.levels.iter().find(|l| l.name == "remote").unwrap();
+        let expect = 0.8 * 45078.0 + 0.2 * 90153.0;
+        assert!((remote.service_cycles - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switch_contention_milder_than_bus() {
+        // Hypothetical: same service time over bus vs switch topology is not
+        // directly comparable via NetworkKind (kinds imply service costs),
+        // so check via breakdown utilization: ATM (switch) utilization is
+        // diluted by N compared to a bus of the same traffic.
+        let model = AnalyticModel::default();
+        let w = radix();
+        let p_bus = model.evaluate(&cow(4, NetworkKind::Ethernet100), &w).unwrap();
+        let p_sw = model.evaluate(&cow(4, NetworkKind::Atm155), &w).unwrap();
+        let u_bus = p_bus.levels.iter().find(|l| l.name == "remote").unwrap().utilization;
+        let u_sw = p_sw.levels.iter().find(|l| l.name == "remote").unwrap().utilization;
+        assert!(u_sw < u_bus, "switch u {u_sw} vs bus u {u_bus}");
+    }
+
+    #[test]
+    fn barrier_term_is_harmonic() {
+        let model = AnalyticModel::default();
+        let w = fft(); // default barrier rate > 0
+        let p = model.evaluate(&smp(4), &w).unwrap();
+        let expect = 1.0 / 2.0 + 1.0 / 3.0 + 1.0 / 4.0;
+        assert!((p.barrier_cycles_per_instr - expect).abs() < 1e-12);
+        // No barriers declared -> no term.
+        let mut w0 = fft();
+        w0.barrier_per_instr = 0.0;
+        let p0 = model.evaluate(&smp(4), &w0).unwrap();
+        assert_eq!(p0.barrier_cycles_per_instr, 0.0);
+        assert!(p0.e_instr_cycles < p.e_instr_cycles);
+    }
+
+    #[test]
+    fn coherence_adjustment_increases_remote_reach() {
+        let base = AnalyticModel { coherence_adjustment: 0.0, ..AnalyticModel::default() };
+        let adj = AnalyticModel::default(); // 0.124
+        let w = fft();
+        let c = cow(4, NetworkKind::Ethernet100);
+        let e0 = base.evaluate(&c, &w).unwrap().e_instr_cycles;
+        let e1 = adj.evaluate(&c, &w).unwrap().e_instr_cycles;
+        assert!(e1 > e0, "adjusted {e1} must exceed unadjusted {e0}");
+        // Queueing amplifies the 12.4% rate bump nonlinearly, but it must
+        // stay the same order of magnitude.
+        assert!(e1 < e0 * 3.0, "adjusted {e1} vs unadjusted {e0}");
+    }
+
+    #[test]
+    fn truncated_tail_removes_disk_traffic() {
+        let model =
+            AnalyticModel { tail_mode: TailMode::Truncated, ..AnalyticModel::default() };
+        let w = fft().with_footprint(2e6); // 2 MB fits in 64 MB memory
+        let p = model.evaluate(&uni(), &w).unwrap();
+        let disk = p.levels.iter().find(|l| l.name == "disk").unwrap();
+        assert_eq!(disk.reach_prob, 0.0);
+        // Untruncated default keeps a nonzero disk tail.
+        let p2 = AnalyticModel::default().evaluate(&uni(), &w).unwrap();
+        let disk2 = p2.levels.iter().find(|l| l.name == "disk").unwrap();
+        assert!(disk2.reach_prob > 0.0);
+    }
+
+    #[test]
+    fn breakdown_levels_ordered_and_weighted() {
+        let model = AnalyticModel::default();
+        let p = model.evaluate(&cow(4, NetworkKind::Atm155), &fft()).unwrap();
+        let names: Vec<_> = p.levels.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, ["cache", "memory", "remote", "disk"]);
+        // Reach probabilities non-increasing down the hierarchy (modulo the
+        // coherence adjustment which can only inflate "remote" above the raw
+        // tail; it is still below the "memory" reach).
+        assert!(p.levels[0].reach_prob >= p.levels[1].reach_prob);
+        assert!(p.levels[1].reach_prob >= p.levels[2].reach_prob);
+        assert!(p.levels[2].reach_prob >= p.levels[3].reach_prob);
+        // T equals the weighted sum of effective times.
+        let t: f64 = p.levels.iter().map(|l| l.reach_prob * l.effective_cycles).sum();
+        assert!((t - p.t_cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn app_time_is_eq3() {
+        let model = AnalyticModel::default();
+        let p = model.evaluate(&uni(), &fft()).unwrap();
+        // E(App) = (m+M) * E(Instr).
+        let app = p.app_seconds(1_000_000);
+        assert!((app - 1e6 * p.e_instr_seconds).abs() < 1e-18);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let model = AnalyticModel::default();
+        let mut w = fft();
+        w.rho = 1.5;
+        assert!(model.evaluate(&uni(), &w).is_err());
+        let mut c = cow(4, NetworkKind::Ethernet100);
+        c.network = None;
+        assert!(matches!(model.evaluate(&c, &fft()), Err(ModelError::MissingNetwork)));
+    }
+
+    #[test]
+    fn radix_prefers_smp_over_slow_cow() {
+        // §6: memory-bound, poor-locality workloads (Radix) favor the short
+        // hierarchy of an SMP over a slow-network COW of equal processor
+        // count.
+        let model = AnalyticModel::default();
+        let w = radix();
+        let e_smp = model.evaluate(&smp(4), &w).unwrap().e_instr_seconds;
+        let e_cow = model
+            .evaluate(&cow(4, NetworkKind::Ethernet10), &w)
+            .unwrap()
+            .e_instr_seconds;
+        assert!(e_smp < e_cow, "SMP {e_smp} should beat 10Mb COW {e_cow}");
+    }
+}

@@ -1,0 +1,241 @@
+//! The paper's published constants: Table 2 workload characteristics,
+//! Tables 3–5 platform configurations (C1–C15), and problem sizes (§5.2).
+
+use crate::locality::WorkloadParams;
+use crate::machine::{MachineSpec, NetworkKind};
+use crate::platform::ClusterSpec;
+
+/// Paper problem sizes (§5.2) and the resulting data footprints in bytes.
+pub mod sizes {
+    /// FFT: 64 K complex points (two arrays of complex doubles).
+    pub const FFT_POINTS: usize = 64 * 1024;
+    /// LU: 512 × 512 dense matrix of doubles.
+    pub const LU_N: usize = 512;
+    /// Radix: 1 M integers, radix 1024.
+    pub const RADIX_KEYS: usize = 1024 * 1024;
+    /// Radix digit width (radix 1024).
+    pub const RADIX_RADIX: usize = 1024;
+    /// EDGE: 128 × 128 bitmap.
+    pub const EDGE_DIM: usize = 128;
+
+    /// FFT footprint: data + roots-of-unity arrays, 16 B per complex point.
+    pub const FFT_FOOTPRINT: f64 = (FFT_POINTS * 16 * 2) as f64;
+    /// LU footprint: the matrix, 8 B per element.
+    pub const LU_FOOTPRINT: f64 = (LU_N * LU_N * 8) as f64;
+    /// Radix footprint: keys + permutation buffer (4 B each) + histograms.
+    pub const RADIX_FOOTPRINT: f64 = (RADIX_KEYS * 4 * 2 + RADIX_RADIX * 8) as f64;
+    /// EDGE footprint: image + 3 working planes, 4 B per pixel.
+    pub const EDGE_FOOTPRINT: f64 = (EDGE_DIM * EDGE_DIM * 4 * 4) as f64;
+}
+
+/// FFT workload parameters (Table 2: α = 1.21, β = 103.26, ρ = 0.20).
+pub fn workload_fft() -> WorkloadParams {
+    WorkloadParams::new("FFT", 1.21, 103.26, 0.20)
+        .expect("paper constants are valid")
+        .with_footprint(sizes::FFT_FOOTPRINT)
+}
+
+/// LU workload parameters (Table 2: α = 1.30, β = 90.27, ρ = 0.31).
+pub fn workload_lu() -> WorkloadParams {
+    WorkloadParams::new("LU", 1.30, 90.27, 0.31)
+        .expect("paper constants are valid")
+        .with_footprint(sizes::LU_FOOTPRINT)
+}
+
+/// Radix workload parameters (Table 2: α = 1.14, β = 120.84, ρ = 0.37).
+pub fn workload_radix() -> WorkloadParams {
+    WorkloadParams::new("Radix", 1.14, 120.84, 0.37)
+        .expect("paper constants are valid")
+        .with_footprint(sizes::RADIX_FOOTPRINT)
+}
+
+/// EDGE workload parameters (Table 2: α = 1.71, β = 85.03, ρ = 0.45).
+pub fn workload_edge() -> WorkloadParams {
+    WorkloadParams::new("EDGE", 1.71, 85.03, 0.45)
+        .expect("paper constants are valid")
+        .with_footprint(sizes::EDGE_FOOTPRINT)
+        // EDGE barriers after every iteration (§5.2) — the most
+        // barrier-intensive of the four kernels.
+        .with_barrier_rate(1e-5)
+}
+
+/// The TPC-C commercial workload the paper characterizes as an aside in
+/// §5.2: α = 1.73, β = 1222.66, ρ = 0.36.
+pub fn workload_tpcc() -> WorkloadParams {
+    WorkloadParams::new("TPC-C", 1.73, 1222.66, 0.36).expect("paper constants are valid")
+}
+
+/// All four Table-2 kernels, in the paper's order.
+pub fn paper_workloads() -> Vec<WorkloadParams> {
+    vec![workload_fft(), workload_lu(), workload_radix(), workload_edge()]
+}
+
+/// The paper's platform configurations (Tables 3–5), all at 200 MHz.
+pub mod configs {
+    use super::*;
+
+    /// Table 3 — C1: 2P SMP, 256 KB cache, 64 MB memory.
+    pub fn c1() -> ClusterSpec {
+        ClusterSpec::single(MachineSpec::new(2, 256, 64, 200.0)).named("C1")
+    }
+    /// Table 3 — C2: 2P SMP, 512 KB, 64 MB.
+    pub fn c2() -> ClusterSpec {
+        ClusterSpec::single(MachineSpec::new(2, 512, 64, 200.0)).named("C2")
+    }
+    /// Table 3 — C3: 2P SMP, 256 KB, 128 MB.
+    pub fn c3() -> ClusterSpec {
+        ClusterSpec::single(MachineSpec::new(2, 256, 128, 200.0)).named("C3")
+    }
+    /// Table 3 — C4: 2P SMP, 512 KB, 128 MB.
+    pub fn c4() -> ClusterSpec {
+        ClusterSpec::single(MachineSpec::new(2, 512, 128, 200.0)).named("C4")
+    }
+    /// Table 3 — C5: 4P SMP, 256 KB, 128 MB.
+    pub fn c5() -> ClusterSpec {
+        ClusterSpec::single(MachineSpec::new(4, 256, 128, 200.0)).named("C5")
+    }
+    /// Table 3 — C6: 4P SMP, 512 KB, 128 MB.
+    pub fn c6() -> ClusterSpec {
+        ClusterSpec::single(MachineSpec::new(4, 512, 128, 200.0)).named("C6")
+    }
+
+    /// Table 4 — C7: 2 workstations, 256 KB, 32 MB, 10 Mb bus.
+    pub fn c7() -> ClusterSpec {
+        ClusterSpec::cluster(MachineSpec::new(1, 256, 32, 200.0), 2, NetworkKind::Ethernet10)
+            .named("C7")
+    }
+    /// Table 4 — C8: 4 workstations, 256 KB, 64 MB, 100 Mb bus.
+    pub fn c8() -> ClusterSpec {
+        ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Ethernet100)
+            .named("C8")
+    }
+    /// Table 4 — C9: 4 workstations, 512 KB, 64 MB, 100 Mb bus.
+    pub fn c9() -> ClusterSpec {
+        ClusterSpec::cluster(MachineSpec::new(1, 512, 64, 200.0), 4, NetworkKind::Ethernet100)
+            .named("C9")
+    }
+    /// Table 4 — C10: 4 workstations, 256 KB, 64 MB, 155 Mb switch.
+    pub fn c10() -> ClusterSpec {
+        ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Atm155)
+            .named("C10")
+    }
+    /// Table 4 — C11: 8 workstations, 512 KB, 64 MB, 155 Mb switch.
+    pub fn c11() -> ClusterSpec {
+        ClusterSpec::cluster(MachineSpec::new(1, 512, 64, 200.0), 8, NetworkKind::Atm155)
+            .named("C11")
+    }
+
+    /// Table 5 — C12: 2 × 2P SMPs, 256 KB, 64 MB, 10 Mb bus.
+    pub fn c12() -> ClusterSpec {
+        ClusterSpec::cluster(MachineSpec::new(2, 256, 64, 200.0), 2, NetworkKind::Ethernet10)
+            .named("C12")
+    }
+    /// Table 5 — C13: 2 × 2P SMPs, 256 KB, 128 MB, 100 Mb bus.
+    pub fn c13() -> ClusterSpec {
+        ClusterSpec::cluster(MachineSpec::new(2, 256, 128, 200.0), 2, NetworkKind::Ethernet100)
+            .named("C13")
+    }
+    /// Table 5 — C14: 2 × 4P SMPs, 256 KB, 128 MB, 100 Mb bus.
+    pub fn c14() -> ClusterSpec {
+        ClusterSpec::cluster(MachineSpec::new(4, 256, 128, 200.0), 2, NetworkKind::Ethernet100)
+            .named("C14")
+    }
+    /// Table 5 — C15: 2 × 4P SMPs, 256 KB, 128 MB, 155 Mb switch.
+    pub fn c15() -> ClusterSpec {
+        ClusterSpec::cluster(MachineSpec::new(4, 256, 128, 200.0), 2, NetworkKind::Atm155)
+            .named("C15")
+    }
+
+    /// Table 3's SMP configurations C1–C6.
+    pub fn smp_configs() -> Vec<ClusterSpec> {
+        vec![c1(), c2(), c3(), c4(), c5(), c6()]
+    }
+    /// Table 4's cluster-of-workstations configurations C7–C11.
+    pub fn cow_configs() -> Vec<ClusterSpec> {
+        vec![c7(), c8(), c9(), c10(), c11()]
+    }
+    /// Table 5's cluster-of-SMPs configurations C12–C15.
+    pub fn clump_configs() -> Vec<ClusterSpec> {
+        vec![c12(), c13(), c14(), c15()]
+    }
+    /// Every configuration C1–C15 in paper order.
+    pub fn all_configs() -> Vec<ClusterSpec> {
+        let mut v = smp_configs();
+        v.extend(cow_configs());
+        v.extend(clump_configs());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformKind;
+
+    #[test]
+    fn table2_constants() {
+        let w = paper_workloads();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0].name, "FFT");
+        assert_eq!(w[0].locality.alpha, 1.21);
+        assert_eq!(w[0].locality.beta, 103.26);
+        assert_eq!(w[0].rho, 0.20);
+        assert_eq!(w[2].name, "Radix");
+        assert_eq!(w[2].rho, 0.37);
+        assert_eq!(w[3].locality.alpha, 1.71);
+    }
+
+    #[test]
+    fn tpcc_beta_is_ten_times_scientific() {
+        // §5.2: TPC-C's β is over 10x any scientific program's.
+        let t = workload_tpcc();
+        for w in paper_workloads() {
+            assert!(t.locality.beta > 10.0 * w.locality.beta);
+        }
+    }
+
+    #[test]
+    fn config_counts_and_names() {
+        assert_eq!(configs::smp_configs().len(), 6);
+        assert_eq!(configs::cow_configs().len(), 5);
+        assert_eq!(configs::clump_configs().len(), 4);
+        let all = configs::all_configs();
+        assert_eq!(all.len(), 15);
+        for (i, c) in all.iter().enumerate() {
+            assert_eq!(c.name.as_deref(), Some(format!("C{}", i + 1).as_str()));
+            assert!(c.validate().is_ok(), "{:?}", c.name);
+        }
+    }
+
+    #[test]
+    fn config_platform_kinds() {
+        for c in configs::smp_configs() {
+            assert_eq!(c.platform(), PlatformKind::Smp);
+        }
+        for c in configs::cow_configs() {
+            assert_eq!(c.platform(), PlatformKind::ClusterOfWorkstations);
+        }
+        for c in configs::clump_configs() {
+            assert_eq!(c.platform(), PlatformKind::ClusterOfSmps);
+        }
+    }
+
+    #[test]
+    fn table5_geometry() {
+        let c14 = configs::c14();
+        assert_eq!(c14.machine.n_procs, 4);
+        assert_eq!(c14.machines, 2);
+        assert_eq!(c14.total_procs(), 8);
+        assert_eq!(c14.network, Some(NetworkKind::Ethernet100));
+    }
+
+    #[test]
+    fn footprints_fit_in_paper_memories() {
+        // Every kernel's data fits in even the smallest studied memory
+        // (32 MB), so disk traffic in a paging simulator is cold-miss only.
+        for w in paper_workloads() {
+            let fp = w.locality.footprint.unwrap();
+            assert!(fp < 32.0 * 1024.0 * 1024.0, "{} footprint {fp}", w.name);
+        }
+    }
+}

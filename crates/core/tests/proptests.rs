@@ -1,0 +1,174 @@
+//! Property-based tests of the analytic model's invariants.
+
+use memhier_core::contention::{barrier_wait, harmonic, md1_response};
+use memhier_core::locality::{Locality, WorkloadParams};
+use memhier_core::machine::{MachineSpec, NetworkKind};
+use memhier_core::model::{AnalyticModel, ArrivalModel, TailMode};
+use memhier_core::platform::ClusterSpec;
+use proptest::prelude::*;
+
+fn locality_strategy() -> impl Strategy<Value = Locality> {
+    (1.01f64..3.0, 2.0f64..5000.0)
+        .prop_map(|(alpha, beta)| Locality::new(alpha, beta).unwrap())
+}
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadParams> {
+    (1.01f64..3.0, 2.0f64..5000.0, 0.01f64..0.9)
+        .prop_map(|(a, b, r)| WorkloadParams::new("prop", a, b, r).unwrap())
+}
+
+fn cluster_strategy() -> impl Strategy<Value = ClusterSpec> {
+    (
+        prop_oneof![Just(1u32), Just(2), Just(4)],
+        prop_oneof![Just(256u64), Just(512)],
+        prop_oneof![Just(32u64), Just(64), Just(128)],
+        1u32..=8,
+        prop_oneof![
+            Just(NetworkKind::Ethernet10),
+            Just(NetworkKind::Ethernet100),
+            Just(NetworkKind::Atm155)
+        ],
+    )
+        .prop_map(|(n, ckb, mmb, nn, net)| {
+            let m = MachineSpec::new(n, ckb, mmb, 200.0);
+            if nn == 1 {
+                ClusterSpec::single(m)
+            } else {
+                ClusterSpec::cluster(m, nn, net)
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn cdf_monotone_nondecreasing(loc in locality_strategy(), x in 0.0f64..1e9, dx in 0.0f64..1e9) {
+        prop_assert!(loc.cdf_raw(x + dx) + 1e-12 >= loc.cdf_raw(x));
+    }
+
+    #[test]
+    fn cdf_and_tail_partition_unity(loc in locality_strategy(), x in 0.0f64..1e9) {
+        let s = loc.cdf_raw(x) + loc.tail(x);
+        prop_assert!((s - 1.0).abs() < 1e-9, "sum {s}");
+    }
+
+    #[test]
+    fn tail_monotone_in_processors(loc in locality_strategy(), s in 1.0f64..1e8, q in 1u32..32) {
+        // More processors never increase the per-process miss tail.
+        prop_assert!(loc.tail_scaled(s, q + 1) <= loc.tail_scaled(s, q) + 1e-12);
+    }
+
+    #[test]
+    fn truncated_tail_never_exceeds_raw(
+        loc in locality_strategy(),
+        s in 1.0f64..1e8,
+        w in 1e3f64..1e9,
+    ) {
+        let mut tr = loc;
+        tr.footprint = Some(w);
+        prop_assert!(tr.tail(s) <= loc.tail(s) + 1e-12);
+        prop_assert!(tr.tail(s) >= 0.0);
+    }
+
+    #[test]
+    fn md1_response_at_least_service(service in 0.1f64..1e5, util in 0.0f64..0.99) {
+        let arrival = util / service;
+        let r = md1_response(service, arrival).unwrap();
+        prop_assert!(r >= service - 1e-9);
+        // And it's finite below saturation.
+        prop_assert!(r.is_finite());
+    }
+
+    #[test]
+    fn md1_monotone_in_arrival(service in 0.1f64..1e4, u1 in 0.0f64..0.98, du in 0.0f64..0.01) {
+        let r1 = md1_response(service, u1 / service).unwrap();
+        let r2 = md1_response(service, (u1 + du) / service).unwrap();
+        prop_assert!(r2 + 1e-9 >= r1);
+    }
+
+    #[test]
+    fn harmonic_increments(n in 1u32..1000) {
+        let h1 = harmonic(n);
+        let h2 = harmonic(n + 1);
+        prop_assert!((h2 - h1 - 1.0 / (n + 1) as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_wait_nonnegative_and_monotone(n in 2u32..64, rate in 1e-9f64..1e-3) {
+        prop_assert!(barrier_wait(n, rate) >= 0.0);
+        prop_assert!(barrier_wait(n + 1, rate) >= barrier_wait(n, rate));
+    }
+
+    #[test]
+    fn model_always_finite_self_consistent(
+        w in workload_strategy(),
+        c in cluster_strategy(),
+    ) {
+        let model = AnalyticModel::default();
+        let p = model.evaluate(&c, &w);
+        // The self-consistent model must converge on any sane input.
+        let p = p.expect("self-consistent model converges");
+        prop_assert!(p.e_instr_seconds.is_finite() && p.e_instr_seconds > 0.0);
+        prop_assert!(p.t_cycles >= 1.0, "T at least the cache-hit cycle");
+        for l in &p.levels {
+            prop_assert!(l.utilization < 1.0, "{}: {}", l.name, l.utilization);
+            prop_assert!(l.effective_cycles + 1e-9 >= l.service_cycles);
+            prop_assert!((0.0..=1.0).contains(&l.reach_prob));
+        }
+    }
+
+    #[test]
+    fn open_model_never_beats_uncontended(
+        w in workload_strategy(),
+        c in cluster_strategy(),
+    ) {
+        // When the open model converges, its prediction is at least the
+        // contention-free one.
+        let open = AnalyticModel { arrival: ArrivalModel::Open, ..AnalyticModel::default() };
+        if let Ok(p) = open.evaluate(&c, &w) {
+            let mut free = w.clone();
+            free.barrier_per_instr = 0.0;
+            // Uncontended lower bound: every level at raw service time.
+            let lower: f64 = p
+                .levels
+                .iter()
+                .map(|l| l.reach_prob * l.service_cycles)
+                .sum();
+            prop_assert!(p.t_cycles + 1e-9 >= lower);
+        }
+    }
+
+    #[test]
+    fn e_instr_scales_down_with_machines_for_private_levels(
+        w in workload_strategy(),
+        nn in 1u32..=7,
+    ) {
+        // EDGE-like workloads (zero sharing) on a switch network: adding a
+        // machine never slows the self-consistent prediction by more than
+        // the barrier effect; we check the weaker invariant that E stays
+        // finite and positive while q grows.
+        let model = AnalyticModel::default();
+        let m = MachineSpec::new(1, 256, 64, 200.0);
+        let c1 = if nn == 1 {
+            ClusterSpec::single(m)
+        } else {
+            ClusterSpec::cluster(m, nn, NetworkKind::Atm155)
+        };
+        let e = model.evaluate_or_inf(&c1, &w);
+        prop_assert!(e.is_finite() && e > 0.0);
+    }
+
+    #[test]
+    fn tail_mode_truncation_only_reduces_prediction(
+        w in workload_strategy(),
+        c in cluster_strategy(),
+        footprint in 1e4f64..1e8,
+    ) {
+        let w = w.with_footprint(footprint);
+        let raw = AnalyticModel { tail_mode: TailMode::Untruncated, ..AnalyticModel::default() };
+        let tr = AnalyticModel { tail_mode: TailMode::Truncated, ..AnalyticModel::default() };
+        let (er, et) = (raw.evaluate_or_inf(&c, &w), tr.evaluate_or_inf(&c, &w));
+        if er.is_finite() && et.is_finite() {
+            prop_assert!(et <= er + er * 1e-9, "truncated {et} vs raw {er}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The candidate configuration space (§4: "we can determine these integer
+//! variables and solve the optimization problem by enumerating solutions").
+
+use memhier_core::machine::{MachineSpec, NetworkKind};
+use memhier_core::platform::ClusterSpec;
+
+/// The space of cluster configurations the optimizer enumerates.
+#[derive(Debug, Clone)]
+pub struct CandidateSpace {
+    /// Processor counts per machine on offer (paper: 1, 2, 4).
+    pub proc_counts: Vec<u32>,
+    /// Cache sizes in KB (paper: 256, 512).
+    pub cache_kb: Vec<u64>,
+    /// Memory sizes in MB (paper: 32, 64, 128).
+    pub memory_mb: Vec<u64>,
+    /// Machine counts to consider.
+    pub max_machines: u32,
+    /// Networks on offer.
+    pub networks: Vec<NetworkKind>,
+    /// CPU clock in MHz (paper: 200 everywhere).
+    pub clock_mhz: f64,
+}
+
+impl CandidateSpace {
+    /// The paper's full market: 1/2/4-way machines, 256/512 KB caches,
+    /// 32/64/128 MB memories, up to 16 machines, all three networks.
+    pub fn paper_market() -> Self {
+        CandidateSpace {
+            proc_counts: vec![1, 2, 4],
+            cache_kb: vec![256, 512],
+            memory_mb: vec![32, 64, 128],
+            max_machines: 16,
+            networks: NetworkKind::ALL.to_vec(),
+            clock_mhz: 200.0,
+        }
+    }
+
+    /// All candidate clusters (single machines carry no network; N > 1
+    /// pairs with every network kind).
+    pub fn candidates(&self) -> Vec<ClusterSpec> {
+        let mut out = Vec::new();
+        for &n in &self.proc_counts {
+            for &ckb in &self.cache_kb {
+                for &mmb in &self.memory_mb {
+                    let machine = MachineSpec::new(n, ckb, mmb, self.clock_mhz);
+                    out.push(ClusterSpec::single(machine));
+                    for nn in 2..=self.max_machines {
+                        for &net in &self.networks {
+                            out.push(ClusterSpec::cluster(machine, nn, net));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Size of the enumeration (for reporting).
+    pub fn len(&self) -> usize {
+        self.proc_counts.len()
+            * self.cache_kb.len()
+            * self.memory_mb.len()
+            * (1 + (self.max_machines.saturating_sub(1) as usize) * self.networks.len())
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_count_matches_len() {
+        let s = CandidateSpace::paper_market();
+        assert_eq!(s.candidates().len(), s.len());
+        // 3 procs × 2 caches × 3 mems × (1 + 15×3) = 18 × 46 = 828.
+        assert_eq!(s.len(), 828);
+    }
+
+    #[test]
+    fn all_candidates_valid() {
+        for c in CandidateSpace::paper_market().candidates() {
+            assert!(c.validate().is_ok(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn includes_paper_configs() {
+        // C5 (4P SMP 256 KB / 128 MB) and C10 (4 ws / ATM) must be in the
+        // space, modulo names.
+        let cands = CandidateSpace::paper_market().candidates();
+        assert!(cands.iter().any(|c| c.machines == 1
+            && c.machine.n_procs == 4
+            && c.machine.memory_bytes == 128 << 20));
+        assert!(cands.iter().any(|c| c.machines == 4
+            && c.machine.n_procs == 1
+            && c.network == Some(NetworkKind::Atm155)));
+    }
+
+    #[test]
+    fn singles_have_no_network() {
+        for c in CandidateSpace::paper_market().candidates() {
+            if c.machines == 1 {
+                assert!(c.network.is_none());
+            } else {
+                assert!(c.network.is_some());
+            }
+        }
+    }
+}

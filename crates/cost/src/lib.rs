@@ -1,0 +1,30 @@
+//! # memhier-cost
+//!
+//! The paper's cost model and optimizers (§4 eqs. 5–6, §6, and the §7
+//! tool (3) "generation of all possible cluster configurations meeting the
+//! budget requirements"):
+//!
+//! * [`prices`] — a c.-1999 component price table (reconstructed;
+//!   DESIGN.md substitution 4) and the cluster cost function
+//!   `C = N·C_machine(n) + N·C_net` (eq. 5).
+//! * [`enumerate`] — the candidate configuration space.
+//! * [`mod@optimize`] — exhaustive budget-constrained minimization of
+//!   `E(Instr)` (eq. 6), parallelized with Rayon.
+//! * [`upgrade`] — the §6 upgrade planner: best spend of a budget
+//!   *increase* on an existing cluster.
+//! * [`mod@recommend`] — the §6 qualitative recommendation rules
+//!   (ρ × β classification → platform advice).
+
+pub mod enumerate;
+pub mod optimize;
+pub mod prices;
+pub mod recommend;
+pub mod sweep;
+pub mod upgrade;
+
+pub use enumerate::CandidateSpace;
+pub use optimize::{optimize, pareto_frontier, RankedConfig};
+pub use prices::PriceTable;
+pub use recommend::{recommend, RecommendedPlatform};
+pub use sweep::{render_map, sweep, PlatformClass, SweepCell};
+pub use upgrade::{plan_upgrade, UpgradePlan};

@@ -1,0 +1,215 @@
+//! Workload-space sweep: run the budget optimizer over a grid of
+//! `(ρ, β)` characterizations and record which platform class wins — the
+//! quantitative validation of the paper's §6 recommendation matrix
+//! (each qualitative rule should emerge as a region of the map).
+
+use crate::enumerate::CandidateSpace;
+use crate::optimize::{optimize, RankedConfig};
+use crate::prices::PriceTable;
+use memhier_core::locality::WorkloadParams;
+use memhier_core::machine::{NetworkKind, NetworkTopology};
+use memhier_core::model::AnalyticModel;
+use memhier_core::platform::PlatformKind;
+use serde::{Deserialize, Serialize};
+
+/// Coarse platform classes for map display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlatformClass {
+    /// One machine, one processor.
+    SingleWorkstation,
+    /// One SMP box.
+    Smp,
+    /// Workstations over a bus network (Ethernet).
+    CowBus,
+    /// Workstations over a switch network (ATM).
+    CowSwitch,
+    /// Cluster of SMPs (any network).
+    Clump,
+}
+
+impl PlatformClass {
+    /// One-character map glyph.
+    pub fn glyph(&self) -> char {
+        match self {
+            PlatformClass::SingleWorkstation => 'w',
+            PlatformClass::Smp => 'S',
+            PlatformClass::CowBus => 'e',
+            PlatformClass::CowSwitch => 'a',
+            PlatformClass::Clump => 'C',
+        }
+    }
+
+    /// Classify an optimizer winner.
+    pub fn of(cfg: &RankedConfig) -> PlatformClass {
+        match cfg.spec.platform() {
+            PlatformKind::Uniprocessor => PlatformClass::SingleWorkstation,
+            PlatformKind::Smp => PlatformClass::Smp,
+            PlatformKind::ClusterOfSmps => PlatformClass::Clump,
+            PlatformKind::ClusterOfWorkstations => {
+                match cfg.spec.network.map(|n| n.topology()) {
+                    Some(NetworkTopology::Switch) => PlatformClass::CowSwitch,
+                    _ => PlatformClass::CowBus,
+                }
+            }
+        }
+    }
+}
+
+/// One grid cell's outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Memory-reference density of the synthetic workload.
+    pub rho: f64,
+    /// Locality scale β (bytes).
+    pub beta: f64,
+    /// Winning platform class.
+    pub class: PlatformClass,
+    /// The winning configuration description.
+    pub config: String,
+    /// Predicted `E(Instr)` of the winner, seconds.
+    pub e_instr_seconds: f64,
+}
+
+/// Sweep the optimizer over a `(ρ, β)` grid at fixed `α` and budget.
+pub fn sweep(
+    budget: f64,
+    alpha: f64,
+    rho_grid: &[f64],
+    beta_grid: &[f64],
+    model: &AnalyticModel,
+    prices: &PriceTable,
+    space: &CandidateSpace,
+) -> Vec<SweepCell> {
+    sweep_with_sharing(budget, alpha, 0.2, rho_grid, beta_grid, model, prices, space)
+}
+
+/// As [`sweep`] with an explicit SPMD sharing fraction (the fraction of
+/// references touching other processes' data; 0.2 is typical of the
+/// paper's kernels as measured by `memhier-bench`).
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_with_sharing(
+    budget: f64,
+    alpha: f64,
+    sharing: f64,
+    rho_grid: &[f64],
+    beta_grid: &[f64],
+    model: &AnalyticModel,
+    prices: &PriceTable,
+    space: &CandidateSpace,
+) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for &rho in rho_grid {
+        for &beta in beta_grid {
+            let w = WorkloadParams::new("sweep", alpha, beta, rho)
+                .expect("grid parameters valid")
+                .with_sharing_fraction(sharing);
+            let ranked = optimize(budget, &w, model, prices, space);
+            if let Some(best) = ranked.first() {
+                cells.push(SweepCell {
+                    rho,
+                    beta,
+                    class: PlatformClass::of(best),
+                    config: best.spec.describe(),
+                    e_instr_seconds: best.e_instr_seconds,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Render the sweep as an ASCII map (β across, ρ down).
+pub fn render_map(cells: &[SweepCell], rho_grid: &[f64], beta_grid: &[f64]) -> String {
+    let mut s = String::new();
+    s.push_str("        beta ->");
+    for &b in beta_grid {
+        s.push_str(&format!("{b:>8.0}"));
+    }
+    s.push('\n');
+    for &rho in rho_grid {
+        s.push_str(&format!("rho {rho:<5.2}    "));
+        for &beta in beta_grid {
+            let g = cells
+                .iter()
+                .find(|c| (c.rho - rho).abs() < 1e-12 && (c.beta - beta).abs() < 1e-12)
+                .map(|c| c.class.glyph())
+                .unwrap_or('?');
+            s.push_str(&format!("{g:>8}"));
+        }
+        s.push('\n');
+    }
+    s.push_str("w=workstation  S=SMP  e=Ethernet COW  a=ATM COW  C=cluster of SMPs\n");
+    s
+}
+
+/// Network bandwidth helper used by tests.
+pub fn network_mbps(k: NetworkKind) -> f64 {
+    k.mbps()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_sweep(budget: f64) -> (Vec<SweepCell>, Vec<f64>, Vec<f64>) {
+        let rho = vec![0.1, 0.45];
+        let beta = vec![50.0, 400.0];
+        let cells = sweep(
+            budget,
+            1.3,
+            &rho,
+            &beta,
+            &AnalyticModel::default(),
+            &PriceTable::circa_1999(),
+            &CandidateSpace::paper_market(),
+        );
+        (cells, rho, beta)
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let (cells, rho, beta) = run_sweep(20_000.0);
+        assert_eq!(cells.len(), rho.len() * beta.len());
+        for c in &cells {
+            assert!(c.e_instr_seconds.is_finite());
+            assert!(!c.config.is_empty());
+        }
+    }
+
+    #[test]
+    fn map_renders_every_cell() {
+        let (cells, rho, beta) = run_sweep(20_000.0);
+        let map = render_map(&cells, &rho, &beta);
+        assert!(!map.contains('?'), "{map}");
+        assert!(map.contains("beta ->"));
+    }
+
+    #[test]
+    fn worse_locality_never_prefers_slower_network() {
+        // Fix rho; as beta grows the winning network bandwidth must not
+        // decrease (the §6 trend from LU's rule toward FFT's rule).
+        let rho = vec![0.2];
+        let beta = vec![30.0, 3000.0];
+        let cells = sweep(
+            20_000.0,
+            1.3,
+            &rho,
+            &beta,
+            &AnalyticModel::default(),
+            &PriceTable::circa_1999(),
+            &CandidateSpace::paper_market(),
+        );
+        let bw = |c: &SweepCell| match c.class {
+            PlatformClass::CowBus => 1.0,
+            PlatformClass::CowSwitch => 2.0,
+            // Single boxes have the "fastest network" (none needed).
+            _ => 3.0,
+        };
+        assert!(
+            bw(&cells[1]) >= bw(&cells[0]),
+            "beta 3000 chose {:?}, beta 30 chose {:?}",
+            cells[1].class,
+            cells[0].class
+        );
+    }
+}

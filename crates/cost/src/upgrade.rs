@@ -1,0 +1,224 @@
+//! The upgrade planner (paper question 2 and §6 case study 3): given an
+//! existing cluster and a budget *increase* `B′`, find the upgrade that
+//! minimizes `E(Instr)`.
+//!
+//! Upgrade actions: add machines of the same type, grow every machine's
+//! memory, widen caches to 512 KB, and/or move to a faster network.
+//! Combinations are enumerated (the space is tiny) and priced as the cost
+//! of the *new* components only (no resale of replaced parts).
+
+use crate::prices::PriceTable;
+use memhier_core::locality::WorkloadParams;
+use memhier_core::machine::NetworkKind;
+use memhier_core::model::AnalyticModel;
+use memhier_core::platform::ClusterSpec;
+use serde::{Deserialize, Serialize};
+
+/// A concrete upgrade decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpgradePlan {
+    /// The upgraded cluster.
+    pub spec: ClusterSpec,
+    /// Dollars spent (≤ the budget increase).
+    pub cost: f64,
+    /// Predicted `E(Instr)` after the upgrade, seconds.
+    pub e_instr_seconds: f64,
+    /// Human-readable summary of the actions taken.
+    pub actions: Vec<String>,
+}
+
+/// Price the delta from `old` to `new` (new components only).
+fn upgrade_cost(old: &ClusterSpec, new: &ClusterSpec, prices: &PriceTable) -> Option<f64> {
+    let mut cost = 0.0;
+    // Added machines are bought whole, with network if the new spec has one.
+    let added = new.machines.saturating_sub(old.machines) as f64;
+    let mc = prices.machine_cost(&new.machine)?;
+    let net_cost = new.network.map(|n| prices.network_cost(n)).unwrap_or(0.0);
+    cost += added * (mc + net_cost);
+    // Existing machines pay the component deltas.
+    let kept = old.machines.min(new.machines) as f64;
+    let mem_add_mb = (new.machine.memory_bytes.saturating_sub(old.machine.memory_bytes)
+        / (1024 * 1024)) as f64;
+    cost += kept * mem_add_mb * prices.mem_per_mb;
+    if new.machine.cache_bytes > old.machine.cache_bytes {
+        cost += kept * prices.cache512_per_proc * new.machine.n_procs as f64;
+    }
+    // A network change (or first network when going 1 → many) re-equips
+    // every kept machine.
+    let network_changed = new.network != old.network && new.machines > 1;
+    if network_changed {
+        cost += kept * net_cost;
+    }
+    Some(cost)
+}
+
+/// Enumerate upgrades of `existing` affordable within `extra_budget` and
+/// return them ranked by predicted `E(Instr)` (the no-op plan is always
+/// included, so the result is never empty for a valid input).
+pub fn plan_upgrade(
+    existing: &ClusterSpec,
+    extra_budget: f64,
+    workload: &WorkloadParams,
+    model: &AnalyticModel,
+    prices: &PriceTable,
+) -> Vec<UpgradePlan> {
+    let mem_options = [32u64, 64, 128, 256];
+    let cache_options = [256u64, 512];
+    let cur_mem_mb = existing.machine.memory_bytes / (1024 * 1024);
+    let cur_cache_kb = existing.machine.cache_bytes / 1024;
+    let net_options: Vec<Option<NetworkKind>> = {
+        let mut v = vec![existing.network];
+        for k in NetworkKind::ALL {
+            if Some(k) != existing.network {
+                v.push(Some(k));
+            }
+        }
+        v
+    };
+
+    let mut plans = Vec::new();
+    for add in 0..=16u32 {
+        for &mem in mem_options.iter().filter(|&&m| m >= cur_mem_mb) {
+            for &cache in cache_options.iter().filter(|&&c| c >= cur_cache_kb) {
+                for &net in &net_options {
+                    let machines = existing.machines + add;
+                    if machines > 1 && net.is_none() {
+                        continue;
+                    }
+                    let mut machine = existing.machine;
+                    machine.memory_bytes = mem * 1024 * 1024;
+                    machine.cache_bytes = cache * 1024;
+                    let spec = ClusterSpec {
+                        machine,
+                        machines,
+                        network: if machines > 1 { net } else { None },
+                        name: None,
+                    };
+                    if spec.validate().is_err() {
+                        continue;
+                    }
+                    let Some(cost) = upgrade_cost(existing, &spec, prices) else {
+                        continue;
+                    };
+                    if cost > extra_budget {
+                        continue;
+                    }
+                    let e = model.evaluate_or_inf(&spec, workload);
+                    if !e.is_finite() {
+                        continue;
+                    }
+                    let mut actions = Vec::new();
+                    if add > 0 {
+                        actions.push(format!("add {add} machine(s)"));
+                    }
+                    if mem > cur_mem_mb {
+                        actions.push(format!("memory {cur_mem_mb} → {mem} MB per machine"));
+                    }
+                    if cache > cur_cache_kb {
+                        actions.push(format!("cache {cur_cache_kb} → {cache} KB"));
+                    }
+                    if spec.network != existing.network && spec.machines > 1 {
+                        actions.push(format!(
+                            "network → {}",
+                            spec.network.map(|n| n.to_string()).unwrap_or_default()
+                        ));
+                    }
+                    if actions.is_empty() {
+                        actions.push("keep as is".to_string());
+                    }
+                    plans.push(UpgradePlan { spec, cost, e_instr_seconds: e, actions });
+                }
+            }
+        }
+    }
+    plans.sort_by(|a, b| {
+        a.e_instr_seconds
+            .total_cmp(&b.e_instr_seconds)
+            .then(a.cost.total_cmp(&b.cost))
+    });
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memhier_core::machine::MachineSpec;
+
+    fn base_cow() -> ClusterSpec {
+        ClusterSpec::cluster(MachineSpec::new(1, 256, 32, 200.0), 2, NetworkKind::Ethernet10)
+    }
+
+    fn fft() -> WorkloadParams {
+        WorkloadParams::new("FFT", 1.21, 103.26, 0.20).unwrap()
+    }
+
+    #[test]
+    fn noop_always_available() {
+        let plans = plan_upgrade(
+            &base_cow(),
+            0.0,
+            &fft(),
+            &AnalyticModel::default(),
+            &PriceTable::circa_1999(),
+        );
+        assert!(!plans.is_empty());
+        let noop = plans.iter().find(|p| p.cost == 0.0).expect("no-op plan");
+        assert_eq!(noop.spec.machines, 2);
+        assert_eq!(noop.actions, vec!["keep as is".to_string()]);
+    }
+
+    #[test]
+    fn upgrades_respect_budget_and_help() {
+        let model = AnalyticModel::default();
+        let prices = PriceTable::circa_1999();
+        let plans = plan_upgrade(&base_cow(), 3000.0, &fft(), &model, &prices);
+        let noop_e = plans.iter().find(|p| p.cost == 0.0).unwrap().e_instr_seconds;
+        let best = &plans[0];
+        assert!(best.cost <= 3000.0);
+        assert!(
+            best.e_instr_seconds < noop_e,
+            "an affordable upgrade should beat the status quo"
+        );
+    }
+
+    #[test]
+    fn upgrade_cost_deltas() {
+        let prices = PriceTable::circa_1999();
+        let old = base_cow();
+        // Memory 32 → 64 MB on both machines: 2 × 32 × $1.50.
+        let mut new = old.clone();
+        new.machine.memory_bytes = 64 << 20;
+        assert_eq!(upgrade_cost(&old, &new, &prices), Some(96.0));
+        // Network switch to ATM re-equips both machines.
+        let mut new = old.clone();
+        new.network = Some(NetworkKind::Atm155);
+        assert_eq!(upgrade_cost(&old, &new, &prices), Some(1500.0));
+        // Adding a machine buys machine + its NIC.
+        let mut new = old.clone();
+        new.machines = 3;
+        let m = prices.machine_cost(&old.machine).unwrap();
+        assert_eq!(upgrade_cost(&old, &new, &prices), Some(m + 50.0));
+    }
+
+    #[test]
+    fn network_upgrade_wins_for_fft_on_slow_ethernet() {
+        // §6: FFT (CPU-bound, poor locality) wants a fast network; with a
+        // healthy upgrade budget the best plan should move off 10 Mb
+        // Ethernet.
+        let plans = plan_upgrade(
+            &base_cow(),
+            5000.0,
+            &fft(),
+            &AnalyticModel::default(),
+            &PriceTable::circa_1999(),
+        );
+        let best = &plans[0];
+        assert_ne!(
+            best.spec.network,
+            Some(NetworkKind::Ethernet10),
+            "best: {:?} / {:?}",
+            best.actions,
+            best.spec.describe()
+        );
+    }
+}

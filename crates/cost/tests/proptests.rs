@@ -1,0 +1,110 @@
+//! Property-based tests of the cost model and optimizers.
+
+use memhier_core::locality::WorkloadParams;
+use memhier_core::machine::{MachineSpec, NetworkKind};
+use memhier_core::model::AnalyticModel;
+use memhier_core::platform::ClusterSpec;
+use memhier_cost::{optimize, plan_upgrade, recommend, CandidateSpace, PriceTable};
+use proptest::prelude::*;
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadParams> {
+    (1.05f64..2.5, 5.0f64..3000.0, 0.05f64..0.8)
+        .prop_map(|(a, b, r)| WorkloadParams::new("prop", a, b, r).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn optimizer_results_affordable_and_sorted(
+        w in workload_strategy(),
+        budget in 2000.0f64..60_000.0,
+    ) {
+        let ranked = optimize(
+            budget,
+            &w,
+            &AnalyticModel::default(),
+            &PriceTable::circa_1999(),
+            &CandidateSpace::paper_market(),
+        );
+        for pair in ranked.windows(2) {
+            prop_assert!(pair[0].e_instr_seconds <= pair[1].e_instr_seconds);
+        }
+        for r in &ranked {
+            prop_assert!(r.cost <= budget);
+            prop_assert!(r.e_instr_seconds.is_finite());
+            prop_assert!(r.spec.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn optimizer_monotone_in_budget(
+        w in workload_strategy(),
+        b1 in 2000.0f64..30_000.0,
+        extra in 0.0f64..30_000.0,
+    ) {
+        let model = AnalyticModel::default();
+        let prices = PriceTable::circa_1999();
+        let space = CandidateSpace::paper_market();
+        let r1 = optimize(b1, &w, &model, &prices, &space);
+        let r2 = optimize(b1 + extra, &w, &model, &prices, &space);
+        if let (Some(a), Some(b)) = (r1.first(), r2.first()) {
+            prop_assert!(
+                b.e_instr_seconds <= a.e_instr_seconds + 1e-18,
+                "more budget got slower: {} vs {}", b.e_instr_seconds, a.e_instr_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_cost_is_linear_in_machines(
+        n in prop_oneof![Just(1u32), Just(2), Just(4)],
+        cache in prop_oneof![Just(256u64), Just(512)],
+        mem in prop_oneof![Just(32u64), Just(64), Just(128)],
+        nn in 2u32..12,
+    ) {
+        let prices = PriceTable::circa_1999();
+        let m = MachineSpec::new(n, cache, mem, 200.0);
+        let c1 = ClusterSpec::cluster(m, nn, NetworkKind::Ethernet100);
+        let c2 = ClusterSpec::cluster(m, nn * 2, NetworkKind::Ethernet100);
+        let (a, b) = (
+            prices.cluster_cost(&c1).unwrap(),
+            prices.cluster_cost(&c2).unwrap(),
+        );
+        prop_assert!((b - 2.0 * a).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn upgrade_plans_within_budget_and_improving(
+        w in workload_strategy(),
+        budget in 0.0f64..10_000.0,
+    ) {
+        let existing = ClusterSpec::cluster(
+            MachineSpec::new(1, 256, 32, 200.0),
+            2,
+            NetworkKind::Ethernet10,
+        );
+        let model = AnalyticModel::default();
+        let plans = plan_upgrade(&existing, budget, &w, &model, &PriceTable::circa_1999());
+        prop_assert!(!plans.is_empty(), "no-op must always exist");
+        let noop = plans
+            .iter()
+            .find(|p| p.cost == 0.0)
+            .expect("zero-cost plan present");
+        let best = &plans[0];
+        prop_assert!(best.cost <= budget);
+        prop_assert!(best.e_instr_seconds <= noop.e_instr_seconds + 1e-18);
+    }
+
+    #[test]
+    fn recommendation_is_total_and_consistent(w in workload_strategy()) {
+        let r = recommend(&w);
+        // The rationale embeds the classification thresholds consistently.
+        let memory_bound = w.rho >= memhier_cost::recommend::RHO_MEMORY_BOUND;
+        if memory_bound {
+            prop_assert!(r.rationale.contains("memory bound"), "{}", r.rationale);
+        } else {
+            prop_assert!(r.rationale.contains("CPU bound"), "{}", r.rationale);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Set-associative LRU cache with MSI line states (§5.1: 64-byte lines,
+//! two-way set-associative, LRU replacement, write-invalidate).
+
+/// Coherence state of a cache line (write-invalidate MESI).
+///
+/// `Exclusive` (clean, sole copy) is what lets a private read-modify-write
+/// upgrade silently instead of broadcasting an invalidation — without it,
+/// kernels like LU flood the bus with upgrade traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Valid, clean, possibly shared with other caches.
+    Shared,
+    /// Valid, clean, sole cached copy (silent upgrade allowed).
+    Exclusive,
+    /// Valid, dirty, exclusively held by this cache.
+    Modified,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    state: LineState,
+    /// Global LRU stamp (bigger = more recent).
+    stamp: u64,
+    valid: bool,
+}
+
+/// A set-associative, LRU-replacement cache indexed by byte address.
+#[derive(Debug)]
+pub struct SetAssocCache {
+    line_bytes: u64,
+    sets: usize,
+    ways: usize,
+    lines: Vec<Line>,
+    clock: u64,
+}
+
+/// Outcome of inserting a line: the victim, if a valid line was evicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Base address of the evicted line.
+    pub addr: u64,
+    /// Its state at eviction (Modified ⇒ writeback needed).
+    pub state: LineState,
+}
+
+impl SetAssocCache {
+    /// Build a cache of `capacity_bytes` with `ways` associativity and
+    /// `line_bytes` lines.  Panics if the geometry is degenerate.
+    pub fn new(capacity_bytes: u64, ways: usize, line_bytes: u64) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(ways >= 1);
+        let total_lines = (capacity_bytes / line_bytes).max(1) as usize;
+        let sets = (total_lines / ways).max(1);
+        assert!(
+            sets.is_power_of_two(),
+            "cache geometry must give a power-of-two set count (got {sets})"
+        );
+        SetAssocCache {
+            line_bytes,
+            sets,
+            ways,
+            lines: vec![
+                Line { tag: 0, state: LineState::Shared, stamp: 0, valid: false };
+                sets * ways
+            ],
+            clock: 0,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.sets * self.ways) as u64 * self.line_bytes
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes - 1)
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr / self.line_bytes) as usize) & (self.sets - 1)
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        (addr / self.line_bytes) / self.sets as u64
+    }
+
+    /// Look up `addr`; a hit refreshes LRU and returns the line state.
+    pub fn lookup(&mut self, addr: u64) -> Option<LineState> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.clock += 1;
+        let base = set * self.ways;
+        for i in base..base + self.ways {
+            if self.lines[i].valid && self.lines[i].tag == tag {
+                self.lines[i].stamp = self.clock;
+                return Some(self.lines[i].state);
+            }
+        }
+        None
+    }
+
+    /// Look up `addr` without touching LRU recency — used for snoop probes
+    /// by other processors, which must not refresh the line.
+    pub fn probe(&self, addr: u64) -> Option<LineState> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.ways;
+        for i in base..base + self.ways {
+            if self.lines[i].valid && self.lines[i].tag == tag {
+                return Some(self.lines[i].state);
+            }
+        }
+        None
+    }
+
+    /// Set the state of a resident line (no-op if absent).
+    pub fn set_state(&mut self, addr: u64, state: LineState) {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.ways;
+        for i in base..base + self.ways {
+            if self.lines[i].valid && self.lines[i].tag == tag {
+                self.lines[i].state = state;
+                return;
+            }
+        }
+    }
+
+    /// Insert `addr` with `state`, evicting the set's LRU line if needed.
+    pub fn insert(&mut self, addr: u64, state: LineState) -> Option<Evicted> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.clock += 1;
+        let base = set * self.ways;
+        // Already present: update in place.
+        for i in base..base + self.ways {
+            if self.lines[i].valid && self.lines[i].tag == tag {
+                self.lines[i].state = state;
+                self.lines[i].stamp = self.clock;
+                return None;
+            }
+        }
+        // Pick an invalid way or the LRU way.
+        let mut victim = base;
+        let mut best = u64::MAX;
+        for i in base..base + self.ways {
+            if !self.lines[i].valid {
+                victim = i;
+                break;
+            }
+            if self.lines[i].stamp < best {
+                best = self.lines[i].stamp;
+                victim = i;
+            }
+        }
+        let evicted = if self.lines[victim].valid {
+            let v = self.lines[victim];
+            let victim_addr =
+                (v.tag * self.sets as u64 + set as u64) * self.line_bytes;
+            Some(Evicted { addr: victim_addr, state: v.state })
+        } else {
+            None
+        };
+        self.lines[victim] = Line { tag, state, stamp: self.clock, valid: true };
+        evicted
+    }
+
+    /// Invalidate `addr` if resident; returns its state when it was.
+    pub fn invalidate(&mut self, addr: u64) -> Option<LineState> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.ways;
+        for i in base..base + self.ways {
+            if self.lines[i].valid && self.lines[i].tag == tag {
+                self.lines[i].valid = false;
+                return Some(self.lines[i].state);
+            }
+        }
+        None
+    }
+
+    /// Invalidate every resident line within `[block_addr, block_addr +
+    /// block_bytes)` — used when a coherence unit (256-byte block) larger
+    /// than the line is invalidated.  Returns how many lines were dropped
+    /// and whether any was Modified.
+    pub fn invalidate_range(&mut self, block_addr: u64, block_bytes: u64) -> (u32, bool) {
+        let mut count = 0;
+        let mut dirty = false;
+        let mut a = block_addr;
+        while a < block_addr + block_bytes {
+            if let Some(st) = self.invalidate(a) {
+                count += 1;
+                dirty |= st == LineState::Modified;
+            }
+            a += self.line_bytes;
+        }
+        (count, dirty)
+    }
+
+    /// Base address of the line containing `addr`.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        self.line_addr(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 8 lines of 64 B, 2-way => 4 sets.
+        SetAssocCache::new(512, 2, 64)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small();
+        assert_eq!(c.capacity_bytes(), 512);
+        assert_eq!(c.line_bytes(), 64);
+        assert_eq!(c.line_of(100), 64);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.lookup(0), None);
+        assert_eq!(c.insert(0, LineState::Shared), None);
+        assert_eq!(c.lookup(0), Some(LineState::Shared));
+        assert_eq!(c.lookup(63), Some(LineState::Shared), "same line");
+        assert_eq!(c.lookup(64), None, "next line");
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small();
+        // Three addresses mapping to set 0 (stride = sets * line = 256).
+        c.insert(0, LineState::Shared);
+        c.insert(256, LineState::Shared);
+        c.lookup(0); // refresh 0 → 256 is LRU
+        let ev = c.insert(512, LineState::Shared).unwrap();
+        assert_eq!(ev.addr, 256);
+        assert!(c.lookup(0).is_some());
+        assert!(c.lookup(256).is_none());
+        assert!(c.lookup(512).is_some());
+    }
+
+    #[test]
+    fn eviction_reports_dirty_state() {
+        let mut c = small();
+        c.insert(0, LineState::Modified);
+        c.insert(256, LineState::Shared);
+        c.lookup(256);
+        c.lookup(256); // 0 is LRU
+        let ev = c.insert(512, LineState::Shared).unwrap();
+        assert_eq!(ev.addr, 0);
+        assert_eq!(ev.state, LineState::Modified);
+    }
+
+    #[test]
+    fn set_state_transitions() {
+        let mut c = small();
+        c.insert(0, LineState::Shared);
+        c.set_state(0, LineState::Modified);
+        assert_eq!(c.lookup(0), Some(LineState::Modified));
+        // set_state on absent line is a no-op.
+        c.set_state(4096, LineState::Modified);
+        assert_eq!(c.lookup(4096), None);
+    }
+
+    #[test]
+    fn invalidate_single_line() {
+        let mut c = small();
+        c.insert(0, LineState::Modified);
+        assert_eq!(c.invalidate(0), Some(LineState::Modified));
+        assert_eq!(c.invalidate(0), None);
+        assert_eq!(c.lookup(0), None);
+    }
+
+    #[test]
+    fn invalidate_block_range() {
+        let mut c = SetAssocCache::new(4096, 2, 64);
+        // A 256-byte block spans 4 lines.
+        c.insert(1024, LineState::Shared);
+        c.insert(1088, LineState::Modified);
+        c.insert(1152, LineState::Shared);
+        // 1216 not resident.
+        let (n, dirty) = c.invalidate_range(1024, 256);
+        assert_eq!(n, 3);
+        assert!(dirty);
+        assert_eq!(c.lookup(1088), None);
+    }
+
+    #[test]
+    fn reinsert_updates_state_without_eviction() {
+        let mut c = small();
+        c.insert(0, LineState::Shared);
+        assert_eq!(c.insert(0, LineState::Modified), None);
+        assert_eq!(c.lookup(0), Some(LineState::Modified));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = small();
+        for i in 0..4u64 {
+            c.insert(i * 64, LineState::Shared);
+        }
+        for i in 0..4u64 {
+            assert!(c.lookup(i * 64).is_some(), "line {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_line_size() {
+        SetAssocCache::new(512, 2, 48);
+    }
+
+    #[test]
+    fn paper_smp_cache_geometry() {
+        // 256 KB, 2-way, 64-byte lines = 2048 sets; must construct.
+        let c = SetAssocCache::new(256 * 1024, 2, 64);
+        assert_eq!(c.capacity_bytes(), 256 * 1024);
+    }
+}

@@ -1,0 +1,382 @@
+//! The program-driven SPMD execution engine.
+//!
+//! Each logical processor's instruction stream arrives as a sequence of
+//! [`MemEvent`]s, either in memory or over a bounded crossbeam channel from
+//! a live workload thread.  The engine advances processors in **simulated
+//! time order** (a conservative discrete-event loop keyed on per-processor
+//! clocks), so shared-resource queueing in the backend sees requests in the
+//! order the simulated machine would issue them.
+//!
+//! **Barrier contract:** a workload thread must emit
+//! [`MemEvent::Barrier`] (and flush its batch) *before* blocking on any
+//! real synchronization.  The engine parks a process at a barrier and
+//! releases all of them — clocks aligned to the latest arrival — once every
+//! unfinished process has arrived.  Violating the contract can deadlock the
+//! engine against the workload threads (see `memhier-workloads`' `SpmdCtx`,
+//! which upholds it).
+
+use crate::backend::ClusterBackend;
+use crate::event::MemEvent;
+use crate::report::SimReport;
+use crossbeam::channel::Receiver;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Where a logical processor's events come from.
+pub enum ProcSource {
+    /// A pre-materialized event list (tests, small traces).
+    InMemory(VecDeque<MemEvent>),
+    /// Batches streamed from a live workload thread.
+    ///
+    /// **Each channel must have its own producer thread** (the `spmd`
+    /// harness guarantees this).  The engine consumes processors in
+    /// simulated-time order and *blocks* on the laggard's channel; a single
+    /// producer feeding several bounded channels can deadlock against that
+    /// order when another processor's queue fills.
+    Channel(Receiver<Vec<MemEvent>>),
+}
+
+impl ProcSource {
+    /// Wrap an event vector.
+    pub fn from_events(events: Vec<MemEvent>) -> Self {
+        ProcSource::InMemory(events.into())
+    }
+}
+
+struct ProcState {
+    source: ProcSource,
+    buf: VecDeque<MemEvent>,
+    clock: u64,
+    instructions: u64,
+    refs: u64,
+    finished: bool,
+    at_barrier: bool,
+}
+
+impl ProcState {
+    /// Next event, refilling from the source; `None` = stream exhausted.
+    fn next_event(&mut self) -> Option<MemEvent> {
+        if let Some(e) = self.buf.pop_front() {
+            return Some(e);
+        }
+        match &mut self.source {
+            ProcSource::InMemory(q) => q.pop_front(),
+            ProcSource::Channel(rx) => loop {
+                match rx.recv() {
+                    Ok(batch) => {
+                        if batch.is_empty() {
+                            continue;
+                        }
+                        self.buf = batch.into();
+                        return self.buf.pop_front();
+                    }
+                    Err(_) => return None,
+                }
+            },
+        }
+    }
+}
+
+/// The simulation engine: a backend plus one event source per processor.
+pub struct Engine {
+    backend: ClusterBackend,
+    procs: Vec<ProcState>,
+    barriers: u64,
+    barrier_wait: u64,
+}
+
+impl Engine {
+    /// Build an engine; `sources.len()` must equal the backend's processor
+    /// count.
+    pub fn new(backend: ClusterBackend, sources: Vec<ProcSource>) -> Self {
+        assert_eq!(
+            sources.len(),
+            backend.total_procs(),
+            "one event source per simulated processor"
+        );
+        let procs = sources
+            .into_iter()
+            .map(|source| ProcState {
+                source,
+                buf: VecDeque::new(),
+                clock: 0,
+                instructions: 0,
+                refs: 0,
+                finished: false,
+                at_barrier: false,
+            })
+            .collect();
+        Engine { backend, procs, barriers: 0, barrier_wait: 0 }
+    }
+
+    /// Release a resolved barrier: align every parked clock to the latest
+    /// arrival and resume.
+    fn release_barrier(&mut self, heap: &mut BinaryHeap<Reverse<(u64, usize)>>) {
+        let max = self
+            .procs
+            .iter()
+            .filter(|p| p.at_barrier)
+            .map(|p| p.clock)
+            .max()
+            .expect("at least one process at the barrier");
+        self.barriers += 1;
+        for (i, p) in self.procs.iter_mut().enumerate() {
+            if p.at_barrier {
+                self.barrier_wait += max - p.clock;
+                p.clock = max;
+                p.at_barrier = false;
+                heap.push(Reverse((p.clock, i)));
+            }
+        }
+    }
+
+    /// Whether every unfinished process is parked at the barrier.
+    fn barrier_ready(&self) -> bool {
+        let mut any = false;
+        for p in &self.procs {
+            if p.finished {
+                continue;
+            }
+            if !p.at_barrier {
+                return false;
+            }
+            any = true;
+        }
+        any
+    }
+
+    /// Run to completion and report.
+    pub fn run(mut self) -> SimReport {
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for i in 0..self.procs.len() {
+            heap.push(Reverse((0, i)));
+        }
+        while let Some(Reverse((clock, i))) = heap.pop() {
+            debug_assert_eq!(clock, self.procs[i].clock);
+            #[cfg(feature = "engine-trace")]
+            eprintln!("pop proc {i} @ {clock}");
+            match self.procs[i].next_event() {
+                None => {
+                    self.procs[i].finished = true;
+                    // A finishing process may complete a pending barrier.
+                    if self.barrier_ready() {
+                        self.release_barrier(&mut heap);
+                    }
+                }
+                Some(MemEvent::Compute(k)) => {
+                    let p = &mut self.procs[i];
+                    p.clock += k as u64;
+                    p.instructions += k as u64;
+                    heap.push(Reverse((p.clock, i)));
+                }
+                // A memory instruction costs 1 cycle to execute (the
+                // paper's "one instruction execution: 1") plus the memory
+                // time returned by the backend (which includes the 1-cycle
+                // cache access) — exactly the model's `1/S + ρ·T` split.
+                Some(MemEvent::Read(a)) => {
+                    let lat = self.backend.access(i, a, false, clock);
+                    let p = &mut self.procs[i];
+                    p.clock += 1 + lat;
+                    p.instructions += 1;
+                    p.refs += 1;
+                    heap.push(Reverse((p.clock, i)));
+                }
+                Some(MemEvent::Write(a)) => {
+                    let lat = self.backend.access(i, a, true, clock);
+                    let p = &mut self.procs[i];
+                    p.clock += 1 + lat;
+                    p.instructions += 1;
+                    p.refs += 1;
+                    heap.push(Reverse((p.clock, i)));
+                }
+                Some(MemEvent::Barrier) => {
+                    self.procs[i].at_barrier = true;
+                    if self.barrier_ready() {
+                        self.release_barrier(&mut heap);
+                    }
+                }
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> SimReport {
+        let proc_cycles: Vec<u64> = self.procs.iter().map(|p| p.clock).collect();
+        let wall = proc_cycles.iter().copied().max().unwrap_or(0);
+        let total_instructions: u64 = self.procs.iter().map(|p| p.instructions).sum();
+        let total_refs: u64 = self.procs.iter().map(|p| p.refs).sum();
+        let e_cycles = if total_instructions == 0 {
+            0.0
+        } else {
+            wall as f64 / total_instructions as f64
+        };
+        SimReport {
+            wall_cycles: wall,
+            proc_cycles,
+            total_instructions,
+            total_refs,
+            e_instr_cycles: e_cycles,
+            e_instr_seconds: e_cycles / self.backend.clock_hz(),
+            levels: self.backend.counts(),
+            traffic: self.backend.traffic(),
+            barriers: self.barriers,
+            barrier_wait_cycles: self.barrier_wait,
+            bus_busy_cycles: self.backend.bus_busy_cycles(),
+            network_busy_cycles: self.backend.network_busy_cycles(),
+            io_busy_cycles: self.backend.io_busy_cycles(),
+        }
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn run_simulation(backend: ClusterBackend, sources: Vec<ProcSource>) -> SimReport {
+    Engine::new(backend, sources).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homemap::HomeMap;
+    use crossbeam::channel;
+    use memhier_core::machine::{LatencyParams, MachineSpec};
+    use memhier_core::platform::ClusterSpec;
+
+    fn smp_backend(n: u32) -> ClusterBackend {
+        let c = ClusterSpec::single(MachineSpec::new(n, 256, 64, 200.0));
+        ClusterBackend::new(&c, LatencyParams::paper(), HomeMap::new(1, 256))
+    }
+
+    #[test]
+    fn compute_only_stream() {
+        let backend = smp_backend(1);
+        let src = ProcSource::from_events(vec![MemEvent::Compute(100), MemEvent::Compute(50)]);
+        let r = run_simulation(backend, vec![src]);
+        assert_eq!(r.wall_cycles, 150);
+        assert_eq!(r.total_instructions, 150);
+        assert_eq!(r.e_instr_cycles, 1.0);
+        assert_eq!(r.total_refs, 0);
+    }
+
+    #[test]
+    fn memory_latency_accumulates() {
+        let backend = smp_backend(1);
+        // Cold read: 1 + 50 + 2000; warm same-line read: 1.
+        let src = ProcSource::from_events(vec![MemEvent::Read(0), MemEvent::Read(0)]);
+        let r = run_simulation(backend, vec![src]);
+        // Cold: 1 (instr) + 2051 (mem).  Warm: 1 (instr) + 1 (hit).
+        assert_eq!(r.wall_cycles, 2052 + 2);
+        assert_eq!(r.total_refs, 2);
+        assert_eq!(r.levels.l1_hits, 1);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let backend = smp_backend(2);
+        // Proc 0 computes 1000, proc 1 computes 10; both barrier, then
+        // each computes 5 more.
+        let s0 = ProcSource::from_events(vec![
+            MemEvent::Compute(1000),
+            MemEvent::Barrier,
+            MemEvent::Compute(5),
+        ]);
+        let s1 = ProcSource::from_events(vec![
+            MemEvent::Compute(10),
+            MemEvent::Barrier,
+            MemEvent::Compute(5),
+        ]);
+        let r = run_simulation(backend, vec![s0, s1]);
+        assert_eq!(r.wall_cycles, 1005);
+        assert_eq!(r.proc_cycles, vec![1005, 1005]);
+        assert_eq!(r.barriers, 1);
+        assert_eq!(r.barrier_wait_cycles, 990);
+    }
+
+    #[test]
+    fn unbalanced_finish_releases_barrier() {
+        // Proc 1 ends without reaching the barrier; proc 0 must still
+        // complete (the barrier degenerates to a self-barrier).
+        let backend = smp_backend(2);
+        let s0 = ProcSource::from_events(vec![
+            MemEvent::Compute(10),
+            MemEvent::Barrier,
+            MemEvent::Compute(1),
+        ]);
+        let s1 = ProcSource::from_events(vec![MemEvent::Compute(3)]);
+        let r = run_simulation(backend, vec![s0, s1]);
+        assert_eq!(r.proc_cycles[0], 11);
+        assert_eq!(r.barriers, 1);
+    }
+
+    #[test]
+    fn channel_sources_stream() {
+        // One producer thread per channel — the engine's documented
+        // requirement (a single producer for several bounded channels can
+        // deadlock against the engine's time-ordered consumption).
+        let backend = smp_backend(2);
+        let (tx0, rx0) = channel::bounded(4);
+        let (tx1, rx1) = channel::bounded(4);
+        let f0 = std::thread::spawn(move || {
+            for i in 0..10u64 {
+                tx0.send(vec![MemEvent::Read(i * 64), MemEvent::Compute(3)]).unwrap();
+            }
+        });
+        let f1 = std::thread::spawn(move || {
+            for i in 0..10u64 {
+                tx1.send(vec![MemEvent::Read(i * 64 + 8192), MemEvent::Compute(3)]).unwrap();
+            }
+        });
+        let r = run_simulation(
+            backend,
+            vec![ProcSource::Channel(rx0), ProcSource::Channel(rx1)],
+        );
+        f0.join().unwrap();
+        f1.join().unwrap();
+        assert_eq!(r.total_refs, 20);
+        assert_eq!(r.total_instructions, 20 + 60);
+    }
+
+    #[test]
+    fn contention_visible_in_wall_clock() {
+        // Two processors issuing simultaneous misses must take longer than
+        // one processor issuing the same misses alone (bus queueing),
+        // per-processor.  Address regions are disjoint (1 MB apart) so no
+        // page or line is shared between processors.
+        let mk = |n: u32, procs: usize| {
+            let backend = smp_backend(n);
+            let sources: Vec<ProcSource> = (0..procs)
+                .map(|p| {
+                    ProcSource::from_events(
+                        (0..200u64)
+                            .map(|i| MemEvent::Read(p as u64 * (1 << 20) + i * 64))
+                            .collect(),
+                    )
+                })
+                .collect();
+            run_simulation(backend, sources)
+        };
+        let solo = mk(1, 1);
+        let duo = mk(2, 2);
+        // Per-proc time in the contended run exceeds the solo run.
+        assert!(
+            duo.proc_cycles[0] > solo.proc_cycles[0],
+            "duo {} vs solo {}",
+            duo.proc_cycles[0],
+            solo.proc_cycles[0]
+        );
+    }
+
+    #[test]
+    fn e_instr_seconds_uses_clock() {
+        let backend = smp_backend(1);
+        let src = ProcSource::from_events(vec![MemEvent::Compute(100)]);
+        let r = run_simulation(backend, vec![src]);
+        assert!((r.e_instr_seconds - 1.0 / 2e8).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "one event source per")]
+    fn source_count_checked() {
+        let backend = smp_backend(2);
+        let _ = Engine::new(backend, vec![ProcSource::from_events(vec![])]);
+    }
+}

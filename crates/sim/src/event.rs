@@ -1,0 +1,64 @@
+//! The event vocabulary flowing from instrumented workloads to the engine.
+
+/// One event of a logical processor's instruction stream.
+///
+/// This is the simulator's entire input interface — the moral equivalent of
+/// the memory-reference event stream MINT hands its back-ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEvent {
+    /// A load from a byte address.
+    Read(u64),
+    /// A store to a byte address.
+    Write(u64),
+    /// `k` non-memory instructions (arithmetic/control), 1 cycle each.
+    Compute(u32),
+    /// A barrier: the process waits until every process reaches it.
+    Barrier,
+}
+
+impl MemEvent {
+    /// Instructions this event represents.
+    pub fn instructions(&self) -> u64 {
+        match self {
+            MemEvent::Read(_) | MemEvent::Write(_) => 1,
+            MemEvent::Compute(k) => *k as u64,
+            MemEvent::Barrier => 0,
+        }
+    }
+
+    /// Whether this is a memory reference.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, MemEvent::Read(_) | MemEvent::Write(_))
+    }
+
+    /// The referenced address, if any.
+    pub fn address(&self) -> Option<u64> {
+        match self {
+            MemEvent::Read(a) | MemEvent::Write(a) => Some(*a),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_counts() {
+        assert_eq!(MemEvent::Read(0).instructions(), 1);
+        assert_eq!(MemEvent::Write(8).instructions(), 1);
+        assert_eq!(MemEvent::Compute(17).instructions(), 17);
+        assert_eq!(MemEvent::Barrier.instructions(), 0);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(MemEvent::Read(0).is_mem());
+        assert!(MemEvent::Write(0).is_mem());
+        assert!(!MemEvent::Compute(1).is_mem());
+        assert!(!MemEvent::Barrier.is_mem());
+        assert_eq!(MemEvent::Read(42).address(), Some(42));
+        assert_eq!(MemEvent::Compute(3).address(), None);
+    }
+}

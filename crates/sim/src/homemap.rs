@@ -1,0 +1,186 @@
+//! Home-node assignment for the distributed shared memory.
+//!
+//! The paper's workloads allocate each process's partition in its own local
+//! memory (§5.2), so the home of an address is the owner of the partition
+//! containing it.  [`HomeMap`] records `(range → owner)` entries registered
+//! at allocation time, with a configurable fallback (block-interleaved) for
+//! unregistered addresses.
+
+/// Maps byte addresses to home node ids.
+#[derive(Debug, Clone)]
+pub struct HomeMap {
+    /// Sorted, non-overlapping `(start, end_exclusive, node)` ranges.
+    ranges: Vec<(u64, u64, usize)>,
+    /// Number of nodes, for the interleaved fallback.
+    nodes: usize,
+    /// Block size of the interleaved fallback.
+    block_bytes: u64,
+}
+
+impl HomeMap {
+    /// New map over `nodes` nodes; unregistered addresses interleave by
+    /// `block_bytes` blocks.
+    pub fn new(nodes: usize, block_bytes: u64) -> Self {
+        assert!(nodes >= 1);
+        assert!(block_bytes.is_power_of_two());
+        HomeMap { ranges: Vec::new(), nodes, block_bytes }
+    }
+
+    /// Register `[start, end)` as homed at `node`.  Ranges must not overlap
+    /// previously registered ones (checked, panics on overlap).
+    pub fn register(&mut self, start: u64, end: u64, node: usize) {
+        assert!(start < end, "empty range");
+        assert!(node < self.nodes, "node {node} out of {}", self.nodes);
+        let pos = self.ranges.partition_point(|&(s, _, _)| s < start);
+        if pos > 0 {
+            assert!(self.ranges[pos - 1].1 <= start, "overlapping home ranges");
+        }
+        if pos < self.ranges.len() {
+            assert!(end <= self.ranges[pos].0, "overlapping home ranges");
+        }
+        self.ranges.insert(pos, (start, end, node));
+    }
+
+    /// Like [`HomeMap::register`] but tolerant of overlap with existing
+    /// ranges: the new range is clipped to the gaps (earlier registrations
+    /// win).  Used when partitions are rounded outward to block boundaries
+    /// and may abut or slightly overlap.
+    pub fn register_clamped(&mut self, start: u64, end: u64, node: usize) {
+        assert!(node < self.nodes);
+        if start >= end {
+            return;
+        }
+        // Collect the gaps of [start, end) not covered by existing ranges.
+        let mut cursor = start;
+        let mut gaps: Vec<(u64, u64)> = Vec::new();
+        for &(s, e, _) in &self.ranges {
+            if e <= cursor {
+                continue;
+            }
+            if s >= end {
+                break;
+            }
+            if s > cursor {
+                gaps.push((cursor, s.min(end)));
+            }
+            cursor = cursor.max(e);
+            if cursor >= end {
+                break;
+            }
+        }
+        if cursor < end {
+            gaps.push((cursor, end));
+        }
+        for (s, e) in gaps {
+            self.register(s, e, node);
+        }
+    }
+
+    /// Home node of `addr`.
+    pub fn home(&self, addr: u64) -> usize {
+        let pos = self.ranges.partition_point(|&(s, _, _)| s <= addr);
+        if pos > 0 {
+            let (s, e, n) = self.ranges[pos - 1];
+            if addr >= s && addr < e {
+                return n;
+            }
+        }
+        ((addr / self.block_bytes) as usize) % self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registered_ranges_win() {
+        let mut m = HomeMap::new(4, 256);
+        m.register(0, 1000, 2);
+        m.register(1000, 2000, 3);
+        assert_eq!(m.home(0), 2);
+        assert_eq!(m.home(999), 2);
+        assert_eq!(m.home(1000), 3);
+        assert_eq!(m.home(1999), 3);
+    }
+
+    #[test]
+    fn fallback_interleaves_blocks() {
+        let m = HomeMap::new(4, 256);
+        assert_eq!(m.home(0), 0);
+        assert_eq!(m.home(256), 1);
+        assert_eq!(m.home(512), 2);
+        assert_eq!(m.home(768), 3);
+        assert_eq!(m.home(1024), 0);
+        // Within one block, same home.
+        assert_eq!(m.home(255), 0);
+    }
+
+    #[test]
+    fn register_out_of_order() {
+        let mut m = HomeMap::new(2, 256);
+        m.register(5000, 6000, 1);
+        m.register(0, 1000, 0);
+        m.register(1000, 5000, 1);
+        assert_eq!(m.home(500), 0);
+        assert_eq!(m.home(3000), 1);
+        assert_eq!(m.home(5500), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn rejects_overlap() {
+        let mut m = HomeMap::new(2, 256);
+        m.register(0, 1000, 0);
+        m.register(500, 1500, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn rejects_bad_node() {
+        let mut m = HomeMap::new(2, 256);
+        m.register(0, 10, 5);
+    }
+
+    #[test]
+    fn register_clamped_clips_overlap() {
+        let mut m = HomeMap::new(3, 256);
+        m.register(1000, 2000, 0);
+        // Overlaps [1000, 2000) on both sides: only the gaps register.
+        m.register_clamped(500, 2500, 1);
+        assert_eq!(m.home(700), 1);
+        assert_eq!(m.home(1500), 0, "earlier registration wins");
+        assert_eq!(m.home(2200), 1);
+        // Fully covered → no-op.
+        m.register_clamped(1200, 1300, 2);
+        assert_eq!(m.home(1250), 0);
+        // Empty range → no-op.
+        m.register_clamped(50, 50, 2);
+    }
+
+    #[test]
+    fn register_clamped_multiple_gaps() {
+        let mut m = HomeMap::new(2, 256);
+        m.register(100, 200, 0);
+        m.register(300, 400, 0);
+        m.register_clamped(0, 500, 1);
+        assert_eq!(m.home(50), 1);
+        assert_eq!(m.home(150), 0);
+        assert_eq!(m.home(250), 1);
+        assert_eq!(m.home(350), 0);
+        assert_eq!(m.home(450), 1);
+    }
+
+    #[test]
+    fn single_node_everything_local() {
+        let m = HomeMap::new(1, 256);
+        for a in [0u64, 1 << 20, 1 << 40] {
+            assert_eq!(m.home(a), 0);
+        }
+    }
+}

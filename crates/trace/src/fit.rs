@@ -1,0 +1,218 @@
+//! Least-squares fitting of the locality parameters `(α, β)` (paper §5.2:
+//! "Using the standard least squares techniques, we fit equations (1) and
+//! (2) to the data").
+//!
+//! The model CDF is `P(x) = 1 − (x/β + 1)^−(α−1)`, so
+//!
+//! ```text
+//! ln(1 − P(x)) = −(α−1) · ln(x/β + 1)
+//! ```
+//!
+//! For a fixed `β` the slope `k = α−1` has the closed-form weighted
+//! least-squares solution `k = −Σ w·y·z / Σ w·z²` with `z = ln(x/β+1)`,
+//! `y = ln(1−P)`.  The outer 1-D search over `ln β` uses golden-section
+//! minimization of the residual, which is smooth and unimodal in practice.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a locality fit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitResult {
+    /// Fitted shape parameter `α` (> 1).
+    pub alpha: f64,
+    /// Fitted scale parameter `β` (> 1).
+    pub beta: f64,
+    /// Coefficient of determination of the log-domain regression (1 =
+    /// perfect fit).
+    pub r_squared: f64,
+    /// Number of CDF points used.
+    pub points: usize,
+}
+
+/// Residual sum of squares and the best slope for a fixed beta.
+fn rss_for_beta(points: &[(f64, f64)], beta: f64) -> (f64, f64) {
+    let mut syz = 0.0;
+    let mut szz = 0.0;
+    for &(x, p) in points {
+        let y = (1.0 - p).ln();
+        let z = (x / beta + 1.0).ln();
+        syz += y * z;
+        szz += z * z;
+    }
+    if szz == 0.0 {
+        return (f64::INFINITY, 0.0);
+    }
+    let k = (-syz / szz).max(1e-9); // slope = α−1 ≥ 0
+    let mut rss = 0.0;
+    for &(x, p) in points {
+        let y = (1.0 - p).ln();
+        let z = (x / beta + 1.0).ln();
+        let r = y + k * z;
+        rss += r * r;
+    }
+    (rss, k)
+}
+
+/// Fit `(α, β)` to empirical CDF points `(x, P(x))`.
+///
+/// Points with `P ≥ 1` (fully cumulative) or `P ≤ 0` carry no information
+/// in the log domain and are dropped.  Returns `None` if fewer than 3
+/// usable points remain.
+///
+/// ```
+/// use memhier_trace::fit::fit_locality;
+/// // Synthesize a perfect curve with α = 1.3, β = 90 and recover it.
+/// let pts: Vec<(f64, f64)> = (1..60)
+///     .map(|i| {
+///         let x = (i as f64) * 50.0;
+///         (x, 1.0 - (x / 90.0 + 1.0f64).powf(-0.3))
+///     })
+///     .collect();
+/// let fit = fit_locality(&pts).unwrap();
+/// assert!((fit.alpha - 1.3).abs() < 1e-3);
+/// assert!((fit.beta - 90.0).abs() < 0.5);
+/// ```
+pub fn fit_locality(points: &[(f64, f64)]) -> Option<FitResult> {
+    let usable: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|&(x, p)| x > 0.0 && p > 0.0 && p < 1.0 - 1e-12)
+        .collect();
+    if usable.len() < 3 {
+        return None;
+    }
+
+    // Golden-section search over ln β in [ln 1.001, ln 1e12].
+    let golden = 0.618_033_988_749_895_f64;
+    let mut a = 1.001f64.ln();
+    let mut b = 1e12f64.ln();
+    let mut c = b - golden * (b - a);
+    let mut d = a + golden * (b - a);
+    let mut fc = rss_for_beta(&usable, c.exp()).0;
+    let mut fd = rss_for_beta(&usable, d.exp()).0;
+    for _ in 0..200 {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - golden * (b - a);
+            fc = rss_for_beta(&usable, c.exp()).0;
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + golden * (b - a);
+            fd = rss_for_beta(&usable, d.exp()).0;
+        }
+        if (b - a).abs() < 1e-12 {
+            break;
+        }
+    }
+    let beta = (0.5 * (a + b)).exp();
+    let (rss, k) = rss_for_beta(&usable, beta);
+
+    // R² in the log domain.
+    let ys: Vec<f64> = usable.iter().map(|&(_, p)| (1.0 - p).ln()).collect();
+    let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+    let tss: f64 = ys.iter().map(|y| (y - mean) * (y - mean)).sum();
+    let r2 = if tss > 0.0 { 1.0 - rss / tss } else { 1.0 };
+
+    Some(FitResult { alpha: 1.0 + k, beta, r_squared: r2, points: usable.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::DistanceHistogram;
+    use crate::stackdist::StackDistanceAnalyzer;
+    use crate::synthetic::SyntheticTrace;
+
+    fn perfect_points(alpha: f64, beta: f64, n: usize, x_max: f64) -> Vec<(f64, f64)> {
+        (1..=n)
+            .map(|i| {
+                let x = x_max * i as f64 / n as f64;
+                (x, 1.0 - (x / beta + 1.0).powf(-(alpha - 1.0)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_exact_parameters() {
+        for &(a, b) in &[(1.21, 103.26), (1.30, 90.27), (1.14, 120.84), (1.71, 85.03)] {
+            let pts = perfect_points(a, b, 100, 20_000.0);
+            let fit = fit_locality(&pts).unwrap();
+            assert!((fit.alpha - a).abs() < 1e-3, "alpha {} vs {a}", fit.alpha);
+            assert!((fit.beta - b).abs() / b < 0.01, "beta {} vs {b}", fit.beta);
+            assert!(fit.r_squared > 0.9999);
+        }
+    }
+
+    #[test]
+    fn recovers_tpcc_scale_beta() {
+        // β over 1000 (the paper's TPC-C characterization) must also fit.
+        let pts = perfect_points(1.73, 1222.66, 120, 2e6);
+        let fit = fit_locality(&pts).unwrap();
+        assert!((fit.beta - 1222.66).abs() / 1222.66 < 0.02, "beta {}", fit.beta);
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        assert!(fit_locality(&[]).is_none());
+        assert!(fit_locality(&[(10.0, 0.5), (20.0, 0.6)]).is_none());
+        // Saturated points are dropped.
+        let sat = [(1.0, 1.0), (2.0, 1.0), (3.0, 1.0), (4.0, 1.0)];
+        assert!(fit_locality(&sat).is_none());
+    }
+
+    #[test]
+    fn noisy_fit_still_close() {
+        // Deterministic "noise" keeps the test reproducible.
+        let mut pts = perfect_points(1.3, 90.0, 80, 10_000.0);
+        for (i, p) in pts.iter_mut().enumerate() {
+            let eps = ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+            p.1 = (p.1 + eps * 0.01).clamp(0.001, 0.999);
+        }
+        let fit = fit_locality(&pts).unwrap();
+        assert!((fit.alpha - 1.3).abs() < 0.05);
+        assert!((fit.beta - 90.0).abs() / 90.0 < 0.3);
+    }
+
+    #[test]
+    fn end_to_end_synthetic_roundtrip() {
+        // Generate a trace from a target (α, β), measure its stack
+        // distances, fit, and recover the parameters within tolerance.
+        let (alpha, beta) = (1.3, 90.0);
+        let mut gen = SyntheticTrace::new(alpha, beta, 1, 12345);
+        let mut an = StackDistanceAnalyzer::new(1);
+        for _ in 0..200_000 {
+            an.access(gen.next_address());
+        }
+        let fit = fit_locality(&an.histogram().cdf_points()).unwrap();
+        assert!(
+            (fit.alpha - alpha).abs() < 0.08,
+            "alpha {} vs target {alpha}",
+            fit.alpha
+        );
+        assert!(
+            (fit.beta - beta).abs() / beta < 0.35,
+            "beta {} vs target {beta}",
+            fit.beta
+        );
+        assert!(fit.r_squared > 0.95, "r2 {}", fit.r_squared);
+    }
+
+    #[test]
+    fn fit_from_histogram_cdf_interface() {
+        let mut h = DistanceHistogram::new(1);
+        // Populate from the exact distribution's quantiles.
+        let (alpha, beta) = (1.5, 50.0);
+        for i in 0..50_000u64 {
+            let u = (i as f64 + 0.5) / 50_000.0;
+            let d = beta * ((1.0 - u).powf(-1.0 / (alpha - 1.0)) - 1.0);
+            h.record(Some(d as u64));
+        }
+        let fit = fit_locality(&h.cdf_points()).unwrap();
+        assert!((fit.alpha - alpha).abs() < 0.05, "alpha {}", fit.alpha);
+        assert!((fit.beta - beta).abs() / beta < 0.15, "beta {}", fit.beta);
+    }
+}

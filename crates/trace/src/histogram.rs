@@ -1,0 +1,296 @@
+//! Stack-distance histograms and empirical CDFs.
+//!
+//! Distances below [`DistanceHistogram::LINEAR_LIMIT`] are counted exactly;
+//! larger ones fall into logarithmic buckets (16 per octave), which is far
+//! finer than the fitting procedure needs while keeping the histogram a few
+//! kilobytes regardless of trace length.
+
+use serde::{Deserialize, Serialize};
+
+/// Histogram of LRU stack distances (in blocks) with a separate cold-miss
+/// (infinite distance) counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistanceHistogram {
+    /// Block size in bytes used when reporting byte-denominated CDFs.
+    granularity: u64,
+    /// Exact counts for distances `0..LINEAR_LIMIT`.
+    linear: Vec<u64>,
+    /// Log buckets: index `i` covers distances in
+    /// `[LINEAR_LIMIT · 2^(i/16), LINEAR_LIMIT · 2^((i+1)/16))`.
+    log: Vec<u64>,
+    cold: u64,
+    total: u64,
+}
+
+impl DistanceHistogram {
+    /// Distances below this are counted exactly.
+    pub const LINEAR_LIMIT: u64 = 256;
+    /// Log sub-buckets per octave.
+    const PER_OCTAVE: usize = 16;
+
+    /// New empty histogram; `granularity` is the byte size of the blocks
+    /// distances were counted in.
+    pub fn new(granularity: u64) -> Self {
+        DistanceHistogram {
+            granularity,
+            linear: vec![0; Self::LINEAR_LIMIT as usize],
+            log: Vec::new(),
+            cold: 0,
+            total: 0,
+        }
+    }
+
+    fn log_bucket(d: u64) -> usize {
+        debug_assert!(d >= Self::LINEAR_LIMIT);
+        let x = d as f64 / Self::LINEAR_LIMIT as f64;
+        (x.log2() * Self::PER_OCTAVE as f64).floor() as usize
+    }
+
+    /// Upper distance bound (exclusive) of log bucket `i`.
+    fn log_bucket_hi(i: usize) -> f64 {
+        Self::LINEAR_LIMIT as f64 * 2f64.powf((i + 1) as f64 / Self::PER_OCTAVE as f64)
+    }
+
+    /// Record one distance (`None` = cold/infinite).
+    pub fn record(&mut self, d: Option<u64>) {
+        self.total += 1;
+        match d {
+            None => self.cold += 1,
+            Some(d) if d < Self::LINEAR_LIMIT => self.linear[d as usize] += 1,
+            Some(d) => {
+                let b = Self::log_bucket(d);
+                if b >= self.log.len() {
+                    self.log.resize(b + 1, 0);
+                }
+                self.log[b] += 1;
+            }
+        }
+    }
+
+    /// Total references recorded.
+    pub fn total_refs(&self) -> u64 {
+        self.total
+    }
+
+    /// Cold (first-touch) references.
+    pub fn cold_refs(&self) -> u64 {
+        self.cold
+    }
+
+    /// Block granularity in bytes.
+    pub fn granularity(&self) -> u64 {
+        self.granularity
+    }
+
+    /// Merge another histogram (e.g. from another SPMD process) into this
+    /// one.  Panics if granularities differ.
+    pub fn merge(&mut self, other: &DistanceHistogram) {
+        assert_eq!(self.granularity, other.granularity, "granularity mismatch");
+        for (a, b) in self.linear.iter_mut().zip(&other.linear) {
+            *a += b;
+        }
+        if other.log.len() > self.log.len() {
+            self.log.resize(other.log.len(), 0);
+        }
+        for (i, b) in other.log.iter().enumerate() {
+            self.log[i] += b;
+        }
+        self.cold += other.cold;
+        self.total += other.total;
+    }
+
+    /// Empirical cumulative distribution: points `(x_bytes, P(x))` where
+    /// `P(x)` is the fraction of *all* references (cold included in the
+    /// denominator) with stack distance ≤ `x`.  Only non-empty buckets
+    /// produce points; `x` is the bucket's upper bound converted to bytes.
+    pub fn cdf_points(&self) -> Vec<(f64, f64)> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let tot = self.total as f64;
+        let g = self.granularity as f64;
+        let mut acc = 0u64;
+        let mut out = Vec::new();
+        for (d, &c) in self.linear.iter().enumerate() {
+            if c > 0 {
+                acc += c;
+                // A distance of d blocks means d+1 distinct blocks fit.
+                out.push(((d as f64 + 1.0) * g, acc as f64 / tot));
+            }
+        }
+        for (i, &c) in self.log.iter().enumerate() {
+            if c > 0 {
+                acc += c;
+                out.push((Self::log_bucket_hi(i) * g, acc as f64 / tot));
+            }
+        }
+        out
+    }
+
+    /// The **miss-ratio curve**: `(capacity_bytes, miss_ratio)` sampled at
+    /// `points` logarithmically-spaced capacities between one block and
+    /// just past the largest observed distance.  `miss_ratio` is the
+    /// fraction of references a fully-associative LRU store of that
+    /// capacity would miss (cold misses always miss).
+    pub fn miss_ratio_curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.total == 0 || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.granularity as f64;
+        let hi = self
+            .cdf_points()
+            .last()
+            .map(|&(x, _)| x * 2.0)
+            .unwrap_or(lo * 2.0)
+            .max(lo * 2.0);
+        (0..points)
+            .map(|i| {
+                let cap = lo * (hi / lo).powf(i as f64 / (points - 1).max(1) as f64);
+                (cap, self.tail_at(cap))
+            })
+            .collect()
+    }
+
+    /// Fraction of references with distance `> x_bytes` (the empirical
+    /// counterpart of the model's tail `∫_s^∞ p`); cold misses count as
+    /// beyond every finite `x`.
+    pub fn tail_at(&self, x_bytes: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let x_blocks = x_bytes / self.granularity as f64;
+        let mut le = 0u64;
+        for (d, &c) in self.linear.iter().enumerate() {
+            if (d as f64 + 1.0) <= x_blocks {
+                le += c;
+            }
+        }
+        for (i, &c) in self.log.iter().enumerate() {
+            if Self::log_bucket_hi(i) <= x_blocks {
+                le += c;
+            }
+        }
+        1.0 - le as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let mut h = DistanceHistogram::new(64);
+        h.record(Some(0));
+        h.record(Some(5));
+        h.record(Some(1_000_000));
+        h.record(None);
+        assert_eq!(h.total_refs(), 4);
+        assert_eq!(h.cold_refs(), 1);
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let mut h = DistanceHistogram::new(64);
+        for d in 0..10_000u64 {
+            h.record(Some(d % 997));
+        }
+        h.record(None);
+        let cdf = h.cdf_points();
+        assert!(!cdf.is_empty());
+        let mut prev = 0.0;
+        for &(x, p) in &cdf {
+            assert!(x > 0.0);
+            assert!(p >= prev && p <= 1.0);
+            prev = p;
+        }
+        // Cold miss keeps the CDF strictly below 1.
+        assert!(prev < 1.0);
+    }
+
+    #[test]
+    fn cdf_x_values_increasing() {
+        let mut h = DistanceHistogram::new(1);
+        for d in [1u64, 10, 100, 1000, 10_000, 100_000] {
+            h.record(Some(d));
+        }
+        let xs: Vec<f64> = h.cdf_points().iter().map(|p| p.0).collect();
+        assert!(xs.windows(2).all(|w| w[0] < w[1]), "{xs:?}");
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = DistanceHistogram::new(64);
+        let mut b = DistanceHistogram::new(64);
+        for d in 0..500u64 {
+            a.record(Some(d));
+            b.record(Some(d * 3));
+        }
+        b.record(None);
+        let ta = a.total_refs();
+        a.merge(&b);
+        assert_eq!(a.total_refs(), ta + 501);
+        assert_eq!(a.cold_refs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity mismatch")]
+    fn merge_rejects_mixed_granularity() {
+        let mut a = DistanceHistogram::new(64);
+        let b = DistanceHistogram::new(32);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn tail_complements_cdf() {
+        let mut h = DistanceHistogram::new(1);
+        for d in 0..1000u64 {
+            h.record(Some(d));
+        }
+        // At a point beyond every distance the tail is 0.
+        assert!(h.tail_at(1e12) < 1e-12);
+        // At 0 the tail is 1 (all distances need at least 1 block).
+        assert_eq!(h.tail_at(0.0), 1.0);
+        // Roughly half the mass lies beyond the median distance.
+        let t = h.tail_at(500.0);
+        assert!((t - 0.5).abs() < 0.05, "tail at median = {t}");
+    }
+
+    #[test]
+    fn empty_histogram_safe() {
+        let h = DistanceHistogram::new(64);
+        assert!(h.cdf_points().is_empty());
+        assert_eq!(h.tail_at(100.0), 0.0);
+        assert!(h.miss_ratio_curve(10).is_empty());
+    }
+
+    #[test]
+    fn miss_ratio_curve_monotone_nonincreasing() {
+        let mut h = DistanceHistogram::new(64);
+        for d in 0..5000u64 {
+            h.record(Some(d % 777));
+        }
+        h.record(None);
+        let curve = h.miss_ratio_curve(32);
+        assert_eq!(curve.len(), 32);
+        for w in curve.windows(2) {
+            assert!(w[0].0 < w[1].0, "capacities increase");
+            assert!(w[0].1 + 1e-12 >= w[1].1, "miss ratio non-increasing");
+        }
+        // Bigger than everything: only the cold miss remains.
+        let last = curve.last().unwrap().1;
+        assert!((last - 1.0 / 5001.0).abs() < 1e-6, "last = {last}");
+    }
+
+    #[test]
+    fn log_bucket_boundaries_consistent() {
+        // Every log bucket's hi bound exceeds the distances it receives.
+        for d in [256u64, 300, 512, 1023, 1 << 20] {
+            let b = DistanceHistogram::log_bucket(d);
+            assert!(DistanceHistogram::log_bucket_hi(b) > d as f64);
+            if b > 0 {
+                assert!(DistanceHistogram::log_bucket_hi(b - 1) <= (d + 1) as f64);
+            }
+        }
+    }
+}

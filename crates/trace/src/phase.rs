@@ -1,0 +1,170 @@
+//! Per-phase trace analysis.
+//!
+//! The paper's workloads are bulk-synchronous: phases of pure computation
+//! separated by barriers (§3).  A single `(α, β)` fit over the whole trace
+//! blends phases with very different locality (e.g. EDGE's 3×3-window
+//! blur vs its whole-plane copy), which is where the global fit degrades
+//! (see EXPERIMENTS.md, Table 2 discussion).  [`PhaseAnalyzer`] maintains
+//! a per-phase histogram alongside the global one, so each phase can be
+//! fitted on its own.
+
+use crate::fit::{fit_locality, FitResult};
+use crate::histogram::DistanceHistogram;
+use crate::stackdist::StackDistanceAnalyzer;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one inter-barrier phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseSummary {
+    /// Phase index (0 = before the first barrier).
+    pub index: usize,
+    /// References in this phase.
+    pub refs: u64,
+    /// Locality fit for this phase's distances (`None` if too few points).
+    pub fit: Option<FitResult>,
+    /// Fraction of this phase's references that are cold *globally*
+    /// (first-ever touches — an inter-phase reuse indicator).
+    pub cold_fraction: f64,
+}
+
+/// A stack-distance analyzer that additionally segments by phase.
+///
+/// Distances are always computed against the **global** LRU stack (reuse
+/// across a barrier is real reuse); only the bookkeeping is per phase.
+pub struct PhaseAnalyzer {
+    inner: StackDistanceAnalyzer,
+    current: DistanceHistogram,
+    phases: Vec<DistanceHistogram>,
+}
+
+impl PhaseAnalyzer {
+    /// See [`StackDistanceAnalyzer::new`] for `granularity`.
+    pub fn new(granularity: u64) -> Self {
+        PhaseAnalyzer {
+            inner: StackDistanceAnalyzer::new(granularity),
+            current: DistanceHistogram::new(granularity),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Record one reference.
+    pub fn access(&mut self, addr: u64) {
+        let d = self.inner.access(addr);
+        self.current.record(d);
+    }
+
+    /// Record a barrier: close the current phase.
+    pub fn barrier(&mut self) {
+        let g = self.current.granularity();
+        let closed = std::mem::replace(&mut self.current, DistanceHistogram::new(g));
+        self.phases.push(closed);
+    }
+
+    /// Number of closed phases.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// The global (whole-trace) analyzer.
+    pub fn global(&self) -> &StackDistanceAnalyzer {
+        &self.inner
+    }
+
+    /// Finish: close any trailing partial phase and summarize each phase.
+    pub fn finish(mut self) -> (Vec<PhaseSummary>, DistanceHistogram) {
+        if self.current.total_refs() > 0 {
+            self.barrier();
+        }
+        let global = self.inner.histogram();
+        let summaries = self
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(index, h)| PhaseSummary {
+                index,
+                refs: h.total_refs(),
+                fit: fit_locality(&h.cdf_points()),
+                cold_fraction: if h.total_refs() == 0 {
+                    0.0
+                } else {
+                    h.cold_refs() as f64 / h.total_refs() as f64
+                },
+            })
+            .collect();
+        (summaries, global)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticTrace;
+
+    #[test]
+    fn phases_partition_the_trace() {
+        let mut an = PhaseAnalyzer::new(1);
+        for i in 0..100u64 {
+            an.access(i % 10);
+        }
+        an.barrier();
+        for i in 0..50u64 {
+            an.access(i % 5);
+        }
+        let (phases, global) = an.finish();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].refs, 100);
+        assert_eq!(phases[1].refs, 50);
+        assert_eq!(global.total_refs(), 150);
+    }
+
+    #[test]
+    fn cross_phase_reuse_counts_as_reuse() {
+        let mut an = PhaseAnalyzer::new(1);
+        an.access(7);
+        an.barrier();
+        an.access(7); // same block, next phase: a global reuse, not cold
+        let (phases, global) = an.finish();
+        assert_eq!(phases[1].cold_fraction, 0.0, "{phases:?}");
+        assert_eq!(global.cold_refs(), 1);
+    }
+
+    #[test]
+    fn per_phase_fits_differ_for_mixed_trace() {
+        // Phase 0: tight reuse (β small); phase 1: wide reuse (β large).
+        let mut an = PhaseAnalyzer::new(1);
+        let mut tight = SyntheticTrace::new(1.5, 20.0, 1, 1);
+        for _ in 0..40_000 {
+            an.access(tight.next_address());
+        }
+        an.barrier();
+        let mut wide = SyntheticTrace::new(1.5, 4000.0, 1, 2).with_base_block(1 << 40);
+        for _ in 0..40_000 {
+            an.access(wide.next_address());
+        }
+        let (phases, _) = an.finish();
+        let b0 = phases[0].fit.unwrap().beta;
+        let b1 = phases[1].fit.unwrap().beta;
+        assert!(
+            b1 > 5.0 * b0,
+            "phase betas should separate: {b0} vs {b1}"
+        );
+    }
+
+    #[test]
+    fn trailing_partial_phase_is_closed() {
+        let mut an = PhaseAnalyzer::new(1);
+        an.access(1);
+        an.access(2);
+        let (phases, _) = an.finish();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].refs, 2);
+    }
+
+    #[test]
+    fn empty_analyzer_finishes_clean() {
+        let an = PhaseAnalyzer::new(64);
+        let (phases, global) = an.finish();
+        assert!(phases.is_empty());
+        assert_eq!(global.total_refs(), 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Exact LRU stack-distance computation.
+//!
+//! The stack distance of a reference is the number of **distinct other
+//! blocks** referenced since the previous reference to the same block
+//! (∞ for a block's first reference).  A reference hits in a
+//! fully-associative LRU store of capacity `C` blocks iff its stack
+//! distance is `< C`.
+//!
+//! [`StackDistanceAnalyzer`] implements the Bennett–Kruskal algorithm: a
+//! Fenwick (binary indexed) tree over reference time slots holds a 1 at the
+//! slot of each block's most recent access; the distance of a reuse is the
+//! count of set slots after the block's previous slot.  Slots are compacted
+//! when the index space fills, so memory is `O(live blocks)`, time
+//! `O(log M)` per reference.
+//!
+//! [`NaiveStackDistance`] is the obviously-correct `O(M · B)` reference
+//! implementation (an explicit LRU stack) used by the property tests.
+
+use crate::histogram::DistanceHistogram;
+use std::collections::HashMap;
+
+/// Fenwick tree over time slots (1-based internally).
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new(capacity: usize) -> Self {
+        Fenwick { tree: vec![0; capacity + 1] }
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Add `delta` at 0-based position `i`.
+    fn add(&mut self, i: usize, delta: i32) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i` (0-based).
+    fn prefix(&self, i: usize) -> u32 {
+        let mut i = i + 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Streaming exact stack-distance analyzer over block addresses.
+///
+/// Addresses are mapped to blocks of `granularity` bytes before analysis;
+/// distances are counted in **blocks** and can be converted to bytes with
+/// [`StackDistanceAnalyzer::granularity`].
+pub struct StackDistanceAnalyzer {
+    granularity: u64,
+    /// Block → slot of its most recent access.
+    last_slot: HashMap<u64, usize>,
+    bit: Fenwick,
+    next_slot: usize,
+    live: u32,
+    hist: DistanceHistogram,
+}
+
+impl StackDistanceAnalyzer {
+    /// Initial Fenwick index space; grows by compaction, never allocation
+    /// beyond `2 × live blocks` after the first compaction.
+    const INITIAL_SLOTS: usize = 1 << 16;
+
+    /// Create an analyzer mapping addresses to `granularity`-byte blocks
+    /// (`granularity` must be a power of two; 64 = cache-line granularity).
+    pub fn new(granularity: u64) -> Self {
+        assert!(granularity.is_power_of_two(), "granularity must be a power of two");
+        StackDistanceAnalyzer {
+            granularity,
+            last_slot: HashMap::new(),
+            bit: Fenwick::new(Self::INITIAL_SLOTS),
+            next_slot: 0,
+            live: 0,
+            hist: DistanceHistogram::new(granularity),
+        }
+    }
+
+    /// The block size in bytes distances are counted in.
+    pub fn granularity(&self) -> u64 {
+        self.granularity
+    }
+
+    /// Process one reference to byte address `addr`.  Returns the stack
+    /// distance in blocks, or `None` for a cold (first) reference.
+    pub fn access(&mut self, addr: u64) -> Option<u64> {
+        let block = addr / self.granularity;
+        if self.next_slot == self.bit.len() {
+            self.compact();
+        }
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        let d = match self.last_slot.insert(block, slot) {
+            Some(old) => {
+                // Distinct blocks touched strictly after `old`: every live
+                // block's flag sits at its latest slot, so count flags in
+                // (old, now) = live − prefix(old).
+                let d = (self.live - self.bit.prefix(old)) as u64;
+                self.bit.add(old, -1);
+                self.bit.add(slot, 1);
+                Some(d)
+            }
+            None => {
+                self.live += 1;
+                self.bit.add(slot, 1);
+                None
+            }
+        };
+        self.hist.record(d);
+        d
+    }
+
+    /// Rebuild the Fenwick index space, keeping only live flags in their
+    /// relative order.  Amortized O(1) per reference.
+    fn compact(&mut self) {
+        let mut order: Vec<(usize, u64)> =
+            self.last_slot.iter().map(|(&b, &s)| (s, b)).collect();
+        order.sort_unstable();
+        let new_cap = (order.len() * 2).max(Self::INITIAL_SLOTS);
+        let mut bit = Fenwick::new(new_cap);
+        for (new_slot, &(_, block)) in order.iter().enumerate() {
+            bit.add(new_slot, 1);
+            *self.last_slot.get_mut(&block).expect("block is live") = new_slot;
+        }
+        self.next_slot = order.len();
+        self.bit = bit;
+    }
+
+    /// Number of distinct blocks seen so far.
+    pub fn unique_blocks(&self) -> u32 {
+        self.live
+    }
+
+    /// The accumulated distance histogram (distances in blocks; the
+    /// histogram knows the byte granularity for CDF conversion).
+    pub fn histogram(&self) -> DistanceHistogram {
+        self.hist.clone()
+    }
+
+    /// Consume the analyzer, returning the histogram without cloning.
+    pub fn into_histogram(self) -> DistanceHistogram {
+        self.hist
+    }
+}
+
+/// Reference `O(M · B)` implementation: an explicit LRU stack of blocks.
+pub struct NaiveStackDistance {
+    granularity: u64,
+    /// Stack, most recently used first.
+    stack: Vec<u64>,
+}
+
+impl NaiveStackDistance {
+    /// See [`StackDistanceAnalyzer::new`].
+    pub fn new(granularity: u64) -> Self {
+        assert!(granularity.is_power_of_two());
+        NaiveStackDistance { granularity, stack: Vec::new() }
+    }
+
+    /// Process one reference; returns the stack distance in blocks
+    /// (`None` = cold).
+    pub fn access(&mut self, addr: u64) -> Option<u64> {
+        let block = addr / self.granularity;
+        match self.stack.iter().position(|&b| b == block) {
+            Some(pos) => {
+                self.stack.remove(pos);
+                self.stack.insert(0, block);
+                Some(pos as u64)
+            }
+            None => {
+                self.stack.insert(0, block);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn simple_sequence() {
+        // Blocks: A B A C B A D A (granularity 1 byte-block = 1)
+        let mut an = StackDistanceAnalyzer::new(1);
+        assert_eq!(an.access(0), None); // A cold
+        assert_eq!(an.access(1), None); // B cold
+        assert_eq!(an.access(0), Some(1)); // A: {B} in between
+        assert_eq!(an.access(2), None); // C cold
+        assert_eq!(an.access(1), Some(2)); // B: {A, C}
+        assert_eq!(an.access(0), Some(2)); // A: {C, B}
+        assert_eq!(an.access(3), None); // D cold
+        assert_eq!(an.access(0), Some(1)); // A: {D}
+        assert_eq!(an.unique_blocks(), 4);
+    }
+
+    #[test]
+    fn repeated_same_block_distance_zero() {
+        let mut an = StackDistanceAnalyzer::new(64);
+        an.access(0);
+        for _ in 0..10 {
+            assert_eq!(an.access(32), Some(0)); // same 64-byte block as 0
+        }
+    }
+
+    #[test]
+    fn granularity_maps_addresses() {
+        let mut an = StackDistanceAnalyzer::new(64);
+        assert_eq!(an.access(0), None);
+        assert_eq!(an.access(63), Some(0)); // same block
+        assert_eq!(an.access(64), None); // next block
+        assert_eq!(an.access(0), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_granularity() {
+        StackDistanceAnalyzer::new(48);
+    }
+
+    #[test]
+    fn matches_naive_on_random_trace() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut fast = StackDistanceAnalyzer::new(1);
+        let mut slow = NaiveStackDistance::new(1);
+        for _ in 0..20_000 {
+            // Skewed toward small addresses for realistic reuse.
+            let addr = (rng.gen::<f64>().powi(3) * 500.0) as u64;
+            assert_eq!(fast.access(addr), slow.access(addr));
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_compactions() {
+        // Force many compactions with a tiny index space by driving more
+        // references than INITIAL_SLOTS.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut fast = StackDistanceAnalyzer::new(1);
+        let mut slow = NaiveStackDistance::new(1);
+        for _ in 0..(StackDistanceAnalyzer::INITIAL_SLOTS * 3) {
+            let addr = rng.gen_range(0u64..300);
+            assert_eq!(fast.access(addr), slow.access(addr));
+        }
+    }
+
+    #[test]
+    fn sequential_scan_distances() {
+        // A scan never reuses: all cold.
+        let mut an = StackDistanceAnalyzer::new(1);
+        for i in 0..1000u64 {
+            assert_eq!(an.access(i), None);
+        }
+        // Second scan of the same data: every distance = unique − 1 = 999.
+        for i in 0..1000u64 {
+            assert_eq!(an.access(i), Some(999));
+        }
+    }
+
+    #[test]
+    fn histogram_totals_match() {
+        let mut an = StackDistanceAnalyzer::new(1);
+        for i in 0..100u64 {
+            an.access(i % 10);
+        }
+        let h = an.histogram();
+        assert_eq!(h.total_refs(), 100);
+        assert_eq!(h.cold_refs(), 10);
+    }
+}

@@ -1,0 +1,146 @@
+//! Instruction/reference accounting: the paper's `ρ = M/(m+M)` (§3), where
+//! `M` counts instructions that reference memory and `m` those that do not.
+
+use serde::{Deserialize, Serialize};
+
+/// Running counters over an instrumented execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Memory-referencing instructions (`M`): loads + stores.
+    pub mem_refs: u64,
+    /// Loads among `mem_refs`.
+    pub reads: u64,
+    /// Stores among `mem_refs`.
+    pub writes: u64,
+    /// Non-memory instructions (`m`): arithmetic, control, etc.
+    pub compute: u64,
+    /// Barrier operations executed.
+    pub barriers: u64,
+}
+
+impl TraceStats {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a load.
+    pub fn read(&mut self) {
+        self.mem_refs += 1;
+        self.reads += 1;
+    }
+
+    /// Record a store.
+    pub fn write(&mut self) {
+        self.mem_refs += 1;
+        self.writes += 1;
+    }
+
+    /// Record `k` non-memory instructions.
+    pub fn compute(&mut self, k: u64) {
+        self.compute += k;
+    }
+
+    /// Record a barrier.
+    pub fn barrier(&mut self) {
+        self.barriers += 1;
+    }
+
+    /// Total instruction count `m + M`.
+    pub fn total_instructions(&self) -> u64 {
+        self.mem_refs + self.compute
+    }
+
+    /// The paper's `ρ = M/(m+M)`; 0 for an empty trace.
+    pub fn rho(&self) -> f64 {
+        let t = self.total_instructions();
+        if t == 0 {
+            0.0
+        } else {
+            self.mem_refs as f64 / t as f64
+        }
+    }
+
+    /// Barriers per instruction (the model's barrier rate input).
+    pub fn barrier_rate(&self) -> f64 {
+        let t = self.total_instructions();
+        if t == 0 {
+            0.0
+        } else {
+            self.barriers as f64 / t as f64
+        }
+    }
+
+    /// Write fraction of memory references (a proxy for invalidation
+    /// pressure; informs the model's dirty fraction).
+    pub fn write_fraction(&self) -> f64 {
+        if self.mem_refs == 0 {
+            0.0
+        } else {
+            self.writes as f64 / self.mem_refs as f64
+        }
+    }
+
+    /// Merge counters from another process.
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.mem_refs += other.mem_refs;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.compute += other.compute;
+        self.barriers += other.barriers;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_basic() {
+        let mut s = TraceStats::new();
+        for _ in 0..20 {
+            s.read();
+        }
+        for _ in 0..10 {
+            s.write();
+        }
+        s.compute(70);
+        assert_eq!(s.total_instructions(), 100);
+        assert!((s.rho() - 0.30).abs() < 1e-12);
+        assert!((s.write_fraction() - 10.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let s = TraceStats::new();
+        assert_eq!(s.rho(), 0.0);
+        assert_eq!(s.barrier_rate(), 0.0);
+        assert_eq!(s.write_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = TraceStats::new();
+        a.read();
+        a.compute(4);
+        let mut b = TraceStats::new();
+        b.write();
+        b.barrier();
+        b.compute(4);
+        a.merge(&b);
+        assert_eq!(a.mem_refs, 2);
+        assert_eq!(a.compute, 8);
+        assert_eq!(a.barriers, 1);
+        assert!((a.rho() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_rate() {
+        let mut s = TraceStats::new();
+        for _ in 0..10_000 {
+            s.read();
+        }
+        s.barrier();
+        assert!((s.barrier_rate() - 1e-4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,336 @@
+//! The FFT kernel (§5.2): a complex 1-D **six-step FFT** over `N = m²`
+//! points viewed as an `m × m` matrix — transpose, row FFTs, twiddle
+//! multiply, transpose, row FFTs, transpose — with contiguous row
+//! partitions per process and a barrier between steps, exactly the
+//! SPLASH-2 structure the paper describes ("both sets of data are
+//! partitioned into submatrices so that each processor is assigned a
+//! contiguous subset of data which are allocated in its local memory").
+//!
+//! The data proper and the roots-of-unity table are both [`TracedArray`]s,
+//! so every butterfly's loads and stores reach the simulator.
+
+use crate::spmd::{SpmdCtx, SpmdProgram};
+use crate::traced::{AddressSpace, TracedArray};
+use std::sync::Arc;
+
+/// The six-step FFT program instance.
+pub struct FftProgram {
+    procs: usize,
+    /// Total points `N = m·m`.
+    n: usize,
+    /// Matrix dimension `m = √N`.
+    m: usize,
+    a_re: TracedArray<f64>,
+    a_im: TracedArray<f64>,
+    b_re: TracedArray<f64>,
+    b_im: TracedArray<f64>,
+    /// Roots of unity of order `N`: `roots[k] = e^{−2πik/N}`.
+    w_re: TracedArray<f64>,
+    w_im: TracedArray<f64>,
+}
+
+impl FftProgram {
+    /// Build an instance over `points` (a power of 4 so `m = √N` is a
+    /// power of 2) for `procs` processes (must divide `m`), with input
+    /// `x[i] = input(i)`.
+    pub fn new(points: usize, procs: usize, input: impl Fn(usize) -> (f64, f64)) -> Arc<Self> {
+        assert!(
+            points >= 4 && points.is_power_of_two() && points.trailing_zeros().is_multiple_of(2),
+            "points must be a power of 4 and at least 4, got {points}"
+        );
+        let m = 1usize << (points.trailing_zeros() / 2);
+        assert!(procs >= 1 && m.is_multiple_of(procs), "process count {procs} must divide m = {m}");
+        let n = points;
+        let mut sp = AddressSpace::default();
+        let a_re = TracedArray::new_with(sp.alloc(n), n, |i| input(i).0);
+        let a_im = TracedArray::new_with(sp.alloc(n), n, |i| input(i).1);
+        let b_re = TracedArray::new(sp.alloc(n), n);
+        let b_im = TracedArray::new(sp.alloc(n), n);
+        let theta = -2.0 * std::f64::consts::PI / n as f64;
+        let w_re = TracedArray::new_with(sp.alloc(n), n, |k| (theta * k as f64).cos());
+        let w_im = TracedArray::new_with(sp.alloc(n), n, |k| (theta * k as f64).sin());
+        Arc::new(FftProgram { procs, n, m, a_re, a_im, b_re, b_im, w_re, w_im })
+    }
+
+    /// Deterministic pseudo-random test input.
+    pub fn random_input(points: usize, procs: usize, seed: u64) -> Arc<Self> {
+        Self::new(points, procs, move |i| {
+            let mut x = seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            x ^= x >> 32;
+            x = x.wrapping_mul(0xD6E8FEB86659FD93);
+            let re = ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            let im = ((x << 7 >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            (re, im)
+        })
+    }
+
+    /// Matrix dimension `m`.
+    pub fn dim(&self) -> usize {
+        self.m
+    }
+
+    /// The input point `x[i]` (untraced).  Valid only **before** a run —
+    /// the A arrays are scratch space during the six steps.
+    pub fn input_at(&self, i: usize) -> (f64, f64) {
+        (self.a_re.get_silent(i), self.a_im.get_silent(i))
+    }
+
+    /// The result (natural order) after a run, untraced.
+    pub fn output(&self) -> Vec<(f64, f64)> {
+        (0..self.n).map(|i| (self.b_re.get_silent(i), self.b_im.get_silent(i))).collect()
+    }
+
+    /// The (untouched after run? no — A is scratched) initial input is not
+    /// retained; tests capture it before running.
+    fn rows_of(&self, pid: usize) -> std::ops::Range<usize> {
+        let per = self.m / self.procs;
+        pid * per..(pid + 1) * per
+    }
+
+    /// Transpose `src → dst` for the rows this process owns in `dst`.
+    fn transpose(
+        &self,
+        ctx: &mut SpmdCtx,
+        pid: usize,
+        src: (&TracedArray<f64>, &TracedArray<f64>),
+        dst: (&TracedArray<f64>, &TracedArray<f64>),
+    ) {
+        let m = self.m;
+        for r in self.rows_of(pid) {
+            for c in 0..m {
+                let re = src.0.get(ctx, c * m + r);
+                let im = src.1.get(ctx, c * m + r);
+                dst.0.set(ctx, r * m + c, re);
+                dst.1.set(ctx, r * m + c, im);
+                ctx.compute(2); // index arithmetic
+            }
+        }
+    }
+
+    /// In-place iterative radix-2 FFT of one row of (`re`, `im`).
+    /// Order-`len` roots are read from the shared order-`N` table at stride
+    /// `N/len`.
+    fn fft_row(
+        &self,
+        ctx: &mut SpmdCtx,
+        re: &TracedArray<f64>,
+        im: &TracedArray<f64>,
+        row: usize,
+    ) {
+        let m = self.m;
+        let base = row * m;
+        // Bit-reversal permutation.
+        let bits = m.trailing_zeros();
+        for j in 0..m {
+            let r = j.reverse_bits() >> (usize::BITS - bits);
+            if r > j {
+                let (xr, xi) = (re.get(ctx, base + j), im.get(ctx, base + j));
+                let (yr, yi) = (re.get(ctx, base + r), im.get(ctx, base + r));
+                re.set(ctx, base + j, yr);
+                im.set(ctx, base + j, yi);
+                re.set(ctx, base + r, xr);
+                im.set(ctx, base + r, xi);
+            }
+            ctx.compute(3);
+        }
+        // Butterflies.
+        let mut len = 2;
+        while len <= m {
+            let half = len / 2;
+            let stride = self.n / len;
+            let mut start = 0;
+            while start < m {
+                for j in 0..half {
+                    let wr = self.w_re.get(ctx, stride * j);
+                    let wi = self.w_im.get(ctx, stride * j);
+                    let (ur, ui) =
+                        (re.get(ctx, base + start + j), im.get(ctx, base + start + j));
+                    let (vr0, vi0) = (
+                        re.get(ctx, base + start + j + half),
+                        im.get(ctx, base + start + j + half),
+                    );
+                    let vr = vr0 * wr - vi0 * wi;
+                    let vi = vr0 * wi + vi0 * wr;
+                    re.set(ctx, base + start + j, ur + vr);
+                    im.set(ctx, base + start + j, ui + vi);
+                    re.set(ctx, base + start + j + half, ur - vr);
+                    im.set(ctx, base + start + j + half, ui - vi);
+                    ctx.compute(10); // complex mul + 2 complex adds
+                }
+                start += len;
+            }
+            len *= 2;
+        }
+    }
+
+    /// Twiddle step: `B[t0][k1] *= W_N^{t0·k1}` for owned rows.
+    fn twiddle(&self, ctx: &mut SpmdCtx, pid: usize) {
+        let m = self.m;
+        for t0 in self.rows_of(pid) {
+            for k1 in 0..m {
+                let idx = (t0 * k1) % self.n;
+                let wr = self.w_re.get(ctx, idx);
+                let wi = self.w_im.get(ctx, idx);
+                let xr = self.b_re.get(ctx, t0 * m + k1);
+                let xi = self.b_im.get(ctx, t0 * m + k1);
+                self.b_re.set(ctx, t0 * m + k1, xr * wr - xi * wi);
+                self.b_im.set(ctx, t0 * m + k1, xr * wi + xi * wr);
+                ctx.compute(8);
+            }
+        }
+    }
+}
+
+impl SpmdProgram for FftProgram {
+    fn processes(&self) -> usize {
+        self.procs
+    }
+
+    fn run(&self, pid: usize, ctx: &mut SpmdCtx) {
+        // Step 1: B = Aᵀ.
+        self.transpose(ctx, pid, (&self.a_re, &self.a_im), (&self.b_re, &self.b_im));
+        ctx.barrier();
+        // Step 2: FFT the owned rows of B.
+        for r in self.rows_of(pid) {
+            self.fft_row(ctx, &self.b_re, &self.b_im, r);
+        }
+        ctx.barrier();
+        // Step 3: twiddle multiply.
+        self.twiddle(ctx, pid);
+        ctx.barrier();
+        // Step 4: A = Bᵀ.
+        self.transpose(ctx, pid, (&self.b_re, &self.b_im), (&self.a_re, &self.a_im));
+        ctx.barrier();
+        // Step 5: FFT the owned rows of A.
+        for r in self.rows_of(pid) {
+            self.fft_row(ctx, &self.a_re, &self.a_im, r);
+        }
+        ctx.barrier();
+        // Step 6: B = Aᵀ — the natural-order result.
+        self.transpose(ctx, pid, (&self.a_re, &self.a_im), (&self.b_re, &self.b_im));
+        ctx.barrier();
+    }
+
+    fn partitions(&self) -> Vec<(u64, u64, usize)> {
+        // Each process owns its row range of every matrix array, plus a
+        // slice of the roots table.
+        let m = self.m;
+        let per = m / self.procs;
+        let mut v = Vec::new();
+        for pid in 0..self.procs {
+            let lo = pid * per * m;
+            let hi = (pid + 1) * per * m;
+            for arr in [&self.a_re, &self.a_im, &self.b_re, &self.b_im] {
+                v.push((arr.addr_of(lo), arr.addr_of(hi), pid));
+            }
+            let rl = pid * (self.n / self.procs);
+            let rh = (pid + 1) * (self.n / self.procs);
+            for arr in [&self.w_re, &self.w_im] {
+                v.push((arr.addr_of(rl), arr.addr_of(rh), pid));
+            }
+        }
+        v
+    }
+
+    fn name(&self) -> &str {
+        "FFT"
+    }
+}
+
+/// Naive `O(N²)` DFT for verification.
+pub fn naive_dft(input: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let n = input.len();
+    let theta = -2.0 * std::f64::consts::PI / n as f64;
+    (0..n)
+        .map(|k| {
+            let mut re = 0.0;
+            let mut im = 0.0;
+            for (t, &(xr, xi)) in input.iter().enumerate() {
+                let ang = theta * (k * t % n) as f64;
+                let (c, s) = (ang.cos(), ang.sin());
+                re += xr * c - xi * s;
+                im += xr * s + xi * c;
+            }
+            (re, im)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmd::run_spmd;
+
+    fn max_err(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| ((x.0 - y.0).abs()).max((x.1 - y.1).abs()))
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn impulse_transforms_to_ones() {
+        let p = FftProgram::new(16, 1, |i| if i == 0 { (1.0, 0.0) } else { (0.0, 0.0) });
+        run_spmd(Arc::clone(&p));
+        for (re, im) in p.output() {
+            assert!((re - 1.0).abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_small() {
+        let p = FftProgram::random_input(64, 1, 42);
+        let input: Vec<(f64, f64)> =
+            (0..64).map(|i| (p.a_re.get_silent(i), p.a_im.get_silent(i))).collect();
+        run_spmd(Arc::clone(&p));
+        let expect = naive_dft(&input);
+        assert!(max_err(&p.output(), &expect) < 1e-9);
+    }
+
+    #[test]
+    fn parallel_runs_agree_with_serial() {
+        let serial = FftProgram::random_input(256, 1, 7);
+        run_spmd(Arc::clone(&serial));
+        let expect = serial.output();
+        for procs in [2, 4, 8] {
+            let par = FftProgram::random_input(256, procs, 7);
+            run_spmd(Arc::clone(&par));
+            assert!(
+                max_err(&par.output(), &expect) < 1e-12,
+                "procs = {procs} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn counters_reasonable() {
+        let p = FftProgram::random_input(256, 2, 1);
+        let c = run_spmd(p);
+        assert!(c.mem_refs() > 0 && c.compute > 0);
+        // FFT is CPU-bound: rho well below 0.6.
+        assert!(c.rho() < 0.6, "rho = {}", c.rho());
+        assert_eq!(c.barriers, 12, "6 barriers x 2 procs");
+    }
+
+    #[test]
+    fn partitions_cover_disjoint_ranges() {
+        let p = FftProgram::random_input(256, 4, 1);
+        let parts = p.partitions();
+        assert_eq!(parts.len(), 4 * 6);
+        for w in parts.windows(2) {
+            assert!(w[0].0 < w[0].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of 4")]
+    fn rejects_non_square_sizes() {
+        FftProgram::new(128, 1, |_| (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_bad_process_count() {
+        FftProgram::new(256, 5, |_| (0.0, 0.0));
+    }
+}

@@ -1,0 +1,328 @@
+//! The LU kernel (§5.2): blocked dense LU factorization without pivoting,
+//! `B × B` blocks assigned to processes by **2-D scatter decomposition**
+//! "to exploit temporal and spatial locality" — the SPLASH-2 structure.
+//!
+//! For each step `k`: the owner of the diagonal block factors it; owners
+//! of perimeter blocks solve against it; owners of interior blocks apply
+//! the rank-`B` update.  A barrier separates the three phases of a step.
+
+use crate::spmd::{SpmdCtx, SpmdProgram};
+use crate::traced::{AddressSpace, TracedArray};
+use std::sync::Arc;
+
+/// The blocked LU program instance.
+pub struct LuProgram {
+    procs: usize,
+    /// Matrix dimension.
+    n: usize,
+    /// Block dimension (divides `n`).
+    b: usize,
+    /// Process grid (rows, cols): `pr · pc = procs`.
+    pr: usize,
+    pc: usize,
+    a: TracedArray<f64>,
+    /// Original matrix kept for verification (untraced).
+    original: Vec<f64>,
+}
+
+impl LuProgram {
+    /// Build over an `n × n` matrix with `block`-sized blocks for `procs`
+    /// processes; entries from `init(row, col)` (should be diagonally
+    /// dominant — see [`LuProgram::random_dd`]).
+    pub fn new(
+        n: usize,
+        block: usize,
+        procs: usize,
+        init: impl Fn(usize, usize) -> f64,
+    ) -> Arc<Self> {
+        assert!(n.is_multiple_of(block), "block size {block} must divide n = {n}");
+        let (pr, pc) = grid(procs);
+        let mut sp = AddressSpace::default();
+        let a = TracedArray::new(sp.alloc(n * n), n * n);
+        let prog = LuProgram { procs, n, b: block, pr, pc, a, original: Vec::new() };
+        // Storage is block-major (each B×B block contiguous), as in the
+        // real SPLASH-2 kernel — this is what prevents false sharing of
+        // coherence blocks between neighboring block owners.
+        let mut original = vec![0.0; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                let v = init(r, c);
+                prog.a.set_silent(prog.at(r, c), v);
+                original[r * n + c] = v;
+            }
+        }
+        Arc::new(LuProgram { original, ..prog })
+    }
+
+    /// Deterministic diagonally-dominant random matrix.
+    pub fn random_dd(n: usize, block: usize, procs: usize, seed: u64) -> Arc<Self> {
+        Self::new(n, block, procs, move |r, c| {
+            let mut x = seed
+                .wrapping_add((r * n + c) as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15);
+            x ^= x >> 31;
+            let v = (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            if r == c {
+                v + n as f64 // strong diagonal keeps the factorization stable
+            } else {
+                v
+            }
+        })
+    }
+
+    /// Owner process of block `(bi, bj)` under 2-D scatter.
+    pub fn owner(&self, bi: usize, bj: usize) -> usize {
+        (bi % self.pr) * self.pc + (bj % self.pc)
+    }
+
+    /// Number of blocks per side.
+    pub fn nblocks(&self) -> usize {
+        self.n / self.b
+    }
+
+    /// Block-major element index: block (r/B, c/B) stored contiguously,
+    /// row-major within the block.
+    fn at(&self, r: usize, c: usize) -> usize {
+        let nbc = self.n / self.b;
+        let (bi, bj) = (r / self.b, c / self.b);
+        let (ri, cj) = (r % self.b, c % self.b);
+        ((bi * nbc + bj) * self.b + ri) * self.b + cj
+    }
+
+    /// Untraced logical (row, col) accessor for verification.
+    pub fn get_rc(&self, r: usize, c: usize) -> f64 {
+        self.a.get_silent(self.at(r, c))
+    }
+
+    /// Factor the diagonal block `(k, k)` in place (unblocked LU).
+    fn factor_diag(&self, ctx: &mut SpmdCtx, k: usize) {
+        let b0 = k * self.b;
+        for d in 0..self.b {
+            let pivot = self.a.get(ctx, self.at(b0 + d, b0 + d));
+            for r in d + 1..self.b {
+                let l = self.a.get(ctx, self.at(b0 + r, b0 + d)) / pivot;
+                self.a.set(ctx, self.at(b0 + r, b0 + d), l);
+                ctx.compute(2);
+                for c in d + 1..self.b {
+                    let u = self.a.get(ctx, self.at(b0 + d, b0 + c));
+                    let x = self.a.get(ctx, self.at(b0 + r, b0 + c));
+                    self.a.set(ctx, self.at(b0 + r, b0 + c), x - l * u);
+                    ctx.compute(2);
+                }
+            }
+        }
+    }
+
+    /// Column-panel block `(bi, k)`: solve `A_ik ← A_ik · U_kk⁻¹`.
+    fn solve_col(&self, ctx: &mut SpmdCtx, bi: usize, k: usize) {
+        let (r0, c0, d0) = (bi * self.b, k * self.b, k * self.b);
+        for r in 0..self.b {
+            for d in 0..self.b {
+                let u = self.a.get(ctx, self.at(d0 + d, c0 + d));
+                let mut x = self.a.get(ctx, self.at(r0 + r, c0 + d));
+                x /= u;
+                self.a.set(ctx, self.at(r0 + r, c0 + d), x);
+                ctx.compute(2);
+                for c in d + 1..self.b {
+                    let ukc = self.a.get(ctx, self.at(d0 + d, c0 + c));
+                    let y = self.a.get(ctx, self.at(r0 + r, c0 + c));
+                    self.a.set(ctx, self.at(r0 + r, c0 + c), y - x * ukc);
+                    ctx.compute(2);
+                }
+            }
+        }
+    }
+
+    /// Row-panel block `(k, bj)`: solve `A_kj ← L_kk⁻¹ · A_kj`.
+    fn solve_row(&self, ctx: &mut SpmdCtx, k: usize, bj: usize) {
+        let (r0, c0, d0) = (k * self.b, bj * self.b, k * self.b);
+        for c in 0..self.b {
+            for d in 0..self.b {
+                let x = self.a.get(ctx, self.at(r0 + d, c0 + c));
+                ctx.compute(1);
+                for r in d + 1..self.b {
+                    let l = self.a.get(ctx, self.at(d0 + r, r0 + d));
+                    let y = self.a.get(ctx, self.at(r0 + r, c0 + c));
+                    self.a.set(ctx, self.at(r0 + r, c0 + c), y - l * x);
+                    ctx.compute(2);
+                }
+            }
+        }
+    }
+
+    /// Interior update `A_ij ← A_ij − A_ik · A_kj`.
+    fn update(&self, ctx: &mut SpmdCtx, bi: usize, bj: usize, k: usize) {
+        let (r0, c0) = (bi * self.b, bj * self.b);
+        let (lk, uk) = (k * self.b, k * self.b);
+        for r in 0..self.b {
+            for d in 0..self.b {
+                let l = self.a.get(ctx, self.at(r0 + r, lk + d));
+                ctx.compute(1);
+                for c in 0..self.b {
+                    let u = self.a.get(ctx, self.at(uk + d, c0 + c));
+                    let x = self.a.get(ctx, self.at(r0 + r, c0 + c));
+                    self.a.set(ctx, self.at(r0 + r, c0 + c), x - l * u);
+                    ctx.compute(2);
+                }
+            }
+        }
+    }
+
+    /// Reconstruct `L · U` from the factored matrix (untraced) and return
+    /// the max abs deviation from the original.
+    pub fn verify_error(&self) -> f64 {
+        let n = self.n;
+        let mut max = 0.0f64;
+        for r in 0..n {
+            for c in 0..n {
+                // (L·U)[r][c] = Σ_{k ≤ min(r,c)} L[r][k]·U[k][c] with unit
+                // diagonal L.
+                let mut s = 0.0;
+                for k in 0..=r.min(c) {
+                    let l = if k == r { 1.0 } else { self.get_rc(r, k) };
+                    s += l * self.get_rc(k, c);
+                }
+                max = max.max((s - self.original[r * n + c]).abs());
+            }
+        }
+        max
+    }
+}
+
+/// Closest-to-square process grid with `pr·pc = procs`.
+fn grid(procs: usize) -> (usize, usize) {
+    assert!(procs >= 1);
+    let mut pr = (procs as f64).sqrt() as usize;
+    while !procs.is_multiple_of(pr) {
+        pr -= 1;
+    }
+    (pr, procs / pr)
+}
+
+impl SpmdProgram for LuProgram {
+    fn processes(&self) -> usize {
+        self.procs
+    }
+
+    fn run(&self, pid: usize, ctx: &mut SpmdCtx) {
+        let nb = self.nblocks();
+        for k in 0..nb {
+            if self.owner(k, k) == pid {
+                self.factor_diag(ctx, k);
+            }
+            ctx.barrier();
+            for bi in k + 1..nb {
+                if self.owner(bi, k) == pid {
+                    self.solve_col(ctx, bi, k);
+                }
+            }
+            for bj in k + 1..nb {
+                if self.owner(k, bj) == pid {
+                    self.solve_row(ctx, k, bj);
+                }
+            }
+            ctx.barrier();
+            for bi in k + 1..nb {
+                for bj in k + 1..nb {
+                    if self.owner(bi, bj) == pid {
+                        self.update(ctx, bi, bj, k);
+                    }
+                }
+            }
+            ctx.barrier();
+        }
+    }
+
+    fn partitions(&self) -> Vec<(u64, u64, usize)> {
+        // Home each block-row stripe of the matrix at the process owning
+        // the most blocks in it (approximation: row-block → grid row).
+        let nb = self.nblocks();
+        let mut v = Vec::new();
+        for bi in 0..nb {
+            let owner = self.owner(bi, bi % self.pc.max(1));
+            let lo = bi * self.b * self.n;
+            let hi = (bi + 1) * self.b * self.n;
+            v.push((self.a.addr_of(lo), self.a.addr_of(hi), owner));
+        }
+        v
+    }
+
+    fn name(&self) -> &str {
+        "LU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmd::run_spmd;
+
+    #[test]
+    fn grid_shapes() {
+        assert_eq!(grid(1), (1, 1));
+        assert_eq!(grid(2), (1, 2));
+        assert_eq!(grid(4), (2, 2));
+        assert_eq!(grid(8), (2, 4));
+        assert_eq!(grid(16), (4, 4));
+    }
+
+    #[test]
+    fn serial_factorization_correct() {
+        let p = LuProgram::random_dd(16, 4, 1, 3);
+        run_spmd(Arc::clone(&p));
+        let err = p.verify_error();
+        assert!(err < 1e-9, "LU reconstruction error {err}");
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let serial = LuProgram::random_dd(16, 4, 1, 9);
+        run_spmd(Arc::clone(&serial));
+        let expect = serial.a.snapshot();
+        for procs in [2, 4] {
+            let par = LuProgram::random_dd(16, 4, procs, 9);
+            run_spmd(Arc::clone(&par));
+            let got = par.a.snapshot();
+            let err = expect
+                .iter()
+                .zip(&got)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(err < 1e-10, "procs {procs}: divergence {err}");
+        }
+    }
+
+    #[test]
+    fn larger_parallel_factorization_correct() {
+        let p = LuProgram::random_dd(32, 8, 4, 11);
+        run_spmd(Arc::clone(&p));
+        assert!(p.verify_error() < 1e-8);
+    }
+
+    #[test]
+    fn scatter_ownership_balanced() {
+        let p = LuProgram::random_dd(32, 4, 4, 1);
+        let nb = p.nblocks();
+        let mut counts = vec![0usize; 4];
+        for bi in 0..nb {
+            for bj in 0..nb {
+                counts[p.owner(bi, bj)] += 1;
+            }
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert_eq!(min, max, "2-D scatter must balance: {counts:?}");
+    }
+
+    #[test]
+    fn rho_is_memory_heavier_than_fft() {
+        let c = run_spmd(LuProgram::random_dd(32, 8, 2, 5));
+        assert!(c.rho() > 0.2, "rho {}", c.rho());
+        assert!(c.rho() < 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_bad_block() {
+        LuProgram::new(10, 3, 1, |_, _| 1.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Workload registry: the paper's problem sizes (§5.2), scaled variants,
+//! and a uniform instantiation interface for the experiment harness.
+
+use crate::edge::EdgeProgram;
+use crate::fft::FftProgram;
+use crate::lu::LuProgram;
+use crate::radix::RadixProgram;
+use crate::spmd::SpmdProgram;
+use crate::tpcc::TpccProgram;
+use std::sync::Arc;
+
+/// The five workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Six-step complex 1-D FFT.
+    Fft,
+    /// Blocked dense LU factorization.
+    Lu,
+    /// Iterative radix sort.
+    Radix,
+    /// Iterative edge detection.
+    Edge,
+    /// Synthetic TPC-C-like commercial workload.
+    Tpcc,
+}
+
+impl WorkloadKind {
+    /// The four Table-2 kernels, in paper order.
+    pub const PAPER: [WorkloadKind; 4] =
+        [WorkloadKind::Fft, WorkloadKind::Lu, WorkloadKind::Radix, WorkloadKind::Edge];
+
+    /// Canonical display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Fft => "FFT",
+            WorkloadKind::Lu => "LU",
+            WorkloadKind::Radix => "Radix",
+            WorkloadKind::Edge => "EDGE",
+            WorkloadKind::Tpcc => "TPC-C",
+        }
+    }
+}
+
+/// A fully-specified workload: kind plus problem size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// FFT over `points` complex points (a power of 4).
+    Fft {
+        /// Total complex points.
+        points: usize,
+    },
+    /// LU of an `n × n` matrix in `block × block` blocks.
+    Lu {
+        /// Matrix dimension.
+        n: usize,
+        /// Block dimension.
+        block: usize,
+    },
+    /// Radix sort of `keys` integers of `key_bits` bits with digit `radix`.
+    Radix {
+        /// Number of keys.
+        keys: usize,
+        /// Digit radix (power of two).
+        radix: usize,
+        /// Key width in bits.
+        key_bits: u32,
+    },
+    /// Edge detection on a `dim × dim` image for `iterations` rounds.
+    Edge {
+        /// Image dimension.
+        dim: usize,
+        /// Blur/register/match iterations.
+        iterations: usize,
+    },
+    /// Synthetic TPC-C: `db_cells` cells per region, `refs_per_proc`
+    /// accesses per process.
+    Tpcc {
+        /// Cells per database region.
+        db_cells: usize,
+        /// References each process issues.
+        refs_per_proc: usize,
+    },
+}
+
+impl Workload {
+    /// The paper's §5.2 problem sizes: FFT 64 K points, LU 512 × 512,
+    /// Radix 1 M integers radix 1024, EDGE 128 × 128.
+    pub fn paper(kind: WorkloadKind) -> Workload {
+        match kind {
+            WorkloadKind::Fft => Workload::Fft { points: 64 * 1024 },
+            WorkloadKind::Lu => Workload::Lu { n: 512, block: 16 },
+            WorkloadKind::Radix => {
+                Workload::Radix { keys: 1024 * 1024, radix: 1024, key_bits: 20 }
+            }
+            WorkloadKind::Edge => Workload::Edge { dim: 128, iterations: 4 },
+            WorkloadKind::Tpcc => Workload::Tpcc { db_cells: 1 << 17, refs_per_proc: 500_000 },
+        }
+    }
+
+    /// Small sizes for fast tests and CI (same structure, ~100× less work).
+    pub fn small(kind: WorkloadKind) -> Workload {
+        match kind {
+            WorkloadKind::Fft => Workload::Fft { points: 4096 },
+            WorkloadKind::Lu => Workload::Lu { n: 64, block: 8 },
+            WorkloadKind::Radix => Workload::Radix { keys: 16 * 1024, radix: 256, key_bits: 16 },
+            WorkloadKind::Edge => Workload::Edge { dim: 32, iterations: 2 },
+            WorkloadKind::Tpcc => Workload::Tpcc { db_cells: 1 << 12, refs_per_proc: 20_000 },
+        }
+    }
+
+    /// Medium sizes for the experiment harness's default mode — working
+    /// sets exceed the studied cache sizes (so every hierarchy level is
+    /// exercised) while a 15-configuration × 4-application sweep stays in
+    /// the minutes range.
+    pub fn medium(kind: WorkloadKind) -> Workload {
+        match kind {
+            WorkloadKind::Fft => Workload::Fft { points: 16 * 1024 }, // 512 KB data
+            WorkloadKind::Lu => Workload::Lu { n: 192, block: 16 },   // 288 KB matrix
+            WorkloadKind::Radix => {
+                Workload::Radix { keys: 128 * 1024, radix: 1024, key_bits: 20 } // 2 MB
+            }
+            WorkloadKind::Edge => Workload::Edge { dim: 128, iterations: 4 }, // paper size
+            WorkloadKind::Tpcc => Workload::Tpcc { db_cells: 1 << 16, refs_per_proc: 100_000 },
+        }
+    }
+
+    /// Which workload this is.
+    pub fn kind(&self) -> WorkloadKind {
+        match self {
+            Workload::Fft { .. } => WorkloadKind::Fft,
+            Workload::Lu { .. } => WorkloadKind::Lu,
+            Workload::Radix { .. } => WorkloadKind::Radix,
+            Workload::Edge { .. } => WorkloadKind::Edge,
+            Workload::Tpcc { .. } => WorkloadKind::Tpcc,
+        }
+    }
+
+    /// Instantiate for `processes` SPMD processes with a fixed seed.
+    ///
+    /// Panics if `processes` is incompatible with the size (each kernel
+    /// documents its divisibility constraint).
+    pub fn instantiate(&self, processes: usize) -> Arc<dyn SpmdProgram> {
+        let seed = 0xC0FFEE;
+        match *self {
+            Workload::Fft { points } => FftProgram::random_input(points, processes, seed),
+            Workload::Lu { n, block } => LuProgram::random_dd(n, block, processes, seed),
+            Workload::Radix { keys, radix, key_bits } => {
+                RadixProgram::new(keys, radix, key_bits, processes, seed)
+            }
+            Workload::Edge { dim, iterations } => {
+                EdgeProgram::synthetic(dim, iterations, processes)
+            }
+            Workload::Tpcc { db_cells, refs_per_proc } => {
+                TpccProgram::new(db_cells, refs_per_proc, processes, seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmd::run_spmd;
+
+    #[test]
+    fn paper_sizes_match_section_5_2() {
+        assert_eq!(Workload::paper(WorkloadKind::Fft), Workload::Fft { points: 65536 });
+        assert_eq!(Workload::paper(WorkloadKind::Lu), Workload::Lu { n: 512, block: 16 });
+        assert_eq!(
+            Workload::paper(WorkloadKind::Radix),
+            Workload::Radix { keys: 1_048_576, radix: 1024, key_bits: 20 }
+        );
+        assert_eq!(
+            Workload::paper(WorkloadKind::Edge),
+            Workload::Edge { dim: 128, iterations: 4 }
+        );
+    }
+
+    #[test]
+    fn kinds_roundtrip() {
+        for k in [
+            WorkloadKind::Fft,
+            WorkloadKind::Lu,
+            WorkloadKind::Radix,
+            WorkloadKind::Edge,
+            WorkloadKind::Tpcc,
+        ] {
+            assert_eq!(Workload::paper(k).kind(), k);
+            assert_eq!(Workload::small(k).kind(), k);
+            assert_eq!(Workload::medium(k).kind(), k);
+        }
+    }
+
+    #[test]
+    fn every_small_workload_runs_on_1_2_4_procs() {
+        for k in WorkloadKind::PAPER {
+            for procs in [1usize, 2, 4] {
+                let p = Workload::small(k).instantiate(procs);
+                assert_eq!(p.processes(), procs);
+                let c = run_spmd(p);
+                assert!(c.mem_refs() > 0, "{k:?} on {procs} procs produced no refs");
+            }
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(WorkloadKind::Fft.name(), "FFT");
+        assert_eq!(WorkloadKind::Tpcc.name(), "TPC-C");
+        assert_eq!(WorkloadKind::PAPER.len(), 4);
+    }
+}

@@ -1,0 +1,414 @@
+//! The SPMD execution harness.
+//!
+//! A workload implements [`SpmdProgram`]; the harness runs one OS thread
+//! per logical process.  Each thread owns an [`SpmdCtx`] that (a) batches
+//! the process's [`MemEvent`]s toward a consumer and (b) wraps the real
+//! `std::sync::Barrier` so the simulated barrier event is always emitted
+//! **and flushed** before the thread blocks — the deadlock-freedom contract
+//! the simulation engine relies on.
+//!
+//! Three consumption modes:
+//! * [`run_spmd`] — run to completion discarding events (functional tests);
+//! * [`collect_events`] — gather every process's events in memory
+//!   (small traces);
+//! * [`stream_spmd`] — stream batches through bounded channels to a
+//!   caller-supplied consumer (the simulator engine or a trace analyzer).
+
+use crate::traced::CELL_BYTES;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use memhier_sim::MemEvent;
+use std::sync::{Arc, Barrier};
+
+/// Counters each process accumulates (the inputs to ρ and the barrier
+/// rate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcCounters {
+    /// Loads.
+    pub reads: u64,
+    /// Stores.
+    pub writes: u64,
+    /// Non-memory instructions.
+    pub compute: u64,
+    /// Barriers crossed.
+    pub barriers: u64,
+}
+
+impl ProcCounters {
+    /// Memory references.
+    pub fn mem_refs(&self) -> u64 {
+        self.reads + self.writes
+    }
+    /// Total instructions `m + M`.
+    pub fn total_instructions(&self) -> u64 {
+        self.mem_refs() + self.compute
+    }
+    /// `ρ = M/(m+M)`.
+    pub fn rho(&self) -> f64 {
+        let t = self.total_instructions();
+        if t == 0 {
+            0.0
+        } else {
+            self.mem_refs() as f64 / t as f64
+        }
+    }
+    /// Merge another process's counters.
+    pub fn merge(&mut self, o: &ProcCounters) {
+        self.reads += o.reads;
+        self.writes += o.writes;
+        self.compute += o.compute;
+        self.barriers += o.barriers;
+    }
+}
+
+/// Where a context sends its finished batches.
+pub enum TraceSink {
+    /// Drop events (functional testing).
+    Discard,
+    /// Keep them all in memory.
+    Collect(Vec<MemEvent>),
+    /// Stream batches through a bounded channel.
+    Channel(Sender<Vec<MemEvent>>),
+}
+
+/// Per-process execution context: event emission + barrier + counters.
+pub struct SpmdCtx {
+    pid: usize,
+    sink: TraceSink,
+    batch: Vec<MemEvent>,
+    barrier: Option<Arc<Barrier>>,
+    /// Running counters.
+    pub counters: ProcCounters,
+}
+
+/// Events per batch before a flush (channel mode).
+const BATCH: usize = 4096;
+
+impl SpmdCtx {
+    /// Build a context for process `pid`.
+    pub fn new(pid: usize, sink: TraceSink, barrier: Option<Arc<Barrier>>) -> Self {
+        SpmdCtx { pid, sink, batch: Vec::with_capacity(BATCH), barrier, counters: ProcCounters::default() }
+    }
+
+    /// This process's id.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    fn push(&mut self, e: MemEvent) {
+        self.batch.push(e);
+        if self.batch.len() >= BATCH {
+            self.flush();
+        }
+    }
+
+    /// Emit a load of `addr`.
+    pub fn read(&mut self, addr: u64) {
+        self.counters.reads += 1;
+        self.push(MemEvent::Read(addr));
+    }
+
+    /// Emit a store to `addr`.
+    pub fn write(&mut self, addr: u64) {
+        self.counters.writes += 1;
+        self.push(MemEvent::Write(addr));
+    }
+
+    /// Account `k` non-memory instructions (coalesced with a preceding
+    /// compute event when possible).
+    pub fn compute(&mut self, k: u32) {
+        if k == 0 {
+            return;
+        }
+        self.counters.compute += k as u64;
+        if let Some(MemEvent::Compute(prev)) = self.batch.last_mut() {
+            if let Some(sum) = prev.checked_add(k) {
+                *prev = sum;
+                return;
+            }
+        }
+        self.push(MemEvent::Compute(k));
+    }
+
+    /// Cross a barrier: emit the simulated barrier, flush, then block on
+    /// the real barrier (in that order — the engine's deadlock contract).
+    pub fn barrier(&mut self) {
+        self.counters.barriers += 1;
+        self.push(MemEvent::Barrier);
+        self.flush();
+        if let Some(b) = &self.barrier {
+            b.wait();
+        }
+    }
+
+    /// Flush buffered events to the sink.
+    pub fn flush(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.batch, Vec::with_capacity(BATCH));
+        match &mut self.sink {
+            TraceSink::Discard => {}
+            TraceSink::Collect(v) => v.extend(batch),
+            TraceSink::Channel(tx) => {
+                // The engine consuming the far end has ended early only if
+                // the simulation was aborted; dropping the rest is correct.
+                let _ = tx.send(batch);
+            }
+        }
+    }
+
+    /// Finish: flush and extract counters (and collected events).
+    fn finish(mut self) -> (ProcCounters, Vec<MemEvent>) {
+        self.flush();
+        let events = match self.sink {
+            TraceSink::Collect(v) => v,
+            _ => Vec::new(),
+        };
+        (self.counters, events)
+    }
+}
+
+/// A bulk-synchronous SPMD program over instrumented arrays.
+pub trait SpmdProgram: Send + Sync + 'static {
+    /// Number of logical processes this instance was built for.
+    fn processes(&self) -> usize;
+    /// Execute process `pid`'s share of the computation.
+    fn run(&self, pid: usize, ctx: &mut SpmdCtx);
+    /// Address partitions `(start, end_exclusive, owner_pid)` for home-node
+    /// assignment; empty = interleaved homes.
+    fn partitions(&self) -> Vec<(u64, u64, usize)> {
+        Vec::new()
+    }
+    /// Human-readable name.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+/// Run every process with discarded traces; returns merged counters.
+/// This is the functional-correctness path (fast — no event traffic).
+pub fn run_spmd<P: SpmdProgram + ?Sized>(program: Arc<P>) -> ProcCounters {
+    let n = program.processes();
+    let barrier = Arc::new(Barrier::new(n));
+    let handles: Vec<_> = (0..n)
+        .map(|pid| {
+            let p = Arc::clone(&program);
+            let b = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut ctx = SpmdCtx::new(pid, TraceSink::Discard, Some(b));
+                p.run(pid, &mut ctx);
+                ctx.finish().0
+            })
+        })
+        .collect();
+    let mut total = ProcCounters::default();
+    for h in handles {
+        total.merge(&h.join().expect("spmd process panicked"));
+    }
+    total
+}
+
+/// Run every process collecting full event lists (small problem sizes
+/// only).  Returns per-process `(events, counters)`.
+pub fn collect_events<P: SpmdProgram + ?Sized>(
+    program: Arc<P>,
+) -> Vec<(Vec<MemEvent>, ProcCounters)> {
+    let n = program.processes();
+    let barrier = Arc::new(Barrier::new(n));
+    let handles: Vec<_> = (0..n)
+        .map(|pid| {
+            let p = Arc::clone(&program);
+            let b = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut ctx = SpmdCtx::new(pid, TraceSink::Collect(Vec::new()), Some(b));
+                p.run(pid, &mut ctx);
+                let (c, e) = ctx.finish();
+                (e, c)
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().expect("spmd process panicked")).collect()
+}
+
+/// Spawn the program's processes streaming into bounded channels; hand the
+/// receivers to `consume` on the calling thread; join and return merged
+/// counters together with `consume`'s result.
+///
+/// `consume` must keep draining all channels until they disconnect (the
+/// simulation engine and the trace analyzer both do).
+pub fn stream_spmd<P, R>(
+    program: Arc<P>,
+    consume: impl FnOnce(Vec<Receiver<Vec<MemEvent>>>) -> R,
+) -> (R, ProcCounters)
+where
+    P: SpmdProgram + ?Sized,
+{
+    let n = program.processes();
+    let barrier = Arc::new(Barrier::new(n));
+    let mut txs = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = bounded::<Vec<MemEvent>>(64);
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let handles: Vec<_> = txs
+        .into_iter()
+        .enumerate()
+        .map(|(pid, tx)| {
+            let p = Arc::clone(&program);
+            let b = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut ctx = SpmdCtx::new(pid, TraceSink::Channel(tx), Some(b));
+                p.run(pid, &mut ctx);
+                ctx.finish().0
+            })
+        })
+        .collect();
+    let result = consume(rxs);
+    let mut total = ProcCounters::default();
+    for h in handles {
+        total.merge(&h.join().expect("spmd process panicked"));
+    }
+    (result, total)
+}
+
+/// Build the simulator's home map from a program's partitions: the owner
+/// *process*'s node becomes the home node.
+pub fn home_map_for<P: SpmdProgram + ?Sized>(
+    program: &P,
+    nodes: usize,
+    procs_per_node: usize,
+    block_bytes: u64,
+) -> memhier_sim::HomeMap {
+    let mut map = memhier_sim::HomeMap::new(nodes, block_bytes);
+    for (start, end, pid) in program.partitions() {
+        let node = (pid / procs_per_node).min(nodes - 1);
+        // Align outward to block boundaries so a block is wholly owned.
+        let s = start / block_bytes * block_bytes;
+        let e = end.div_ceil(block_bytes) * block_bytes;
+        map.register_clamped(s, e, node);
+    }
+    map
+}
+
+/// Element stride helper re-exported for workloads computing partition
+/// byte-ranges.
+pub const ELEM_BYTES: u64 = CELL_BYTES;
+
+/// Test helper: a context with a collecting sink and no real barrier, plus
+/// a drain function returning the emitted events.
+#[cfg(any(test, feature = "test-util"))]
+pub fn test_ctx(pid: usize) -> (SpmdCtx, impl FnOnce(SpmdCtx) -> Vec<MemEvent>) {
+    let ctx = SpmdCtx::new(pid, TraceSink::Collect(Vec::new()), None);
+    (ctx, |ctx: SpmdCtx| ctx.finish().1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy {
+        procs: usize,
+    }
+
+    impl SpmdProgram for Toy {
+        fn processes(&self) -> usize {
+            self.procs
+        }
+        fn run(&self, pid: usize, ctx: &mut SpmdCtx) {
+            for i in 0..10u64 {
+                ctx.read(pid as u64 * 1024 + i * 8);
+                ctx.compute(3);
+            }
+            ctx.barrier();
+            ctx.write(pid as u64 * 1024);
+        }
+        fn partitions(&self) -> Vec<(u64, u64, usize)> {
+            (0..self.procs).map(|p| (p as u64 * 1024, p as u64 * 1024 + 1024, p)).collect()
+        }
+        fn name(&self) -> &str {
+            "toy"
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let c = run_spmd(Arc::new(Toy { procs: 4 }));
+        assert_eq!(c.reads, 40);
+        assert_eq!(c.writes, 4);
+        assert_eq!(c.compute, 120);
+        assert_eq!(c.barriers, 4);
+        let rho = c.rho();
+        assert!((rho - 44.0 / 164.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collect_preserves_order_and_counts() {
+        let out = collect_events(Arc::new(Toy { procs: 2 }));
+        assert_eq!(out.len(), 2);
+        for (events, c) in &out {
+            // 10 reads + coalesced computes + barrier + 1 write.
+            assert_eq!(c.mem_refs(), 11);
+            let reads = events.iter().filter(|e| matches!(e, MemEvent::Read(_))).count();
+            assert_eq!(reads, 10);
+            let barriers = events.iter().filter(|e| matches!(e, MemEvent::Barrier)).count();
+            assert_eq!(barriers, 1);
+            // Barrier must come before the final write.
+            let bpos = events.iter().position(|e| matches!(e, MemEvent::Barrier)).unwrap();
+            let wpos = events.iter().position(|e| matches!(e, MemEvent::Write(_))).unwrap();
+            assert!(bpos < wpos);
+        }
+    }
+
+    #[test]
+    fn compute_coalesces() {
+        let (mut ctx, drain) = test_ctx(0);
+        ctx.compute(3);
+        ctx.compute(4);
+        ctx.read(0);
+        ctx.compute(1);
+        let ev = drain(ctx);
+        assert_eq!(
+            ev,
+            vec![MemEvent::Compute(7), MemEvent::Read(0), MemEvent::Compute(1)]
+        );
+    }
+
+    #[test]
+    fn stream_mode_delivers_everything() {
+        let (counts, c) = stream_spmd(Arc::new(Toy { procs: 3 }), |rxs| {
+            let mut n = 0u64;
+            // Drain fairly: round-robin until all disconnect.
+            let mut open: Vec<_> = rxs.into_iter().map(Some).collect();
+            while open.iter().any(Option::is_some) {
+                for slot in open.iter_mut() {
+                    if let Some(rx) = slot {
+                        match rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                            Ok(batch) => n += batch.len() as u64,
+                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                                *slot = None
+                            }
+                            Err(_) => {}
+                        }
+                    }
+                }
+            }
+            n
+        });
+        // Every event arrives: reads + writes + barrier + compute events.
+        assert!(counts >= (c.mem_refs() + c.barriers));
+        assert_eq!(c.mem_refs(), 33);
+    }
+
+    #[test]
+    fn home_map_respects_partitions() {
+        let toy = Toy { procs: 4 };
+        // 4 processes on 2 nodes of 2.
+        let map = home_map_for(&toy, 2, 2, 256);
+        assert_eq!(map.home(0), 0); // pid 0 → node 0
+        assert_eq!(map.home(1030), 0); // pid 1 → node 0
+        assert_eq!(map.home(2050), 1); // pid 2 → node 1
+        assert_eq!(map.home(3080), 1); // pid 3 → node 1
+    }
+}

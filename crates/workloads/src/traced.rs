@@ -1,0 +1,234 @@
+//! Instrumented shared arrays.
+//!
+//! [`TracedArray<T>`] is the workloads' only window onto shared data: every
+//! `get`/`set` goes through the process's [`crate::spmd::SpmdCtx`], which
+//! emits the corresponding [`memhier_sim::MemEvent`] — the same role MINT's
+//! binary instrumentation plays for the paper's simulators.
+//!
+//! Storage is a `Vec<AtomicU64>` accessed with `Ordering::Relaxed`: the
+//! kernels are barrier-synchronized with disjoint writes inside each phase,
+//! and the real `std::sync::Barrier` between phases provides the
+//! happens-before edges, so relaxed atomics are sufficient and keep the
+//! code free of `unsafe` (see the Rust Atomics and Locks guidance on
+//! fence-synchronized relaxed data).
+
+use crate::spmd::SpmdCtx;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Element types storable in a traced cell (bit-packed into a `u64`).
+pub trait Scalar: Copy + Send + Sync + 'static {
+    /// Pack into cell bits.
+    fn to_bits64(self) -> u64;
+    /// Unpack from cell bits.
+    fn from_bits64(bits: u64) -> Self;
+}
+
+impl Scalar for f64 {
+    fn to_bits64(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_bits64(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+impl Scalar for u64 {
+    fn to_bits64(self) -> u64 {
+        self
+    }
+    fn from_bits64(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Scalar for u32 {
+    fn to_bits64(self) -> u64 {
+        self as u64
+    }
+    fn from_bits64(bits: u64) -> Self {
+        bits as u32
+    }
+}
+
+impl Scalar for i64 {
+    fn to_bits64(self) -> u64 {
+        self as u64
+    }
+    fn from_bits64(bits: u64) -> Self {
+        bits as i64
+    }
+}
+
+/// A shared, instrumented array of `T` with a fixed simulated base address.
+///
+/// Every element occupies 8 simulated bytes (one cell), so the element at
+/// index `i` lives at `base + 8·i` in the simulated address space.
+pub struct TracedArray<T: Scalar> {
+    base: u64,
+    cells: Vec<AtomicU64>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Simulated bytes per element.
+pub const CELL_BYTES: u64 = 8;
+
+impl<T: Scalar> TracedArray<T> {
+    /// Allocate `len` elements at simulated address `base`, initialized by
+    /// `init(i)` (initialization is *untraced*: the paper measures the
+    /// parallel phase, not program loading).
+    pub fn new_with(base: u64, len: usize, init: impl Fn(usize) -> T) -> Self {
+        let cells = (0..len).map(|i| AtomicU64::new(init(i).to_bits64())).collect();
+        TracedArray { base, cells, _marker: std::marker::PhantomData }
+    }
+
+    /// Allocate `len` zero-bit elements at `base`.
+    pub fn new(base: u64, len: usize) -> Self
+    where
+        T: Default,
+    {
+        Self::new_with(base, len, |_| T::default())
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Simulated base address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Simulated end address (exclusive).
+    pub fn end(&self) -> u64 {
+        self.base + self.cells.len() as u64 * CELL_BYTES
+    }
+
+    /// Simulated address of element `i`.
+    pub fn addr_of(&self, i: usize) -> u64 {
+        self.base + i as u64 * CELL_BYTES
+    }
+
+    /// Traced load.
+    pub fn get(&self, ctx: &mut SpmdCtx, i: usize) -> T {
+        ctx.read(self.addr_of(i));
+        T::from_bits64(self.cells[i].load(Ordering::Relaxed))
+    }
+
+    /// Traced store.
+    pub fn set(&self, ctx: &mut SpmdCtx, i: usize, v: T) {
+        ctx.write(self.addr_of(i));
+        self.cells[i].store(v.to_bits64(), Ordering::Relaxed);
+    }
+
+    /// Untraced load — for result verification and initialization only.
+    pub fn get_silent(&self, i: usize) -> T {
+        T::from_bits64(self.cells[i].load(Ordering::Relaxed))
+    }
+
+    /// Untraced store — for initialization only.
+    pub fn set_silent(&self, i: usize, v: T) {
+        self.cells[i].store(v.to_bits64(), Ordering::Relaxed);
+    }
+
+    /// Untraced snapshot of the whole array.
+    pub fn snapshot(&self) -> Vec<T> {
+        (0..self.len()).map(|i| self.get_silent(i)).collect()
+    }
+}
+
+/// A simple bump allocator for simulated addresses, block-aligned so that
+/// distinct arrays never share a coherence block.
+#[derive(Debug)]
+pub struct AddressSpace {
+    next: u64,
+    align: u64,
+}
+
+impl AddressSpace {
+    /// Conventional program base (arbitrary, nonzero to catch stray zeros).
+    pub const DEFAULT_BASE: u64 = 0x1000_0000;
+
+    /// New allocator starting at `DEFAULT_BASE`, aligning to `align` bytes.
+    pub fn new(align: u64) -> Self {
+        assert!(align.is_power_of_two());
+        AddressSpace { next: Self::DEFAULT_BASE, align }
+    }
+
+    /// Reserve space for `len` elements; returns the base address.
+    pub fn alloc(&mut self, len: usize) -> u64 {
+        let base = self.next;
+        let bytes = len as u64 * CELL_BYTES;
+        self.next = (base + bytes + self.align - 1) & !(self.align - 1);
+        base
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        // 4 KiB alignment keeps arrays on distinct pages *and* blocks.
+        Self::new(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmd::test_ctx;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(f64::from_bits64(3.25f64.to_bits64()), 3.25);
+        assert_eq!(u64::from_bits64(u64::MAX.to_bits64()), u64::MAX);
+        assert_eq!(u32::from_bits64(7u32.to_bits64()), 7);
+        assert_eq!(i64::from_bits64((-9i64).to_bits64()), -9);
+    }
+
+    #[test]
+    fn addresses_and_layout() {
+        let a: TracedArray<f64> = TracedArray::new(0x1000, 10);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.addr_of(0), 0x1000);
+        assert_eq!(a.addr_of(3), 0x1000 + 24);
+        assert_eq!(a.end(), 0x1000 + 80);
+    }
+
+    #[test]
+    fn traced_access_emits_events() {
+        let a: TracedArray<u64> = TracedArray::new(0x1000, 4);
+        let (mut ctx, drain) = test_ctx(0);
+        a.set(&mut ctx, 2, 99);
+        assert_eq!(a.get(&mut ctx, 2), 99);
+        let events = drain(ctx);
+        use memhier_sim::MemEvent;
+        assert_eq!(events, vec![MemEvent::Write(0x1010), MemEvent::Read(0x1010)]);
+    }
+
+    #[test]
+    fn silent_access_does_not_trace() {
+        let a: TracedArray<u64> = TracedArray::new_with(0, 4, |i| i as u64);
+        let (ctx, drain) = test_ctx(0);
+        assert_eq!(a.get_silent(3), 3);
+        a.set_silent(3, 7);
+        assert_eq!(a.get_silent(3), 7);
+        assert!(drain(ctx).is_empty());
+        assert_eq!(a.snapshot(), vec![0, 1, 2, 7]);
+    }
+
+    #[test]
+    fn address_space_is_aligned_and_disjoint() {
+        let mut sp = AddressSpace::default();
+        let a = sp.alloc(100);
+        let b = sp.alloc(1);
+        let c = sp.alloc(1000);
+        assert_eq!(a % 4096, 0);
+        assert_eq!(b % 4096, 0);
+        assert!(b >= a + 800);
+        assert!(c >= b + 8);
+    }
+}

@@ -1,0 +1,65 @@
+//! Full program-driven simulation: run the instrumented Radix kernel on a
+//! cluster of workstations and print what the memory hierarchy saw — the
+//! same pipeline the paper's MINT + back-end simulators implement (§5.1).
+//!
+//! ```sh
+//! cargo run --release --example simulate_cluster
+//! cargo run --release --example simulate_cluster -- atm   # switch network
+//! ```
+
+use memhier::core::machine::{LatencyParams, MachineSpec, NetworkKind};
+use memhier::core::platform::ClusterSpec;
+use memhier::sim::backend::ClusterBackend;
+use memhier::sim::engine::{run_simulation, ProcSource};
+use memhier::workloads::registry::{Workload, WorkloadKind};
+use memhier::workloads::spmd::{home_map_for, stream_spmd};
+
+fn main() {
+    let net = match std::env::args().nth(1).as_deref() {
+        Some("atm") => NetworkKind::Atm155,
+        Some("eth10") => NetworkKind::Ethernet10,
+        _ => NetworkKind::Ethernet100,
+    };
+    let cluster = ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, net);
+    let workload = Workload::medium(WorkloadKind::Radix);
+    println!("Simulating Radix (medium) on {}", cluster.describe());
+
+    // 1. Instantiate the SPMD program with one process per processor.
+    let program = workload.instantiate(cluster.total_procs() as usize);
+
+    // 2. Home map: each process's partition lives in its node's memory.
+    let home = home_map_for(&*program, cluster.machines as usize, 1, 256);
+
+    // 3. Back-end with the paper's §5.1 latencies, driven by the engine.
+    let backend = ClusterBackend::new(&cluster, LatencyParams::paper(), home);
+    let (report, counters) = stream_spmd(program, |rxs| {
+        run_simulation(backend, rxs.into_iter().map(ProcSource::Channel).collect())
+    });
+
+    println!();
+    println!("instructions        : {}", report.total_instructions);
+    println!("memory references   : {} (rho = {:.3})", report.total_refs, counters.rho());
+    println!("wall clock          : {} cycles", report.wall_cycles);
+    println!(
+        "E(Instr)            : {:.4} cycles = {:.3e} s",
+        report.e_instr_cycles, report.e_instr_seconds
+    );
+    println!();
+    println!("served by:");
+    let l = report.levels;
+    println!("  L1 cache          : {}", l.l1_hits);
+    println!("  local memory      : {}", l.local_memory);
+    println!("  remote node       : {}", l.remote_clean);
+    println!("  remotely cached   : {}", l.remote_dirty);
+    println!("  disk page-ins     : {}", l.disk);
+    println!();
+    println!(
+        "coherence traffic   : {:.1}% of {} bytes on the wire",
+        report.traffic.coherence_fraction() * 100.0,
+        report.traffic.data_bytes + report.traffic.coherence_bytes
+    );
+    println!(
+        "barriers            : {} rounds, {} cycles waited",
+        report.barriers, report.barrier_wait_cycles
+    );
+}

@@ -1,0 +1,40 @@
+//! # memhier
+//!
+//! A full reproduction of Du & Zhang, *"The Impact of Memory Hierarchies
+//! on Cluster Computing"* (IPPS 1999): an analytical execution-time model
+//! for cluster memory hierarchies, the program-driven simulator it was
+//! validated against, instrumented SPMD workloads (FFT, LU, Radix, EDGE,
+//! synthetic TPC-C), a trace-analysis toolchain (exact stack distances +
+//! locality fitting), and a budget-constrained cluster optimizer.
+//!
+//! This facade crate re-exports the five sub-crates:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`core`] | `memhier-core` | locality model, M/D/1 contention, platform models, `E(Instr)` |
+//! | [`trace`] | `memhier-trace` | stack distances, histograms, `(α, β)` fitting, synthetic traces |
+//! | [`sim`] | `memhier-sim` | caches, snooping/directory/hybrid coherence, bus/switch networks, engine |
+//! | [`workloads`] | `memhier-workloads` | instrumented SPMD kernels |
+//! | [`cost`] | `memhier-cost` | price table, optimizer, upgrade planner, §6 recommendations |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use memhier::core::model::AnalyticModel;
+//! use memhier::core::params::{self, configs};
+//!
+//! let model = AnalyticModel::default();
+//! let fft = params::workload_fft();
+//! let prediction = model.evaluate(&configs::c5(), &fft).unwrap();
+//! println!("E(Instr) on C5 = {:.3e} s", prediction.e_instr_seconds);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios (budget advisor, trace
+//! analysis, full simulation) and the `memhier-bench` crate for the
+//! binaries that regenerate every table and figure of the paper.
+
+pub use memhier_core as core;
+pub use memhier_cost as cost;
+pub use memhier_sim as sim;
+pub use memhier_trace as trace;
+pub use memhier_workloads as workloads;

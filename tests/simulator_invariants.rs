@@ -1,0 +1,123 @@
+//! Cross-crate integration: invariants of the full program-driven
+//! simulation across all three platform families.
+
+use memhier::core::machine::{LatencyParams, MachineSpec, NetworkKind};
+use memhier::core::platform::ClusterSpec;
+use memhier::sim::backend::ClusterBackend;
+use memhier::sim::engine::{run_simulation, ProcSource};
+use memhier::sim::report::SimReport;
+use memhier::workloads::registry::{Workload, WorkloadKind};
+use memhier::workloads::spmd::{home_map_for, stream_spmd};
+
+fn simulate(kind: WorkloadKind, cluster: &ClusterSpec) -> SimReport {
+    let program = Workload::small(kind).instantiate(cluster.total_procs() as usize);
+    let home = home_map_for(
+        &*program,
+        cluster.machines as usize,
+        cluster.machine.n_procs as usize,
+        256,
+    );
+    let backend = ClusterBackend::new(cluster, LatencyParams::paper(), home);
+    let (report, counters) = stream_spmd(program, |rxs| {
+        run_simulation(backend, rxs.into_iter().map(ProcSource::Channel).collect())
+    });
+    assert_eq!(report.total_refs, counters.mem_refs(), "refs conserved");
+    assert_eq!(
+        report.total_instructions,
+        counters.total_instructions(),
+        "instructions conserved"
+    );
+    report
+}
+
+fn platforms() -> Vec<ClusterSpec> {
+    vec![
+        ClusterSpec::single(MachineSpec::new(1, 256, 64, 200.0)),
+        ClusterSpec::single(MachineSpec::new(4, 256, 128, 200.0)),
+        ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Ethernet100),
+        ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Atm155),
+        ClusterSpec::cluster(MachineSpec::new(2, 256, 64, 200.0), 2, NetworkKind::Atm155),
+    ]
+}
+
+#[test]
+fn level_counts_cover_every_reference_on_all_platforms() {
+    for cluster in platforms() {
+        for kind in [WorkloadKind::Fft, WorkloadKind::Radix] {
+            let r = simulate(kind, &cluster);
+            assert_eq!(
+                r.levels.total_refs(),
+                r.total_refs,
+                "{kind:?} on {}: level counts must partition references",
+                cluster.describe()
+            );
+            assert!(r.wall_cycles > 0);
+            assert!(r.e_instr_cycles >= 1.0 / cluster.total_procs() as f64);
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    // The engine orders events by simulated time and the workloads are
+    // seeded, so two runs must agree exactly — including level counts and
+    // the wall clock.
+    let cluster =
+        ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Ethernet100);
+    let a = simulate(WorkloadKind::Radix, &cluster);
+    let b = simulate(WorkloadKind::Radix, &cluster);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn smp_never_touches_the_network_levels() {
+    let smp = ClusterSpec::single(MachineSpec::new(4, 256, 128, 200.0));
+    for kind in WorkloadKind::PAPER {
+        let r = simulate(kind, &smp);
+        assert_eq!(r.levels.remote_clean, 0, "{kind:?}");
+        assert_eq!(r.levels.remote_dirty, 0, "{kind:?}");
+    }
+}
+
+#[test]
+fn clusters_generate_remote_traffic() {
+    let cow =
+        ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Ethernet100);
+    for kind in WorkloadKind::PAPER {
+        let r = simulate(kind, &cow);
+        assert!(
+            r.levels.remote_clean + r.levels.remote_dirty > 0,
+            "{kind:?} produced no remote traffic on a COW"
+        );
+    }
+}
+
+#[test]
+fn faster_network_is_never_slower_for_fixed_traffic_kernels() {
+    // EDGE's sharing is boundary-only and deterministic, so the network
+    // ordering must be clean: Eth10 >= Eth100 >= ATM in wall time.
+    let mk = |net| {
+        simulate(
+            WorkloadKind::Edge,
+            &ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, net),
+        )
+        .wall_cycles
+    };
+    let (e10, e100, atm) =
+        (mk(NetworkKind::Ethernet10), mk(NetworkKind::Ethernet100), mk(NetworkKind::Atm155));
+    assert!(e10 >= e100, "Eth10 {e10} vs Eth100 {e100}");
+    assert!(e100 >= atm, "Eth100 {e100} vs ATM {atm}");
+}
+
+#[test]
+fn barrier_waits_accounted() {
+    // LU has serial phases (diagonal factorization): the other processes
+    // must accumulate barrier wait.
+    let cluster = ClusterSpec::single(MachineSpec::new(4, 256, 128, 200.0));
+    let r = simulate(WorkloadKind::Lu, &cluster);
+    assert!(r.barriers > 0);
+    assert!(r.barrier_wait_cycles > 0);
+    // Waits are bounded by total processor time.
+    let total: u64 = r.proc_cycles.iter().sum();
+    assert!(r.barrier_wait_cycles < total);
+}
