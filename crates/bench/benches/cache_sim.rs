@@ -38,10 +38,17 @@ fn bench_backend(c: &mut Criterion) {
     g.throughput(Throughput::Elements(addrs.len() as u64));
 
     let cases: Vec<(&str, ClusterSpec)> = vec![
-        ("smp4", ClusterSpec::single(MachineSpec::new(4, 256, 128, 200.0))),
+        (
+            "smp4",
+            ClusterSpec::single(MachineSpec::new(4, 256, 128, 200.0)),
+        ),
         (
             "cow4_eth100",
-            ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Ethernet100),
+            ClusterSpec::cluster(
+                MachineSpec::new(1, 256, 64, 200.0),
+                4,
+                NetworkKind::Ethernet100,
+            ),
         ),
         (
             "clump2x2_atm",
@@ -49,23 +56,24 @@ fn bench_backend(c: &mut Criterion) {
         ),
     ];
     for (name, cluster) in cases {
-        g.bench_with_input(BenchmarkId::new("platform", name), &cluster, |b, cluster| {
-            let nn = cluster.machines as usize;
-            b.iter(|| {
-                let mut be = ClusterBackend::new(
-                    cluster,
-                    LatencyParams::paper(),
-                    HomeMap::new(nn, 256),
-                );
-                let procs = be.total_procs();
-                let mut now = 0u64;
-                for (i, &a) in addrs.iter().enumerate() {
-                    now += 4;
-                    black_box(be.access(i % procs, a, i % 5 == 0, now));
-                }
-                be.counts()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("platform", name),
+            &cluster,
+            |b, cluster| {
+                let nn = cluster.machines as usize;
+                b.iter(|| {
+                    let mut be =
+                        ClusterBackend::new(cluster, LatencyParams::paper(), HomeMap::new(nn, 256));
+                    let procs = be.total_procs();
+                    let mut now = 0u64;
+                    for (i, &a) in addrs.iter().enumerate() {
+                        now += 4;
+                        black_box(be.access(i % procs, a, i % 5 == 0, now));
+                    }
+                    be.counts()
+                })
+            },
+        );
     }
     g.finish();
 }

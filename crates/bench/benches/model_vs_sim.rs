@@ -19,7 +19,10 @@ fn bench_model(c: &mut Criterion) {
     let mut g = c.benchmark_group("model_evaluate");
     let workloads = params::paper_workloads();
     for arrival in [ArrivalModel::Open, ArrivalModel::SelfConsistent] {
-        let model = AnalyticModel { arrival, ..AnalyticModel::default() };
+        let model = AnalyticModel {
+            arrival,
+            ..AnalyticModel::default()
+        };
         g.bench_with_input(
             BenchmarkId::new("all_cfgs_x_kernels", format!("{arrival:?}")),
             &model,

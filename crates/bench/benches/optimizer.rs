@@ -38,8 +38,11 @@ fn bench_optimize(c: &mut Criterion) {
 fn bench_upgrade(c: &mut Criterion) {
     let model = AnalyticModel::default();
     let prices = PriceTable::circa_1999();
-    let existing =
-        ClusterSpec::cluster(MachineSpec::new(1, 256, 32, 200.0), 2, NetworkKind::Ethernet10);
+    let existing = ClusterSpec::cluster(
+        MachineSpec::new(1, 256, 32, 200.0),
+        2,
+        NetworkKind::Ethernet10,
+    );
     c.bench_function("upgrade_plan_fft_2500", |b| {
         b.iter(|| {
             plan_upgrade(

@@ -2,5 +2,6 @@
 use memhier_bench::runner::Sizes;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    memhier_bench::sweeprun::configure_from_args(&args);
     memhier_bench::experiments::coherence_traffic(Sizes::from_args(&args)).print();
 }

@@ -1,7 +1,10 @@
 //! E3 — regenerate Figure 2: model vs simulation on SMPs C1–C6.
+//! Flags: --paper / --small, --jobs N (also honours MEMHIER_JOBS).
 use memhier_bench::runner::Sizes;
+use memhier_bench::sweeprun::configure_from_args;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    configure_from_args(&args);
     let sizes = Sizes::from_args(&args);
     let (_, chars) = memhier_bench::experiments::table2(sizes, false);
     let (t, _) = memhier_bench::experiments::fig2_smp(sizes, &chars);

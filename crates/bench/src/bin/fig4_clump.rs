@@ -1,8 +1,11 @@
 //! E5 — regenerate Figure 4: model vs simulation on clusters of SMPs
 //! C12–C15.
+//! Flags: --paper / --small, --jobs N (also honours MEMHIER_JOBS).
 use memhier_bench::runner::Sizes;
+use memhier_bench::sweeprun::configure_from_args;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    configure_from_args(&args);
     let sizes = Sizes::from_args(&args);
     let (_, chars) = memhier_bench::experiments::table2(sizes, false);
     let (t, _) = memhier_bench::experiments::fig4_clump(sizes, &chars);

@@ -1,15 +1,23 @@
 //! Run every experiment (E1–E11) in order — the one-command reproduction.
-//! Flags: --paper for the paper's §5.2 problem sizes (slow), --small.
+//! Flags: --paper for the paper's §5.2 problem sizes (slow), --small,
+//! --jobs N to size the sweep pool (also honours MEMHIER_JOBS).
 use memhier_bench::experiments as ex;
 use memhier_bench::runner::Sizes;
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let args: Vec<String> = std::env::args().collect();
+    let jobs = memhier_bench::sweeprun::configure_from_args(&args);
     let sizes = Sizes::from_args(&args);
+    eprintln!("[reproduce_all] sweeps run on {jobs} worker(s)");
     ex::table1().print();
     let (t2, chars) = ex::table2(sizes, true);
     t2.print();
-    let kernels: Vec<_> = chars.iter().filter(|c| c.name != "TPC-C").cloned().collect();
+    let kernels: Vec<_> = chars
+        .iter()
+        .filter(|c| c.name != "TPC-C")
+        .cloned()
+        .collect();
     ex::fig2_smp(sizes, &kernels).0.print();
     ex::fig3_cow(sizes, &kernels).0.print();
     ex::fig4_clump(sizes, &kernels).0.print();
@@ -24,4 +32,8 @@ fn main() {
     ex::ablation().print();
     ex::utilization(sizes, &kernels).print();
     println!("{}", ex::sweep_map(20_000.0));
+    eprintln!(
+        "[reproduce_all] all experiments finished in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

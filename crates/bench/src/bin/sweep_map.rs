@@ -1,5 +1,14 @@
 //! E13 — optimal-platform map over the (ρ, β) workload space.
+//! Usage: sweep_map [BUDGET] [--jobs N]  (also honours MEMHIER_JOBS;
+//! the optimizer's candidate scan parallelizes across the pool).
 fn main() {
-    let budget = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000.0);
+    let args: Vec<String> = std::env::args().collect();
+    memhier_bench::sweeprun::configure_from_args(&args);
+    let budget = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000.0);
     println!("{}", memhier_bench::experiments::sweep_map(budget));
 }

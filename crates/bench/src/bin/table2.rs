@@ -1,8 +1,9 @@
 //! E2 — regenerate Table 2 (α, β, ρ per program).
-//! Flags: --paper / --small (default: medium sizes), --tpcc.
+//! Flags: --paper / --small (default: medium sizes), --tpcc, --jobs N.
 use memhier_bench::runner::Sizes;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    memhier_bench::sweeprun::configure_from_args(&args);
     let sizes = Sizes::from_args(&args);
     let tpcc = args.iter().any(|a| a == "--tpcc");
     let (t, _) = memhier_bench::experiments::table2(sizes, tpcc);

@@ -2,6 +2,7 @@
 use memhier_bench::runner::Sizes;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    memhier_bench::sweeprun::configure_from_args(&args);
     let sizes = Sizes::from_args(&args);
     let (_, chars) = memhier_bench::experiments::table2(sizes, false);
     memhier_bench::experiments::utilization(sizes, &chars).print();

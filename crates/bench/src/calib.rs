@@ -52,8 +52,8 @@ pub fn calibrate(base: &AnalyticModel, points: &[CalibPoint]) -> (AnalyticModel,
     // covers workloads whose coherence traffic the capacity tail wildly
     // under- or over-states.
     let coh_grid: Vec<f64> = [
-        -0.95, -0.9, -0.8, -0.6, -0.4, -0.2, 0.0, 0.124, 0.3, 0.6, 1.0, 2.0, 4.0, 8.0, 16.0,
-        32.0, 64.0,
+        -0.95, -0.9, -0.8, -0.6, -0.4, -0.2, 0.0, 0.124, 0.3, 0.6, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0,
+        64.0,
     ]
     .to_vec();
     // Disk rate: 0 (resident workloads never page) to the raw tail.
@@ -94,9 +94,17 @@ mod tests {
         };
         let w = WorkloadParams::new("FFT", 1.21, 103.26, 0.20).unwrap();
         [
-            ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Ethernet100),
+            ClusterSpec::cluster(
+                MachineSpec::new(1, 256, 64, 200.0),
+                4,
+                NetworkKind::Ethernet100,
+            ),
             ClusterSpec::cluster(MachineSpec::new(1, 512, 64, 200.0), 4, NetworkKind::Atm155),
-            ClusterSpec::cluster(MachineSpec::new(1, 256, 32, 200.0), 2, NetworkKind::Ethernet10),
+            ClusterSpec::cluster(
+                MachineSpec::new(1, 256, 32, 200.0),
+                2,
+                NetworkKind::Ethernet10,
+            ),
         ]
         .into_iter()
         .map(|cluster| CalibPoint {
@@ -113,8 +121,16 @@ mod tests {
         let pts = point(0.6, 0.2);
         let (m, err) = calibrate(&AnalyticModel::default(), &pts);
         assert!(err < 1e-9, "err {err}");
-        assert!((m.coherence_adjustment - 0.6).abs() < 1e-12, "coh {}", m.coherence_adjustment);
-        assert!((m.disk_rate_scale - 0.2).abs() < 1e-12, "disk {}", m.disk_rate_scale);
+        assert!(
+            (m.coherence_adjustment - 0.6).abs() < 1e-12,
+            "coh {}",
+            m.coherence_adjustment
+        );
+        assert!(
+            (m.disk_rate_scale - 0.2).abs() < 1e-12,
+            "disk {}",
+            m.disk_rate_scale
+        );
     }
 
     #[test]
@@ -130,6 +146,9 @@ mod tests {
     fn empty_points_are_harmless() {
         let (m, err) = calibrate(&AnalyticModel::default(), &[]);
         assert_eq!(err, 0.0);
-        assert_eq!(m.coherence_adjustment, AnalyticModel::default().coherence_adjustment);
+        assert_eq!(
+            m.coherence_adjustment,
+            AnalyticModel::default().coherence_adjustment
+        );
     }
 }

@@ -4,7 +4,8 @@
 //! JSON artifact under `target/experiments/` for EXPERIMENTS.md.
 
 use crate::calib::{calibrate, CalibPoint};
-use crate::runner::{characterize, simulate_workload, Characterization, Sizes};
+use crate::runner::{simulate_workload, Characterization, Sizes};
+use crate::sweeprun::{characterize_many, run_sweep, SweepPlan};
 use crate::tables::{fmt_pct, fmt_seconds, save_json, Table};
 use memhier_core::machine::{MachineSpec, NetworkKind};
 use memhier_core::model::AnalyticModel;
@@ -21,7 +22,11 @@ pub const GRANULARITY: u64 = 64;
 pub fn table1() -> Table {
     let mut t = Table::new(
         "Table 1: classifying the three parallel systems by the cluster memory hierarchy",
-        &["Parallel system", "Additional memory levels", "Hierarchy length k"],
+        &[
+            "Parallel system",
+            "Additional memory levels",
+            "Hierarchy length k",
+        ],
     );
     for p in [
         PlatformKind::Smp,
@@ -54,14 +59,26 @@ pub fn table2(sizes: Sizes, include_tpcc: bool) -> (Table, Vec<Characterization>
     let mut t = Table::new(
         "Table 2: program characteristics (ours vs paper)",
         &[
-            "Program", "alpha", "beta", "rho", "R^2", "refs", "alpha(paper)", "beta(paper)",
+            "Program",
+            "alpha",
+            "beta",
+            "rho",
+            "R^2",
+            "refs",
+            "alpha(paper)",
+            "beta(paper)",
             "rho(paper)",
         ],
     );
-    let mut chars = Vec::new();
-    for kind in kinds {
-        let c = characterize(&sizes.workload(kind), GRANULARITY);
-        let p = paper_vals.iter().find(|v| v.0 == c.name).expect("known name");
+    // Fan the per-program characterizations out over the sweep pool; the
+    // process-wide cache means re-running table2 (as every figure binary
+    // does) analyzes each address stream only once.
+    let chars = characterize_many(sizes, &kinds, GRANULARITY);
+    for c in &chars {
+        let p = paper_vals
+            .iter()
+            .find(|v| v.0 == c.name)
+            .expect("known name");
         t.row(vec![
             c.name.clone(),
             format!("{:.2}", c.alpha),
@@ -73,7 +90,6 @@ pub fn table2(sizes: Sizes, include_tpcc: bool) -> (Table, Vec<Characterization>
             format!("{:.1}", p.2),
             format!("{:.2}", p.3),
         ]);
-        chars.push(c);
     }
     save_json("table2", &chars);
     (t, chars)
@@ -107,20 +123,25 @@ pub fn figure_experiment(
     chars: &[Characterization],
 ) -> (Table, Vec<FigureRow>, AnalyticModel) {
     let base = AnalyticModel::default();
-    // 1. Simulate everything and gather comparison points.
-    let mut points = Vec::new();
-    for cfg in cluster_set {
-        for ch in chars {
-            let kind = kind_of(&ch.name);
-            let run = simulate_workload(&sizes.workload(kind), cfg);
-            let w = ch.to_model_params();
-            points.push(CalibPoint {
-                cluster: cfg.clone(),
-                workload: w,
-                sim_seconds: run.report.e_instr_seconds,
-            });
-        }
-    }
+    // 1. Simulate everything — the full (config × kernel) grid fanned out
+    //    over the sweep pool — and gather comparison points.  `run_sweep`
+    //    returns results in grid order (cluster-major, matching the old
+    //    serial loops), so the rows below are identical at any `--jobs`.
+    let kinds: Vec<WorkloadKind> = chars.iter().map(|ch| kind_of(&ch.name)).collect();
+    let plan = SweepPlan::new(figure_name, sizes).cross(cluster_set, &kinds);
+    let results = run_sweep(&plan);
+    let points: Vec<CalibPoint> = results
+        .iter()
+        .map(|r| {
+            let ch = &chars[r.index % chars.len()];
+            debug_assert_eq!(kind_of(&ch.name), r.point.kind);
+            CalibPoint {
+                cluster: r.point.cluster.clone(),
+                workload: ch.to_model_params(),
+                sim_seconds: r.run.report.e_instr_seconds,
+            }
+        })
+        .collect();
     // 2. §5.3.2 methodology: "through experiments ... by adjusting the
     //    average remote memory access rate ... the differences ... are
     //    below 10%.  Figure 3 presents the results with such adjustments"
@@ -144,7 +165,15 @@ pub fn figure_experiment(
     // 3. Assemble rows.
     let mut t = Table::new(
         title,
-        &["Config", "App", "Sim E(Instr)", "Model(paper)", "diff", "Model(calib)", "diff"],
+        &[
+            "Config",
+            "App",
+            "Sim E(Instr)",
+            "Model(paper)",
+            "diff",
+            "Model(calib)",
+            "diff",
+        ],
     );
     let mut rows = Vec::new();
     let mut held_out_err = 0.0;
@@ -192,7 +221,10 @@ pub fn figure_experiment(
         "".into(),
         "".into(),
         knobs,
-        format!("mean |diff| {}", fmt_pct(held_out_err / held_out_n.max(1) as f64)),
+        format!(
+            "mean |diff| {}",
+            fmt_pct(held_out_err / held_out_n.max(1) as f64)
+        ),
     ]);
     save_json(figure_name, &rows);
     // Return the first workload's calibrated model (diagnostics).
@@ -258,12 +290,17 @@ pub fn coherence_traffic(sizes: Sizes) -> Table {
         &["App", "ours", "paper"],
     );
     let mut artifact = Vec::new();
-    for kind in WorkloadKind::PAPER {
-        let run = simulate_workload(&sizes.workload(kind), &cfg);
-        let frac = run.report.traffic.coherence_fraction();
-        let name = kind.name();
+    let plan = SweepPlan::new("coherence_traffic", sizes)
+        .cross(std::slice::from_ref(&cfg), &WorkloadKind::PAPER);
+    for r in run_sweep(&plan) {
+        let frac = r.run.report.traffic.coherence_fraction();
+        let name = r.point.kind.name();
         let p = paper.iter().find(|x| x.0 == name).unwrap().1;
-        t.row(vec![name.to_string(), format!("{:.1}%", frac * 100.0), format!("{p:.1}%")]);
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}%", frac * 100.0),
+            format!("{p:.1}%"),
+        ]);
         artifact.push((name, frac));
     }
     save_json("coherence_traffic", &artifact);
@@ -289,13 +326,20 @@ pub fn speedup(sizes: Sizes) -> Table {
         "Model vs simulation cost (FFT on C5)",
         &["method", "wall time", "ratio"],
     );
-    t.row(vec!["analytic model".into(), format!("{:.3e} s", model_time), "1x".into()]);
+    t.row(vec![
+        "analytic model".into(),
+        format!("{:.3e} s", model_time),
+        "1x".into(),
+    ]);
     t.row(vec![
         "program-driven simulation".into(),
         format!("{:.3} s", sim_time),
         format!("{:.0}x", sim_time / model_time),
     ]);
-    save_json("speedup", &serde_json::json!({"model_s": model_time, "sim_s": sim_time}));
+    save_json(
+        "speedup",
+        &serde_json::json!({"model_s": model_time, "sim_s": sim_time}),
+    );
     t
 }
 
@@ -310,13 +354,25 @@ pub fn case_budget(budget: f64, include_tpcc: bool) -> Table {
     }
     let mut t = Table::new(
         format!("Case study: optimal cluster under ${budget:.0}"),
-        &["Workload", "Best configuration", "Cost", "E(Instr)", "Runner-up"],
+        &[
+            "Workload",
+            "Best configuration",
+            "Cost",
+            "E(Instr)",
+            "Runner-up",
+        ],
     );
     let mut artifact = Vec::new();
     for w in &workloads {
         let ranked = optimize(budget, w, &model, &prices, &space);
         if ranked.is_empty() {
-            t.row(vec![w.name.clone(), "(nothing affordable)".into(), "-".into(), "-".into(), "-".into()]);
+            t.row(vec![
+                w.name.clone(),
+                "(nothing affordable)".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         let best = &ranked[0];
@@ -340,9 +396,12 @@ pub fn case_budget(budget: f64, include_tpcc: bool) -> Table {
 
 /// E9 — §6 case study 3: upgrading an existing cluster with extra money.
 pub fn case_upgrade(extra: f64) -> Table {
-    let existing =
-        ClusterSpec::cluster(MachineSpec::new(1, 256, 32, 200.0), 2, NetworkKind::Ethernet10)
-            .named("existing");
+    let existing = ClusterSpec::cluster(
+        MachineSpec::new(1, 256, 32, 200.0),
+        2,
+        NetworkKind::Ethernet10,
+    )
+    .named("existing");
     let model = AnalyticModel::default();
     let prices = PriceTable::circa_1999();
     let mut t = Table::new(
@@ -350,7 +409,14 @@ pub fn case_upgrade(extra: f64) -> Table {
             "Case study: upgrading {} with ${extra:.0}",
             existing.describe()
         ),
-        &["Workload", "Plan", "Cost", "E(Instr) before", "E(Instr) after", "gain"],
+        &[
+            "Workload",
+            "Plan",
+            "Cost",
+            "E(Instr) before",
+            "E(Instr) after",
+            "gain",
+        ],
     );
     let mut artifact = Vec::new();
     for w in params::paper_workloads() {
@@ -377,11 +443,18 @@ pub fn case_fft_4x() -> Table {
     let prices = PriceTable::circa_1999();
     let model = AnalyticModel::default();
     let w = params::workload_fft();
-    let eth = ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Ethernet10)
-        .named("4 ws / 10Mb Ethernet");
+    let eth = ClusterSpec::cluster(
+        MachineSpec::new(1, 256, 64, 200.0),
+        4,
+        NetworkKind::Ethernet10,
+    )
+    .named("4 ws / 10Mb Ethernet");
     let atm = ClusterSpec::cluster(MachineSpec::new(1, 256, 32, 200.0), 3, NetworkKind::Atm155)
         .named("3 ws / 155Mb ATM");
-    let (ee, ea) = (model.evaluate_or_inf(&eth, &w), model.evaluate_or_inf(&atm, &w));
+    let (ee, ea) = (
+        model.evaluate_or_inf(&eth, &w),
+        model.evaluate_or_inf(&atm, &w),
+    );
     let mut t = Table::new(
         "FFT: equal-cost Ethernet vs ATM clusters (paper: ~4x gap)",
         &["Cluster", "Cost", "E(Instr)", "relative"],
@@ -398,7 +471,10 @@ pub fn case_fft_4x() -> Table {
         fmt_seconds(ea),
         "1.00x".into(),
     ]);
-    save_json("case_fft_4x", &serde_json::json!({"ethernet": ee, "atm": ea, "ratio": ee / ea}));
+    save_json(
+        "case_fft_4x",
+        &serde_json::json!({"ethernet": ee, "atm": ea, "ratio": ee / ea}),
+    );
     t
 }
 
@@ -408,11 +484,19 @@ pub fn case_fft_4x() -> Table {
 pub fn sensitivity() -> Table {
     use memhier_core::sensitivity::analyze;
     let model = AnalyticModel::default();
-    let baseline =
-        ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Ethernet100);
+    let baseline = ClusterSpec::cluster(
+        MachineSpec::new(1, 256, 64, 200.0),
+        4,
+        NetworkKind::Ethernet100,
+    );
     let mut t = Table::new(
         "Sensitivity of E(Instr) around a 4-node Fast-Ethernet COW",
-        &["Workload", "Dominant factor", "Elasticities", "5-level/3-level ratio"],
+        &[
+            "Workload",
+            "Dominant factor",
+            "Elasticities",
+            "5-level/3-level ratio",
+        ],
     );
     let mut artifact = Vec::new();
     let mut workloads = params::paper_workloads();
@@ -479,13 +563,24 @@ pub fn ablation() -> Table {
     let clusters = [configs::c5(), configs::c8(), configs::c11()];
     let mut t = Table::new(
         "Ablation: arrival model x tail mode, E(Instr) seconds",
-        &["Config", "App", "Open/Raw", "Open/Trunc", "SelfCons/Raw", "SelfCons/Trunc"],
+        &[
+            "Config",
+            "App",
+            "Open/Raw",
+            "Open/Trunc",
+            "SelfCons/Raw",
+            "SelfCons/Trunc",
+        ],
     );
     let mut artifact = Vec::new();
     for cfg in &clusters {
         for w in params::paper_workloads() {
             let eval = |arrival, tail_mode| {
-                let m = AnalyticModel { arrival, tail_mode, ..AnalyticModel::default() };
+                let m = AnalyticModel {
+                    arrival,
+                    tail_mode,
+                    ..AnalyticModel::default()
+                };
                 m.evaluate_or_inf(cfg, &w)
             };
             let cells = [
@@ -527,27 +622,31 @@ pub fn utilization(sizes: Sizes, chars: &[Characterization]) -> Table {
         &["Config", "App", "model util", "sim util"],
     );
     let mut artifact = Vec::new();
-    for cfg in [configs::c7(), configs::c8(), configs::c10()] {
-        for ch in chars {
-            let kind = kind_of(&ch.name);
-            let run = simulate_workload(&sizes.workload(kind), &cfg);
-            let w = ch.to_model_params();
-            let m_util = model
-                .evaluate(&cfg, &w)
-                .ok()
-                .and_then(|p| {
-                    p.levels.iter().find(|l| l.name == "remote").map(|l| l.utilization)
-                })
-                .unwrap_or(f64::NAN);
-            let s_util = run.report.network_utilization();
-            t.row(vec![
-                cfg.name.clone().unwrap_or_default(),
-                ch.name.clone(),
-                format!("{m_util:.3}"),
-                format!("{s_util:.3}"),
-            ]);
-            artifact.push((cfg.name.clone(), ch.name.clone(), m_util, s_util));
-        }
+    let clusters = [configs::c7(), configs::c8(), configs::c10()];
+    let kinds: Vec<WorkloadKind> = chars.iter().map(|ch| kind_of(&ch.name)).collect();
+    let plan = SweepPlan::new("utilization", sizes).cross(&clusters, &kinds);
+    for r in run_sweep(&plan) {
+        let ch = &chars[r.index % chars.len()];
+        let cfg = &r.point.cluster;
+        let w = ch.to_model_params();
+        let m_util = model
+            .evaluate(cfg, &w)
+            .ok()
+            .and_then(|p| {
+                p.levels
+                    .iter()
+                    .find(|l| l.name == "remote")
+                    .map(|l| l.utilization)
+            })
+            .unwrap_or(f64::NAN);
+        let s_util = r.run.report.network_utilization();
+        t.row(vec![
+            cfg.name.clone().unwrap_or_default(),
+            ch.name.clone(),
+            format!("{m_util:.3}"),
+            format!("{s_util:.3}"),
+        ]);
+        artifact.push((cfg.name.clone(), ch.name.clone(), m_util, s_util));
     }
     save_json("utilization", &artifact);
     t

@@ -6,6 +6,10 @@
 //! * [`runner`] — glue between workloads, the trace analyzer, the
 //!   simulator, and the analytic model: `characterize` (Table 2's α/β/ρ
 //!   pipeline) and `simulate_workload` (one config × workload run).
+//! * [`sweeprun`] — the parallel, memoizing sweep runner: explicit
+//!   `SweepPlan` grids fanned out over a rayon pool (`--jobs N` /
+//!   `MEMHIER_JOBS`), with a process-wide characterization cache and
+//!   grid-ordered (deterministic) results.
 //! * [`calib`] — the §5.3.2 "adjust the rates until the model tracks the
 //!   simulator" calibration, generalized to a small grid search.
 //! * [`tables`] — aligned text tables plus JSON result dumps under
@@ -20,6 +24,13 @@
 pub mod calib;
 pub mod experiments;
 pub mod runner;
+pub mod sweeprun;
 pub mod tables;
 
-pub use runner::{characterize, simulate_workload, Characterization, SimRun, Sizes};
+pub use runner::{
+    characterize, simulate_workload, simulate_workload_with, Characterization, SimRun, Sizes,
+};
+pub use sweeprun::{
+    characterize_cached, characterize_many, configure_from_args, run_sweep, set_jobs, GridPoint,
+    PointResult, SweepPlan,
+};

@@ -54,8 +54,20 @@ pub struct SimRun {
     pub counters: ProcCounters,
 }
 
-/// Run `workload` on `cluster` through the full program-driven simulator.
+/// Run `workload` on `cluster` through the full program-driven simulator
+/// with the paper's latency table.
 pub fn simulate_workload(workload: &Workload, cluster: &ClusterSpec) -> SimRun {
+    simulate_workload_with(workload, cluster, &LatencyParams::paper())
+}
+
+/// [`simulate_workload`] with an explicit latency table — the primitive
+/// the sweep runner fans out over worker threads, so everything it
+/// touches must be owned or `Send` (checked at compile time below).
+pub fn simulate_workload_with(
+    workload: &Workload,
+    cluster: &ClusterSpec,
+    latency: &LatencyParams,
+) -> SimRun {
     let procs = cluster.total_procs() as usize;
     let program = workload.instantiate(procs);
     let home = home_map_for(
@@ -64,11 +76,26 @@ pub fn simulate_workload(workload: &Workload, cluster: &ClusterSpec) -> SimRun {
         cluster.machine.n_procs as usize,
         256,
     );
-    let backend = ClusterBackend::new(cluster, LatencyParams::paper(), home);
+    let backend = ClusterBackend::new(cluster, latency.clone(), home);
     let (report, counters) = stream_spmd(program, |rxs| {
         run_simulation(backend, rxs.into_iter().map(ProcSource::Channel).collect())
     });
     SimRun { report, counters }
+}
+
+// Send audit for the sweep runner: every input a worker thread closes
+// over when running one grid point.  A non-`Send` field sneaking into
+// any of these types turns into a compile error here instead of a
+// trait-bound error deep inside rayon.
+#[allow(dead_code)]
+fn _sweep_inputs_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Workload>();
+    assert_send::<ClusterSpec>();
+    assert_send::<LatencyParams>();
+    assert_send::<ClusterBackend>();
+    assert_send::<SimRun>();
+    assert_send::<Characterization>();
 }
 
 /// A workload's measured characterization — our reproduction of Table 2's
@@ -102,12 +129,17 @@ pub struct Characterization {
 impl Characterization {
     /// Convert to the analytic model's workload parameters.
     pub fn to_model_params(&self) -> WorkloadParams {
-        WorkloadParams::new(self.name.clone(), self.alpha.max(1.0001), self.beta.max(1.01), self.rho)
-            .expect("measured parameters are in range")
-            .with_footprint(self.footprint_bytes.max(1.0))
-            .with_barrier_rate(self.barrier_rate)
-            .with_dirty_fraction((self.write_fraction * 0.7).clamp(0.05, 0.6))
-            .with_sharing_fraction(self.sharing_fraction)
+        WorkloadParams::new(
+            self.name.clone(),
+            self.alpha.max(1.0001),
+            self.beta.max(1.01),
+            self.rho,
+        )
+        .expect("measured parameters are in range")
+        .with_footprint(self.footprint_bytes.max(1.0))
+        .with_barrier_rate(self.barrier_rate)
+        .with_dirty_fraction((self.write_fraction * 0.7).clamp(0.05, 0.6))
+        .with_sharing_fraction(self.sharing_fraction)
     }
 }
 
@@ -241,8 +273,11 @@ mod tests {
 
     #[test]
     fn simulate_small_radix_on_cow() {
-        let cluster =
-            ClusterSpec::cluster(MachineSpec::new(1, 256, 32, 200.0), 2, NetworkKind::Ethernet100);
+        let cluster = ClusterSpec::cluster(
+            MachineSpec::new(1, 256, 32, 200.0),
+            2,
+            NetworkKind::Ethernet100,
+        );
         let run = simulate_workload(&Sizes::Small.workload(WorkloadKind::Radix), &cluster);
         // Radix's permute phase must generate remote traffic.
         let remote = run.report.levels.remote_clean + run.report.levels.remote_dirty;

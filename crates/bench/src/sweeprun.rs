@@ -1,0 +1,356 @@
+//! Parallel, memoizing sweep runner for the experiment harness.
+//!
+//! Every figure/table experiment is a *sweep*: a grid of
+//! `(workload kind × cluster config)` points, each point one full
+//! program-driven simulation.  This module makes that grid explicit
+//! ([`SweepPlan`]), fans the points out over a rayon pool ([`run_sweep`]),
+//! and memoizes the expensive single-processor characterizations
+//! ([`characterize_cached`]) so each address stream is generated and
+//! stack-distance-analyzed exactly once per process, no matter how many
+//! experiments ask for it.
+//!
+//! Determinism contract: `run_sweep` returns results **ordered by grid
+//! index**, and each simulation is itself deterministic (fixed workload
+//! seeds, single-threaded event engine per point).  Serializing the
+//! results of a `--jobs 1` run and a `--jobs 8` run therefore yields
+//! byte-identical JSON — `crates/bench/tests/determinism.rs` locks this
+//! in.
+//!
+//! Worker count resolution, highest priority first:
+//! 1. [`set_jobs`] (the binaries' `--jobs N` flag via
+//!    [`configure_from_args`]);
+//! 2. the `MEMHIER_JOBS` environment variable;
+//! 3. the host's available parallelism.
+
+use crate::runner::{characterize, simulate_workload_with, Characterization, SimRun, Sizes};
+use memhier_core::machine::LatencyParams;
+use memhier_core::platform::ClusterSpec;
+use memhier_workloads::registry::{Workload, WorkloadKind};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Process-wide `--jobs` override (0 = unset).
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Fix the worker count for every subsequent sweep (0 clears the
+/// override).
+pub fn set_jobs(n: usize) {
+    JOBS_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Resolve the worker count: [`set_jobs`] override, else `MEMHIER_JOBS`,
+/// else available parallelism.
+pub fn jobs() -> usize {
+    let explicit = JOBS_OVERRIDE.load(Ordering::SeqCst);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(v) = std::env::var("MEMHIER_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parse `--jobs N` / `--jobs=N` from a binary's argument list and
+/// install the override (also exported through `MEMHIER_JOBS` so library
+/// code that sizes its own rayon pools — e.g. the cost optimizer — sees
+/// the same setting).  Returns the resolved worker count.
+pub fn configure_from_args(args: &[String]) -> usize {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let parsed = if a == "--jobs" {
+            it.next().and_then(|v| v.parse::<usize>().ok())
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            v.parse::<usize>().ok()
+        } else {
+            continue;
+        };
+        match parsed {
+            Some(n) if n > 0 => {
+                set_jobs(n);
+                std::env::set_var("MEMHIER_JOBS", n.to_string());
+            }
+            _ => eprintln!("warning: ignoring malformed --jobs (want a positive integer)"),
+        }
+    }
+    jobs()
+}
+
+/// One grid point: a workload kind on a cluster configuration.  The
+/// problem size and latency table live on the [`SweepPlan`] so a plan
+/// stays a plain cross-product.
+#[derive(Debug, Clone)]
+pub struct GridPoint {
+    /// Which kernel to run.
+    pub kind: WorkloadKind,
+    /// Where to run it.
+    pub cluster: ClusterSpec,
+}
+
+/// An ordered grid of simulation points.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// Label used in progress output and artifacts.
+    pub name: String,
+    /// Problem-size tier applied to every point.
+    pub sizes: Sizes,
+    /// Memory-hierarchy latency table applied to every point.
+    pub latency: LatencyParams,
+    points: Vec<GridPoint>,
+}
+
+impl SweepPlan {
+    /// Empty plan at `sizes` with the paper's latency table.
+    pub fn new(name: impl Into<String>, sizes: Sizes) -> Self {
+        SweepPlan {
+            name: name.into(),
+            sizes,
+            latency: LatencyParams::paper(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Replace the latency table.
+    pub fn with_latency(mut self, latency: LatencyParams) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Append the full `clusters × kinds` cross-product, cluster-major
+    /// (matching the reading order of the paper's figures: all kernels on
+    /// C1, then all on C2, ...).
+    pub fn cross(mut self, clusters: &[ClusterSpec], kinds: &[WorkloadKind]) -> Self {
+        for cluster in clusters {
+            for &kind in kinds {
+                self.points.push(GridPoint {
+                    kind,
+                    cluster: cluster.clone(),
+                });
+            }
+        }
+        self
+    }
+
+    /// Append a single point.
+    pub fn point(mut self, cluster: &ClusterSpec, kind: WorkloadKind) -> Self {
+        self.points.push(GridPoint {
+            kind,
+            cluster: cluster.clone(),
+        });
+        self
+    }
+
+    /// The grid, in index order.
+    pub fn points(&self) -> &[GridPoint] {
+        &self.points
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// One completed grid point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Index into the plan's grid.
+    pub index: usize,
+    /// The point that ran.
+    pub point: GridPoint,
+    /// Simulation outputs.
+    pub run: SimRun,
+}
+
+/// Execute every point of `plan` on a rayon pool of [`jobs`] workers and
+/// return the results **in grid order** (independent of scheduling).
+/// Per-point progress and total wall-clock go to stderr; stdout stays
+/// clean for tables.
+pub fn run_sweep(plan: &SweepPlan) -> Vec<PointResult> {
+    let n = plan.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = jobs().min(n);
+    let t0 = Instant::now();
+    eprintln!("[sweep {}] {n} point(s) on {workers} worker(s)", plan.name);
+    let done = AtomicUsize::new(0);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(workers)
+        .build()
+        .expect("sweep thread pool");
+    let mut results: Vec<PointResult> = pool.install(|| {
+        plan.points
+            .iter()
+            .cloned()
+            .enumerate()
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|(index, point)| {
+                let tp = Instant::now();
+                let workload = plan.sizes.workload(point.kind);
+                let run = simulate_workload_with(&workload, &point.cluster, &plan.latency);
+                let finished = done.fetch_add(1, Ordering::SeqCst) + 1;
+                eprintln!(
+                    "[sweep {}] {finished}/{n}: {} on {} ({:.2}s)",
+                    plan.name,
+                    point.kind.name(),
+                    point.cluster.name.as_deref().unwrap_or("unnamed"),
+                    tp.elapsed().as_secs_f64(),
+                );
+                PointResult { index, point, run }
+            })
+            .collect()
+    });
+    // The shim pool already preserves order; sort anyway so the contract
+    // holds under any work-stealing scheduler (including real rayon).
+    results.sort_unstable_by_key(|r| r.index);
+    eprintln!(
+        "[sweep {}] finished {n} point(s) in {:.2}s",
+        plan.name,
+        t0.elapsed().as_secs_f64()
+    );
+    results
+}
+
+/// Key of one memoized characterization.  A [`Workload`] value carries
+/// kind, problem size, and decomposition, so `(workload, granularity)`
+/// pins down the address stream exactly (the internal sharing probe's
+/// 4-process decomposition is part of `characterize`'s definition).
+type CharKey = (Workload, u64);
+
+static CHAR_CACHE: OnceLock<Mutex<HashMap<CharKey, Arc<Characterization>>>> = OnceLock::new();
+
+fn char_cache() -> &'static Mutex<HashMap<CharKey, Arc<Characterization>>> {
+    CHAR_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Memoized [`characterize`]: the first caller pays for trace generation
+/// and stack-distance analysis; everyone after gets the cached result.
+/// `characterize` is deterministic, so a racing double-computation (the
+/// lock is not held across the analysis) is wasted work, never a wrong
+/// answer.
+pub fn characterize_cached(workload: &Workload, granularity: u64) -> Arc<Characterization> {
+    let key = (*workload, granularity);
+    if let Some(hit) = char_cache().lock().unwrap().get(&key) {
+        return Arc::clone(hit);
+    }
+    let t0 = Instant::now();
+    let fresh = Arc::new(characterize(workload, granularity));
+    eprintln!(
+        "[characterize] {} ({:.2}s, cached)",
+        fresh.name,
+        t0.elapsed().as_secs_f64()
+    );
+    char_cache()
+        .lock()
+        .unwrap()
+        .entry(key)
+        .or_insert(fresh)
+        .clone()
+}
+
+/// Characterize several kinds in parallel (each via the cache), returned
+/// in input order.
+pub fn characterize_many(
+    sizes: Sizes,
+    kinds: &[WorkloadKind],
+    granularity: u64,
+) -> Vec<Characterization> {
+    let workers = jobs().min(kinds.len().max(1));
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(workers)
+        .build()
+        .expect("characterization thread pool");
+    pool.install(|| {
+        kinds
+            .to_vec()
+            .into_par_iter()
+            .map(|kind| (*characterize_cached(&sizes.workload(kind), granularity)).clone())
+            .collect()
+    })
+}
+
+/// Number of distinct characterizations currently memoized (test hook).
+pub fn char_cache_len() -> usize {
+    char_cache().lock().unwrap().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memhier_core::machine::MachineSpec;
+
+    fn tiny_cluster(name: &str, procs: u32) -> ClusterSpec {
+        ClusterSpec::single(MachineSpec::new(procs, 256, 64, 200.0)).named(name)
+    }
+
+    #[test]
+    fn jobs_resolution_prefers_override() {
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+        assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn configure_from_args_parses_both_forms() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(configure_from_args(&args(&["--jobs", "2"])), 2);
+        assert_eq!(configure_from_args(&args(&["--jobs=5"])), 5);
+        set_jobs(0);
+        std::env::remove_var("MEMHIER_JOBS");
+    }
+
+    #[test]
+    fn sweep_returns_grid_order() {
+        let clusters = [tiny_cluster("A", 1), tiny_cluster("B", 2)];
+        let kinds = [WorkloadKind::Fft, WorkloadKind::Lu];
+        let plan = SweepPlan::new("order", Sizes::Small).cross(&clusters, &kinds);
+        assert_eq!(plan.len(), 4);
+        let results = run_sweep(&plan);
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.point.kind, plan.points()[i].kind);
+            assert_eq!(r.point.cluster, plan.points()[i].cluster);
+            assert!(r.run.report.wall_cycles > 0);
+        }
+        // Cluster-major order: first two points run on A.
+        assert_eq!(results[0].point.cluster.name.as_deref(), Some("A"));
+        assert_eq!(results[1].point.cluster.name.as_deref(), Some("A"));
+        assert_eq!(results[2].point.cluster.name.as_deref(), Some("B"));
+    }
+
+    #[test]
+    fn characterization_cache_hits() {
+        let w = Sizes::Small.workload(WorkloadKind::Lu);
+        let a = characterize_cached(&w, 64);
+        let before = char_cache_len();
+        let b = characterize_cached(&w, 64);
+        assert_eq!(
+            char_cache_len(),
+            before,
+            "second call must not grow the cache"
+        );
+        assert!(Arc::ptr_eq(&a, &b), "second call must be the cached Arc");
+        // A different granularity is a different stream.
+        let c = characterize_cached(&w, 256);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.name, c.name);
+    }
+}

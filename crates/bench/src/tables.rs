@@ -71,8 +71,7 @@ impl Table {
 
 /// Directory for experiment artifacts (`target/experiments`).
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     std::fs::create_dir_all(&dir).expect("create experiments dir");
     dir
 }

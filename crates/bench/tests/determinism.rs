@@ -1,0 +1,74 @@
+//! The sweep runner's determinism contract: the same [`SweepPlan`]
+//! executed serially (`--jobs 1`) and with maximum fan-out (`--jobs 8`)
+//! must produce **byte-identical** serialized results — same grid order,
+//! same simulator outputs, no scheduling leakage.
+//!
+//! This is what makes the JSON artifacts under `target/experiments/`
+//! reproducible regardless of the host's core count.
+
+use memhier_bench::runner::Sizes;
+use memhier_bench::sweeprun::{run_sweep, set_jobs, SweepPlan};
+use memhier_core::machine::{MachineSpec, NetworkKind};
+use memhier_core::platform::ClusterSpec;
+use memhier_sim::report::SimReport;
+use memhier_workloads::registry::WorkloadKind;
+
+fn plan() -> SweepPlan {
+    let clusters = [
+        ClusterSpec::single(MachineSpec::new(2, 256, 64, 200.0)).named("smp2"),
+        ClusterSpec::cluster(
+            MachineSpec::new(1, 256, 32, 200.0),
+            2,
+            NetworkKind::Ethernet100,
+        )
+        .named("cow2"),
+        ClusterSpec::cluster(MachineSpec::new(2, 256, 64, 200.0), 2, NetworkKind::Atm155)
+            .named("clump2x2"),
+    ];
+    let kinds = [WorkloadKind::Fft, WorkloadKind::Lu, WorkloadKind::Radix];
+    SweepPlan::new("determinism", Sizes::Small).cross(&clusters, &kinds)
+}
+
+/// `set_jobs` is process-global, so tests touching it must not overlap.
+static JOBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn run_serialized(jobs: usize) -> (String, Vec<String>) {
+    set_jobs(jobs);
+    let results = run_sweep(&plan());
+    set_jobs(0);
+    let reports: Vec<&SimReport> = results.iter().map(|r| &r.run.report).collect();
+    let json = serde_json::to_string_pretty(&reports).expect("serialize reports");
+    // Counters are not serde types; their Debug form is just as binding.
+    let counters = results
+        .iter()
+        .map(|r| format!("{:?}", r.run.counters))
+        .collect();
+    (json, counters)
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let (json_serial, counters_serial) = run_serialized(1);
+    let (json_parallel, counters_parallel) = run_serialized(8);
+    assert!(
+        json_serial == json_parallel,
+        "serialized sweep results differ between --jobs 1 and --jobs 8\n\
+         serial:\n{json_serial}\nparallel:\n{json_parallel}"
+    );
+    assert_eq!(counters_serial, counters_parallel);
+    // And the artifacts are non-trivial: every point simulated work.
+    assert!(json_serial.contains("wall_cycles"));
+    assert_eq!(counters_serial.len(), 9);
+}
+
+#[test]
+fn repeated_serial_runs_are_stable() {
+    // Guards the fixed-seed contract the byte-identity test rests on: if
+    // any workload picked up entropy (time, ASLR, iteration order of a
+    // hash map), two serial runs would already disagree.
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let (a, _) = run_serialized(1);
+    let (b, _) = run_serialized(1);
+    assert!(a == b, "two serial runs of the same plan diverged");
+}

@@ -28,8 +28,7 @@ fn small_figure2_pipeline_is_sane() {
 fn medium_figure2_quality_band() {
     let (_, chars) = table2(Sizes::Medium, false);
     let (_, rows) = fig2_smp(Sizes::Medium, &chars);
-    let mean: f64 =
-        rows.iter().map(|r| r.diff_calibrated.abs()).sum::<f64>() / rows.len() as f64;
+    let mean: f64 = rows.iter().map(|r| r.diff_calibrated.abs()).sum::<f64>() / rows.len() as f64;
     // EXPERIMENTS.md reports ~20%; guard against regressions past 35%.
     assert!(mean < 0.35, "calibrated mean |diff| regressed to {mean:.3}");
 }

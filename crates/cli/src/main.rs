@@ -19,7 +19,9 @@ use memhier_core::machine::{MachineSpec, NetworkKind};
 use memhier_core::model::AnalyticModel;
 use memhier_core::params::{self, configs};
 use memhier_core::platform::ClusterSpec;
-use memhier_cost::{optimize, pareto_frontier, plan_upgrade, recommend, CandidateSpace, PriceTable};
+use memhier_cost::{
+    optimize, pareto_frontier, plan_upgrade, recommend, CandidateSpace, PriceTable,
+};
 use memhier_workloads::registry::WorkloadKind;
 use std::process::ExitCode;
 
@@ -74,7 +76,9 @@ USAGE:
                     [--small|--paper]";
 
 fn flag(rest: &[String], name: &str) -> Option<String> {
-    rest.iter().position(|a| a == name).and_then(|i| rest.get(i + 1).cloned())
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1).cloned())
 }
 
 fn has(rest: &[String], name: &str) -> bool {
@@ -155,7 +159,10 @@ fn cmd_model(rest: &[String]) -> Result<(), String> {
         println!("{} running {}", cfg.describe(), w.name);
         println!("  T (memory time/ref)   = {:.2} cycles", p.t_cycles);
         println!("  per-processor CPI     = {:.2}", p.per_proc_cpi);
-        println!("  barrier overhead      = {:.2} cycles/instr", p.barrier_cycles_per_instr);
+        println!(
+            "  barrier overhead      = {:.2} cycles/instr",
+            p.barrier_cycles_per_instr
+        );
         println!(
             "  E(Instr)              = {:.4} cycles = {:.3e} s",
             p.e_instr_cycles, p.e_instr_seconds
@@ -182,8 +189,16 @@ fn cmd_simulate(rest: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let r = &run.report;
-    println!("{} running {} ({:?} size)", cfg.describe(), kind.name(), sizes);
-    println!("  instructions = {}  refs = {}", r.total_instructions, r.total_refs);
+    println!(
+        "{} running {} ({:?} size)",
+        cfg.describe(),
+        kind.name(),
+        sizes
+    );
+    println!(
+        "  instructions = {}  refs = {}",
+        r.total_instructions, r.total_refs
+    );
     println!(
         "  wall = {} cycles;  E(Instr) = {:.4} cycles = {:.3e} s",
         r.wall_cycles, r.e_instr_cycles, r.e_instr_seconds
@@ -219,12 +234,18 @@ fn cmd_fit(rest: &[String]) -> Result<(), String> {
         return Ok(());
     }
     println!("{} ({:?} size):", c.name, sizes);
-    println!("  alpha = {:.3}   beta = {:.1} bytes   (R^2 = {:.4})", c.alpha, c.beta, c.r_squared);
+    println!(
+        "  alpha = {:.3}   beta = {:.1} bytes   (R^2 = {:.4})",
+        c.alpha, c.beta, c.r_squared
+    );
     println!(
         "  rho = {:.3}   write fraction = {:.3}   sharing fraction = {:.3}",
         c.rho, c.write_fraction, c.sharing_fraction
     );
-    println!("  footprint = {:.0} bytes over {} refs", c.footprint_bytes, c.refs);
+    println!(
+        "  footprint = {:.0} bytes over {} refs",
+        c.footprint_bytes, c.refs
+    );
     let w = paper_params(kind);
     println!(
         "  paper: alpha = {:.2}  beta = {:.1}  rho = {:.2}",
@@ -261,7 +282,11 @@ fn cmd_fit_phases(kind: WorkloadKind, sizes: Sizes, json: bool) -> Result<(), St
         println!("{}", serde_json::to_string_pretty(&phases).unwrap());
         return Ok(());
     }
-    println!("{} phases, {} global refs:", phases.len(), global.total_refs());
+    println!(
+        "{} phases, {} global refs:",
+        phases.len(),
+        global.total_refs()
+    );
     for p in &phases {
         match &p.fit {
             Some(f) => println!(
@@ -285,10 +310,14 @@ fn cmd_fit_phases(kind: WorkloadKind, sizes: Sizes, json: bool) -> Result<(), St
 }
 
 fn cmd_optimize(rest: &[String]) -> Result<(), String> {
-    let budget: f64 =
-        flag(rest, "--budget").ok_or("--budget required")?.parse().map_err(|_| "bad --budget")?;
+    let budget: f64 = flag(rest, "--budget")
+        .ok_or("--budget required")?
+        .parse()
+        .map_err(|_| "bad --budget")?;
     let kind = parse_workload_kind(&flag(rest, "--workload").ok_or("--workload required")?)?;
-    let top: usize = flag(rest, "--top").and_then(|s| s.parse().ok()).unwrap_or(3);
+    let top: usize = flag(rest, "--top")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
     let w = paper_params(kind);
     let ranked = optimize(
         budget,
@@ -301,7 +330,10 @@ fn cmd_optimize(rest: &[String]) -> Result<(), String> {
         return Err(format!("nothing affordable under ${budget}"));
     }
     if has(rest, "--json") {
-        println!("{}", serde_json::to_string_pretty(&ranked[..top.min(ranked.len())]).unwrap());
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&ranked[..top.min(ranked.len())]).unwrap()
+        );
         return Ok(());
     }
     println!("Best clusters for {} under ${budget:.0}:", w.name);
@@ -343,13 +375,23 @@ fn cmd_pareto(rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_upgrade(rest: &[String]) -> Result<(), String> {
-    let budget: f64 =
-        flag(rest, "--budget").ok_or("--budget required")?.parse().map_err(|_| "bad --budget")?;
+    let budget: f64 = flag(rest, "--budget")
+        .ok_or("--budget required")?
+        .parse()
+        .map_err(|_| "bad --budget")?;
     let kind = parse_workload_kind(&flag(rest, "--workload").ok_or("--workload required")?)?;
-    let machines: u32 = flag(rest, "--machines").and_then(|s| s.parse().ok()).unwrap_or(2);
-    let procs: u32 = flag(rest, "--procs").and_then(|s| s.parse().ok()).unwrap_or(1);
-    let cache: u64 = flag(rest, "--cache").and_then(|s| s.parse().ok()).unwrap_or(256);
-    let mem: u64 = flag(rest, "--mem").and_then(|s| s.parse().ok()).unwrap_or(32);
+    let machines: u32 = flag(rest, "--machines")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let procs: u32 = flag(rest, "--procs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let cache: u64 = flag(rest, "--cache")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let mem: u64 = flag(rest, "--mem")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
     let network = match flag(rest, "--network").as_deref() {
         None | Some("eth10") => NetworkKind::Ethernet10,
         Some("eth100") => NetworkKind::Ethernet100,
@@ -357,13 +399,22 @@ fn cmd_upgrade(rest: &[String]) -> Result<(), String> {
         Some(o) => return Err(format!("unknown network `{o}`")),
     };
     let existing = if machines > 1 {
-        ClusterSpec::cluster(MachineSpec::new(procs, cache, mem, 200.0), machines, network)
+        ClusterSpec::cluster(
+            MachineSpec::new(procs, cache, mem, 200.0),
+            machines,
+            network,
+        )
     } else {
         ClusterSpec::single(MachineSpec::new(procs, cache, mem, 200.0))
     };
     let w = paper_params(kind);
-    let plans =
-        plan_upgrade(&existing, budget, &w, &AnalyticModel::default(), &PriceTable::circa_1999());
+    let plans = plan_upgrade(
+        &existing,
+        budget,
+        &w,
+        &AnalyticModel::default(),
+        &PriceTable::circa_1999(),
+    );
     let best = plans.first().ok_or("no valid upgrade plans")?;
     println!("Existing: {}", existing.describe());
     println!("Best upgrade for {} with ${budget:.0}:", w.name);
@@ -377,7 +428,10 @@ fn cmd_upgrade(rest: &[String]) -> Result<(), String> {
 /// binaries run).
 fn cmd_reproduce(rest: &[String]) -> Result<(), String> {
     use memhier_bench::experiments as ex;
-    let which = rest.first().cloned().ok_or("which experiment? (try `all`)")?;
+    let which = rest
+        .first()
+        .cloned()
+        .ok_or("which experiment? (try `all`)")?;
     let sizes = Sizes::from_args(rest);
     let chars = || ex::table2(sizes, false).1;
     match which.as_str() {
@@ -401,8 +455,7 @@ fn cmd_reproduce(rest: &[String]) -> Result<(), String> {
             ex::table1().print();
             let (t2, cs) = ex::table2(sizes, true);
             t2.print();
-            let kernels: Vec<_> =
-                cs.iter().filter(|c| c.name != "TPC-C").cloned().collect();
+            let kernels: Vec<_> = cs.iter().filter(|c| c.name != "TPC-C").cloned().collect();
             ex::fig2_smp(sizes, &kernels).0.print();
             ex::fig3_cow(sizes, &kernels).0.print();
             ex::fig4_clump(sizes, &kernels).0.print();
@@ -431,10 +484,14 @@ fn cmd_recommend(rest: &[String]) -> Result<(), String> {
             .ok_or("--alpha or --workload required")?
             .parse()
             .map_err(|_| "bad --alpha")?;
-        let beta: f64 =
-            flag(rest, "--beta").ok_or("--beta required")?.parse().map_err(|_| "bad --beta")?;
-        let rho: f64 =
-            flag(rest, "--rho").ok_or("--rho required")?.parse().map_err(|_| "bad --rho")?;
+        let beta: f64 = flag(rest, "--beta")
+            .ok_or("--beta required")?
+            .parse()
+            .map_err(|_| "bad --beta")?;
+        let rho: f64 = flag(rest, "--rho")
+            .ok_or("--rho required")?
+            .parse()
+            .map_err(|_| "bad --rho")?;
         WorkloadParams::new("custom", alpha, beta, rho).map_err(|e| e.to_string())?
     };
     let r = recommend(&w);

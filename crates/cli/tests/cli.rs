@@ -78,8 +78,14 @@ fn model_rejects_unknown_workload() {
 
 #[test]
 fn simulate_small_runs() {
-    let (ok, out, _) =
-        memhier(&["simulate", "--config", "C1", "--workload", "EDGE", "--small"]);
+    let (ok, out, _) = memhier(&[
+        "simulate",
+        "--config",
+        "C1",
+        "--workload",
+        "EDGE",
+        "--small",
+    ]);
     assert!(ok, "{out}");
     assert!(out.contains("wall ="));
     assert!(out.contains("levels:"));
@@ -105,8 +111,15 @@ fn optimize_respects_budget_flag() {
 
 #[test]
 fn recommend_from_parameters() {
-    let (ok, out, _) =
-        memhier(&["recommend", "--alpha", "1.1", "--beta", "500", "--rho", "0.6"]);
+    let (ok, out, _) = memhier(&[
+        "recommend",
+        "--alpha",
+        "1.1",
+        "--beta",
+        "500",
+        "--rho",
+        "0.6",
+    ]);
     assert!(ok);
     assert!(out.contains("SingleSmp"), "{out}");
 }

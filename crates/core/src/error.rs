@@ -42,7 +42,10 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::InvalidLocality { param, value } => {
-                write!(f, "invalid locality parameter {param} = {value} (must be > 1)")
+                write!(
+                    f,
+                    "invalid locality parameter {param} = {value} (must be > 1)"
+                )
             }
             ModelError::InvalidRho(v) => {
                 write!(f, "invalid rho = {v} (must be within [0, 1])")
@@ -52,7 +55,10 @@ impl fmt::Display for ModelError {
                 f,
                 "{level} saturated: utilization {utilization:.3} >= 1, queueing delay diverges"
             ),
-            ModelError::NoConvergence { iterations, residual } => write!(
+            ModelError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "fixed-point iteration did not converge after {iterations} iterations \
                  (residual {residual:.3e})"
@@ -72,7 +78,10 @@ mod tests {
 
     #[test]
     fn display_mentions_parameter() {
-        let e = ModelError::InvalidLocality { param: "alpha", value: 0.5 };
+        let e = ModelError::InvalidLocality {
+            param: "alpha",
+            value: 0.5,
+        };
         let s = e.to_string();
         assert!(s.contains("alpha"));
         assert!(s.contains("0.5"));
@@ -80,7 +89,10 @@ mod tests {
 
     #[test]
     fn display_saturated_mentions_level() {
-        let e = ModelError::Saturated { level: "memory bus", utilization: 1.2 };
+        let e = ModelError::Saturated {
+            level: "memory bus",
+            utilization: 1.2,
+        };
         assert!(e.to_string().contains("memory bus"));
     }
 

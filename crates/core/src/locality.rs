@@ -45,12 +45,22 @@ impl Locality {
     /// Construct a locality model, validating `α > 1` and `β > 1`.
     pub fn new(alpha: f64, beta: f64) -> Result<Self, ModelError> {
         if alpha.is_nan() || alpha <= 1.0 || !alpha.is_finite() {
-            return Err(ModelError::InvalidLocality { param: "alpha", value: alpha });
+            return Err(ModelError::InvalidLocality {
+                param: "alpha",
+                value: alpha,
+            });
         }
         if beta.is_nan() || beta <= 1.0 || !beta.is_finite() {
-            return Err(ModelError::InvalidLocality { param: "beta", value: beta });
+            return Err(ModelError::InvalidLocality {
+                param: "beta",
+                value: beta,
+            });
         }
-        Ok(Locality { alpha, beta, footprint: None })
+        Ok(Locality {
+            alpha,
+            beta,
+            footprint: None,
+        })
     }
 
     /// Same as [`Locality::new`] but with a footprint cap (bytes): stack
@@ -164,7 +174,12 @@ pub struct WorkloadParams {
 impl WorkloadParams {
     /// Construct with validation; barrier rate defaults to `1e-7`/instr and
     /// dirty fraction to `0.2`.
-    pub fn new(name: impl Into<String>, alpha: f64, beta: f64, rho: f64) -> Result<Self, ModelError> {
+    pub fn new(
+        name: impl Into<String>,
+        alpha: f64,
+        beta: f64,
+        rho: f64,
+    ) -> Result<Self, ModelError> {
         if !(0.0..=1.0).contains(&rho) || !rho.is_finite() {
             return Err(ModelError::InvalidRho(rho));
         }
@@ -334,7 +349,11 @@ mod tests {
     fn median_distance_sane() {
         let l = fft_like();
         let m = l.median_distance();
-        assert!((l.cdf_raw(m) - 0.5).abs() < 1e-9, "cdf at median = {}", l.cdf_raw(m));
+        assert!(
+            (l.cdf_raw(m) - 0.5).abs() < 1e-9,
+            "cdf at median = {}",
+            l.cdf_raw(m)
+        );
     }
 
     #[test]
@@ -344,7 +363,9 @@ mod tests {
         let w = WorkloadParams::new("x", 1.2, 100.0, 0.3).unwrap();
         assert_eq!(w.name, "x");
         assert!(!w.memory_bound());
-        assert!(WorkloadParams::new("y", 1.2, 100.0, 0.45).unwrap().memory_bound());
+        assert!(WorkloadParams::new("y", 1.2, 100.0, 0.45)
+            .unwrap()
+            .memory_bound());
     }
 
     #[test]

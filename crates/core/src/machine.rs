@@ -42,7 +42,9 @@ impl MachineSpec {
             return Err(ModelError::InvalidSpec("machine with 0 processors".into()));
         }
         if self.cache_bytes == 0 || self.memory_bytes == 0 {
-            return Err(ModelError::InvalidSpec("zero cache or memory capacity".into()));
+            return Err(ModelError::InvalidSpec(
+                "zero cache or memory capacity".into(),
+            ));
         }
         if self.cache_bytes >= self.memory_bytes {
             return Err(ModelError::InvalidSpec(format!(
@@ -99,8 +101,11 @@ impl NetworkKind {
     }
 
     /// All network kinds the paper evaluates, in bandwidth order.
-    pub const ALL: [NetworkKind; 3] =
-        [NetworkKind::Ethernet10, NetworkKind::Ethernet100, NetworkKind::Atm155];
+    pub const ALL: [NetworkKind; 3] = [
+        NetworkKind::Ethernet10,
+        NetworkKind::Ethernet100,
+        NetworkKind::Atm155,
+    ];
 }
 
 impl fmt::Display for NetworkKind {
@@ -266,7 +271,10 @@ mod tests {
         let s = l.remote_service(NetworkKind::Ethernet100, false, 0.5);
         assert!((s - (4575.0 + 9150.0) / 2.0).abs() < 1e-12);
         // Clamps out-of-range fractions.
-        assert_eq!(l.remote_service(NetworkKind::Ethernet100, false, -3.0), 4575.0);
+        assert_eq!(
+            l.remote_service(NetworkKind::Ethernet100, false, -3.0),
+            4575.0
+        );
     }
 
     #[test]

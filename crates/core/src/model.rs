@@ -248,7 +248,10 @@ impl AnalyticModel {
                 }
                 let e = hi; // the stable side of the bracket
                 let (t, lv) = self.apply_contention(&levels, rho, 1.0 / e).map_err(|_| {
-                    ModelError::NoConvergence { iterations: iters, residual: hi - lo }
+                    ModelError::NoConvergence {
+                        iterations: iters,
+                        residual: hi - lo,
+                    }
                 })?;
                 let per_proc = self.latencies.instr + rho * t + barrier;
                 Ok(self.finish(cluster, t, per_proc, barrier, lv, iters))
@@ -328,7 +331,11 @@ impl AnalyticModel {
             PlatformKind::Uniprocessor | PlatformKind::Smp => {
                 // Level 2: shared memory over the SMP bus.  A fraction of
                 // misses is served cache-to-cache at the snoop-hit cost.
-                let f = if m.n_procs > 1 { w.dirty_fraction.clamp(0.0, 1.0) } else { 0.0 };
+                let f = if m.n_procs > 1 {
+                    w.dirty_fraction.clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
                 let service = (1.0 - f) * lat.local_memory + f * lat.smp_remote_cache;
                 levels.push(LevelSpec {
                     name: "memory",
@@ -357,7 +364,10 @@ impl AnalyticModel {
                 // bus-contended among n processors inside a CLUMP node.
                 let (l2_service, l2_intf) = if clump {
                     let f = w.dirty_fraction.clamp(0.0, 1.0);
-                    ((1.0 - f) * lat.local_memory + f * lat.smp_remote_cache, n - 1.0)
+                    (
+                        (1.0 - f) * lat.local_memory + f * lat.smp_remote_cache,
+                        n - 1.0,
+                    )
                 } else {
                     (lat.local_memory, 0.0)
                 };
@@ -382,9 +392,7 @@ impl AnalyticModel {
                 let remote_reach = ((m3 + sharing * m2) * coh).min(1.0);
                 let (interferers, dilution) = match net.topology() {
                     NetworkTopology::Bus => ((q as f64) - 1.0, 1.0),
-                    NetworkTopology::Switch => {
-                        ((q as f64) - 1.0, 1.0 / cluster.machines as f64)
-                    }
+                    NetworkTopology::Switch => ((q as f64) - 1.0, 1.0 / cluster.machines as f64),
                 };
                 levels.push(LevelSpec {
                     name: "remote",
@@ -490,7 +498,10 @@ mod tests {
         // both arrival policies.
         let w = fft();
         for arrival in [ArrivalModel::Open, ArrivalModel::SelfConsistent] {
-            let model = AnalyticModel { arrival, ..AnalyticModel::default() };
+            let model = AnalyticModel {
+                arrival,
+                ..AnalyticModel::default()
+            };
             let p = model.evaluate(&uni(), &w).unwrap();
             let loc = w.locality;
             let m2 = loc.tail(256.0 * 1024.0);
@@ -544,8 +555,12 @@ mod tests {
     fn faster_network_helps_cow() {
         let model = AnalyticModel::default();
         let w = fft();
-        let slow = model.evaluate(&cow(4, NetworkKind::Ethernet10), &w).unwrap();
-        let mid = model.evaluate(&cow(4, NetworkKind::Ethernet100), &w).unwrap();
+        let slow = model
+            .evaluate(&cow(4, NetworkKind::Ethernet10), &w)
+            .unwrap();
+        let mid = model
+            .evaluate(&cow(4, NetworkKind::Ethernet100), &w)
+            .unwrap();
         let fast = model.evaluate(&cow(4, NetworkKind::Atm155), &w).unwrap();
         assert!(slow.e_instr_cycles > mid.e_instr_cycles);
         assert!(mid.e_instr_cycles > fast.e_instr_cycles);
@@ -555,7 +570,10 @@ mod tests {
     fn open_model_saturates_on_slow_ethernet() {
         // The paper-literal open arrival model must detect divergence for a
         // memory-bound workload on a big 10 Mb Ethernet cluster.
-        let model = AnalyticModel { arrival: ArrivalModel::Open, ..AnalyticModel::default() };
+        let model = AnalyticModel {
+            arrival: ArrivalModel::Open,
+            ..AnalyticModel::default()
+        };
         let w = radix();
         let r = model.evaluate(&cow(8, NetworkKind::Ethernet10), &w);
         assert!(
@@ -572,7 +590,9 @@ mod tests {
     fn self_consistent_stays_finite_under_heavy_load() {
         let model = AnalyticModel::default();
         let w = radix();
-        let p = model.evaluate(&cow(8, NetworkKind::Ethernet10), &w).unwrap();
+        let p = model
+            .evaluate(&cow(8, NetworkKind::Ethernet10), &w)
+            .unwrap();
         assert!(p.e_instr_cycles.is_finite());
         assert!(p.iterations > 1);
         // All reported utilizations must be stable.
@@ -586,12 +606,18 @@ mod tests {
         // EDGE has excellent locality: queues are nearly idle, so the two
         // arrival policies must agree closely.
         let w = edge();
-        let open = AnalyticModel { arrival: ArrivalModel::Open, ..AnalyticModel::default() };
+        let open = AnalyticModel {
+            arrival: ArrivalModel::Open,
+            ..AnalyticModel::default()
+        };
         let sc = AnalyticModel::default();
         let c = smp(2);
         let eo = open.evaluate(&c, &w).unwrap().e_instr_cycles;
         let es = sc.evaluate(&c, &w).unwrap().e_instr_cycles;
-        assert!((eo - es).abs() / eo < 0.02, "open {eo} vs self-consistent {es}");
+        assert!(
+            (eo - es).abs() / eo < 0.02,
+            "open {eo} vs self-consistent {es}"
+        );
     }
 
     #[test]
@@ -601,7 +627,9 @@ mod tests {
         // a CLUMP with n=2,N=2 over Eth10 uses 45078 not 45075.
         let model = AnalyticModel::default();
         let w = fft();
-        let p = model.evaluate(&clump(2, 2, NetworkKind::Ethernet10), &w).unwrap();
+        let p = model
+            .evaluate(&clump(2, 2, NetworkKind::Ethernet10), &w)
+            .unwrap();
         let remote = p.levels.iter().find(|l| l.name == "remote").unwrap();
         let expect = 0.8 * 45078.0 + 0.2 * 90153.0;
         assert!((remote.service_cycles - expect).abs() < 1e-9);
@@ -615,10 +643,22 @@ mod tests {
         // diluted by N compared to a bus of the same traffic.
         let model = AnalyticModel::default();
         let w = radix();
-        let p_bus = model.evaluate(&cow(4, NetworkKind::Ethernet100), &w).unwrap();
+        let p_bus = model
+            .evaluate(&cow(4, NetworkKind::Ethernet100), &w)
+            .unwrap();
         let p_sw = model.evaluate(&cow(4, NetworkKind::Atm155), &w).unwrap();
-        let u_bus = p_bus.levels.iter().find(|l| l.name == "remote").unwrap().utilization;
-        let u_sw = p_sw.levels.iter().find(|l| l.name == "remote").unwrap().utilization;
+        let u_bus = p_bus
+            .levels
+            .iter()
+            .find(|l| l.name == "remote")
+            .unwrap()
+            .utilization;
+        let u_sw = p_sw
+            .levels
+            .iter()
+            .find(|l| l.name == "remote")
+            .unwrap()
+            .utilization;
         assert!(u_sw < u_bus, "switch u {u_sw} vs bus u {u_bus}");
     }
 
@@ -639,7 +679,10 @@ mod tests {
 
     #[test]
     fn coherence_adjustment_increases_remote_reach() {
-        let base = AnalyticModel { coherence_adjustment: 0.0, ..AnalyticModel::default() };
+        let base = AnalyticModel {
+            coherence_adjustment: 0.0,
+            ..AnalyticModel::default()
+        };
         let adj = AnalyticModel::default(); // 0.124
         let w = fft();
         let c = cow(4, NetworkKind::Ethernet100);
@@ -653,8 +696,10 @@ mod tests {
 
     #[test]
     fn truncated_tail_removes_disk_traffic() {
-        let model =
-            AnalyticModel { tail_mode: TailMode::Truncated, ..AnalyticModel::default() };
+        let model = AnalyticModel {
+            tail_mode: TailMode::Truncated,
+            ..AnalyticModel::default()
+        };
         let w = fft().with_footprint(2e6); // 2 MB fits in 64 MB memory
         let p = model.evaluate(&uni(), &w).unwrap();
         let disk = p.levels.iter().find(|l| l.name == "disk").unwrap();
@@ -668,7 +713,9 @@ mod tests {
     #[test]
     fn breakdown_levels_ordered_and_weighted() {
         let model = AnalyticModel::default();
-        let p = model.evaluate(&cow(4, NetworkKind::Atm155), &fft()).unwrap();
+        let p = model
+            .evaluate(&cow(4, NetworkKind::Atm155), &fft())
+            .unwrap();
         let names: Vec<_> = p.levels.iter().map(|l| l.name.as_str()).collect();
         assert_eq!(names, ["cache", "memory", "remote", "disk"]);
         // Reach probabilities non-increasing down the hierarchy (modulo the
@@ -678,7 +725,11 @@ mod tests {
         assert!(p.levels[1].reach_prob >= p.levels[2].reach_prob);
         assert!(p.levels[2].reach_prob >= p.levels[3].reach_prob);
         // T equals the weighted sum of effective times.
-        let t: f64 = p.levels.iter().map(|l| l.reach_prob * l.effective_cycles).sum();
+        let t: f64 = p
+            .levels
+            .iter()
+            .map(|l| l.reach_prob * l.effective_cycles)
+            .sum();
         assert!((t - p.t_cycles).abs() < 1e-9);
     }
 
@@ -699,7 +750,10 @@ mod tests {
         assert!(model.evaluate(&uni(), &w).is_err());
         let mut c = cow(4, NetworkKind::Ethernet100);
         c.network = None;
-        assert!(matches!(model.evaluate(&c, &fft()), Err(ModelError::MissingNetwork)));
+        assert!(matches!(
+            model.evaluate(&c, &fft()),
+            Err(ModelError::MissingNetwork)
+        ));
     }
 
     #[test]

@@ -67,7 +67,12 @@ pub fn workload_tpcc() -> WorkloadParams {
 
 /// All four Table-2 kernels, in the paper's order.
 pub fn paper_workloads() -> Vec<WorkloadParams> {
-    vec![workload_fft(), workload_lu(), workload_radix(), workload_edge()]
+    vec![
+        workload_fft(),
+        workload_lu(),
+        workload_radix(),
+        workload_edge(),
+    ]
 }
 
 /// The paper's platform configurations (Tables 3–5), all at 200 MHz.
@@ -101,18 +106,30 @@ pub mod configs {
 
     /// Table 4 — C7: 2 workstations, 256 KB, 32 MB, 10 Mb bus.
     pub fn c7() -> ClusterSpec {
-        ClusterSpec::cluster(MachineSpec::new(1, 256, 32, 200.0), 2, NetworkKind::Ethernet10)
-            .named("C7")
+        ClusterSpec::cluster(
+            MachineSpec::new(1, 256, 32, 200.0),
+            2,
+            NetworkKind::Ethernet10,
+        )
+        .named("C7")
     }
     /// Table 4 — C8: 4 workstations, 256 KB, 64 MB, 100 Mb bus.
     pub fn c8() -> ClusterSpec {
-        ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Ethernet100)
-            .named("C8")
+        ClusterSpec::cluster(
+            MachineSpec::new(1, 256, 64, 200.0),
+            4,
+            NetworkKind::Ethernet100,
+        )
+        .named("C8")
     }
     /// Table 4 — C9: 4 workstations, 512 KB, 64 MB, 100 Mb bus.
     pub fn c9() -> ClusterSpec {
-        ClusterSpec::cluster(MachineSpec::new(1, 512, 64, 200.0), 4, NetworkKind::Ethernet100)
-            .named("C9")
+        ClusterSpec::cluster(
+            MachineSpec::new(1, 512, 64, 200.0),
+            4,
+            NetworkKind::Ethernet100,
+        )
+        .named("C9")
     }
     /// Table 4 — C10: 4 workstations, 256 KB, 64 MB, 155 Mb switch.
     pub fn c10() -> ClusterSpec {
@@ -127,18 +144,30 @@ pub mod configs {
 
     /// Table 5 — C12: 2 × 2P SMPs, 256 KB, 64 MB, 10 Mb bus.
     pub fn c12() -> ClusterSpec {
-        ClusterSpec::cluster(MachineSpec::new(2, 256, 64, 200.0), 2, NetworkKind::Ethernet10)
-            .named("C12")
+        ClusterSpec::cluster(
+            MachineSpec::new(2, 256, 64, 200.0),
+            2,
+            NetworkKind::Ethernet10,
+        )
+        .named("C12")
     }
     /// Table 5 — C13: 2 × 2P SMPs, 256 KB, 128 MB, 100 Mb bus.
     pub fn c13() -> ClusterSpec {
-        ClusterSpec::cluster(MachineSpec::new(2, 256, 128, 200.0), 2, NetworkKind::Ethernet100)
-            .named("C13")
+        ClusterSpec::cluster(
+            MachineSpec::new(2, 256, 128, 200.0),
+            2,
+            NetworkKind::Ethernet100,
+        )
+        .named("C13")
     }
     /// Table 5 — C14: 2 × 4P SMPs, 256 KB, 128 MB, 100 Mb bus.
     pub fn c14() -> ClusterSpec {
-        ClusterSpec::cluster(MachineSpec::new(4, 256, 128, 200.0), 2, NetworkKind::Ethernet100)
-            .named("C14")
+        ClusterSpec::cluster(
+            MachineSpec::new(4, 256, 128, 200.0),
+            2,
+            NetworkKind::Ethernet100,
+        )
+        .named("C14")
     }
     /// Table 5 — C15: 2 × 4P SMPs, 256 KB, 128 MB, 155 Mb switch.
     pub fn c15() -> ClusterSpec {

@@ -73,12 +73,22 @@ pub struct ClusterSpec {
 impl ClusterSpec {
     /// A single machine (SMP or uniprocessor).
     pub fn single(machine: MachineSpec) -> Self {
-        ClusterSpec { machine, machines: 1, network: None, name: None }
+        ClusterSpec {
+            machine,
+            machines: 1,
+            network: None,
+            name: None,
+        }
     }
 
     /// A cluster of `machines` identical machines over `network`.
     pub fn cluster(machine: MachineSpec, machines: u32, network: NetworkKind) -> Self {
-        ClusterSpec { machine, machines, network: Some(network), name: None }
+        ClusterSpec {
+            machine,
+            machines,
+            network: Some(network),
+            name: None,
+        }
     }
 
     /// Builder-style: attach a configuration name.
@@ -156,7 +166,10 @@ mod tests {
 
     #[test]
     fn classification_matches_table1() {
-        assert_eq!(ClusterSpec::single(ws()).platform(), PlatformKind::Uniprocessor);
+        assert_eq!(
+            ClusterSpec::single(ws()).platform(),
+            PlatformKind::Uniprocessor
+        );
         assert_eq!(ClusterSpec::single(smp(2)).platform(), PlatformKind::Smp);
         assert_eq!(
             ClusterSpec::cluster(ws(), 4, NetworkKind::Ethernet100).platform(),
@@ -175,7 +188,10 @@ mod tests {
             PlatformKind::ClusterOfWorkstations.additional_levels(),
             "gray blocks B and C"
         );
-        assert_eq!(PlatformKind::ClusterOfSmps.additional_levels(), "gray blocks A, B, and C");
+        assert_eq!(
+            PlatformKind::ClusterOfSmps.additional_levels(),
+            "gray blocks A, B, and C"
+        );
     }
 
     #[test]

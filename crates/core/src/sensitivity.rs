@@ -84,17 +84,32 @@ pub fn analyze(
     // Cache capacity +25%.
     let mut c = baseline.clone();
     c.machine.cache_bytes = (baseline.machine.cache_bytes as f64 * (1.0 + bump)) as u64;
-    push(&mut factors, "cache capacity", model.evaluate_or_inf(&c, workload), bump);
+    push(
+        &mut factors,
+        "cache capacity",
+        model.evaluate_or_inf(&c, workload),
+        bump,
+    );
 
     // Memory capacity +25%.
     let mut c = baseline.clone();
     c.machine.memory_bytes = (baseline.machine.memory_bytes as f64 * (1.0 + bump)) as u64;
-    push(&mut factors, "memory capacity", model.evaluate_or_inf(&c, workload), bump);
+    push(
+        &mut factors,
+        "memory capacity",
+        model.evaluate_or_inf(&c, workload),
+        bump,
+    );
 
     // Clock +25%.
     let mut c = baseline.clone();
     c.machine.clock_hz = baseline.machine.clock_hz * (1.0 + bump);
-    push(&mut factors, "processor clock", model.evaluate_or_inf(&c, workload), bump);
+    push(
+        &mut factors,
+        "processor clock",
+        model.evaluate_or_inf(&c, workload),
+        bump,
+    );
 
     // Network service −25% (faster network): scale the latency table.
     if baseline.network.is_some() {
@@ -154,7 +169,10 @@ pub fn analyze(
         q,
         NetworkKind::Atm155,
     );
-    let (es, ec) = (model.evaluate_or_inf(&smp, workload), model.evaluate_or_inf(&cow, workload));
+    let (es, ec) = (
+        model.evaluate_or_inf(&smp, workload),
+        model.evaluate_or_inf(&cow, workload),
+    );
     SensitivityReport {
         workload: workload.name.clone(),
         factors,
@@ -172,12 +190,20 @@ mod tests {
     use crate::params;
 
     fn cow_baseline() -> ClusterSpec {
-        ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Ethernet100)
+        ClusterSpec::cluster(
+            MachineSpec::new(1, 256, 64, 200.0),
+            4,
+            NetworkKind::Ethernet100,
+        )
     }
 
     #[test]
     fn produces_all_factors_for_cluster() {
-        let r = analyze(&AnalyticModel::default(), &cow_baseline(), &params::workload_fft());
+        let r = analyze(
+            &AnalyticModel::default(),
+            &cow_baseline(),
+            &params::workload_fft(),
+        );
         let names: Vec<&str> = r.factors.iter().map(|f| f.factor.as_str()).collect();
         assert!(names.contains(&"cache capacity"));
         assert!(names.contains(&"memory capacity"));
@@ -189,15 +215,31 @@ mod tests {
     #[test]
     fn clock_elasticity_is_negative() {
         // A faster clock reduces E(Instr).
-        let r = analyze(&AnalyticModel::default(), &cow_baseline(), &params::workload_lu());
-        let clock = r.factors.iter().find(|f| f.factor == "processor clock").unwrap();
+        let r = analyze(
+            &AnalyticModel::default(),
+            &cow_baseline(),
+            &params::workload_lu(),
+        );
+        let clock = r
+            .factors
+            .iter()
+            .find(|f| f.factor == "processor clock")
+            .unwrap();
         assert!(clock.elasticity < 0.0, "{clock:?}");
     }
 
     #[test]
     fn faster_network_reduces_e_for_cluster() {
-        let r = analyze(&AnalyticModel::default(), &cow_baseline(), &params::workload_fft());
-        let net = r.factors.iter().find(|f| f.factor == "network speed").unwrap();
+        let r = analyze(
+            &AnalyticModel::default(),
+            &cow_baseline(),
+            &params::workload_fft(),
+        );
+        let net = r
+            .factors
+            .iter()
+            .find(|f| f.factor == "network speed")
+            .unwrap();
         assert!(net.perturbed_seconds < net.baseline_seconds, "{net:?}");
     }
 
@@ -218,7 +260,11 @@ mod tests {
 
     #[test]
     fn factors_sorted_by_magnitude() {
-        let r = analyze(&AnalyticModel::default(), &cow_baseline(), &params::workload_radix());
+        let r = analyze(
+            &AnalyticModel::default(),
+            &cow_baseline(),
+            &params::workload_radix(),
+        );
         for w in r.factors.windows(2) {
             assert!(w[0].elasticity.abs() >= w[1].elasticity.abs());
         }

@@ -8,8 +8,7 @@ use memhier_core::platform::ClusterSpec;
 use proptest::prelude::*;
 
 fn locality_strategy() -> impl Strategy<Value = Locality> {
-    (1.01f64..3.0, 2.0f64..5000.0)
-        .prop_map(|(alpha, beta)| Locality::new(alpha, beta).unwrap())
+    (1.01f64..3.0, 2.0f64..5000.0).prop_map(|(alpha, beta)| Locality::new(alpha, beta).unwrap())
 }
 
 fn workload_strategy() -> impl Strategy<Value = WorkloadParams> {

@@ -52,7 +52,11 @@ pub fn optimize(
             if !e.is_finite() {
                 return None;
             }
-            Some(RankedConfig { spec, cost, e_instr_seconds: e })
+            Some(RankedConfig {
+                spec,
+                cost,
+                e_instr_seconds: e,
+            })
         })
         .collect();
     ranked.sort_by(|a, b| {
@@ -83,7 +87,11 @@ pub fn pareto_frontier(
             if !e.is_finite() {
                 return None;
             }
-            Some(RankedConfig { spec, cost, e_instr_seconds: e })
+            Some(RankedConfig {
+                spec,
+                cost,
+                e_instr_seconds: e,
+            })
         })
         .collect();
     all.sort_by(|a, b| {
@@ -105,7 +113,6 @@ pub fn pareto_frontier(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn fft() -> WorkloadParams {
         WorkloadParams::new("FFT", 1.21, 103.26, 0.20).unwrap()
@@ -149,7 +156,10 @@ mod tests {
         // workstation-based (n = 1).
         let rs = run(5000.0, &fft());
         assert!(!rs.is_empty());
-        assert!(rs.iter().all(|r| r.spec.machine.n_procs == 1), "SMP leaked under $5k");
+        assert!(
+            rs.iter().all(|r| r.spec.machine.n_procs == 1),
+            "SMP leaked under $5k"
+        );
     }
 
     #[test]
@@ -206,7 +216,11 @@ mod tests {
             .network
             .map(|n| n != memhier_core::machine::NetworkKind::Ethernet10)
             .unwrap_or(true);
-        assert!(net_ok, "Radix should avoid 10Mb Ethernet: {}", best.spec.describe());
+        assert!(
+            net_ok,
+            "Radix should avoid 10Mb Ethernet: {}",
+            best.spec.describe()
+        );
     }
     #[test]
     fn pareto_frontier_is_monotone() {
@@ -238,4 +252,3 @@ mod tests {
         assert_eq!(best.e_instr_seconds, unconstrained[0].e_instr_seconds);
     }
 }
-

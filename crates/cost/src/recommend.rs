@@ -102,7 +102,11 @@ pub fn recommend(w: &WorkloadParams) -> Recommendation {
          cluster network bandwidth first"
     };
 
-    Recommendation { platform, rationale, upgrade_advice }
+    Recommendation {
+        platform,
+        rationale,
+        upgrade_advice,
+    }
 }
 
 #[cfg(test)]

@@ -45,12 +45,10 @@ impl PlatformClass {
             PlatformKind::Uniprocessor => PlatformClass::SingleWorkstation,
             PlatformKind::Smp => PlatformClass::Smp,
             PlatformKind::ClusterOfSmps => PlatformClass::Clump,
-            PlatformKind::ClusterOfWorkstations => {
-                match cfg.spec.network.map(|n| n.topology()) {
-                    Some(NetworkTopology::Switch) => PlatformClass::CowSwitch,
-                    _ => PlatformClass::CowBus,
-                }
-            }
+            PlatformKind::ClusterOfWorkstations => match cfg.spec.network.map(|n| n.topology()) {
+                Some(NetworkTopology::Switch) => PlatformClass::CowSwitch,
+                _ => PlatformClass::CowBus,
+            },
         }
     }
 }
@@ -80,7 +78,9 @@ pub fn sweep(
     prices: &PriceTable,
     space: &CandidateSpace,
 ) -> Vec<SweepCell> {
-    sweep_with_sharing(budget, alpha, 0.2, rho_grid, beta_grid, model, prices, space)
+    sweep_with_sharing(
+        budget, alpha, 0.2, rho_grid, beta_grid, model, prices, space,
+    )
 }
 
 /// As [`sweep`] with an explicit SPMD sharing fraction (the fraction of

@@ -37,7 +37,10 @@ fn upgrade_cost(old: &ClusterSpec, new: &ClusterSpec, prices: &PriceTable) -> Op
     cost += added * (mc + net_cost);
     // Existing machines pay the component deltas.
     let kept = old.machines.min(new.machines) as f64;
-    let mem_add_mb = (new.machine.memory_bytes.saturating_sub(old.machine.memory_bytes)
+    let mem_add_mb = (new
+        .machine
+        .memory_bytes
+        .saturating_sub(old.machine.memory_bytes)
         / (1024 * 1024)) as f64;
     cost += kept * mem_add_mb * prices.mem_per_mb;
     if new.machine.cache_bytes > old.machine.cache_bytes {
@@ -126,7 +129,12 @@ pub fn plan_upgrade(
                     if actions.is_empty() {
                         actions.push("keep as is".to_string());
                     }
-                    plans.push(UpgradePlan { spec, cost, e_instr_seconds: e, actions });
+                    plans.push(UpgradePlan {
+                        spec,
+                        cost,
+                        e_instr_seconds: e,
+                        actions,
+                    });
                 }
             }
         }
@@ -145,7 +153,11 @@ mod tests {
     use memhier_core::machine::MachineSpec;
 
     fn base_cow() -> ClusterSpec {
-        ClusterSpec::cluster(MachineSpec::new(1, 256, 32, 200.0), 2, NetworkKind::Ethernet10)
+        ClusterSpec::cluster(
+            MachineSpec::new(1, 256, 32, 200.0),
+            2,
+            NetworkKind::Ethernet10,
+        )
     }
 
     fn fft() -> WorkloadParams {
@@ -172,7 +184,11 @@ mod tests {
         let model = AnalyticModel::default();
         let prices = PriceTable::circa_1999();
         let plans = plan_upgrade(&base_cow(), 3000.0, &fft(), &model, &prices);
-        let noop_e = plans.iter().find(|p| p.cost == 0.0).unwrap().e_instr_seconds;
+        let noop_e = plans
+            .iter()
+            .find(|p| p.cost == 0.0)
+            .unwrap()
+            .e_instr_seconds;
         let best = &plans[0];
         assert!(best.cost <= 3000.0);
         assert!(

@@ -1,0 +1,298 @@
+//! Hermetic shim of the `rayon` API subset this workspace uses:
+//! `Vec::into_par_iter()` / slice `par_iter()` with `map` / `filter_map`
+//! / `for_each` / `collect`, plus [`ThreadPoolBuilder`] /
+//! [`ThreadPool::install`] for scoping the worker count.
+//!
+//! Execution model: each eager combinator fans the items out to `N`
+//! OS threads pulling indices from a shared atomic counter (work
+//! stealing at item granularity), then reassembles results **in item
+//! order** — so output order never depends on scheduling, which is the
+//! determinism contract the sweep runner builds on.  `N` comes from the
+//! innermost [`ThreadPool::install`], else `MEMHIER_JOBS`, else
+//! `available_parallelism`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Worker count installed by the innermost `ThreadPool::install`.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Default worker count: `MEMHIER_JOBS` env override, else the host's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    if installed > 0 {
+        return installed;
+    }
+    if let Ok(v) = std::env::var("MEMHIER_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f(item)` for every item of `items` on `threads` workers pulling
+/// from a shared index; results are returned in item order.
+fn ordered_parallel_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    // Hand items out through Option slots so workers can take them by index.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let slots = &slots;
+    let next = &next;
+    let mut tagged: Vec<(usize, U)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return out;
+                        }
+                        let item = slots[i].lock().unwrap().take().expect("item taken once");
+                        out.push((i, f(item)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            tagged.extend(h.join().expect("rayon shim worker panicked"));
+        }
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+/// An eager "parallel iterator" holding its items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map preserving item order.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: ordered_parallel_map(self.items, current_num_threads(), f),
+        }
+    }
+
+    /// Parallel filter-map preserving item order.
+    pub fn filter_map<U: Send, F: Fn(T) -> Option<U> + Sync>(self, f: F) -> ParIter<U> {
+        let mapped = ordered_parallel_map(self.items, current_num_threads(), f);
+        ParIter {
+            items: mapped.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel for-each (order of side effects unspecified, as upstream).
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        ordered_parallel_map(self.items, current_num_threads(), |t| f(t));
+    }
+
+    /// Collect into any container buildable from an ordered `Vec`.
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Consume `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing parallel iteration (`.par_iter()` on slices/Vecs).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send;
+    /// Iterate over `&self` in parallel.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Build error (the shim never fails to build).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with default worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker count (0 = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical pool: the shim spawns scoped threads per operation, so the
+/// pool only carries the configured width.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool's width governing every parallel
+    /// operation it performs (restores the previous width after).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
+        let out = op();
+        INSTALLED_THREADS.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// `rayon::prelude` mirror.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// `rayon::iter` namespace mirror (re-exports the same types).
+pub mod iter {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..500).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_preserves_order_and_filters() {
+        let v: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = v
+            .into_par_iter()
+            .filter_map(|x| (x % 3 == 0).then_some(x))
+            .collect();
+        assert_eq!(out, (0..100).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_overrides_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1u32, 2, 3];
+        let s: u32 = v.par_iter().map(|&x| x).collect::<Vec<u32>>().iter().sum();
+        assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            (0..64usize)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|i| {
+                    if i % 7 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    i
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,343 @@
+//! Hermetic shim of the `serde` API subset this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal, behavior-compatible implementations of its external
+//! dependencies under `crates/shims/`.  This crate provides:
+//!
+//! * [`Serialize`] — a single-method trait producing a JSON [`Value`]
+//!   tree (the only serialization format the workspace emits);
+//! * [`Deserialize`] — a marker-style trait with a defaulted error body;
+//!   only `serde_json::Value` overrides it (typed deserialization is not
+//!   used anywhere in the workspace);
+//! * `#[derive(Serialize)]` / `#[derive(Deserialize)]` re-exported from
+//!   the companion `serde_derive` proc-macro crate, covering named-field
+//!   structs and unit-variant enums (the only shapes the workspace
+//!   derives on).
+//!
+//! The JSON [`Value`] tree lives here (not in `serde_json`) so both
+//! crates can share it without a dependency cycle; `serde_json`
+//! re-exports it as `serde_json::Value`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Shared JSON value tree, re-exported by `serde_json` as its `Value`.
+pub mod __private {
+    /// A JSON number: integers keep their exact representation, as in
+    /// upstream `serde_json`.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub enum Number {
+        /// Signed integer (only produced for negative values).
+        I64(i64),
+        /// Unsigned integer.
+        U64(u64),
+        /// Floating point.
+        F64(f64),
+    }
+
+    impl Number {
+        /// Lossy conversion to `f64`.
+        pub fn as_f64(&self) -> f64 {
+            match *self {
+                Number::I64(v) => v as f64,
+                Number::U64(v) => v as f64,
+                Number::F64(v) => v,
+            }
+        }
+    }
+
+    /// A JSON document. Object keys keep insertion order, matching the
+    /// field order of derived structs (upstream serde_json with
+    /// `preserve_order` — and deterministic output either way).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number.
+        Number(Number),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object (insertion-ordered).
+        Object(Vec<(String, Value)>),
+    }
+
+    // The accessor/indexing surface lives here (with the type) because
+    // coherence forbids `serde_json` adding inherent impls; `serde_json`
+    // re-exports `Value`, so callers see the upstream API.
+    impl Value {
+        /// Object field lookup (`None` for non-objects / missing keys).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// Array element lookup.
+        pub fn get_index(&self, i: usize) -> Option<&Value> {
+            match self {
+                Value::Array(a) => a.get(i),
+                _ => None,
+            }
+        }
+
+        /// As `f64` if this is any number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(n.as_f64()),
+                _ => None,
+            }
+        }
+
+        /// As `i64` if this is an integer that fits.
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Number(Number::I64(v)) => Some(*v),
+                Value::Number(Number::U64(v)) => i64::try_from(*v).ok(),
+                _ => None,
+            }
+        }
+
+        /// As `u64` if this is a non-negative integer.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Number(Number::U64(v)) => Some(*v),
+                Value::Number(Number::I64(v)) => u64::try_from(*v).ok(),
+                _ => None,
+            }
+        }
+
+        /// As string slice.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// As bool.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// As array slice.
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// Whether this is `null`.
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+    }
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+        fn index(&self, key: &str) -> &Value {
+            static NULL: Value = Value::Null;
+            self.get(key).unwrap_or(&NULL)
+        }
+    }
+
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+        fn index(&self, i: usize) -> &Value {
+            static NULL: Value = Value::Null;
+            self.get_index(i).unwrap_or(&NULL)
+        }
+    }
+}
+
+use __private::{Number, Value};
+
+/// Types that can be turned into a JSON [`Value`].
+///
+/// Upstream serde abstracts over serializer back-ends; this workspace
+/// only ever serializes to JSON, so the shim collapses the trait to the
+/// one conversion actually exercised.
+pub trait Serialize {
+    /// Convert `self` to a JSON value tree.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Marker trait paired with `#[derive(Deserialize)]`.
+///
+/// No workspace code performs typed deserialization (only
+/// `serde_json::Value` is ever parsed from text), so the default body
+/// reports that honestly rather than dragging in a full deserializer
+/// framework.
+pub trait Deserialize: Sized {
+    /// Build `Self` from a parsed JSON value.
+    fn from_json_value(_v: Value) -> Result<Self, String> {
+        Err("typed deserialization is not supported by the serde shim".to_string())
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: Value) -> Result<Self, String> {
+        Ok(v)
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+    )*};
+}
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 {
+                    Value::Number(Number::I64(v))
+                } else {
+                    Value::Number(Number::U64(v as u64))
+                }
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::F64(*self as f64))
+    }
+}
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+    )+};
+}
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.as_ref().to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(5u32.to_json_value(), Value::Number(Number::U64(5)));
+        assert_eq!((-3i64).to_json_value(), Value::Number(Number::I64(-3)));
+        assert_eq!(2i64.to_json_value(), Value::Number(Number::U64(2)));
+        assert_eq!(true.to_json_value(), Value::Bool(true));
+        assert_eq!("x".to_json_value(), Value::String("x".into()));
+        assert_eq!(Option::<u8>::None.to_json_value(), Value::Null);
+    }
+
+    #[test]
+    fn compound_shapes() {
+        let v = vec![(1u64, "a".to_string())].to_json_value();
+        assert_eq!(
+            v,
+            Value::Array(vec![Value::Array(vec![
+                Value::Number(Number::U64(1)),
+                Value::String("a".into())
+            ])])
+        );
+        let arr = [1.0f64, 2.0].to_json_value();
+        assert!(matches!(arr, Value::Array(ref a) if a.len() == 2));
+    }
+}

@@ -1,0 +1,219 @@
+//! Hermetic shim of serde's `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the sandbox has no
+//! `syn`/`quote`).  Supports exactly the item shapes this workspace
+//! derives on:
+//!
+//! * structs with named fields (any visibility, attributes ignored) —
+//!   serialized as a JSON object in declaration order;
+//! * enums whose variants are all unit variants — serialized as the
+//!   variant name string (serde's externally-tagged representation for
+//!   unit variants).
+//!
+//! Anything else produces a compile error naming the limitation, so a
+//! future refactor that introduces an unsupported shape fails loudly
+//! instead of mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Skip one attribute (`#` followed by a bracket group) if present.
+fn skip_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The bracketed attribute body.
+                match tokens.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        tokens.next();
+                    }
+                    _ => return,
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut t = input.into_iter().peekable();
+    skip_attrs(&mut t);
+    skip_vis(&mut t);
+    let kind = match t.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match t.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    // Reject generics: the workspace derives only on concrete types.
+    if let Some(TokenTree::Punct(p)) = t.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim: generic type `{name}` is not supported"
+            ));
+        }
+    }
+    let body = loop {
+        match t.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde shim: tuple struct `{name}` is not supported"
+                ));
+            }
+            Some(_) => continue,
+            None => return Err(format!("serde shim: `{name}` has no braced body")),
+        }
+    };
+    match kind.as_str() {
+        "struct" => {
+            let mut fields = Vec::new();
+            let mut inner = body.stream().into_iter().peekable();
+            loop {
+                skip_attrs(&mut inner);
+                skip_vis(&mut inner);
+                match inner.next() {
+                    Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                    None => break,
+                    other => return Err(format!("unexpected token in `{name}`: {other:?}")),
+                }
+                // Skip past the `:` and the type tokens up to a top-level comma.
+                let mut depth = 0i32;
+                loop {
+                    match inner.next() {
+                        Some(TokenTree::Punct(p)) => {
+                            let c = p.as_char();
+                            if c == '<' {
+                                depth += 1;
+                            } else if c == '>' {
+                                depth -= 1;
+                            } else if c == ',' && depth <= 0 {
+                                break;
+                            }
+                        }
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+            }
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let mut variants = Vec::new();
+            let mut inner = body.stream().into_iter().peekable();
+            loop {
+                skip_attrs(&mut inner);
+                match inner.next() {
+                    Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+                    None => break,
+                    other => return Err(format!("unexpected token in `{name}`: {other:?}")),
+                }
+                match inner.next() {
+                    // Unit variant followed by the separating comma (or end).
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    None => break,
+                    Some(_) => {
+                        return Err(format!(
+                            "serde shim: enum `{name}` has a data-carrying variant; only unit \
+                             enums are supported"
+                        ));
+                    }
+                }
+            }
+            Ok(Item::UnitEnum { name, variants })
+        }
+        other => Err(format!("serde shim: cannot derive on `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_json_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::__private::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                              ::serde::__private::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::__private::Value::Object(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::__private::Value::String({v:?}.to_string()),\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::__private::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().unwrap()
+}
+
+/// Derive `serde::Deserialize` (shim): emits the marker impl whose
+/// defaulted body rejects typed deserialization at run time.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = match &item {
+        Item::Struct { name, .. } | Item::UnitEnum { name, .. } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}

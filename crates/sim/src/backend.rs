@@ -401,8 +401,7 @@ impl ClusterBackend {
             let occ = self.lat.smp_remote_cache as u64;
             let wait = self.nodes[node].bus.acquire(now, occ);
             lat += wait + occ;
-            self.traffic.coherence_bytes +=
-                self.params.ctrl_msg_bytes * (dropped.max(1) as u64);
+            self.traffic.coherence_bytes += self.params.ctrl_msg_bytes * (dropped.max(1) as u64);
         }
         if self.is_cluster() {
             let block = self.block_of(addr);
@@ -483,8 +482,7 @@ impl ClusterBackend {
         match dir {
             Some(DirState::Exclusive(owner)) if owner != node => {
                 // Dirty at another node: fetched at the remote-cached cost.
-                let cost =
-                    self.lat.remote_cached(self.net_kind.unwrap(), self.clump()) as u64;
+                let cost = self.lat.remote_cached(self.net_kind.unwrap(), self.clump()) as u64;
                 let wait = self.network_acquire(now, owner, cost);
                 self.counts.remote_dirty += 1;
                 self.traffic.data_bytes += self.params.block_bytes;
@@ -531,8 +529,7 @@ impl ClusterBackend {
                     }
                 } else {
                     // Fetch from the home node's memory over the network.
-                    let cost =
-                        self.lat.remote_node(self.net_kind.unwrap(), self.clump()) as u64;
+                    let cost = self.lat.remote_node(self.net_kind.unwrap(), self.clump()) as u64;
                     let wait = self.network_acquire(now, home, cost);
                     lat = wait + cost;
                     // Home page-in if its memory doesn't hold the page.
@@ -571,10 +568,8 @@ impl ClusterBackend {
                     // Invalidate all other sharers.
                     let others = sharers & !(1 << node);
                     if others != 0 {
-                        let cost = self
-                            .lat
-                            .remote_node(self.net_kind.unwrap(), self.clump())
-                            as u64;
+                        let cost =
+                            self.lat.remote_node(self.net_kind.unwrap(), self.clump()) as u64;
                         let wait = self.network_acquire(now + lat, home, cost);
                         lat += wait + cost;
                         for s in 0..self.nodes.len() {
@@ -609,10 +604,8 @@ impl ClusterBackend {
                 }
                 Some(DirState::Exclusive(o)) if o == node => {
                     // Dirty writeback to the victim's home node.
-                    let victim_home =
-                        self.home.home(evicted * self.params.block_bytes);
-                    let cost =
-                        self.lat.remote_node(self.net_kind.unwrap(), self.clump()) as u64;
+                    let victim_home = self.home.home(evicted * self.params.block_bytes);
+                    let cost = self.lat.remote_node(self.net_kind.unwrap(), self.clump()) as u64;
                     self.network_acquire(now, victim_home, cost);
                     self.traffic.data_bytes += self.params.block_bytes;
                     // Home memory now holds the clean data; drop the entry
@@ -752,7 +745,7 @@ mod tests {
         let addr = 0u64;
         b.access(0, addr, false, 0); // node 0 shared (home)
         b.access(1, addr, false, 100_000); // node 1 shared (remote fetch)
-        // Node 0 writes: one invalidation round to node 1.
+                                           // Node 0 writes: one invalidation round to node 1.
         let lat = b.access(0, addr, true, 200_000);
         // Upgrade path: L1 hit + remote invalidation (4575).
         assert_eq!(lat, 1 + 4575);
@@ -766,7 +759,7 @@ mod tests {
         let mut b = cow(2, NetworkKind::Ethernet100);
         let addr = 256u64; // homed at node 1
         b.access(0, addr, false, 0); // remote fetch, deposits block
-        // A *different line* of the same 256-byte block: local memory hit.
+                                     // A *different line* of the same 256-byte block: local memory hit.
         let lat = b.access(0, addr + 64, false, 100_000);
         assert_eq!(lat, 1 + 50, "block held in local remote-cache");
         assert_eq!(b.counts().local_memory, 1);
@@ -780,7 +773,7 @@ mod tests {
             // Warm home pages to isolate network behavior.
             b.access(2, 512, false, 0); // block 2 homed at node 2
             b.access(3, 768, false, 0); // block 3 homed at node 3
-            // Concurrent remote fetches from nodes 0 and 1.
+                                        // Concurrent remote fetches from nodes 0 and 1.
             let a = b.access(0, 512, false, 1_000_000);
             let c = b.access(1, 768, false, 1_000_000);
             (a, c)

@@ -48,7 +48,10 @@ impl SetAssocCache {
     /// Build a cache of `capacity_bytes` with `ways` associativity and
     /// `line_bytes` lines.  Panics if the geometry is degenerate.
     pub fn new(capacity_bytes: u64, ways: usize, line_bytes: u64) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways >= 1);
         let total_lines = (capacity_bytes / line_bytes).max(1) as usize;
         let sets = (total_lines / ways).max(1);
@@ -61,7 +64,12 @@ impl SetAssocCache {
             sets,
             ways,
             lines: vec![
-                Line { tag: 0, state: LineState::Shared, stamp: 0, valid: false };
+                Line {
+                    tag: 0,
+                    state: LineState::Shared,
+                    stamp: 0,
+                    valid: false
+                };
                 sets * ways
             ],
             clock: 0,
@@ -161,13 +169,20 @@ impl SetAssocCache {
         }
         let evicted = if self.lines[victim].valid {
             let v = self.lines[victim];
-            let victim_addr =
-                (v.tag * self.sets as u64 + set as u64) * self.line_bytes;
-            Some(Evicted { addr: victim_addr, state: v.state })
+            let victim_addr = (v.tag * self.sets as u64 + set as u64) * self.line_bytes;
+            Some(Evicted {
+                addr: victim_addr,
+                state: v.state,
+            })
         } else {
             None
         };
-        self.lines[victim] = Line { tag, state, stamp: self.clock, valid: true };
+        self.lines[victim] = Line {
+            tag,
+            state,
+            stamp: self.clock,
+            valid: true,
+        };
         evicted
     }
 

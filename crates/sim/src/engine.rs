@@ -106,7 +106,12 @@ impl Engine {
                 at_barrier: false,
             })
             .collect();
-        Engine { backend, procs, barriers: 0, barrier_wait: 0 }
+        Engine {
+            backend,
+            procs,
+            barriers: 0,
+            barrier_wait: 0,
+        }
     }
 
     /// Release a resolved barrier: align every parked clock to the latest
@@ -317,12 +322,14 @@ mod tests {
         let (tx1, rx1) = channel::bounded(4);
         let f0 = std::thread::spawn(move || {
             for i in 0..10u64 {
-                tx0.send(vec![MemEvent::Read(i * 64), MemEvent::Compute(3)]).unwrap();
+                tx0.send(vec![MemEvent::Read(i * 64), MemEvent::Compute(3)])
+                    .unwrap();
             }
         });
         let f1 = std::thread::spawn(move || {
             for i in 0..10u64 {
-                tx1.send(vec![MemEvent::Read(i * 64 + 8192), MemEvent::Compute(3)]).unwrap();
+                tx1.send(vec![MemEvent::Read(i * 64 + 8192), MemEvent::Compute(3)])
+                    .unwrap();
             }
         });
         let r = run_simulation(

@@ -23,7 +23,11 @@ impl HomeMap {
     pub fn new(nodes: usize, block_bytes: u64) -> Self {
         assert!(nodes >= 1);
         assert!(block_bytes.is_power_of_two());
-        HomeMap { ranges: Vec::new(), nodes, block_bytes }
+        HomeMap {
+            ranges: Vec::new(),
+            nodes,
+            block_bytes,
+        }
     }
 
     /// Register `[start, end)` as homed at `node`.  Ranges must not overlap

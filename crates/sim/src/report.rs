@@ -124,7 +124,9 @@ impl SimReport {
         // instructions − refs (1 cycle each).  Summed over processors.
         let total: u64 = self.proc_cycles.iter().sum();
         let compute = self.total_instructions - self.total_refs;
-        (total.saturating_sub(compute).saturating_sub(self.barrier_wait_cycles)) as f64
+        (total
+            .saturating_sub(compute)
+            .saturating_sub(self.barrier_wait_cycles)) as f64
             / self.total_refs as f64
     }
 }
@@ -135,7 +137,10 @@ mod tests {
 
     #[test]
     fn coherence_fraction() {
-        let t = Traffic { data_bytes: 930, coherence_bytes: 70 };
+        let t = Traffic {
+            data_bytes: 930,
+            coherence_bytes: 70,
+        };
         assert!((t.coherence_fraction() - 0.07).abs() < 1e-12);
         assert_eq!(Traffic::default().coherence_fraction(), 0.0);
     }

@@ -132,7 +132,11 @@ impl<K: Eq + Hash + Copy> LruSet<K> {
         if self.touch(k) {
             return None;
         }
-        let evicted = if self.map.len() >= self.capacity { self.pop_lru() } else { None };
+        let evicted = if self.map.len() >= self.capacity {
+            self.pop_lru()
+        } else {
+            None
+        };
         let i = match self.free.pop() {
             Some(i) => {
                 self.nodes[i] = (k, NONE, NONE);
@@ -244,7 +248,9 @@ mod tests {
         let mut slow: Vec<u64> = Vec::new();
         let mut x = 12345u64;
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = (x >> 33) % 20;
             // Reference model.
             let evicted_ref = if let Some(p) = slow.iter().position(|&v| v == k) {

@@ -15,7 +15,11 @@ fn tiny_memory_backend(nn: u32, net: Option<NetworkKind>) -> ClusterBackend {
         Some(k) => ClusterSpec::cluster(m, nn, k),
         None => ClusterSpec::single(m),
     };
-    ClusterBackend::new(&cluster, LatencyParams::paper(), HomeMap::new(nn as usize, 256))
+    ClusterBackend::new(
+        &cluster,
+        LatencyParams::paper(),
+        HomeMap::new(nn as usize, 256),
+    )
 }
 
 #[test]
@@ -59,7 +63,10 @@ fn remote_cache_eviction_causes_refetch() {
     // block_bytes * capacity relation: capacity = mem/2/block = 4 blocks
     // when block_bytes = 256 KB... instead use a huge block size so the
     // LRU capacity formula yields 4.
-    let params = ProtocolParams { block_bytes: 262_144, ..ProtocolParams::default() };
+    let params = ProtocolParams {
+        block_bytes: 262_144,
+        ..ProtocolParams::default()
+    };
     let mut b = ClusterBackend::with_params(
         &cluster,
         LatencyParams::paper(),
@@ -105,7 +112,11 @@ fn conflict_misses_in_two_way_cache() {
     }
     let c = b.counts();
     // Nearly every access misses (300 accesses, at most a handful of hits).
-    assert!(c.l1_hits < 10, "conflict thrash expected, got {} hits", c.l1_hits);
+    assert!(
+        c.l1_hits < 10,
+        "conflict thrash expected, got {} hits",
+        c.l1_hits
+    );
 }
 
 #[test]
@@ -133,7 +144,10 @@ fn dirty_remote_eviction_writes_back() {
     // local, not remote-dirty).
     let m = MachineSpec::new(1, 256, 2, 200.0);
     let cluster = ClusterSpec::cluster(m, 2, NetworkKind::Atm155);
-    let params = ProtocolParams { block_bytes: 262_144, ..ProtocolParams::default() };
+    let params = ProtocolParams {
+        block_bytes: 262_144,
+        ..ProtocolParams::default()
+    };
     let mut b = ClusterBackend::with_params(
         &cluster,
         LatencyParams::paper(),
@@ -155,6 +169,10 @@ fn dirty_remote_eviction_writes_back() {
     // resident; the huge test block spans many pages.)
     let before_dirty = b.counts().remote_dirty;
     let lat = b.access(1, 262_144 + 64, false, now);
-    assert_eq!(b.counts().remote_dirty, before_dirty, "no dirty fetch after writeback");
+    assert_eq!(
+        b.counts().remote_dirty,
+        before_dirty,
+        "no dirty fetch after writeback"
+    );
     assert_eq!(lat, 1 + 50, "home reads its written-back data locally");
 }

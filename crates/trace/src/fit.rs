@@ -117,7 +117,12 @@ pub fn fit_locality(points: &[(f64, f64)]) -> Option<FitResult> {
     let tss: f64 = ys.iter().map(|y| (y - mean) * (y - mean)).sum();
     let r2 = if tss > 0.0 { 1.0 - rss / tss } else { 1.0 };
 
-    Some(FitResult { alpha: 1.0 + k, beta, r_squared: r2, points: usable.len() })
+    Some(FitResult {
+        alpha: 1.0 + k,
+        beta,
+        r_squared: r2,
+        points: usable.len(),
+    })
 }
 
 #[cfg(test)]
@@ -152,7 +157,11 @@ mod tests {
         // β over 1000 (the paper's TPC-C characterization) must also fit.
         let pts = perfect_points(1.73, 1222.66, 120, 2e6);
         let fit = fit_locality(&pts).unwrap();
-        assert!((fit.beta - 1222.66).abs() / 1222.66 < 0.02, "beta {}", fit.beta);
+        assert!(
+            (fit.beta - 1222.66).abs() / 1222.66 < 0.02,
+            "beta {}",
+            fit.beta
+        );
     }
 
     #[test]

@@ -144,10 +144,7 @@ mod tests {
         let (phases, _) = an.finish();
         let b0 = phases[0].fit.unwrap().beta;
         let b1 = phases[1].fit.unwrap().beta;
-        assert!(
-            b1 > 5.0 * b0,
-            "phase betas should separate: {b0} vs {b1}"
-        );
+        assert!(b1 > 5.0 * b0, "phase betas should separate: {b0} vs {b1}");
     }
 
     #[test]

@@ -26,7 +26,9 @@ struct Fenwick {
 
 impl Fenwick {
     fn new(capacity: usize) -> Self {
-        Fenwick { tree: vec![0; capacity + 1] }
+        Fenwick {
+            tree: vec![0; capacity + 1],
+        }
     }
 
     fn len(&self) -> usize {
@@ -77,7 +79,10 @@ impl StackDistanceAnalyzer {
     /// Create an analyzer mapping addresses to `granularity`-byte blocks
     /// (`granularity` must be a power of two; 64 = cache-line granularity).
     pub fn new(granularity: u64) -> Self {
-        assert!(granularity.is_power_of_two(), "granularity must be a power of two");
+        assert!(
+            granularity.is_power_of_two(),
+            "granularity must be a power of two"
+        );
         StackDistanceAnalyzer {
             granularity,
             last_slot: HashMap::new(),
@@ -125,8 +130,7 @@ impl StackDistanceAnalyzer {
     /// Rebuild the Fenwick index space, keeping only live flags in their
     /// relative order.  Amortized O(1) per reference.
     fn compact(&mut self) {
-        let mut order: Vec<(usize, u64)> =
-            self.last_slot.iter().map(|(&b, &s)| (s, b)).collect();
+        let mut order: Vec<(usize, u64)> = self.last_slot.iter().map(|(&b, &s)| (s, b)).collect();
         order.sort_unstable();
         let new_cap = (order.len() * 2).max(Self::INITIAL_SLOTS);
         let mut bit = Fenwick::new(new_cap);
@@ -166,7 +170,10 @@ impl NaiveStackDistance {
     /// See [`StackDistanceAnalyzer::new`].
     pub fn new(granularity: u64) -> Self {
         assert!(granularity.is_power_of_two());
-        NaiveStackDistance { granularity, stack: Vec::new() }
+        NaiveStackDistance {
+            granularity,
+            stack: Vec::new(),
+        }
     }
 
     /// Process one reference; returns the stack distance in blocks

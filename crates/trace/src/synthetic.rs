@@ -143,8 +143,10 @@ mod tests {
 
     #[test]
     fn base_block_separates_streams() {
-        let a: Vec<u64> =
-            SyntheticTrace::new(1.3, 90.0, 1, 1).with_base_block(0).take(2000).collect();
+        let a: Vec<u64> = SyntheticTrace::new(1.3, 90.0, 1, 1)
+            .with_base_block(0)
+            .take(2000)
+            .collect();
         let b: Vec<u64> = SyntheticTrace::new(1.3, 90.0, 1, 1)
             .with_base_block(1 << 32)
             .take(2000)

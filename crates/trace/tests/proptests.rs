@@ -148,3 +148,102 @@ proptest! {
         prop_assert!(max_block < footprint_blocks);
     }
 }
+
+// ---------------------------------------------------------------------
+// Differential test across the analyzer's slot-compaction boundary.
+//
+// `StackDistanceAnalyzer` appends one slot per access to a fixed-width
+// Fenwick tree and *compacts* (rebuilds the slot array and re-indexes
+// every live block) each time the 2^16-slot window fills.  A bookkeeping
+// bug there — a stale Fenwick count, a wrong slot remap — is invisible
+// to short traces and only materializes after the first compaction.
+// These tests drive interleaved reuse well past two compactions and
+// demand exact agreement with the O(M·B) naive LRU stack.
+
+/// Mirrors the private `StackDistanceAnalyzer::INITIAL_SLOTS`.
+const INITIAL_SLOTS: usize = 1 << 16;
+
+/// Deterministic reuse-heavy stream: a hot set revisited constantly
+/// (small distances), a warm half-range, and a full-range scatter, with
+/// a phase shift halfway through so pre-compaction blocks are re-touched
+/// after their slots have been rebuilt.
+fn interleaved_trace(seed: u64, blocks: u64, refs: usize, granularity: u64) -> Vec<u64> {
+    assert!(blocks >= 64);
+    let mut out = Vec::with_capacity(refs);
+    let mut state = seed | 1;
+    for i in 0..refs {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let r = state >> 33;
+        let phase = if i < refs / 2 { 0 } else { blocks / 2 };
+        let block = match r % 10 {
+            // Hot set of 16 blocks; moves at the halfway phase shift.
+            0..=5 => (r / 16) % 16 + phase,
+            // Warm half-range, phase-shifted too.
+            6..=8 => r % (blocks / 2) + phase,
+            // Cold full-range scatter (long distances, new blocks).
+            _ => r % blocks,
+        };
+        // Off-alignment addresses exercise the block rounding.
+        out.push(block * granularity + (r % granularity));
+    }
+    out
+}
+
+proptest! {
+    // The naive reference is O(M·B); three cases keep this under control
+    // while still varying seed and granularity across runs.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn fenwick_equals_naive_past_two_compactions(
+        seed in 1u64..1_000_000,
+        granularity in prop_oneof![Just(1u64), Just(64)],
+    ) {
+        // 2.25 * INITIAL_SLOTS references => two compactions, plus a
+        // tail that reuses post-compaction state.
+        let refs = 2 * INITIAL_SLOTS + INITIAL_SLOTS / 4;
+        let trace = interleaved_trace(seed, 240, refs, granularity);
+        let mut fast = StackDistanceAnalyzer::new(granularity);
+        let mut slow = NaiveStackDistance::new(granularity);
+        for (i, &a) in trace.iter().enumerate() {
+            let f = fast.access(a);
+            let s = slow.access(a);
+            prop_assert_eq!(
+                f, s,
+                "fenwick diverged from naive at ref {} of {} (addr {:#x})",
+                i, refs, a
+            );
+        }
+        // Aggregates agree with an independent count of the trace.
+        let unique = {
+            let mut seen = std::collections::HashSet::new();
+            trace.iter().filter(|&&a| seen.insert(a / granularity)).count()
+        };
+        prop_assert_eq!(fast.unique_blocks() as usize, unique);
+        let h = fast.histogram();
+        prop_assert_eq!(h.total_refs(), refs as u64);
+        prop_assert_eq!(h.cold_refs(), unique as u64);
+    }
+
+    #[test]
+    fn compaction_is_invisible_to_the_histogram(seed in 1u64..1_000_000) {
+        // The same stream fed to one analyzer that compacts (long run)
+        // and, in two halves, to fresh analyzers that don't, must agree
+        // on every per-reference distance of the first half — compaction
+        // must never perturb already-recorded state.
+        let refs = INITIAL_SLOTS + INITIAL_SLOTS / 2;
+        let trace = interleaved_trace(seed, 150, refs, 64);
+        let mut whole = StackDistanceAnalyzer::new(64);
+        let mut prefix = StackDistanceAnalyzer::new(64);
+        let cut = INITIAL_SLOTS / 2; // well before the first compaction
+        for (i, &a) in trace.iter().enumerate() {
+            let w = whole.access(a);
+            if i < cut {
+                prop_assert_eq!(w, prefix.access(a));
+            }
+        }
+        prop_assert_eq!(whole.histogram().total_refs(), refs as u64);
+    }
+}

@@ -42,7 +42,10 @@ impl EdgeProgram {
         procs: usize,
         init: impl Fn(usize, usize) -> u32,
     ) -> Arc<Self> {
-        assert!(dim.is_multiple_of(procs), "process count must divide image height");
+        assert!(
+            dim.is_multiple_of(procs),
+            "process count must divide image height"
+        );
         assert!(dim >= 4);
         let mut sp = AddressSpace::default();
         let img = TracedArray::new_with(sp.alloc(dim * dim), dim * dim, |i| init(i / dim, i % dim));
@@ -124,7 +127,11 @@ impl EdgeProgram {
             }
             for y in 0..h {
                 for x in 0..w {
-                    out[y * w + x] = if grad[y * w + x] > self.threshold { 255 } else { 0 };
+                    out[y * w + x] = if grad[y * w + x] > self.threshold {
+                        255
+                    } else {
+                        0
+                    };
                 }
             }
             img.copy_from_slice(&blur);
@@ -178,7 +185,8 @@ impl SpmdProgram for EdgeProgram {
             for y in self.rows_of(pid) {
                 for x in 0..w {
                     let g = self.grad.get(ctx, y * w + x);
-                    self.out.set(ctx, y * w + x, if g > self.threshold { 255 } else { 0 });
+                    self.out
+                        .set(ctx, y * w + x, if g > self.threshold { 255 } else { 0 });
                     let b = self.blur.get(ctx, y * w + x);
                     self.img.set(ctx, y * w + x, b);
                     ctx.compute(3);

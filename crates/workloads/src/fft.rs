@@ -39,7 +39,10 @@ impl FftProgram {
             "points must be a power of 4 and at least 4, got {points}"
         );
         let m = 1usize << (points.trailing_zeros() / 2);
-        assert!(procs >= 1 && m.is_multiple_of(procs), "process count {procs} must divide m = {m}");
+        assert!(
+            procs >= 1 && m.is_multiple_of(procs),
+            "process count {procs} must divide m = {m}"
+        );
         let n = points;
         let mut sp = AddressSpace::default();
         let a_re = TracedArray::new_with(sp.alloc(n), n, |i| input(i).0);
@@ -49,7 +52,17 @@ impl FftProgram {
         let theta = -2.0 * std::f64::consts::PI / n as f64;
         let w_re = TracedArray::new_with(sp.alloc(n), n, |k| (theta * k as f64).cos());
         let w_im = TracedArray::new_with(sp.alloc(n), n, |k| (theta * k as f64).sin());
-        Arc::new(FftProgram { procs, n, m, a_re, a_im, b_re, b_im, w_re, w_im })
+        Arc::new(FftProgram {
+            procs,
+            n,
+            m,
+            a_re,
+            a_im,
+            b_re,
+            b_im,
+            w_re,
+            w_im,
+        })
     }
 
     /// Deterministic pseudo-random test input.
@@ -77,7 +90,9 @@ impl FftProgram {
 
     /// The result (natural order) after a run, untraced.
     pub fn output(&self) -> Vec<(f64, f64)> {
-        (0..self.n).map(|i| (self.b_re.get_silent(i), self.b_im.get_silent(i))).collect()
+        (0..self.n)
+            .map(|i| (self.b_re.get_silent(i), self.b_im.get_silent(i)))
+            .collect()
     }
 
     /// The (untouched after run? no — A is scratched) initial input is not
@@ -110,13 +125,7 @@ impl FftProgram {
     /// In-place iterative radix-2 FFT of one row of (`re`, `im`).
     /// Order-`len` roots are read from the shared order-`N` table at stride
     /// `N/len`.
-    fn fft_row(
-        &self,
-        ctx: &mut SpmdCtx,
-        re: &TracedArray<f64>,
-        im: &TracedArray<f64>,
-        row: usize,
-    ) {
+    fn fft_row(&self, ctx: &mut SpmdCtx, re: &TracedArray<f64>, im: &TracedArray<f64>, row: usize) {
         let m = self.m;
         let base = row * m;
         // Bit-reversal permutation.
@@ -143,8 +152,7 @@ impl FftProgram {
                 for j in 0..half {
                     let wr = self.w_re.get(ctx, stride * j);
                     let wi = self.w_im.get(ctx, stride * j);
-                    let (ur, ui) =
-                        (re.get(ctx, base + start + j), im.get(ctx, base + start + j));
+                    let (ur, ui) = (re.get(ctx, base + start + j), im.get(ctx, base + start + j));
                     let (vr0, vi0) = (
                         re.get(ctx, base + start + j + half),
                         im.get(ctx, base + start + j + half),
@@ -280,8 +288,9 @@ mod tests {
     #[test]
     fn matches_naive_dft_small() {
         let p = FftProgram::random_input(64, 1, 42);
-        let input: Vec<(f64, f64)> =
-            (0..64).map(|i| (p.a_re.get_silent(i), p.a_im.get_silent(i))).collect();
+        let input: Vec<(f64, f64)> = (0..64)
+            .map(|i| (p.a_re.get_silent(i), p.a_im.get_silent(i)))
+            .collect();
         run_spmd(Arc::clone(&p));
         let expect = naive_dft(&input);
         assert!(max_err(&p.output(), &expect) < 1e-9);

@@ -35,11 +35,22 @@ impl LuProgram {
         procs: usize,
         init: impl Fn(usize, usize) -> f64,
     ) -> Arc<Self> {
-        assert!(n.is_multiple_of(block), "block size {block} must divide n = {n}");
+        assert!(
+            n.is_multiple_of(block),
+            "block size {block} must divide n = {n}"
+        );
         let (pr, pc) = grid(procs);
         let mut sp = AddressSpace::default();
         let a = TracedArray::new(sp.alloc(n * n), n * n);
-        let prog = LuProgram { procs, n, b: block, pr, pc, a, original: Vec::new() };
+        let prog = LuProgram {
+            procs,
+            n,
+            b: block,
+            pr,
+            pc,
+            a,
+            original: Vec::new(),
+        };
         // Storage is block-major (each B×B block contiguous), as in the
         // real SPLASH-2 kernel — this is what prevents false sharing of
         // coherence blocks between neighboring block owners.

@@ -39,7 +39,10 @@ impl RadixProgram {
     /// for `procs` processes (must divide `keys`).
     pub fn new(keys: usize, radix: usize, key_bits: u32, procs: usize, seed: u64) -> Arc<Self> {
         assert!(radix.is_power_of_two() && radix >= 2);
-        assert!(keys.is_multiple_of(procs), "process count must divide key count");
+        assert!(
+            keys.is_multiple_of(procs),
+            "process count must divide key count"
+        );
         let bits = radix.trailing_zeros();
         let passes = key_bits.div_ceil(bits);
         let mut sp = AddressSpace::default();
@@ -52,7 +55,18 @@ impl RadixProgram {
         let dst = TracedArray::new(sp.alloc(keys), keys);
         let hist = TracedArray::new(sp.alloc(procs * radix), procs * radix);
         let input = src.snapshot();
-        Arc::new(RadixProgram { procs, n: keys, radix, bits, passes, key_bits, src, dst, hist, input })
+        Arc::new(RadixProgram {
+            procs,
+            n: keys,
+            radix,
+            bits,
+            passes,
+            key_bits,
+            src,
+            dst,
+            hist,
+            input,
+        })
     }
 
     fn chunk_of(&self, pid: usize) -> std::ops::Range<usize> {
@@ -156,7 +170,11 @@ impl SpmdProgram for RadixProgram {
             v.push((self.src.addr_of(lo), self.src.addr_of(hi), pid));
             v.push((self.dst.addr_of(lo), self.dst.addr_of(hi), pid));
             let r = self.radix;
-            v.push((self.hist.addr_of(pid * r), self.hist.addr_of((pid + 1) * r), pid));
+            v.push((
+                self.hist.addr_of(pid * r),
+                self.hist.addr_of((pid + 1) * r),
+                pid,
+            ));
         }
         v
     }

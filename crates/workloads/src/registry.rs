@@ -26,8 +26,12 @@ pub enum WorkloadKind {
 
 impl WorkloadKind {
     /// The four Table-2 kernels, in paper order.
-    pub const PAPER: [WorkloadKind; 4] =
-        [WorkloadKind::Fft, WorkloadKind::Lu, WorkloadKind::Radix, WorkloadKind::Edge];
+    pub const PAPER: [WorkloadKind; 4] = [
+        WorkloadKind::Fft,
+        WorkloadKind::Lu,
+        WorkloadKind::Radix,
+        WorkloadKind::Edge,
+    ];
 
     /// Canonical display name.
     pub fn name(&self) -> &'static str {
@@ -42,7 +46,10 @@ impl WorkloadKind {
 }
 
 /// A fully-specified workload: kind plus problem size.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` + `Eq` make a `Workload` (with a granularity) directly usable
+/// as a characterization-cache key in the sweep runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Workload {
     /// FFT over `points` complex points (a power of 4).
     Fft {
@@ -89,11 +96,19 @@ impl Workload {
         match kind {
             WorkloadKind::Fft => Workload::Fft { points: 64 * 1024 },
             WorkloadKind::Lu => Workload::Lu { n: 512, block: 16 },
-            WorkloadKind::Radix => {
-                Workload::Radix { keys: 1024 * 1024, radix: 1024, key_bits: 20 }
-            }
-            WorkloadKind::Edge => Workload::Edge { dim: 128, iterations: 4 },
-            WorkloadKind::Tpcc => Workload::Tpcc { db_cells: 1 << 17, refs_per_proc: 500_000 },
+            WorkloadKind::Radix => Workload::Radix {
+                keys: 1024 * 1024,
+                radix: 1024,
+                key_bits: 20,
+            },
+            WorkloadKind::Edge => Workload::Edge {
+                dim: 128,
+                iterations: 4,
+            },
+            WorkloadKind::Tpcc => Workload::Tpcc {
+                db_cells: 1 << 17,
+                refs_per_proc: 500_000,
+            },
         }
     }
 
@@ -102,9 +117,19 @@ impl Workload {
         match kind {
             WorkloadKind::Fft => Workload::Fft { points: 4096 },
             WorkloadKind::Lu => Workload::Lu { n: 64, block: 8 },
-            WorkloadKind::Radix => Workload::Radix { keys: 16 * 1024, radix: 256, key_bits: 16 },
-            WorkloadKind::Edge => Workload::Edge { dim: 32, iterations: 2 },
-            WorkloadKind::Tpcc => Workload::Tpcc { db_cells: 1 << 12, refs_per_proc: 20_000 },
+            WorkloadKind::Radix => Workload::Radix {
+                keys: 16 * 1024,
+                radix: 256,
+                key_bits: 16,
+            },
+            WorkloadKind::Edge => Workload::Edge {
+                dim: 32,
+                iterations: 2,
+            },
+            WorkloadKind::Tpcc => Workload::Tpcc {
+                db_cells: 1 << 12,
+                refs_per_proc: 20_000,
+            },
         }
     }
 
@@ -117,10 +142,20 @@ impl Workload {
             WorkloadKind::Fft => Workload::Fft { points: 16 * 1024 }, // 512 KB data
             WorkloadKind::Lu => Workload::Lu { n: 192, block: 16 },   // 288 KB matrix
             WorkloadKind::Radix => {
-                Workload::Radix { keys: 128 * 1024, radix: 1024, key_bits: 20 } // 2 MB
+                Workload::Radix {
+                    keys: 128 * 1024,
+                    radix: 1024,
+                    key_bits: 20,
+                } // 2 MB
             }
-            WorkloadKind::Edge => Workload::Edge { dim: 128, iterations: 4 }, // paper size
-            WorkloadKind::Tpcc => Workload::Tpcc { db_cells: 1 << 16, refs_per_proc: 100_000 },
+            WorkloadKind::Edge => Workload::Edge {
+                dim: 128,
+                iterations: 4,
+            }, // paper size
+            WorkloadKind::Tpcc => Workload::Tpcc {
+                db_cells: 1 << 16,
+                refs_per_proc: 100_000,
+            },
         }
     }
 
@@ -144,15 +179,18 @@ impl Workload {
         match *self {
             Workload::Fft { points } => FftProgram::random_input(points, processes, seed),
             Workload::Lu { n, block } => LuProgram::random_dd(n, block, processes, seed),
-            Workload::Radix { keys, radix, key_bits } => {
-                RadixProgram::new(keys, radix, key_bits, processes, seed)
-            }
+            Workload::Radix {
+                keys,
+                radix,
+                key_bits,
+            } => RadixProgram::new(keys, radix, key_bits, processes, seed),
             Workload::Edge { dim, iterations } => {
                 EdgeProgram::synthetic(dim, iterations, processes)
             }
-            Workload::Tpcc { db_cells, refs_per_proc } => {
-                TpccProgram::new(db_cells, refs_per_proc, processes, seed)
-            }
+            Workload::Tpcc {
+                db_cells,
+                refs_per_proc,
+            } => TpccProgram::new(db_cells, refs_per_proc, processes, seed),
         }
     }
 }
@@ -164,15 +202,28 @@ mod tests {
 
     #[test]
     fn paper_sizes_match_section_5_2() {
-        assert_eq!(Workload::paper(WorkloadKind::Fft), Workload::Fft { points: 65536 });
-        assert_eq!(Workload::paper(WorkloadKind::Lu), Workload::Lu { n: 512, block: 16 });
+        assert_eq!(
+            Workload::paper(WorkloadKind::Fft),
+            Workload::Fft { points: 65536 }
+        );
+        assert_eq!(
+            Workload::paper(WorkloadKind::Lu),
+            Workload::Lu { n: 512, block: 16 }
+        );
         assert_eq!(
             Workload::paper(WorkloadKind::Radix),
-            Workload::Radix { keys: 1_048_576, radix: 1024, key_bits: 20 }
+            Workload::Radix {
+                keys: 1_048_576,
+                radix: 1024,
+                key_bits: 20
+            }
         );
         assert_eq!(
             Workload::paper(WorkloadKind::Edge),
-            Workload::Edge { dim: 128, iterations: 4 }
+            Workload::Edge {
+                dim: 128,
+                iterations: 4
+            }
         );
     }
 

@@ -86,7 +86,13 @@ const BATCH: usize = 4096;
 impl SpmdCtx {
     /// Build a context for process `pid`.
     pub fn new(pid: usize, sink: TraceSink, barrier: Option<Arc<Barrier>>) -> Self {
-        SpmdCtx { pid, sink, batch: Vec::with_capacity(BATCH), barrier, counters: ProcCounters::default() }
+        SpmdCtx {
+            pid,
+            sink,
+            batch: Vec::with_capacity(BATCH),
+            barrier,
+            counters: ProcCounters::default(),
+        }
     }
 
     /// This process's id.
@@ -227,7 +233,10 @@ pub fn collect_events<P: SpmdProgram + ?Sized>(
             })
         })
         .collect();
-    handles.into_iter().map(|h| h.join().expect("spmd process panicked")).collect()
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("spmd process panicked"))
+        .collect()
 }
 
 /// Spawn the program's processes streaming into bounded channels; hand the
@@ -325,7 +334,9 @@ mod tests {
             ctx.write(pid as u64 * 1024);
         }
         fn partitions(&self) -> Vec<(u64, u64, usize)> {
-            (0..self.procs).map(|p| (p as u64 * 1024, p as u64 * 1024 + 1024, p)).collect()
+            (0..self.procs)
+                .map(|p| (p as u64 * 1024, p as u64 * 1024 + 1024, p))
+                .collect()
         }
         fn name(&self) -> &str {
             "toy"
@@ -350,13 +361,25 @@ mod tests {
         for (events, c) in &out {
             // 10 reads + coalesced computes + barrier + 1 write.
             assert_eq!(c.mem_refs(), 11);
-            let reads = events.iter().filter(|e| matches!(e, MemEvent::Read(_))).count();
+            let reads = events
+                .iter()
+                .filter(|e| matches!(e, MemEvent::Read(_)))
+                .count();
             assert_eq!(reads, 10);
-            let barriers = events.iter().filter(|e| matches!(e, MemEvent::Barrier)).count();
+            let barriers = events
+                .iter()
+                .filter(|e| matches!(e, MemEvent::Barrier))
+                .count();
             assert_eq!(barriers, 1);
             // Barrier must come before the final write.
-            let bpos = events.iter().position(|e| matches!(e, MemEvent::Barrier)).unwrap();
-            let wpos = events.iter().position(|e| matches!(e, MemEvent::Write(_))).unwrap();
+            let bpos = events
+                .iter()
+                .position(|e| matches!(e, MemEvent::Barrier))
+                .unwrap();
+            let wpos = events
+                .iter()
+                .position(|e| matches!(e, MemEvent::Write(_)))
+                .unwrap();
             assert!(bpos < wpos);
         }
     }
@@ -371,7 +394,11 @@ mod tests {
         let ev = drain(ctx);
         assert_eq!(
             ev,
-            vec![MemEvent::Compute(7), MemEvent::Read(0), MemEvent::Compute(1)]
+            vec![
+                MemEvent::Compute(7),
+                MemEvent::Read(0),
+                MemEvent::Compute(1)
+            ]
         );
     }
 
@@ -386,9 +413,7 @@ mod tests {
                     if let Some(rx) = slot {
                         match rx.recv_timeout(std::time::Duration::from_millis(50)) {
                             Ok(batch) => n += batch.len() as u64,
-                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                                *slot = None
-                            }
+                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => *slot = None,
                             Err(_) => {}
                         }
                     }

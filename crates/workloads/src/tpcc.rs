@@ -47,9 +47,17 @@ impl TpccProgram {
     pub fn new(db_cells: usize, refs_per_proc: usize, procs: usize, seed: u64) -> Arc<Self> {
         assert!(db_cells >= 16);
         let mut sp = AddressSpace::default();
-        let private = TracedArray::new_with(sp.alloc(db_cells * procs), db_cells * procs, |i| i as u64);
+        let private =
+            TracedArray::new_with(sp.alloc(db_cells * procs), db_cells * procs, |i| i as u64);
         let shared = TracedArray::new_with(sp.alloc(db_cells), db_cells, |i| i as u64);
-        Arc::new(TpccProgram { procs, refs_per_proc, private, private_cells: db_cells, shared, seed })
+        Arc::new(TpccProgram {
+            procs,
+            refs_per_proc,
+            private,
+            private_cells: db_cells,
+            shared,
+            seed,
+        })
     }
 }
 
@@ -79,8 +87,8 @@ impl StackSampler {
     /// Draw the next cell index to access.
     fn next_index(&mut self, rng: &mut ChaCha8Rng) -> usize {
         let u: f64 = rng.gen();
-        let d = (self.beta_cells * ((1.0 - u).powf(-1.0 / (self.alpha - 1.0)) - 1.0))
-            .min(1e12) as usize;
+        let d = (self.beta_cells * ((1.0 - u).powf(-1.0 / (self.alpha - 1.0)) - 1.0)).min(1e12)
+            as usize;
         if d < self.stack.len() {
             let v = self.stack.remove(d);
             self.stack.insert(0, v);
@@ -113,11 +121,8 @@ impl SpmdProgram for TpccProgram {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (pid as u64).wrapping_mul(0xA5A5));
         // Samplers operate on 64-byte lines; β converts from bytes to
         // lines inside StackSampler via the line size.
-        let mut private = StackSampler::new(
-            TPCC_ALPHA,
-            TPCC_BETA,
-            self.private_cells / CELLS_PER_LINE,
-        );
+        let mut private =
+            StackSampler::new(TPCC_ALPHA, TPCC_BETA, self.private_cells / CELLS_PER_LINE);
         let mut shared =
             StackSampler::new(TPCC_ALPHA, TPCC_BETA, self.shared.len() / CELLS_PER_LINE);
         let base = pid * self.private_cells;
@@ -142,8 +147,7 @@ impl SpmdProgram for TpccProgram {
             } else {
                 let line = private.next_index(&mut rng);
                 let i = base
-                    + (line * CELLS_PER_LINE + (t % CELLS_PER_LINE))
-                        .min(self.private_cells - 1);
+                    + (line * CELLS_PER_LINE + (t % CELLS_PER_LINE)).min(self.private_cells - 1);
                 if write {
                     let v = self.private.get(ctx, i);
                     self.private.set(ctx, i, v.wrapping_add(1));
@@ -192,7 +196,10 @@ mod tests {
     fn rho_close_to_published() {
         let c = run_spmd(TpccProgram::new(4096, 20_000, 2, 1));
         let rho = c.rho();
-        assert!((rho - TPCC_RHO).abs() < 0.03, "rho = {rho}, want ≈ {TPCC_RHO}");
+        assert!(
+            (rho - TPCC_RHO).abs() < 0.03,
+            "rho = {rho}, want ≈ {TPCC_RHO}"
+        );
     }
 
     #[test]

@@ -77,8 +77,14 @@ impl<T: Scalar> TracedArray<T> {
     /// `init(i)` (initialization is *untraced*: the paper measures the
     /// parallel phase, not program loading).
     pub fn new_with(base: u64, len: usize, init: impl Fn(usize) -> T) -> Self {
-        let cells = (0..len).map(|i| AtomicU64::new(init(i).to_bits64())).collect();
-        TracedArray { base, cells, _marker: std::marker::PhantomData }
+        let cells = (0..len)
+            .map(|i| AtomicU64::new(init(i).to_bits64()))
+            .collect();
+        TracedArray {
+            base,
+            cells,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Allocate `len` zero-bit elements at `base`.
@@ -157,7 +163,10 @@ impl AddressSpace {
     /// New allocator starting at `DEFAULT_BASE`, aligning to `align` bytes.
     pub fn new(align: u64) -> Self {
         assert!(align.is_power_of_two());
-        AddressSpace { next: Self::DEFAULT_BASE, align }
+        AddressSpace {
+            next: Self::DEFAULT_BASE,
+            align,
+        }
     }
 
     /// Reserve space for `len` elements; returns the base address.
@@ -206,7 +215,10 @@ mod tests {
         assert_eq!(a.get(&mut ctx, 2), 99);
         let events = drain(ctx);
         use memhier_sim::MemEvent;
-        assert_eq!(events, vec![MemEvent::Write(0x1010), MemEvent::Read(0x1010)]);
+        assert_eq!(
+            events,
+            vec![MemEvent::Write(0x1010), MemEvent::Read(0x1010)]
+        );
     }
 
     #[test]

@@ -13,8 +13,10 @@ use memhier::cost::{optimize, recommend, CandidateSpace, PriceTable};
 
 fn main() {
     let budgets: Vec<f64> = {
-        let args: Vec<f64> =
-            std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+        let args: Vec<f64> = std::env::args()
+            .skip(1)
+            .filter_map(|a| a.parse().ok())
+            .collect();
         if args.is_empty() {
             vec![5000.0, 20_000.0]
         } else {

@@ -21,18 +21,22 @@ fn main() {
     let p = model.evaluate(&cluster, &fft).expect("model evaluates");
 
     println!("Platform : {}", cluster.describe());
-    println!("Workload : {} (alpha={}, beta={}, rho={})",
-        fft.name, fft.locality.alpha, fft.locality.beta, fft.rho);
+    println!(
+        "Workload : {} (alpha={}, beta={}, rho={})",
+        fft.name, fft.locality.alpha, fft.locality.beta, fft.rho
+    );
     println!();
     println!("Average memory access time T : {:.2} cycles", p.t_cycles);
     println!("Per-processor CPI            : {:.2}", p.per_proc_cpi);
-    println!("E(Instr)                     : {:.4} cycles = {:.3e} s",
-        p.e_instr_cycles, p.e_instr_seconds);
+    println!(
+        "E(Instr)                     : {:.4} cycles = {:.3e} s",
+        p.e_instr_cycles, p.e_instr_seconds
+    );
     println!();
     println!("Hierarchy breakdown:");
     for l in &p.levels {
         println!(
-        "  {:8} reach={:<9.6} service={:>6.0}cy effective={:>8.1}cy utilization={:.3}",
+            "  {:8} reach={:<9.6} service={:>6.0}cy effective={:>8.1}cy utilization={:.3}",
             l.name, l.reach_prob, l.service_cycles, l.effective_cycles, l.utilization
         );
     }

@@ -38,7 +38,11 @@ fn main() {
 
     println!();
     println!("instructions        : {}", report.total_instructions);
-    println!("memory references   : {} (rho = {:.3})", report.total_refs, counters.rho());
+    println!(
+        "memory references   : {} (rho = {:.3})",
+        report.total_refs,
+        counters.rho()
+    );
     println!("wall clock          : {} cycles", report.wall_cycles);
     println!(
         "E(Instr)            : {:.4} cycles = {:.3e} s",

@@ -43,8 +43,14 @@ fn main() {
 
     println!("references : {}", counters.mem_refs());
     println!("rho        : {:.3}", counters.rho());
-    println!("unique data: {} KB", analyzer.unique_blocks() as u64 * 64 / 1024);
-    println!("fit        : alpha = {:.3}, beta = {:.1} bytes (R^2 = {:.4})", fit.alpha, fit.beta, fit.r_squared);
+    println!(
+        "unique data: {} KB",
+        analyzer.unique_blocks() as u64 * 64 / 1024
+    );
+    println!(
+        "fit        : alpha = {:.3}, beta = {:.1} bytes (R^2 = {:.4})",
+        fit.alpha, fit.beta, fit.r_squared
+    );
     println!();
 
     // ASCII CDF: measured (*) vs fitted model (-).

@@ -20,8 +20,11 @@ fn main() {
         .unwrap_or(2500.0);
 
     // The aging lab cluster: two 32 MB workstations on thin Ethernet.
-    let existing =
-        ClusterSpec::cluster(MachineSpec::new(1, 256, 32, 200.0), 2, NetworkKind::Ethernet10);
+    let existing = ClusterSpec::cluster(
+        MachineSpec::new(1, 256, 32, 200.0),
+        2,
+        NetworkKind::Ethernet10,
+    );
     println!("Existing cluster : {}", existing.describe());
     println!("Budget increase  : ${extra:.0}");
     println!();

@@ -59,8 +59,14 @@ fn both_agree_on_network_ordering_for_cow() {
         let s_fast = sim_seconds(kind, &mk(NetworkKind::Atm155));
         let m_slow = model_seconds(kind, &mk(NetworkKind::Ethernet10));
         let m_fast = model_seconds(kind, &mk(NetworkKind::Atm155));
-        assert!(s_slow > s_fast, "{kind:?} sim: Eth10 {s_slow} vs ATM {s_fast}");
-        assert!(m_slow > m_fast, "{kind:?} model: Eth10 {m_slow} vs ATM {m_fast}");
+        assert!(
+            s_slow > s_fast,
+            "{kind:?} sim: Eth10 {s_slow} vs ATM {s_fast}"
+        );
+        assert!(
+            m_slow > m_fast,
+            "{kind:?} model: Eth10 {m_slow} vs ATM {m_fast}"
+        );
     }
 }
 
@@ -69,8 +75,11 @@ fn both_agree_smp_beats_slow_cow() {
     // §6 / Table-1 claim: the short hierarchy wins against a slow-network
     // cluster of equal processor count.
     let smp = ClusterSpec::single(MachineSpec::new(4, 256, 128, 200.0));
-    let cow =
-        ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Ethernet10);
+    let cow = ClusterSpec::cluster(
+        MachineSpec::new(1, 256, 64, 200.0),
+        4,
+        NetworkKind::Ethernet10,
+    );
     for kind in WorkloadKind::PAPER {
         let (ss, sc) = (sim_seconds(kind, &smp), sim_seconds(kind, &cow));
         let (ms, mc) = (model_seconds(kind, &smp), model_seconds(kind, &cow));

@@ -60,7 +60,11 @@ fn upgrades_monotone_in_budget() {
     let existing = {
         use memhier::core::machine::{MachineSpec, NetworkKind};
         use memhier::core::platform::ClusterSpec;
-        ClusterSpec::cluster(MachineSpec::new(1, 256, 32, 200.0), 2, NetworkKind::Ethernet10)
+        ClusterSpec::cluster(
+            MachineSpec::new(1, 256, 32, 200.0),
+            2,
+            NetworkKind::Ethernet10,
+        )
     };
     let w = params::workload_fft();
     let mut prev_best = f64::INFINITY;

@@ -14,8 +14,11 @@ fn fft_ethernet_vs_atm_gap_is_large() {
     // workstations" (4 × 64 MB Ethernet vs 3 × 32 MB ATM, same cost).
     let model = AnalyticModel::default();
     let w = params::workload_fft();
-    let eth =
-        ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Ethernet10);
+    let eth = ClusterSpec::cluster(
+        MachineSpec::new(1, 256, 64, 200.0),
+        4,
+        NetworkKind::Ethernet10,
+    );
     let atm = ClusterSpec::cluster(MachineSpec::new(1, 256, 32, 200.0), 3, NetworkKind::Atm155);
     let ratio = model.evaluate_or_inf(&eth, &w) / model.evaluate_or_inf(&atm, &w);
     assert!(
@@ -32,11 +35,16 @@ fn hierarchy_length_is_the_sensitive_factor() {
     // memory, the 3-level SMP beats the 5-level slow-network cluster.
     let model = AnalyticModel::default();
     let smp = ClusterSpec::single(MachineSpec::new(4, 256, 128, 200.0));
-    let cow =
-        ClusterSpec::cluster(MachineSpec::new(1, 256, 32, 200.0), 4, NetworkKind::Ethernet10);
+    let cow = ClusterSpec::cluster(
+        MachineSpec::new(1, 256, 32, 200.0),
+        4,
+        NetworkKind::Ethernet10,
+    );
     for w in params::paper_workloads() {
-        let (e_smp, e_cow) =
-            (model.evaluate_or_inf(&smp, &w), model.evaluate_or_inf(&cow, &w));
+        let (e_smp, e_cow) = (
+            model.evaluate_or_inf(&smp, &w),
+            model.evaluate_or_inf(&cow, &w),
+        );
         assert!(e_smp < e_cow, "{}: SMP {e_smp} vs slow COW {e_cow}", w.name);
     }
 }
@@ -64,8 +72,11 @@ fn upgrading_memory_helps_good_locality_network_helps_poor() {
     // EDGE (good locality) growing memory beats upgrading the network at
     // equal-ish spend; for FFT (poor locality) the reverse.
     let model = AnalyticModel::default();
-    let base =
-        ClusterSpec::cluster(MachineSpec::new(1, 256, 32, 200.0), 4, NetworkKind::Ethernet10);
+    let base = ClusterSpec::cluster(
+        MachineSpec::new(1, 256, 32, 200.0),
+        4,
+        NetworkKind::Ethernet10,
+    );
     let mut more_mem = base.clone();
     more_mem.machine.memory_bytes = 128 << 20;
     let mut faster_net = base.clone();
@@ -73,8 +84,7 @@ fn upgrading_memory_helps_good_locality_network_helps_poor() {
 
     let fft = params::workload_fft();
     let gain_mem = model.evaluate_or_inf(&base, &fft) / model.evaluate_or_inf(&more_mem, &fft);
-    let gain_net =
-        model.evaluate_or_inf(&base, &fft) / model.evaluate_or_inf(&faster_net, &fft);
+    let gain_net = model.evaluate_or_inf(&base, &fft) / model.evaluate_or_inf(&faster_net, &fft);
     assert!(
         gain_net > gain_mem,
         "FFT: network upgrade ({gain_net:.2}x) should beat memory upgrade ({gain_mem:.2}x)"
@@ -89,13 +99,22 @@ fn tpcc_wants_the_shortest_hierarchy() {
     let model = AnalyticModel::default();
     let w = params::workload_tpcc();
     let smp = ClusterSpec::single(MachineSpec::new(4, 512, 128, 200.0));
-    let cow =
-        ClusterSpec::cluster(MachineSpec::new(1, 512, 128, 200.0), 4, NetworkKind::Ethernet100);
-    let (e_smp, e_cow) = (model.evaluate_or_inf(&smp, &w), model.evaluate_or_inf(&cow, &w));
+    let cow = ClusterSpec::cluster(
+        MachineSpec::new(1, 512, 128, 200.0),
+        4,
+        NetworkKind::Ethernet100,
+    );
+    let (e_smp, e_cow) = (
+        model.evaluate_or_inf(&smp, &w),
+        model.evaluate_or_inf(&cow, &w),
+    );
     assert!(
         e_smp < e_cow,
         "TPC-C: SMP {e_smp} should beat the Ethernet COW {e_cow}"
     );
     // And the qualitative §6 rule itself puts TPC-C on SMPs.
-    assert_eq!(recommend(&w).platform, RecommendedPlatform::SmpOrFastClusterOfSmps);
+    assert_eq!(
+        recommend(&w).platform,
+        RecommendedPlatform::SmpOrFastClusterOfSmps
+    );
 }

@@ -61,9 +61,17 @@ fn synthetic_trace_closes_the_loop() {
         an.access(g.next_address());
     }
     let fit = fit_locality(&an.histogram().cdf_points()).unwrap();
-    assert!((fit.alpha - alpha).abs() < 0.1, "alpha {} vs {alpha}", fit.alpha);
+    assert!(
+        (fit.alpha - alpha).abs() < 0.1,
+        "alpha {} vs {alpha}",
+        fit.alpha
+    );
     // β is fitted in bytes; the generator's β is also bytes.
-    assert!((fit.beta - beta).abs() / beta < 0.5, "beta {} vs {beta}", fit.beta);
+    assert!(
+        (fit.beta - beta).abs() / beta < 0.5,
+        "beta {} vs {beta}",
+        fit.beta
+    );
 }
 
 #[test]

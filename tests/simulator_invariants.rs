@@ -34,7 +34,11 @@ fn platforms() -> Vec<ClusterSpec> {
     vec![
         ClusterSpec::single(MachineSpec::new(1, 256, 64, 200.0)),
         ClusterSpec::single(MachineSpec::new(4, 256, 128, 200.0)),
-        ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Ethernet100),
+        ClusterSpec::cluster(
+            MachineSpec::new(1, 256, 64, 200.0),
+            4,
+            NetworkKind::Ethernet100,
+        ),
         ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Atm155),
         ClusterSpec::cluster(MachineSpec::new(2, 256, 64, 200.0), 2, NetworkKind::Atm155),
     ]
@@ -62,8 +66,11 @@ fn simulation_is_deterministic() {
     // The engine orders events by simulated time and the workloads are
     // seeded, so two runs must agree exactly — including level counts and
     // the wall clock.
-    let cluster =
-        ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Ethernet100);
+    let cluster = ClusterSpec::cluster(
+        MachineSpec::new(1, 256, 64, 200.0),
+        4,
+        NetworkKind::Ethernet100,
+    );
     let a = simulate(WorkloadKind::Radix, &cluster);
     let b = simulate(WorkloadKind::Radix, &cluster);
     assert_eq!(a, b);
@@ -81,8 +88,11 @@ fn smp_never_touches_the_network_levels() {
 
 #[test]
 fn clusters_generate_remote_traffic() {
-    let cow =
-        ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Ethernet100);
+    let cow = ClusterSpec::cluster(
+        MachineSpec::new(1, 256, 64, 200.0),
+        4,
+        NetworkKind::Ethernet100,
+    );
     for kind in WorkloadKind::PAPER {
         let r = simulate(kind, &cow);
         assert!(
@@ -103,8 +113,11 @@ fn faster_network_is_never_slower_for_fixed_traffic_kernels() {
         )
         .wall_cycles
     };
-    let (e10, e100, atm) =
-        (mk(NetworkKind::Ethernet10), mk(NetworkKind::Ethernet100), mk(NetworkKind::Atm155));
+    let (e10, e100, atm) = (
+        mk(NetworkKind::Ethernet10),
+        mk(NetworkKind::Ethernet100),
+        mk(NetworkKind::Atm155),
+    );
     assert!(e10 >= e100, "Eth10 {e10} vs Eth100 {e100}");
     assert!(e100 >= atm, "Eth100 {e100} vs ATM {atm}");
 }
