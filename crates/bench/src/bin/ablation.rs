@@ -1,4 +1,6 @@
 //! E14 — arrival-model and tail-mode ablation of the analytic model.
+use memhier_bench::FlagParser;
 fn main() {
+    FlagParser::new("ablation", "E14: arrival-model and tail-mode ablation").parse_env_or_exit();
     memhier_bench::experiments::ablation().print();
 }

@@ -1,4 +1,6 @@
 //! E8 — §6 case study 2: the $20,000 budget (TPC-C included).
+use memhier_bench::FlagParser;
 fn main() {
+    FlagParser::new("case_budget20k", "E8: the $20,000 budget case study").parse_env_or_exit();
     memhier_bench::experiments::case_budget(20_000.0, true).print();
 }

@@ -1,4 +1,6 @@
 //! E7 — §6 case study 1: the $5,000 budget.
+use memhier_bench::FlagParser;
 fn main() {
+    FlagParser::new("case_budget5k", "E7: the $5,000 budget case study").parse_env_or_exit();
     memhier_bench::experiments::case_budget(5000.0, false).print();
 }

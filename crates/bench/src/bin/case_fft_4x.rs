@@ -1,4 +1,10 @@
 //! E10 — the §6 FFT Ethernet-vs-ATM equal-cost comparison (~4× gap).
+use memhier_bench::FlagParser;
 fn main() {
+    FlagParser::new(
+        "case_fft_4x",
+        "E10: FFT Ethernet-vs-ATM equal-cost comparison",
+    )
+    .parse_env_or_exit();
     memhier_bench::experiments::case_fft_4x().print();
 }

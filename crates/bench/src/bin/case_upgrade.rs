@@ -1,7 +1,12 @@
 //! E9 — §6 case study 3: upgrading an existing cluster.
+use memhier_bench::FlagParser;
 fn main() {
-    let extra = std::env::args()
-        .nth(1)
+    let m = FlagParser::new("case_upgrade", "E9: upgrading an existing cluster")
+        .positionals("[EXTRA_BUDGET]")
+        .parse_env_or_exit();
+    let extra = m
+        .positionals()
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(2500.0);
     memhier_bench::experiments::case_upgrade(extra).print();

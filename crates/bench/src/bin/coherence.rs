@@ -1,7 +1,11 @@
 //! §5.3.1 — coherence share of SMP bus traffic.
-use memhier_bench::runner::Sizes;
+use memhier_bench::FlagParser;
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    memhier_bench::sweeprun::configure_from_args(&args);
-    memhier_bench::experiments::coherence_traffic(Sizes::from_args(&args)).print();
+    let m = FlagParser::new(
+        "coherence",
+        "\u{a7}5.3.1: coherence share of SMP bus traffic",
+    )
+    .sweep_flags()
+    .parse_env_or_exit();
+    memhier_bench::experiments::coherence_traffic(m.sizes()).print();
 }

@@ -1,11 +1,13 @@
 //! E3 — regenerate Figure 2: model vs simulation on SMPs C1–C6.
-//! Flags: --paper / --small, --jobs N (also honours MEMHIER_JOBS).
-use memhier_bench::runner::Sizes;
-use memhier_bench::sweeprun::configure_from_args;
+use memhier_bench::FlagParser;
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    configure_from_args(&args);
-    let sizes = Sizes::from_args(&args);
+    let m = FlagParser::new(
+        "fig2_smp",
+        "E3: Figure 2, model vs simulation on SMPs C1-C6",
+    )
+    .sweep_flags()
+    .parse_env_or_exit();
+    let sizes = m.sizes();
     let (_, chars) = memhier_bench::experiments::table2(sizes, false);
     let (t, _) = memhier_bench::experiments::fig2_smp(sizes, &chars);
     t.print();

@@ -1,12 +1,13 @@
-//! E4 — regenerate Figure 3: model vs simulation on clusters of
-//! workstations C7–C11 (with the §5.3.2-style rate calibration).
-//! Flags: --paper / --small, --jobs N (also honours MEMHIER_JOBS).
-use memhier_bench::runner::Sizes;
-use memhier_bench::sweeprun::configure_from_args;
+//! E4 — regenerate Figure 3: model vs simulation on clusters of workstations C7–C11 (with the §5.3.2-style rate calibration).
+use memhier_bench::FlagParser;
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    configure_from_args(&args);
-    let sizes = Sizes::from_args(&args);
+    let m = FlagParser::new(
+        "fig3_cow",
+        "E4: Figure 3, model vs simulation on COWs C7-C11",
+    )
+    .sweep_flags()
+    .parse_env_or_exit();
+    let sizes = m.sizes();
     let (_, chars) = memhier_bench::experiments::table2(sizes, false);
     let (t, _) = memhier_bench::experiments::fig3_cow(sizes, &chars);
     t.print();

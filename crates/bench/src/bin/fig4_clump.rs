@@ -1,12 +1,13 @@
-//! E5 — regenerate Figure 4: model vs simulation on clusters of SMPs
-//! C12–C15.
-//! Flags: --paper / --small, --jobs N (also honours MEMHIER_JOBS).
-use memhier_bench::runner::Sizes;
-use memhier_bench::sweeprun::configure_from_args;
+//! E5 — regenerate Figure 4: model vs simulation on clusters of SMPs C12–C15.
+use memhier_bench::FlagParser;
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    configure_from_args(&args);
-    let sizes = Sizes::from_args(&args);
+    let m = FlagParser::new(
+        "fig4_clump",
+        "E5: Figure 4, model vs simulation on CLUMPs C12-C15",
+    )
+    .sweep_flags()
+    .parse_env_or_exit();
+    let sizes = m.sizes();
     let (_, chars) = memhier_bench::experiments::table2(sizes, false);
     let (t, _) = memhier_bench::experiments::fig4_clump(sizes, &chars);
     t.print();

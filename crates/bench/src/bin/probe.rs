@@ -1,11 +1,14 @@
 //! Diagnostic: per-level counts for one workload across COW configs.
-use memhier_bench::runner::{simulate_workload, Sizes};
+use memhier_bench::runner::simulate_workload;
+use memhier_bench::FlagParser;
 use memhier_core::params::configs;
 use memhier_workloads::registry::WorkloadKind;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let sizes = Sizes::from_args(&args);
+    let m = FlagParser::new("probe", "diagnostic: per-level counts across COW configs")
+        .sweep_flags()
+        .parse_env_or_exit();
+    let sizes = m.sizes();
     for cfg in [configs::c8(), configs::c9(), configs::c10(), configs::c11()] {
         let run = simulate_workload(&sizes.workload(WorkloadKind::Lu), &cfg);
         let l = run.report.levels;

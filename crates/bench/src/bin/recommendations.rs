@@ -1,4 +1,7 @@
 //! E11 — the §6 recommendation matrix.
+use memhier_bench::FlagParser;
 fn main() {
+    FlagParser::new("recommendations", "E11: the \u{a7}6 recommendation matrix")
+        .parse_env_or_exit();
     memhier_bench::experiments::recommendations().print();
 }

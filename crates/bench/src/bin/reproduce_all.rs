@@ -1,15 +1,15 @@
 //! Run every experiment (E1–E11) in order — the one-command reproduction.
-//! Flags: --paper for the paper's §5.2 problem sizes (slow), --small,
-//! --jobs N to size the sweep pool (also honours MEMHIER_JOBS).
 use memhier_bench::experiments as ex;
-use memhier_bench::runner::Sizes;
+use memhier_bench::sweeprun::jobs;
+use memhier_bench::FlagParser;
 
 fn main() {
     let t0 = std::time::Instant::now();
-    let args: Vec<String> = std::env::args().collect();
-    let jobs = memhier_bench::sweeprun::configure_from_args(&args);
-    let sizes = Sizes::from_args(&args);
-    eprintln!("[reproduce_all] sweeps run on {jobs} worker(s)");
+    let m = FlagParser::new("reproduce_all", "run every experiment (E1-E15) in order")
+        .sweep_flags()
+        .parse_env_or_exit();
+    let sizes = m.sizes();
+    eprintln!("[reproduce_all] sweeps run on {} worker(s)", jobs());
     ex::table1().print();
     let (t2, chars) = ex::table2(sizes, true);
     t2.print();

@@ -1,4 +1,6 @@
 //! E12 — sensitivity analysis (the "most sensitive factor" claim).
+use memhier_bench::FlagParser;
 fn main() {
+    FlagParser::new("sensitivity", "E12: sensitivity analysis").parse_env_or_exit();
     memhier_bench::experiments::sensitivity().print();
 }

@@ -1,6 +1,8 @@
 //! E6 — the model-vs-simulation cost claim (§5.3.3).
-use memhier_bench::runner::Sizes;
+use memhier_bench::FlagParser;
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    memhier_bench::experiments::speedup(Sizes::from_args(&args)).print();
+    let m = FlagParser::new("speedup", "E6: the model-vs-simulation cost claim")
+        .sweep_flags()
+        .parse_env_or_exit();
+    memhier_bench::experiments::speedup(m.sizes()).print();
 }

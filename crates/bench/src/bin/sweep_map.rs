@@ -1,13 +1,16 @@
 //! E13 — optimal-platform map over the (ρ, β) workload space.
-//! Usage: sweep_map [BUDGET] [--jobs N]  (also honours MEMHIER_JOBS;
-//! the optimizer's candidate scan parallelizes across the pool).
+use memhier_bench::FlagParser;
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    memhier_bench::sweeprun::configure_from_args(&args);
-    let budget = args
-        .iter()
-        .skip(1)
-        .find(|a| !a.starts_with("--"))
+    let m = FlagParser::new(
+        "sweep_map",
+        "E13: optimal-platform map over the workload space",
+    )
+    .sweep_flags()
+    .positionals("[BUDGET]")
+    .parse_env_or_exit();
+    let budget = m
+        .positionals()
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_000.0);
     println!("{}", memhier_bench::experiments::sweep_map(budget));

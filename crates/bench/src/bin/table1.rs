@@ -1,4 +1,6 @@
 //! E1 — regenerate the paper's Table 1.
+use memhier_bench::FlagParser;
 fn main() {
+    FlagParser::new("table1", "E1: regenerate the paper's Table 1").parse_env_or_exit();
     memhier_bench::experiments::table1().print();
 }

@@ -1,11 +1,13 @@
 //! E2 — regenerate Table 2 (α, β, ρ per program).
-//! Flags: --paper / --small (default: medium sizes), --tpcc, --jobs N.
-use memhier_bench::runner::Sizes;
+use memhier_bench::FlagParser;
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    memhier_bench::sweeprun::configure_from_args(&args);
-    let sizes = Sizes::from_args(&args);
-    let tpcc = args.iter().any(|a| a == "--tpcc");
-    let (t, _) = memhier_bench::experiments::table2(sizes, tpcc);
+    let m = FlagParser::new(
+        "table2",
+        "E2: regenerate Table 2 (alpha, beta, rho per program)",
+    )
+    .sweep_flags()
+    .switch("--tpcc", "include the synthetic TPC-C row")
+    .parse_env_or_exit();
+    let (t, _) = memhier_bench::experiments::table2(m.sizes(), m.has("--tpcc"));
     t.print();
 }

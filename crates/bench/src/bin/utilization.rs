@@ -1,9 +1,13 @@
 //! E15 — network utilization: model vs simulator.
-use memhier_bench::runner::Sizes;
+use memhier_bench::FlagParser;
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    memhier_bench::sweeprun::configure_from_args(&args);
-    let sizes = Sizes::from_args(&args);
+    let m = FlagParser::new(
+        "utilization",
+        "E15: network utilization, model vs simulator",
+    )
+    .sweep_flags()
+    .parse_env_or_exit();
+    let sizes = m.sizes();
     let (_, chars) = memhier_bench::experiments::table2(sizes, false);
     memhier_bench::experiments::utilization(sizes, &chars).print();
 }

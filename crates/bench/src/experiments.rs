@@ -110,6 +110,10 @@ pub struct FigureRow {
     pub model_calibrated_seconds: f64,
     /// Relative difference of the calibrated model vs simulation.
     pub diff_calibrated: f64,
+    /// Simulated node-0 bus utilization (§5.3.1's saturation diagnostic).
+    pub bus_utilization: f64,
+    /// Simulated interconnect utilization (0 for a single SMP).
+    pub network_utilization: f64,
 }
 
 /// Shared engine of E3/E4/E5: simulate every (config × kernel), evaluate
@@ -173,18 +177,22 @@ pub fn figure_experiment(
             "diff",
             "Model(calib)",
             "diff",
+            "bus u",
+            "net u",
         ],
     );
     let mut rows = Vec::new();
     let mut held_out_err = 0.0;
     let mut held_out_n = 0usize;
-    for p in &points {
+    for (p, r) in points.iter().zip(results.iter()) {
         let cal = &cal_by_wl[&p.workload.name];
         let m_paper = base.evaluate_or_inf(&p.cluster, &p.workload);
         let m_cal = cal.evaluate_or_inf(&p.cluster, &p.workload);
         let d_paper = (m_paper - p.sim_seconds) / p.sim_seconds;
         let d_cal = (m_cal - p.sim_seconds) / p.sim_seconds;
         let cfg_name = p.cluster.name.clone().unwrap_or_default();
+        let bus_u = r.run.report.bus_utilization(0);
+        let net_u = r.run.report.network_utilization();
         held_out_err += d_cal.abs();
         held_out_n += 1;
         t.row(vec![
@@ -195,6 +203,8 @@ pub fn figure_experiment(
             fmt_pct(d_paper),
             fmt_seconds(m_cal),
             fmt_pct(d_cal),
+            format!("{bus_u:.3}"),
+            format!("{net_u:.3}"),
         ]);
         rows.push(FigureRow {
             config: p.cluster.name.clone().unwrap_or_default(),
@@ -203,6 +213,8 @@ pub fn figure_experiment(
             model_paper_seconds: m_paper,
             model_calibrated_seconds: m_cal,
             diff_calibrated: d_cal,
+            bus_utilization: bus_u,
+            network_utilization: net_u,
         });
     }
     let knobs = chars
@@ -225,6 +237,8 @@ pub fn figure_experiment(
             "mean |diff| {}",
             fmt_pct(held_out_err / held_out_n.max(1) as f64)
         ),
+        "".into(),
+        "".into(),
     ]);
     save_json(figure_name, &rows);
     // Return the first workload's calibrated model (diagnostics).

@@ -23,12 +23,15 @@
 
 pub mod calib;
 pub mod experiments;
+pub mod flags;
 pub mod runner;
 pub mod sweeprun;
 pub mod tables;
 
+pub use flags::{FlagParser, Matches};
 pub use runner::{
-    characterize, simulate_workload, simulate_workload_with, Characterization, SimRun, Sizes,
+    characterize, simulate_workload, simulate_workload_observed, simulate_workload_with,
+    Characterization, ObservedRun, ObserverConfig, SimRun, Sizes,
 };
 pub use sweeprun::{
     characterize_cached, characterize_many, configure_from_args, run_sweep, set_jobs, GridPoint,

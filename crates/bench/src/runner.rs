@@ -5,7 +5,8 @@ use memhier_core::locality::WorkloadParams;
 use memhier_core::machine::LatencyParams;
 use memhier_core::platform::ClusterSpec;
 use memhier_sim::backend::ClusterBackend;
-use memhier_sim::engine::{run_simulation, ProcSource};
+use memhier_sim::engine::{ProcSource, SimSession};
+use memhier_sim::observe::{EventTracer, MetricsSeries, TimeSeriesCollector, TraceLog};
 use memhier_sim::report::SimReport;
 use memhier_trace::{fit_locality, StackDistanceAnalyzer};
 use memhier_workloads::registry::{Workload, WorkloadKind};
@@ -68,6 +69,46 @@ pub fn simulate_workload_with(
     cluster: &ClusterSpec,
     latency: &LatencyParams,
 ) -> SimRun {
+    simulate_workload_observed(workload, cluster, latency, &ObserverConfig::default()).run
+}
+
+/// Which observers to attach to a simulated run.  The default attaches
+/// none, which keeps the engine's hot loop snapshot-free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObserverConfig {
+    /// Attach a [`TimeSeriesCollector`] with this window width (cycles).
+    pub metrics_window: Option<u64>,
+    /// Attach an [`EventTracer`] bounded to this many events.
+    pub trace_capacity: Option<usize>,
+}
+
+impl ObserverConfig {
+    /// Whether any observer is requested.
+    pub fn is_active(&self) -> bool {
+        self.metrics_window.is_some() || self.trace_capacity.is_some()
+    }
+}
+
+/// A simulation run plus whatever the configured observers collected.
+#[derive(Debug, Clone)]
+pub struct ObservedRun {
+    /// The plain run outputs.
+    pub run: SimRun,
+    /// Windowed metrics, when [`ObserverConfig::metrics_window`] was set.
+    pub metrics: Option<MetricsSeries>,
+    /// Bounded event trace, when [`ObserverConfig::trace_capacity`] was set.
+    pub trace: Option<TraceLog>,
+}
+
+/// [`simulate_workload_with`] plus observers: the full observability
+/// entry point the sweep runner and the CLI's `--metrics`/`--trace`
+/// flags go through.
+pub fn simulate_workload_observed(
+    workload: &Workload,
+    cluster: &ClusterSpec,
+    latency: &LatencyParams,
+    observers: &ObserverConfig,
+) -> ObservedRun {
     let procs = cluster.total_procs() as usize;
     let program = workload.instantiate(procs);
     let home = home_map_for(
@@ -77,10 +118,30 @@ pub fn simulate_workload_with(
         256,
     );
     let backend = ClusterBackend::new(cluster, latency.clone(), home);
-    let (report, counters) = stream_spmd(program, |rxs| {
-        run_simulation(backend, rxs.into_iter().map(ProcSource::Channel).collect())
+    let cfg = *observers;
+    let (out, counters) = stream_spmd(program, move |rxs| {
+        let mut session = SimSession::new(backend)
+            .with_sources(rxs.into_iter().map(ProcSource::Channel).collect());
+        if let Some(window) = cfg.metrics_window {
+            session = session.observe(TimeSeriesCollector::new(window));
+        }
+        if let Some(cap) = cfg.trace_capacity {
+            session = session.observe(EventTracer::new(cap));
+        }
+        session.run()
     });
-    SimRun { report, counters }
+    let metrics = out
+        .observer::<TimeSeriesCollector>()
+        .map(|c| c.series().clone());
+    let trace = out.observer::<EventTracer>().map(|t| t.log().clone());
+    ObservedRun {
+        run: SimRun {
+            report: out.report,
+            counters,
+        },
+        metrics,
+        trace,
+    }
 }
 
 // Send audit for the sweep runner: every input a worker thread closes
@@ -95,6 +156,8 @@ fn _sweep_inputs_are_send() {
     assert_send::<LatencyParams>();
     assert_send::<ClusterBackend>();
     assert_send::<SimRun>();
+    assert_send::<ObserverConfig>();
+    assert_send::<ObservedRun>();
     assert_send::<Characterization>();
 }
 

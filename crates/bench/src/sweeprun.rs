@@ -22,7 +22,10 @@
 //! 2. the `MEMHIER_JOBS` environment variable;
 //! 3. the host's available parallelism.
 
-use crate::runner::{characterize, simulate_workload_with, Characterization, SimRun, Sizes};
+use crate::runner::{
+    characterize, simulate_workload_observed, Characterization, ObservedRun, ObserverConfig,
+    SimRun, Sizes,
+};
 use memhier_core::machine::LatencyParams;
 use memhier_core::platform::ClusterSpec;
 use memhier_workloads::registry::{Workload, WorkloadKind};
@@ -105,6 +108,9 @@ pub struct SweepPlan {
     pub sizes: Sizes,
     /// Memory-hierarchy latency table applied to every point.
     pub latency: LatencyParams,
+    /// Observer configuration applied to every point (default: none —
+    /// the engine's hot loop stays snapshot-free).
+    pub observers: ObserverConfig,
     points: Vec<GridPoint>,
 }
 
@@ -115,6 +121,7 @@ impl SweepPlan {
             name: name.into(),
             sizes,
             latency: LatencyParams::paper(),
+            observers: ObserverConfig::default(),
             points: Vec::new(),
         }
     }
@@ -122,6 +129,14 @@ impl SweepPlan {
     /// Replace the latency table.
     pub fn with_latency(mut self, latency: LatencyParams) -> Self {
         self.latency = latency;
+        self
+    }
+
+    /// Attach observers to every point: each worker builds its own
+    /// `SimSession` from this config, so observer state never crosses
+    /// threads and grid-order determinism is preserved.
+    pub fn with_observers(mut self, observers: ObserverConfig) -> Self {
+        self.observers = observers;
         self
     }
 
@@ -174,6 +189,10 @@ pub struct PointResult {
     pub point: GridPoint,
     /// Simulation outputs.
     pub run: SimRun,
+    /// Windowed metrics, when the plan's observers requested them.
+    pub metrics: Option<memhier_sim::observe::MetricsSeries>,
+    /// Bounded event trace, when the plan's observers requested it.
+    pub trace: Option<memhier_sim::observe::TraceLog>,
 }
 
 /// Execute every point of `plan` on a rayon pool of [`jobs`] workers and
@@ -203,7 +222,16 @@ pub fn run_sweep(plan: &SweepPlan) -> Vec<PointResult> {
             .map(|(index, point)| {
                 let tp = Instant::now();
                 let workload = plan.sizes.workload(point.kind);
-                let run = simulate_workload_with(&workload, &point.cluster, &plan.latency);
+                let ObservedRun {
+                    run,
+                    metrics,
+                    trace,
+                } = simulate_workload_observed(
+                    &workload,
+                    &point.cluster,
+                    &plan.latency,
+                    &plan.observers,
+                );
                 let finished = done.fetch_add(1, Ordering::SeqCst) + 1;
                 eprintln!(
                     "[sweep {}] {finished}/{n}: {} on {} ({:.2}s)",
@@ -212,7 +240,13 @@ pub fn run_sweep(plan: &SweepPlan) -> Vec<PointResult> {
                     point.cluster.name.as_deref().unwrap_or("unnamed"),
                     tp.elapsed().as_secs_f64(),
                 );
-                PointResult { index, point, run }
+                PointResult {
+                    index,
+                    point,
+                    run,
+                    metrics,
+                    trace,
+                }
             })
             .collect()
     });

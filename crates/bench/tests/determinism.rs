@@ -6,7 +6,7 @@
 //! This is what makes the JSON artifacts under `target/experiments/`
 //! reproducible regardless of the host's core count.
 
-use memhier_bench::runner::Sizes;
+use memhier_bench::runner::{ObserverConfig, Sizes};
 use memhier_bench::sweeprun::{run_sweep, set_jobs, SweepPlan};
 use memhier_core::machine::{MachineSpec, NetworkKind};
 use memhier_core::platform::ClusterSpec;
@@ -60,6 +60,41 @@ fn parallel_sweep_is_byte_identical_to_serial() {
     // And the artifacts are non-trivial: every point simulated work.
     assert!(json_serial.contains("wall_cycles"));
     assert_eq!(counters_serial.len(), 9);
+}
+
+/// Same contract with observers attached: metrics windows and event
+/// traces are part of the deterministic output, not a scheduling
+/// side-channel — `--jobs 8` must reproduce `--jobs 1` byte for byte.
+#[test]
+fn observed_sweep_is_byte_identical_across_jobs() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let observed_plan = || {
+        plan().with_observers(ObserverConfig {
+            metrics_window: Some(50_000),
+            trace_capacity: Some(256),
+        })
+    };
+    let run_fingerprint = |jobs: usize| -> String {
+        set_jobs(jobs);
+        let results = run_sweep(&observed_plan());
+        set_jobs(0);
+        let mut out = String::new();
+        for r in &results {
+            let metrics = r.metrics.as_ref().expect("metrics attached");
+            let trace = r.trace.as_ref().expect("trace attached");
+            out.push_str(&serde_json::to_string_pretty(&r.run.report).unwrap());
+            out.push_str(&serde_json::to_string_pretty(metrics).unwrap());
+            out.push_str(&trace.to_jsonl());
+        }
+        out
+    };
+    let serial = run_fingerprint(1);
+    let parallel = run_fingerprint(8);
+    assert!(
+        serial == parallel,
+        "observed sweep output differs between --jobs 1 and --jobs 8"
+    );
+    assert!(serial.contains("window_cycles"));
 }
 
 #[test]

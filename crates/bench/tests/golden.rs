@@ -22,8 +22,11 @@ use std::fs;
 use std::path::PathBuf;
 
 use memhier_bench::experiments;
-use memhier_bench::runner::Sizes;
+use memhier_bench::runner::{simulate_workload_observed, ObserverConfig, Sizes};
 use memhier_bench::tables::experiments_dir;
+use memhier_core::machine::{LatencyParams, MachineSpec, NetworkKind};
+use memhier_core::platform::ClusterSpec;
+use memhier_workloads::registry::WorkloadKind;
 
 fn snap_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
@@ -137,6 +140,81 @@ fn fig3_cow_ranking_matches_golden() {
         "fig3_cow_ranking",
         &ranking_fingerprint(&load_artifact("fig3_cow")),
     );
+}
+
+/// Reduce a JSON tree to its *shape*: one `path: type` line per leaf,
+/// arrays sampled by their first element.  Values are deliberately
+/// excluded — cycle counts drift with simulator tuning, but consumers of
+/// `--metrics` output depend on the key set and types staying put.
+fn schema_fingerprint(path: &str, v: &serde_json::Value, out: &mut Vec<String>) {
+    use serde_json::Value;
+    match v {
+        Value::Object(fields) => {
+            for (k, val) in fields {
+                let p = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                schema_fingerprint(&p, val, out);
+            }
+        }
+        Value::Array(a) => match a.first() {
+            Some(first) => schema_fingerprint(&format!("{path}[]"), first, out),
+            None => out.push(format!("{path}[]: empty")),
+        },
+        Value::Null => out.push(format!("{path}: null")),
+        Value::Bool(_) => out.push(format!("{path}: bool")),
+        Value::Number(_) => out.push(format!("{path}: number")),
+        Value::String(_) => out.push(format!("{path}: string")),
+    }
+}
+
+/// The windowed-metrics JSON the CLI writes for `--metrics` is a public
+/// surface: pin its schema (not its values) for a small FFT run.
+#[test]
+fn metrics_json_schema_matches_golden() {
+    let cluster = ClusterSpec::cluster(
+        MachineSpec::new(1, 256, 32, 200.0),
+        2,
+        NetworkKind::Ethernet100,
+    );
+    let out = simulate_workload_observed(
+        &Sizes::Small.workload(WorkloadKind::Fft),
+        &cluster,
+        &LatencyParams::paper(),
+        &ObserverConfig {
+            metrics_window: Some(100_000),
+            trace_capacity: Some(64),
+        },
+    );
+    let series = out.metrics.expect("metrics requested");
+    assert!(
+        !series.windows.is_empty(),
+        "small FFT must fill at least one window"
+    );
+    // The series' aggregate block must agree with the printed SimReport —
+    // same per-level totals, same traffic (the CLI acceptance contract).
+    assert_eq!(
+        serde_json::to_string(&series.totals.levels).unwrap(),
+        serde_json::to_string(&out.run.report.levels).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&series.totals.traffic).unwrap(),
+        serde_json::to_string(&out.run.report.traffic).unwrap()
+    );
+    let json = serde_json::to_string_pretty(&series).expect("serialize metrics");
+    let v: serde_json::Value = serde_json::from_str(&json).expect("parse metrics JSON");
+    let mut lines = Vec::new();
+    schema_fingerprint("", &v, &mut lines);
+    check_snapshot("metrics_schema", &lines.join("\n"));
+
+    // The trace is JSONL: every line parses alone and knows its kind.
+    let log = out.trace.expect("trace requested");
+    for line in log.to_jsonl().lines() {
+        let ev: serde_json::Value = serde_json::from_str(line).expect("parse trace line");
+        assert!(ev.get("kind").is_some(), "trace event missing kind: {line}");
+    }
 }
 
 #[test]

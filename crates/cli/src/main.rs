@@ -5,6 +5,7 @@
 //! memhier model --config C5 --workload FFT     analytic E(Instr)
 //! memhier model --all                          all configs x kernels
 //! memhier simulate --config C8 --workload LU   program-driven simulation
+//!   [--metrics m.json] [--trace events.jsonl]  ... with observers attached
 //! memhier fit --workload Radix                 measure alpha/beta/rho
 //! memhier optimize --budget 20000 --workload Radix [--top 5]
 //! memhier upgrade --budget 2500 --workload FFT
@@ -12,10 +13,14 @@
 //! ```
 //!
 //! Size flags for simulate/fit: `--small`, `--paper` (default medium).
+//! All flag parsing goes through `memhier_bench::FlagParser`, so `--jobs`,
+//! `--metrics`, `--trace`, sizes, and `--help` behave exactly as in the
+//! experiment binaries.
 
-use memhier_bench::runner::{characterize, simulate_workload, Sizes};
+use memhier_bench::runner::{characterize, simulate_workload_observed, Sizes};
+use memhier_bench::{FlagParser, Matches};
 use memhier_core::locality::WorkloadParams;
-use memhier_core::machine::{MachineSpec, NetworkKind};
+use memhier_core::machine::{LatencyParams, MachineSpec, NetworkKind};
 use memhier_core::model::AnalyticModel;
 use memhier_core::params::{self, configs};
 use memhier_core::platform::ClusterSpec;
@@ -64,6 +69,8 @@ USAGE:
   memhier model    --config <C1..C15> --workload <FFT|LU|Radix|EDGE|TPC-C> [--json]
   memhier model    --all [--json]
   memhier simulate --config <C1..C15> --workload <name> [--small|--paper] [--json]
+                   [--metrics <out.json> [--window <cycles>]]
+                   [--trace <out.jsonl> [--trace-cap <n>]]
   memhier fit      --workload <name> [--small|--paper] [--phases] [--json]
   memhier optimize --budget <dollars> --workload <name> [--top <k>] [--json]
   memhier pareto   --workload <name> [--json]
@@ -73,16 +80,23 @@ USAGE:
   memhier reproduce <table1|table2|fig2|fig3|fig4|coherence|speedup|
                      budget5k|budget20k|upgrade|fft4x|recommendations|
                      sensitivity|ablation|sweep|utilization|all>
-                    [--small|--paper]";
+                    [--small|--paper] [--jobs N]
 
-fn flag(rest: &[String], name: &str) -> Option<String> {
-    rest.iter()
-        .position(|a| a == name)
-        .and_then(|i| rest.get(i + 1).cloned())
+Every subcommand accepts --help for its own flag list.";
+
+/// Parse a subcommand's arguments; `Ok(None)` means `--help` was printed.
+fn sub(parser: &FlagParser, rest: &[String]) -> Result<Option<Matches>, String> {
+    let m = parser.parse(rest)?;
+    if m.has("--help") {
+        print!("{}", parser.usage());
+        return Ok(None);
+    }
+    m.apply_jobs();
+    Ok(Some(m))
 }
 
-fn has(rest: &[String], name: &str) -> bool {
-    rest.iter().any(|a| a == name)
+fn req<'a>(m: &'a Matches, name: &str) -> Result<&'a str, String> {
+    m.get(name).ok_or_else(|| format!("{name} required"))
 }
 
 fn parse_config(name: &str) -> Result<ClusterSpec, String> {
@@ -110,6 +124,9 @@ fn paper_params(kind: WorkloadKind) -> WorkloadParams {
         WorkloadKind::Radix => params::workload_radix(),
         WorkloadKind::Edge => params::workload_edge(),
         WorkloadKind::Tpcc => params::workload_tpcc(),
+        // WorkloadKind is non_exhaustive; parse_workload_kind only emits
+        // the five above.
+        other => unreachable!("no paper parameters for {other:?}"),
     }
 }
 
@@ -122,9 +139,17 @@ fn cmd_configs() -> Result<(), String> {
 }
 
 fn cmd_model(rest: &[String]) -> Result<(), String> {
+    let parser = FlagParser::new("memhier model", "analytic E(Instr) prediction")
+        .option("--config", "C1..C15", "paper configuration")
+        .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
+        .switch("--all", "every config x kernel pair")
+        .switch("--json", "machine-readable output");
+    let Some(m) = sub(&parser, rest)? else {
+        return Ok(());
+    };
     let model = AnalyticModel::default();
-    let json = has(rest, "--json");
-    if has(rest, "--all") {
+    let json = m.has("--json");
+    if m.has("--all") {
         let mut out = Vec::new();
         for c in configs::all_configs() {
             for kind in WorkloadKind::PAPER {
@@ -149,29 +174,40 @@ fn cmd_model(rest: &[String]) -> Result<(), String> {
         }
         return Ok(());
     }
-    let cfg = parse_config(&flag(rest, "--config").ok_or("--config required")?)?;
-    let kind = parse_workload_kind(&flag(rest, "--workload").ok_or("--workload required")?)?;
+    let cfg = parse_config(req(&m, "--config")?)?;
+    let kind = parse_workload_kind(req(&m, "--workload")?)?;
     let w = paper_params(kind);
     let p = model.evaluate(&cfg, &w).map_err(|e| e.to_string())?;
     if json {
         println!("{}", serde_json::to_string_pretty(&p).unwrap());
     } else {
+        let rep = p.report();
         println!("{} running {}", cfg.describe(), w.name);
-        println!("  T (memory time/ref)   = {:.2} cycles", p.t_cycles);
-        println!("  per-processor CPI     = {:.2}", p.per_proc_cpi);
+        println!(
+            "  T (memory time/ref)   = {:.2} cycles ({:.1}% M/D/1 queueing)",
+            rep.t_cycles,
+            100.0 * rep.queueing_share_of_t
+        );
+        println!("  per-processor CPI     = {:.2}", rep.per_proc_cpi);
         println!(
             "  barrier overhead      = {:.2} cycles/instr",
-            p.barrier_cycles_per_instr
+            rep.barrier_cycles_per_instr
         );
         println!(
             "  E(Instr)              = {:.4} cycles = {:.3e} s",
             p.e_instr_cycles, p.e_instr_seconds
         );
         println!("  levels:");
-        for l in &p.levels {
+        for l in &rep.levels {
             println!(
-                "    {:8} reach {:>8.5}  service {:>8.0}cy  effective {:>10.1}cy  util {:.3}",
-                l.name, l.reach_prob, l.service_cycles, l.effective_cycles, l.utilization
+                "    {:8} reach {:>8.5}  service {:>8.0}cy  queueing {:>10.1}cy  \
+                 share {:>5.1}%  util {:.3}",
+                l.name,
+                l.reach_prob,
+                l.service_cycles,
+                l.queueing_cycles,
+                100.0 * l.share_of_t,
+                l.utilization
             );
         }
     }
@@ -179,12 +215,41 @@ fn cmd_model(rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_simulate(rest: &[String]) -> Result<(), String> {
-    let cfg = parse_config(&flag(rest, "--config").ok_or("--config required")?)?;
-    let kind = parse_workload_kind(&flag(rest, "--workload").ok_or("--workload required")?)?;
-    let sizes = Sizes::from_args(rest);
+    let parser = FlagParser::new("memhier simulate", "program-driven simulation of one run")
+        .option("--config", "C1..C15", "paper configuration")
+        .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
+        .switch("--json", "print the SimReport as JSON")
+        .sweep_flags()
+        .observer_flags();
+    let Some(m) = sub(&parser, rest)? else {
+        return Ok(());
+    };
+    let cfg = parse_config(req(&m, "--config")?)?;
+    let kind = parse_workload_kind(req(&m, "--workload")?)?;
+    let sizes = m.sizes();
+    let observers = m.observers()?;
     let w = sizes.workload(kind);
-    let run = simulate_workload(&w, &cfg);
-    if has(rest, "--json") {
+    let out = simulate_workload_observed(&w, &cfg, &LatencyParams::paper(), &observers);
+    if let Some(path) = m.get("--metrics") {
+        let series = out.metrics.as_ref().expect("metrics requested");
+        let json = serde_json::to_string_pretty(series).unwrap();
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "wrote {} window(s) of metrics to {path}",
+            series.windows.len()
+        );
+    }
+    if let Some(path) = m.get("--trace") {
+        let log = out.trace.as_ref().expect("trace requested");
+        std::fs::write(path, log.to_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "wrote {} trace event(s) to {path} ({} dropped at capacity)",
+            log.events.len(),
+            log.dropped
+        );
+    }
+    let run = &out.run;
+    if m.has("--json") {
         println!("{}", serde_json::to_string_pretty(&run.report).unwrap());
         return Ok(());
     }
@@ -219,17 +284,33 @@ fn cmd_simulate(rest: &[String]) -> Result<(), String> {
         r.barriers,
         r.barrier_wait_cycles
     );
+    println!(
+        "  utilization: bus {:.3}  network {:.3}",
+        r.bus_utilization(0),
+        r.network_utilization()
+    );
     Ok(())
 }
 
 fn cmd_fit(rest: &[String]) -> Result<(), String> {
-    let kind = parse_workload_kind(&flag(rest, "--workload").ok_or("--workload required")?)?;
-    let sizes = Sizes::from_args(rest);
-    if has(rest, "--phases") {
-        return cmd_fit_phases(kind, sizes, has(rest, "--json"));
+    let parser = FlagParser::new(
+        "memhier fit",
+        "measure alpha/beta/rho from the address trace",
+    )
+    .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
+    .switch("--phases", "per-phase locality fits")
+    .switch("--json", "machine-readable output")
+    .sweep_flags();
+    let Some(m) = sub(&parser, rest)? else {
+        return Ok(());
+    };
+    let kind = parse_workload_kind(req(&m, "--workload")?)?;
+    let sizes = m.sizes();
+    if m.has("--phases") {
+        return cmd_fit_phases(kind, sizes, m.has("--json"));
     }
     let c = characterize(&sizes.workload(kind), 64);
-    if has(rest, "--json") {
+    if m.has("--json") {
         println!("{}", serde_json::to_string_pretty(&c).unwrap());
         return Ok(());
     }
@@ -310,14 +391,17 @@ fn cmd_fit_phases(kind: WorkloadKind, sizes: Sizes, json: bool) -> Result<(), St
 }
 
 fn cmd_optimize(rest: &[String]) -> Result<(), String> {
-    let budget: f64 = flag(rest, "--budget")
-        .ok_or("--budget required")?
-        .parse()
-        .map_err(|_| "bad --budget")?;
-    let kind = parse_workload_kind(&flag(rest, "--workload").ok_or("--workload required")?)?;
-    let top: usize = flag(rest, "--top")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    let parser = FlagParser::new("memhier optimize", "best cluster under a budget")
+        .option("--budget", "DOLLARS", "total budget")
+        .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
+        .option("--top", "K", "how many ranked configs to print (default 3)")
+        .switch("--json", "machine-readable output");
+    let Some(m) = sub(&parser, rest)? else {
+        return Ok(());
+    };
+    let budget: f64 = req(&m, "--budget")?.parse().map_err(|_| "bad --budget")?;
+    let kind = parse_workload_kind(req(&m, "--workload")?)?;
+    let top: usize = m.parsed("--top")?.unwrap_or(3);
     let w = paper_params(kind);
     let ranked = optimize(
         budget,
@@ -329,7 +413,7 @@ fn cmd_optimize(rest: &[String]) -> Result<(), String> {
     if ranked.is_empty() {
         return Err(format!("nothing affordable under ${budget}"));
     }
-    if has(rest, "--json") {
+    if m.has("--json") {
         println!(
             "{}",
             serde_json::to_string_pretty(&ranked[..top.min(ranked.len())]).unwrap()
@@ -350,7 +434,13 @@ fn cmd_optimize(rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_pareto(rest: &[String]) -> Result<(), String> {
-    let kind = parse_workload_kind(&flag(rest, "--workload").ok_or("--workload required")?)?;
+    let parser = FlagParser::new("memhier pareto", "cost/performance Pareto frontier")
+        .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
+        .switch("--json", "machine-readable output");
+    let Some(m) = sub(&parser, rest)? else {
+        return Ok(());
+    };
+    let kind = parse_workload_kind(req(&m, "--workload")?)?;
     let w = paper_params(kind);
     let frontier = pareto_frontier(
         &w,
@@ -358,7 +448,7 @@ fn cmd_pareto(rest: &[String]) -> Result<(), String> {
         &PriceTable::circa_1999(),
         &CandidateSpace::paper_market(),
     );
-    if has(rest, "--json") {
+    if m.has("--json") {
         println!("{}", serde_json::to_string_pretty(&frontier).unwrap());
         return Ok(());
     }
@@ -375,24 +465,24 @@ fn cmd_pareto(rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_upgrade(rest: &[String]) -> Result<(), String> {
-    let budget: f64 = flag(rest, "--budget")
-        .ok_or("--budget required")?
-        .parse()
-        .map_err(|_| "bad --budget")?;
-    let kind = parse_workload_kind(&flag(rest, "--workload").ok_or("--workload required")?)?;
-    let machines: u32 = flag(rest, "--machines")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2);
-    let procs: u32 = flag(rest, "--procs")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
-    let cache: u64 = flag(rest, "--cache")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(256);
-    let mem: u64 = flag(rest, "--mem")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(32);
-    let network = match flag(rest, "--network").as_deref() {
+    let parser = FlagParser::new("memhier upgrade", "best upgrade for an existing cluster")
+        .option("--budget", "DOLLARS", "upgrade budget")
+        .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
+        .option("--machines", "N", "existing machine count (default 2)")
+        .option("--procs", "N", "processors per machine (default 1)")
+        .option("--cache", "KB", "cache per processor (default 256)")
+        .option("--mem", "MB", "memory per machine (default 32)")
+        .option("--network", "KIND", "eth10|eth100|atm (default eth10)");
+    let Some(m) = sub(&parser, rest)? else {
+        return Ok(());
+    };
+    let budget: f64 = req(&m, "--budget")?.parse().map_err(|_| "bad --budget")?;
+    let kind = parse_workload_kind(req(&m, "--workload")?)?;
+    let machines: u32 = m.parsed("--machines")?.unwrap_or(2);
+    let procs: u32 = m.parsed("--procs")?.unwrap_or(1);
+    let cache: u64 = m.parsed("--cache")?.unwrap_or(256);
+    let mem: u64 = m.parsed("--mem")?.unwrap_or(32);
+    let network = match m.get("--network") {
         None | Some("eth10") => NetworkKind::Ethernet10,
         Some("eth100") => NetworkKind::Ethernet100,
         Some("atm") | Some("atm155") => NetworkKind::Atm155,
@@ -428,11 +518,18 @@ fn cmd_upgrade(rest: &[String]) -> Result<(), String> {
 /// binaries run).
 fn cmd_reproduce(rest: &[String]) -> Result<(), String> {
     use memhier_bench::experiments as ex;
-    let which = rest
+    let parser = FlagParser::new("memhier reproduce", "regenerate paper artifacts")
+        .positionals("<EXPERIMENT>")
+        .sweep_flags();
+    let Some(m) = sub(&parser, rest)? else {
+        return Ok(());
+    };
+    let which = m
+        .positionals()
         .first()
         .cloned()
         .ok_or("which experiment? (try `all`)")?;
-    let sizes = Sizes::from_args(rest);
+    let sizes = m.sizes();
     let chars = || ex::table2(sizes, false).1;
     match which.as_str() {
         "table1" => ex::table1().print(),
@@ -477,21 +574,23 @@ fn cmd_reproduce(rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_recommend(rest: &[String]) -> Result<(), String> {
-    let w = if let Some(name) = flag(rest, "--workload") {
-        paper_params(parse_workload_kind(&name)?)
+    let parser = FlagParser::new("memhier recommend", "platform recommendation (\u{a7}6)")
+        .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
+        .option("--alpha", "A", "locality shape (with --beta --rho)")
+        .option("--beta", "B", "locality scale, bytes")
+        .option("--rho", "R", "memory-reference fraction");
+    let Some(m) = sub(&parser, rest)? else {
+        return Ok(());
+    };
+    let w = if let Some(name) = m.get("--workload") {
+        paper_params(parse_workload_kind(name)?)
     } else {
-        let alpha: f64 = flag(rest, "--alpha")
-            .ok_or("--alpha or --workload required")?
+        let alpha: f64 = req(&m, "--alpha")
+            .map_err(|_| "--alpha or --workload required".to_string())?
             .parse()
             .map_err(|_| "bad --alpha")?;
-        let beta: f64 = flag(rest, "--beta")
-            .ok_or("--beta required")?
-            .parse()
-            .map_err(|_| "bad --beta")?;
-        let rho: f64 = flag(rest, "--rho")
-            .ok_or("--rho required")?
-            .parse()
-            .map_err(|_| "bad --rho")?;
+        let beta: f64 = req(&m, "--beta")?.parse().map_err(|_| "bad --beta")?;
+        let rho: f64 = req(&m, "--rho")?.parse().map_err(|_| "bad --rho")?;
         WorkloadParams::new("custom", alpha, beta, rho).map_err(|e| e.to_string())?
     };
     let r = recommend(&w);

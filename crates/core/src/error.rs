@@ -3,7 +3,11 @@
 use std::fmt;
 
 /// Errors raised while validating parameters or evaluating the analytic model.
+///
+/// `#[non_exhaustive]`: downstream matches need a wildcard arm so new
+/// failure modes can be added without a breaking release.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ModelError {
     /// A locality parameter was out of its legal domain (`α > 1`, `β > 1`).
     InvalidLocality {

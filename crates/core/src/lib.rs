@@ -58,5 +58,7 @@ pub mod sensitivity;
 pub use error::ModelError;
 pub use locality::{Locality, WorkloadParams};
 pub use machine::{LatencyParams, MachineSpec, NetworkKind, NetworkTopology};
-pub use model::{AnalyticModel, ArrivalModel, Prediction, TailMode};
+pub use model::{
+    AnalyticModel, ArrivalModel, LevelBreakdown, LevelDiagnostic, ModelReport, Prediction, TailMode,
+};
 pub use platform::{ClusterSpec, PlatformKind};

@@ -61,6 +61,7 @@ impl MachineSpec {
 
 /// Physical medium of Networks 2/3 (the cluster network).  The paper studies
 /// two bus networks (Ethernet) and one switch network (ATM).
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum NetworkKind {
     /// 10 Mb/s Ethernet — a bus network.

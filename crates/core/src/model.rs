@@ -108,6 +108,122 @@ impl Prediction {
     pub fn app_seconds(&self, total_instructions: u64) -> f64 {
         total_instructions as f64 * self.e_instr_seconds
     }
+
+    /// Diagnostic breakdown of this prediction: where each cycle of `T`
+    /// comes from, level by level, with the M/D/1 queueing delay split out
+    /// from the raw service time.  Use it to explain model-vs-sim
+    /// disagreements per level rather than as one opaque scalar.
+    pub fn report(&self) -> ModelReport {
+        let t = self.t_cycles.max(f64::MIN_POSITIVE);
+        let levels: Vec<LevelDiagnostic> = self
+            .levels
+            .iter()
+            .map(|lv| {
+                let queueing = lv.effective_cycles - lv.service_cycles;
+                let contribution = lv.reach_prob * lv.effective_cycles;
+                LevelDiagnostic {
+                    name: lv.name.clone(),
+                    reach_prob: lv.reach_prob,
+                    service_cycles: lv.service_cycles,
+                    queueing_cycles: queueing,
+                    contribution_cycles: contribution,
+                    share_of_t: contribution / t,
+                    utilization: lv.utilization,
+                }
+            })
+            .collect();
+        let queueing_cycles: f64 = levels
+            .iter()
+            .map(|l| l.reach_prob * l.queueing_cycles)
+            .sum();
+        ModelReport {
+            t_cycles: self.t_cycles,
+            per_proc_cpi: self.per_proc_cpi,
+            e_instr_cycles: self.e_instr_cycles,
+            barrier_cycles_per_instr: self.barrier_cycles_per_instr,
+            barrier_share_of_cpi: self.barrier_cycles_per_instr / self.per_proc_cpi.max(1e-300),
+            queueing_cycles,
+            queueing_share_of_t: queueing_cycles / t,
+            levels,
+        }
+    }
+}
+
+/// One row of a [`ModelReport`]: a hierarchy level's contribution to the
+/// average memory time `T`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelDiagnostic {
+    /// Level name (`"cache"`, `"memory"`, `"remote"`, `"disk"`).
+    pub name: String,
+    /// Probability a reference reaches this level.
+    pub reach_prob: f64,
+    /// Uncontended service time, cycles.
+    pub service_cycles: f64,
+    /// M/D/1 queueing delay on top of the service time, cycles
+    /// (`effective − service`, i.e. eq. (9)'s waiting term).
+    pub queueing_cycles: f64,
+    /// This level's contribution to `T`: `reach · effective`, cycles.
+    pub contribution_cycles: f64,
+    /// `contribution / T`, in `[0, 1]`.
+    pub share_of_t: f64,
+    /// Utilization of the level's shared resource (0 when private).
+    pub utilization: f64,
+}
+
+/// The analytic mirror of the simulator's metrics: a per-level breakdown
+/// of where `E(Instr)` comes from.  Obtained from [`Prediction::report`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelReport {
+    /// Average memory-access time per reference `T`, cycles.
+    pub t_cycles: f64,
+    /// Per-processor cycles per instruction.
+    pub per_proc_cpi: f64,
+    /// `E(Instr)` in cycles.
+    pub e_instr_cycles: f64,
+    /// Barrier waiting, cycles per instruction.
+    pub barrier_cycles_per_instr: f64,
+    /// Barrier share of the per-processor CPI, in `[0, 1]`.
+    pub barrier_share_of_cpi: f64,
+    /// Total M/D/1 queueing delay folded into `T`
+    /// (`Σ reach·(effective − service)`), cycles.
+    pub queueing_cycles: f64,
+    /// Queueing share of `T`, in `[0, 1]`.
+    pub queueing_share_of_t: f64,
+    /// Per-level rows, cache first.
+    pub levels: Vec<LevelDiagnostic>,
+}
+
+impl ModelReport {
+    /// Human-readable rendering, one level per line — handy in assertion
+    /// messages when model and simulator disagree.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "T = {:.4} cyc (queueing {:.4} cyc, {:.1}%), per-proc CPI = {:.4}, \
+             barrier = {:.4} cyc/instr ({:.1}%)\n",
+            self.t_cycles,
+            self.queueing_cycles,
+            100.0 * self.queueing_share_of_t,
+            self.per_proc_cpi,
+            self.barrier_cycles_per_instr,
+            100.0 * self.barrier_share_of_cpi,
+        );
+        out.push_str(
+            "  level     reach        service      queueing     contrib      share   util\n",
+        );
+        for l in &self.levels {
+            out.push_str(&format!(
+                "  {:<9} {:<12.6e} {:<12.4} {:<12.4} {:<12.6e} {:>5.1}%  {:.3}\n",
+                l.name,
+                l.reach_prob,
+                l.service_cycles,
+                l.queueing_cycles,
+                l.contribution_cycles,
+                100.0 * l.share_of_t,
+                l.utilization,
+            ));
+        }
+        out
+    }
 }
 
 /// The analytic model: latency table + evaluation policy knobs.

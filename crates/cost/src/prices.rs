@@ -76,6 +76,10 @@ impl PriceTable {
             NetworkKind::Ethernet10 => self.eth10_per_machine,
             NetworkKind::Ethernet100 => self.eth100_per_machine,
             NetworkKind::Atm155 => self.atm_per_machine,
+            // `NetworkKind` is non_exhaustive; unknown media are priced as
+            // the most expensive known one so the optimizer never
+            // underestimates.
+            _ => self.atm_per_machine,
         }
     }
 

@@ -192,6 +192,17 @@ impl ClusterBackend {
         self.nodes.iter().map(|n| n.io.busy_cycles()).collect()
     }
 
+    /// Memory-bus busy cycles summed over all nodes — an allocation-free
+    /// aggregate for per-access observer snapshots.
+    pub fn total_bus_busy_cycles(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bus.busy_cycles()).sum()
+    }
+
+    /// I/O-bus busy cycles summed over all nodes (allocation-free).
+    pub fn total_io_busy_cycles(&self) -> u64 {
+        self.nodes.iter().map(|n| n.io.busy_cycles()).sum()
+    }
+
     fn node_of(&self, proc: usize) -> usize {
         proc / self.n_per_node
     }

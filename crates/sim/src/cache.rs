@@ -7,6 +7,7 @@
 /// upgrade silently instead of broadcasting an invalidation — without it,
 /// kernels like LU flood the bus with upgrade traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum LineState {
     /// Valid, clean, possibly shared with other caches.
     Shared,

@@ -7,6 +7,11 @@
 //! clocks), so shared-resource queueing in the backend sees requests in the
 //! order the simulated machine would issue them.
 //!
+//! The entry point is the [`SimSession`] builder: backend + one source per
+//! processor + any number of [`SimObserver`] taps.  With no observers the
+//! hot loop takes no snapshots at all — observability is strictly
+//! pay-for-what-you-use.
+//!
 //! **Barrier contract:** a workload thread must emit
 //! [`MemEvent::Barrier`] (and flush its batch) *before* blocking on any
 //! real synchronization.  The engine parks a process at a barrier and
@@ -17,7 +22,8 @@
 
 use crate::backend::ClusterBackend;
 use crate::event::MemEvent;
-use crate::report::SimReport;
+use crate::observe::{AccessObservation, BarrierObservation, ServiceLevel, SimObserver};
+use crate::report::{LevelCounts, SimReport};
 use crossbeam::channel::Receiver;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -77,18 +83,120 @@ impl ProcState {
     }
 }
 
+/// Builder for one simulated run: a backend, one event source per
+/// processor, and optional [`SimObserver`] taps.
+///
+/// ```no_run
+/// use memhier_sim::{ProcSource, SimSession, TimeSeriesCollector};
+/// # fn demo(backend: memhier_sim::ClusterBackend, sources: Vec<ProcSource>) {
+/// let out = SimSession::new(backend)
+///     .with_sources(sources)
+///     .observe(TimeSeriesCollector::new(100_000))
+///     .run();
+/// println!("wall = {} cycles", out.report.wall_cycles);
+/// let series = out.observer::<TimeSeriesCollector>().unwrap().series();
+/// println!("{} windows", series.windows.len());
+/// # }
+/// ```
+pub struct SimSession {
+    backend: ClusterBackend,
+    sources: Vec<ProcSource>,
+    observers: Vec<Box<dyn SimObserver>>,
+}
+
+impl SimSession {
+    /// Start a session on `backend` with no sources and no observers.
+    pub fn new(backend: ClusterBackend) -> Self {
+        SimSession {
+            backend,
+            sources: Vec::new(),
+            observers: Vec::new(),
+        }
+    }
+
+    /// Set the event sources; length must equal the backend's processor
+    /// count by the time [`SimSession::run`] is called.
+    pub fn with_sources(mut self, sources: Vec<ProcSource>) -> Self {
+        self.sources = sources;
+        self
+    }
+
+    /// Append a single event source.
+    pub fn source(mut self, source: ProcSource) -> Self {
+        self.sources.push(source);
+        self
+    }
+
+    /// Attach an observer.  Observers receive read-only snapshots and can
+    /// never perturb simulated time.
+    pub fn observe<O: SimObserver>(mut self, observer: O) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Attach an already-boxed observer (for dynamic configurations).
+    pub fn observe_boxed(mut self, observer: Box<dyn SimObserver>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Run to completion.  Panics unless `sources.len()` equals the
+    /// backend's processor count.
+    pub fn run(self) -> SessionOutput {
+        let engine = Engine::build(self.backend, self.sources, self.observers);
+        let (report, observers) = engine.run_inner();
+        SessionOutput { report, observers }
+    }
+}
+
+/// Result of [`SimSession::run`]: the final report plus the observers,
+/// ready to be downcast back to their concrete types.
+pub struct SessionOutput {
+    /// The end-of-run aggregate report.
+    pub report: SimReport,
+    observers: Vec<Box<dyn SimObserver>>,
+}
+
+impl SessionOutput {
+    /// Borrow the first attached observer of concrete type `T`.
+    pub fn observer<T: SimObserver>(&self) -> Option<&T> {
+        self.observers
+            .iter()
+            .find_map(|o| o.as_any().downcast_ref())
+    }
+
+    /// Mutably borrow the first attached observer of concrete type `T`.
+    pub fn observer_mut<T: SimObserver>(&mut self) -> Option<&mut T> {
+        self.observers
+            .iter_mut()
+            .find_map(|o| o.as_any_mut().downcast_mut())
+    }
+}
+
 /// The simulation engine: a backend plus one event source per processor.
+/// Prefer driving it through [`SimSession`].
 pub struct Engine {
     backend: ClusterBackend,
     procs: Vec<ProcState>,
     barriers: u64,
     barrier_wait: u64,
+    observers: Vec<Box<dyn SimObserver>>,
+    last_counts: LevelCounts,
 }
 
 impl Engine {
     /// Build an engine; `sources.len()` must equal the backend's processor
     /// count.
+    #[deprecated(note = "use `SimSession::new(backend).with_sources(sources)` instead")]
     pub fn new(backend: ClusterBackend, sources: Vec<ProcSource>) -> Self {
+        Engine::build(backend, sources, Vec::new())
+    }
+
+    fn build(
+        backend: ClusterBackend,
+        sources: Vec<ProcSource>,
+        observers: Vec<Box<dyn SimObserver>>,
+    ) -> Self {
         assert_eq!(
             sources.len(),
             backend.total_procs(),
@@ -111,6 +219,8 @@ impl Engine {
             procs,
             barriers: 0,
             barrier_wait: 0,
+            observers,
+            last_counts: LevelCounts::default(),
         }
     }
 
@@ -125,12 +235,26 @@ impl Engine {
             .max()
             .expect("at least one process at the barrier");
         self.barriers += 1;
+        let mut waits: Vec<(usize, u64)> = Vec::new();
+        let observing = !self.observers.is_empty();
         for (i, p) in self.procs.iter_mut().enumerate() {
             if p.at_barrier {
                 self.barrier_wait += max - p.clock;
+                if observing {
+                    waits.push((i, max - p.clock));
+                }
                 p.clock = max;
                 p.at_barrier = false;
                 heap.push(Reverse((p.clock, i)));
+            }
+        }
+        if observing {
+            let obs = BarrierObservation {
+                release_clock: max,
+                waits: &waits,
+            };
+            for o in &mut self.observers {
+                o.on_barrier(&obs);
             }
         }
     }
@@ -150,16 +274,46 @@ impl Engine {
         any
     }
 
-    /// Run to completion and report.
-    pub fn run(mut self) -> SimReport {
+    /// Snapshot the backend around the access just completed and fan it
+    /// out to every observer.  Only called when observers are attached.
+    fn notify_access(&mut self, proc: usize, addr: u64, write: bool, issue_clock: u64, lat: u64) {
+        let counts = self.backend.counts();
+        let obs = AccessObservation {
+            proc,
+            addr,
+            write,
+            issue_clock,
+            complete_clock: issue_clock + 1 + lat,
+            mem_cycles: lat,
+            level: ServiceLevel::classify(&self.last_counts, &counts),
+            paged: counts.disk > self.last_counts.disk,
+            upgraded: counts.upgrades > self.last_counts.upgrades,
+            counts,
+            traffic: self.backend.traffic(),
+            bus_busy_cycles: self.backend.total_bus_busy_cycles(),
+            network_busy_cycles: self.backend.network_busy_cycles(),
+            io_busy_cycles: self.backend.total_io_busy_cycles(),
+        };
+        self.last_counts = counts;
+        for o in &mut self.observers {
+            o.on_access(&obs);
+        }
+    }
+
+    /// Run to completion and report (observers, if any, are dropped; use
+    /// [`SimSession::run`] to get them back).
+    pub fn run(self) -> SimReport {
+        self.run_inner().0
+    }
+
+    fn run_inner(mut self) -> (SimReport, Vec<Box<dyn SimObserver>>) {
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
         for i in 0..self.procs.len() {
             heap.push(Reverse((0, i)));
         }
+        let observing = !self.observers.is_empty();
         while let Some(Reverse((clock, i))) = heap.pop() {
             debug_assert_eq!(clock, self.procs[i].clock);
-            #[cfg(feature = "engine-trace")]
-            eprintln!("pop proc {i} @ {clock}");
             match self.procs[i].next_event() {
                 None => {
                     self.procs[i].finished = true;
@@ -185,6 +339,9 @@ impl Engine {
                     p.instructions += 1;
                     p.refs += 1;
                     heap.push(Reverse((p.clock, i)));
+                    if observing {
+                        self.notify_access(i, a, false, clock, lat);
+                    }
                 }
                 Some(MemEvent::Write(a)) => {
                     let lat = self.backend.access(i, a, true, clock);
@@ -193,6 +350,9 @@ impl Engine {
                     p.instructions += 1;
                     p.refs += 1;
                     heap.push(Reverse((p.clock, i)));
+                    if observing {
+                        self.notify_access(i, a, true, clock, lat);
+                    }
                 }
                 Some(MemEvent::Barrier) => {
                     self.procs[i].at_barrier = true;
@@ -205,7 +365,7 @@ impl Engine {
         self.finish()
     }
 
-    fn finish(self) -> SimReport {
+    fn finish(mut self) -> (SimReport, Vec<Box<dyn SimObserver>>) {
         let proc_cycles: Vec<u64> = self.procs.iter().map(|p| p.clock).collect();
         let wall = proc_cycles.iter().copied().max().unwrap_or(0);
         let total_instructions: u64 = self.procs.iter().map(|p| p.instructions).sum();
@@ -215,7 +375,7 @@ impl Engine {
         } else {
             wall as f64 / total_instructions as f64
         };
-        SimReport {
+        let report = SimReport {
             wall_cycles: wall,
             proc_cycles,
             total_instructions,
@@ -229,19 +389,25 @@ impl Engine {
             bus_busy_cycles: self.backend.bus_busy_cycles(),
             network_busy_cycles: self.backend.network_busy_cycles(),
             io_busy_cycles: self.backend.io_busy_cycles(),
+        };
+        for o in &mut self.observers {
+            o.on_finish(&report);
         }
+        (report, self.observers)
     }
 }
 
 /// Convenience: build and run in one call.
+#[deprecated(note = "use `SimSession::new(backend).with_sources(sources).run().report` instead")]
 pub fn run_simulation(backend: ClusterBackend, sources: Vec<ProcSource>) -> SimReport {
-    Engine::new(backend, sources).run()
+    SimSession::new(backend).with_sources(sources).run().report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::homemap::HomeMap;
+    use crate::observe::{EventTracer, NopObserver, TimeSeriesCollector, TraceKind};
     use crossbeam::channel;
     use memhier_core::machine::{LatencyParams, MachineSpec};
     use memhier_core::platform::ClusterSpec;
@@ -251,11 +417,15 @@ mod tests {
         ClusterBackend::new(&c, LatencyParams::paper(), HomeMap::new(1, 256))
     }
 
+    fn run_sim(backend: ClusterBackend, sources: Vec<ProcSource>) -> SimReport {
+        SimSession::new(backend).with_sources(sources).run().report
+    }
+
     #[test]
     fn compute_only_stream() {
         let backend = smp_backend(1);
         let src = ProcSource::from_events(vec![MemEvent::Compute(100), MemEvent::Compute(50)]);
-        let r = run_simulation(backend, vec![src]);
+        let r = run_sim(backend, vec![src]);
         assert_eq!(r.wall_cycles, 150);
         assert_eq!(r.total_instructions, 150);
         assert_eq!(r.e_instr_cycles, 1.0);
@@ -267,7 +437,7 @@ mod tests {
         let backend = smp_backend(1);
         // Cold read: 1 + 50 + 2000; warm same-line read: 1.
         let src = ProcSource::from_events(vec![MemEvent::Read(0), MemEvent::Read(0)]);
-        let r = run_simulation(backend, vec![src]);
+        let r = run_sim(backend, vec![src]);
         // Cold: 1 (instr) + 2051 (mem).  Warm: 1 (instr) + 1 (hit).
         assert_eq!(r.wall_cycles, 2052 + 2);
         assert_eq!(r.total_refs, 2);
@@ -289,7 +459,7 @@ mod tests {
             MemEvent::Barrier,
             MemEvent::Compute(5),
         ]);
-        let r = run_simulation(backend, vec![s0, s1]);
+        let r = run_sim(backend, vec![s0, s1]);
         assert_eq!(r.wall_cycles, 1005);
         assert_eq!(r.proc_cycles, vec![1005, 1005]);
         assert_eq!(r.barriers, 1);
@@ -307,7 +477,7 @@ mod tests {
             MemEvent::Compute(1),
         ]);
         let s1 = ProcSource::from_events(vec![MemEvent::Compute(3)]);
-        let r = run_simulation(backend, vec![s0, s1]);
+        let r = run_sim(backend, vec![s0, s1]);
         assert_eq!(r.proc_cycles[0], 11);
         assert_eq!(r.barriers, 1);
     }
@@ -332,7 +502,7 @@ mod tests {
                     .unwrap();
             }
         });
-        let r = run_simulation(
+        let r = run_sim(
             backend,
             vec![ProcSource::Channel(rx0), ProcSource::Channel(rx1)],
         );
@@ -359,7 +529,7 @@ mod tests {
                     )
                 })
                 .collect();
-            run_simulation(backend, sources)
+            run_sim(backend, sources)
         };
         let solo = mk(1, 1);
         let duo = mk(2, 2);
@@ -376,7 +546,7 @@ mod tests {
     fn e_instr_seconds_uses_clock() {
         let backend = smp_backend(1);
         let src = ProcSource::from_events(vec![MemEvent::Compute(100)]);
-        let r = run_simulation(backend, vec![src]);
+        let r = run_sim(backend, vec![src]);
         assert!((r.e_instr_seconds - 1.0 / 2e8).abs() < 1e-18);
     }
 
@@ -384,6 +554,129 @@ mod tests {
     #[should_panic(expected = "one event source per")]
     fn source_count_checked() {
         let backend = smp_backend(2);
-        let _ = Engine::new(backend, vec![ProcSource::from_events(vec![])]);
+        let _ = SimSession::new(backend)
+            .source(ProcSource::from_events(vec![]))
+            .run();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_session() {
+        let mk_sources = || {
+            vec![ProcSource::from_events(
+                (0..50u64).map(|i| MemEvent::Read(i * 64)).collect(),
+            )]
+        };
+        let via_shim = run_simulation(smp_backend(1), mk_sources());
+        let via_session = run_sim(smp_backend(1), mk_sources());
+        assert_eq!(via_shim, via_session);
+    }
+
+    #[test]
+    fn nop_observer_changes_nothing() {
+        let mk_sources = || {
+            vec![ProcSource::from_events(
+                (0..100u64)
+                    .map(|i| {
+                        if i % 3 == 0 {
+                            MemEvent::Write(i * 64)
+                        } else {
+                            MemEvent::Read(i * 32)
+                        }
+                    })
+                    .collect(),
+            )]
+        };
+        let bare = run_sim(smp_backend(1), mk_sources());
+        let observed = SimSession::new(smp_backend(1))
+            .with_sources(mk_sources())
+            .observe(NopObserver)
+            .run();
+        assert_eq!(bare, observed.report);
+    }
+
+    #[test]
+    fn collector_reconciles_with_report() {
+        let sources = vec![
+            ProcSource::from_events(
+                (0..300u64)
+                    .map(|i| MemEvent::Read(i * 64))
+                    .chain([MemEvent::Barrier, MemEvent::Compute(10)])
+                    .collect(),
+            ),
+            ProcSource::from_events(
+                (0..50u64)
+                    .map(|i| MemEvent::Write(i * 64))
+                    .chain([MemEvent::Barrier, MemEvent::Compute(10)])
+                    .collect(),
+            ),
+        ];
+        let out = SimSession::new(smp_backend(2))
+            .with_sources(sources)
+            .observe(TimeSeriesCollector::new(1000))
+            .run();
+        let series = out.observer::<TimeSeriesCollector>().unwrap().series();
+        let sum = |f: fn(&crate::observe::MetricsWindow) -> u64| -> u64 {
+            series.windows.iter().map(f).sum()
+        };
+        assert_eq!(sum(|w| w.refs), out.report.total_refs);
+        assert_eq!(sum(|w| w.l1_hits), out.report.levels.l1_hits);
+        assert_eq!(sum(|w| w.local_memory), out.report.levels.local_memory);
+        assert_eq!(sum(|w| w.upgrades), out.report.levels.upgrades);
+        assert_eq!(sum(|w| w.data_bytes), out.report.traffic.data_bytes);
+        assert_eq!(
+            sum(|w| w.coherence_bytes),
+            out.report.traffic.coherence_bytes
+        );
+        assert_eq!(
+            sum(|w| w.barrier_wait_cycles),
+            out.report.barrier_wait_cycles
+        );
+        assert_eq!(
+            sum(|w| w.bus_busy_cycles),
+            out.report.bus_busy_cycles.iter().sum::<u64>()
+        );
+        // Per-proc refs reconcile too.
+        let proc_refs: u64 = series.per_proc.iter().map(|p| p.refs).sum();
+        assert_eq!(proc_refs, out.report.total_refs);
+        assert_eq!(series.totals.wall_cycles, out.report.wall_cycles);
+    }
+
+    #[test]
+    fn tracer_records_accesses_and_barriers() {
+        let sources = vec![
+            ProcSource::from_events(vec![
+                MemEvent::Read(0),
+                MemEvent::Barrier,
+                MemEvent::Read(64),
+            ]),
+            ProcSource::from_events(vec![
+                MemEvent::Compute(5),
+                MemEvent::Barrier,
+                MemEvent::Read(8192),
+            ]),
+        ];
+        let out = SimSession::new(smp_backend(2))
+            .with_sources(sources)
+            .observe(EventTracer::new(64))
+            .run();
+        let log = out.observer::<EventTracer>().unwrap().log();
+        let accesses = log
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceKind::Access)
+            .count();
+        let barriers = log
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceKind::Barrier)
+            .count();
+        assert_eq!(accesses as u64, out.report.total_refs);
+        assert_eq!(barriers as u64, out.report.barriers);
+        assert_eq!(log.dropped, 0);
+        // JSONL round-trips through the parser.
+        for line in log.to_jsonl().lines() {
+            let _: serde_json::Value = serde_json::from_str(line).unwrap();
+        }
     }
 }

@@ -31,11 +31,19 @@ pub mod cache;
 pub mod engine;
 pub mod event;
 pub mod homemap;
+pub mod observe;
 pub mod report;
 pub mod util;
 
 pub use backend::{ClusterBackend, ProtocolParams};
-pub use engine::{run_simulation, Engine, ProcSource};
+#[allow(deprecated)]
+pub use engine::run_simulation;
+pub use engine::{Engine, ProcSource, SessionOutput, SimSession};
 pub use event::MemEvent;
 pub use homemap::HomeMap;
+pub use observe::{
+    AccessObservation, BarrierObservation, EventTracer, MetricsSeries, MetricsTotals,
+    MetricsWindow, NopObserver, ProcBreakdown, ServiceLevel, SimObserver, TimeSeriesCollector,
+    TraceEvent, TraceKind, TraceLog,
+};
 pub use report::SimReport;

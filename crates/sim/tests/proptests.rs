@@ -4,7 +4,7 @@ use memhier_core::machine::{LatencyParams, MachineSpec, NetworkKind};
 use memhier_core::platform::ClusterSpec;
 use memhier_sim::backend::ClusterBackend;
 use memhier_sim::cache::{LineState, SetAssocCache};
-use memhier_sim::engine::{run_simulation, ProcSource};
+use memhier_sim::engine::{ProcSource, SimSession};
 use memhier_sim::event::MemEvent;
 use memhier_sim::homemap::HomeMap;
 use memhier_sim::util::{LruSet, Resource};
@@ -144,7 +144,10 @@ proptest! {
                 computes.iter().map(|&k| MemEvent::Compute(k)).collect(),
             )
         };
-        let r = run_simulation(backend, vec![mk(), mk()]);
+        let r = SimSession::new(backend)
+            .with_sources(vec![mk(), mk()])
+            .run()
+            .report;
         prop_assert_eq!(r.wall_cycles, total);
         prop_assert_eq!(r.total_instructions, 2 * total);
     }
@@ -169,7 +172,7 @@ proptest! {
                 ProcSource::from_events(vec![MemEvent::Compute(k), MemEvent::Barrier])
             })
             .collect();
-        let r = run_simulation(backend, sources);
+        let r = SimSession::new(backend).with_sources(sources).run().report;
         let max = pre.iter().take(n).map(|&k| k as u64).max().unwrap();
         prop_assert!(r.proc_cycles.iter().all(|&c| c == max), "{:?}", r.proc_cycles);
     }

@@ -10,7 +10,10 @@ use crate::tpcc::TpccProgram;
 use std::sync::Arc;
 
 /// The five workloads.
+///
+/// `#[non_exhaustive]`: more kernels may be added; match with a wildcard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum WorkloadKind {
     /// Six-step complex 1-D FFT.
     Fft,

@@ -1,6 +1,8 @@
 //! Full program-driven simulation: run the instrumented Radix kernel on a
 //! cluster of workstations and print what the memory hierarchy saw — the
 //! same pipeline the paper's MINT + back-end simulators implement (§5.1).
+//! A [`TimeSeriesCollector`] observer rides along to show utilization over
+//! time (see docs/OBSERVABILITY.md).
 //!
 //! ```sh
 //! cargo run --release --example simulate_cluster
@@ -10,7 +12,8 @@
 use memhier::core::machine::{LatencyParams, MachineSpec, NetworkKind};
 use memhier::core::platform::ClusterSpec;
 use memhier::sim::backend::ClusterBackend;
-use memhier::sim::engine::{run_simulation, ProcSource};
+use memhier::sim::engine::{ProcSource, SimSession};
+use memhier::sim::observe::TimeSeriesCollector;
 use memhier::workloads::registry::{Workload, WorkloadKind};
 use memhier::workloads::spmd::{home_map_for, stream_spmd};
 
@@ -30,11 +33,16 @@ fn main() {
     // 2. Home map: each process's partition lives in its node's memory.
     let home = home_map_for(&*program, cluster.machines as usize, 1, 256);
 
-    // 3. Back-end with the paper's §5.1 latencies, driven by the engine.
+    // 3. Back-end with the paper's §5.1 latencies, driven by the engine —
+    //    with a windowed metrics observer attached.
     let backend = ClusterBackend::new(&cluster, LatencyParams::paper(), home);
-    let (report, counters) = stream_spmd(program, |rxs| {
-        run_simulation(backend, rxs.into_iter().map(ProcSource::Channel).collect())
+    let (out, counters) = stream_spmd(program, |rxs| {
+        SimSession::new(backend)
+            .with_sources(rxs.into_iter().map(ProcSource::Channel).collect())
+            .observe(TimeSeriesCollector::new(250_000))
+            .run()
     });
+    let report = &out.report;
 
     println!();
     println!("instructions        : {}", report.total_instructions);
@@ -66,4 +74,28 @@ fn main() {
         "barriers            : {} rounds, {} cycles waited",
         report.barriers, report.barrier_wait_cycles
     );
+
+    // 4. What the observer saw: network saturation window by window.
+    let series = out
+        .observer::<TimeSeriesCollector>()
+        .expect("collector attached above")
+        .series();
+    println!();
+    println!(
+        "network utilization by {}-cycle window (L1 hit rate in parens, \
+         every {}th window):",
+        series.window_cycles,
+        series.windows.len().div_ceil(16).max(1)
+    );
+    let step = series.windows.len().div_ceil(16).max(1);
+    for w in series.windows.iter().step_by(step) {
+        println!(
+            "  [{:>10}..{:>10})  net {:>5.1}%  bus {:>5.1}%  ({:.3})",
+            w.start_cycle,
+            w.end_cycle,
+            w.network_utilization * 100.0,
+            w.bus_utilization * 100.0,
+            w.l1_hit_rate
+        );
+    }
 }

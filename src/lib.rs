@@ -38,3 +38,68 @@ pub use memhier_cost as cost;
 pub use memhier_sim as sim;
 pub use memhier_trace as trace;
 pub use memhier_workloads as workloads;
+
+/// One error type for the whole workspace surface.
+///
+/// Sub-crates keep their own precise errors ([`core::ModelError`] chief
+/// among them); this enum is the top-level catch-all a binary or consumer
+/// can bubble everything into via `?`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MemhierError {
+    /// Analytic-model validation or evaluation failure.
+    Model(memhier_core::ModelError),
+    /// Filesystem/IO failure (metrics or trace export, artifact writes).
+    Io(std::io::Error),
+    /// Anything else (flag parsing, malformed inputs).
+    Invalid(String),
+}
+
+impl std::fmt::Display for MemhierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemhierError::Model(e) => write!(f, "model error: {e}"),
+            MemhierError::Io(e) => write!(f, "io error: {e}"),
+            MemhierError::Invalid(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MemhierError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MemhierError::Model(e) => Some(e),
+            MemhierError::Io(e) => Some(e),
+            MemhierError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<memhier_core::ModelError> for MemhierError {
+    fn from(e: memhier_core::ModelError) -> Self {
+        MemhierError::Model(e)
+    }
+}
+
+impl From<std::io::Error> for MemhierError {
+    fn from(e: std::io::Error) -> Self {
+        MemhierError::Io(e)
+    }
+}
+
+/// The blessed public surface in one import:
+/// `use memhier::prelude::*;`.
+pub mod prelude {
+    pub use crate::MemhierError;
+    pub use memhier_core::model::{LevelBreakdown, LevelDiagnostic, ModelReport};
+    pub use memhier_core::{
+        AnalyticModel, ArrivalModel, ClusterSpec, LatencyParams, Locality, MachineSpec, ModelError,
+        NetworkKind, NetworkTopology, PlatformKind, Prediction, TailMode, WorkloadParams,
+    };
+    pub use memhier_sim::{
+        ClusterBackend, EventTracer, HomeMap, MemEvent, MetricsSeries, NopObserver, ProcSource,
+        ProtocolParams, ServiceLevel, SessionOutput, SimObserver, SimReport, SimSession,
+        TimeSeriesCollector, TraceLog,
+    };
+    pub use memhier_workloads::{Workload, WorkloadKind};
+}

@@ -7,7 +7,7 @@ use memhier::core::machine::{LatencyParams, MachineSpec, NetworkKind};
 use memhier::core::model::AnalyticModel;
 use memhier::core::platform::ClusterSpec;
 use memhier::sim::backend::ClusterBackend;
-use memhier::sim::engine::{run_simulation, ProcSource};
+use memhier::sim::engine::{ProcSource, SimSession};
 use memhier::workloads::registry::{Workload, WorkloadKind};
 use memhier::workloads::spmd::{home_map_for, stream_spmd};
 
@@ -21,20 +21,38 @@ fn sim_seconds(kind: WorkloadKind, cluster: &ClusterSpec) -> f64 {
     );
     let backend = ClusterBackend::new(cluster, LatencyParams::paper(), home);
     let (report, _) = stream_spmd(program, |rxs| {
-        run_simulation(backend, rxs.into_iter().map(ProcSource::Channel).collect())
+        SimSession::new(backend)
+            .with_sources(rxs.into_iter().map(ProcSource::Channel).collect())
+            .run()
+            .report
     });
     report.e_instr_seconds
 }
 
-fn model_seconds(kind: WorkloadKind, cluster: &ClusterSpec) -> f64 {
-    let w = match kind {
+fn paper_params(kind: WorkloadKind) -> memhier::core::locality::WorkloadParams {
+    match kind {
         WorkloadKind::Fft => memhier::core::params::workload_fft(),
         WorkloadKind::Lu => memhier::core::params::workload_lu(),
         WorkloadKind::Radix => memhier::core::params::workload_radix(),
         WorkloadKind::Edge => memhier::core::params::workload_edge(),
         WorkloadKind::Tpcc => memhier::core::params::workload_tpcc(),
-    };
-    AnalyticModel::default().evaluate_or_inf(cluster, &w)
+        // WorkloadKind is non_exhaustive; this test only names the five
+        // paper programs.
+        other => panic!("no paper parameters for {other:?}"),
+    }
+}
+
+fn model_seconds(kind: WorkloadKind, cluster: &ClusterSpec) -> f64 {
+    AnalyticModel::default().evaluate_or_inf(cluster, &paper_params(kind))
+}
+
+/// Rendered per-level [`memhier::core::model::ModelReport`] for assertion
+/// messages, so a disagreement is explainable level by level.
+fn model_diag(kind: WorkloadKind, cluster: &ClusterSpec) -> String {
+    AnalyticModel::default()
+        .evaluate(cluster, &paper_params(kind))
+        .map(|p| p.report().render())
+        .unwrap_or_else(|e| format!("(model unevaluable: {e})"))
 }
 
 #[test]
@@ -105,8 +123,9 @@ fn model_within_two_orders_of_magnitude_of_sim() {
             let ratio = m / s;
             assert!(
                 (0.01..100.0).contains(&ratio),
-                "{kind:?} on {}: model {m} vs sim {s} (ratio {ratio})",
-                cluster.describe()
+                "{kind:?} on {}: model {m} vs sim {s} (ratio {ratio})\n{}",
+                cluster.describe(),
+                model_diag(kind, cluster)
             );
         }
     }

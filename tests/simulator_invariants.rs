@@ -4,7 +4,7 @@
 use memhier::core::machine::{LatencyParams, MachineSpec, NetworkKind};
 use memhier::core::platform::ClusterSpec;
 use memhier::sim::backend::ClusterBackend;
-use memhier::sim::engine::{run_simulation, ProcSource};
+use memhier::sim::engine::{ProcSource, SimSession};
 use memhier::sim::report::SimReport;
 use memhier::workloads::registry::{Workload, WorkloadKind};
 use memhier::workloads::spmd::{home_map_for, stream_spmd};
@@ -19,7 +19,10 @@ fn simulate(kind: WorkloadKind, cluster: &ClusterSpec) -> SimReport {
     );
     let backend = ClusterBackend::new(cluster, LatencyParams::paper(), home);
     let (report, counters) = stream_spmd(program, |rxs| {
-        run_simulation(backend, rxs.into_iter().map(ProcSource::Channel).collect())
+        SimSession::new(backend)
+            .with_sources(rxs.into_iter().map(ProcSource::Channel).collect())
+            .run()
+            .report
     });
     assert_eq!(report.total_refs, counters.mem_refs(), "refs conserved");
     assert_eq!(
