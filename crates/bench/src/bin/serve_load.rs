@@ -1,0 +1,205 @@
+//! serve_load — a closed-loop load generator for `memhierd`.
+//!
+//! `--clients` threads each open one connection per request (the service
+//! is `Connection: close`), pull work from a shared counter until
+//! `--requests` have been issued, and record per-request latency and
+//! status.  The summary prints p50/p95/p99 latency, throughput, and the
+//! status-code mix; `--json` emits the same numbers machine-readably
+//! (the CI smoke job and the integration tests parse it).
+//!
+//! ```text
+//! serve_load --addr 127.0.0.1:7070 --clients 8 --requests 64 \
+//!            --endpoint recommend [--warm] [--json]
+//! ```
+//!
+//! `--warm` issues one untimed priming request first so the measured run
+//! exercises the server's response cache rather than cold simulation.
+
+use memhier_bench::FlagParser;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The wire bytes for one endpoint probe.
+fn request_bytes(endpoint: &str, body: Option<&str>) -> Result<Vec<u8>, String> {
+    let (method, path, default_body) = match endpoint {
+        "healthz" => ("GET", "/healthz", ""),
+        "metrics" => ("GET", "/metrics", ""),
+        "model" => (
+            "POST",
+            "/v1/model",
+            r#"{"config": "C5", "workload": "FFT"}"#,
+        ),
+        "recommend" => ("POST", "/v1/recommend", r#"{"workload": "FFT"}"#),
+        "simulate" => (
+            "POST",
+            "/v1/simulate",
+            r#"{"config": "C8", "workload": "LU", "size": "small"}"#,
+        ),
+        other => return Err(format!("unknown endpoint `{other}`")),
+    };
+    let body = body.unwrap_or(default_body);
+    Ok(format!(
+        "{method} {path} HTTP/1.1\r\nHost: serve_load\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes())
+}
+
+/// One request: connect, send, read to EOF, return (status, latency).
+fn one_request(addr: &str, wire: &[u8]) -> Result<(u16, Duration), String> {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    stream.write_all(wire).map_err(|e| format!("send: {e}"))?;
+    let mut reply = Vec::new();
+    stream
+        .read_to_end(&mut reply)
+        .map_err(|e| format!("read: {e}"))?;
+    let status: u16 = reply
+        .strip_prefix(b"HTTP/1.1 ")
+        .and_then(|r| r.get(..3))
+        .and_then(|s| std::str::from_utf8(s).ok())
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "malformed response status line".to_string())?;
+    Ok((status, started.elapsed()))
+}
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+fn main() {
+    let m = FlagParser::new("serve_load", "closed-loop load generator for memhierd")
+        .option("--addr", "HOST:PORT", "memhierd address (required)")
+        .option("--clients", "N", "concurrent client threads (default 8)")
+        .option("--requests", "N", "total requests to issue (default 64)")
+        .option(
+            "--endpoint",
+            "NAME",
+            "healthz|metrics|model|recommend|simulate (default recommend)",
+        )
+        .option("--body", "JSON", "override the endpoint's request body")
+        .switch("--warm", "issue one untimed priming request first")
+        .switch("--json", "machine-readable summary")
+        .parse_env_or_exit();
+
+    let run = || -> Result<(), String> {
+        let addr = m
+            .get("--addr")
+            .ok_or_else(|| "--addr required".to_string())?
+            .to_string();
+        let clients: usize = m.parsed("--clients")?.unwrap_or(8).max(1);
+        let total: usize = m.parsed("--requests")?.unwrap_or(64).max(1);
+        let endpoint = m.get("--endpoint").unwrap_or("recommend").to_string();
+        let wire = Arc::new(request_bytes(&endpoint, m.get("--body"))?);
+
+        if m.has("--warm") {
+            let (status, d) = one_request(&addr, &wire)?;
+            eprintln!("warm-up: {status} in {:.1} ms", d.as_secs_f64() * 1e3);
+        }
+
+        let next = Arc::new(AtomicUsize::new(0));
+        let started = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let (addr, wire, next) = (addr.clone(), Arc::clone(&wire), Arc::clone(&next));
+                std::thread::spawn(move || {
+                    let mut latencies_us = Vec::new();
+                    let mut statuses = Vec::new();
+                    let mut errors = 0usize;
+                    while next.fetch_add(1, Ordering::Relaxed) < total {
+                        match one_request(&addr, &wire) {
+                            Ok((status, d)) => {
+                                latencies_us.push(d.as_micros().min(u128::from(u64::MAX)) as u64);
+                                statuses.push(status);
+                            }
+                            Err(_) => errors += 1,
+                        }
+                    }
+                    (latencies_us, statuses, errors)
+                })
+            })
+            .collect();
+
+        let mut latencies_us = Vec::with_capacity(total);
+        let mut by_status: std::collections::BTreeMap<u16, usize> = Default::default();
+        let mut errors = 0usize;
+        for h in handles {
+            let (lat, statuses, errs) = h.join().map_err(|_| "client thread panicked")?;
+            latencies_us.extend(lat);
+            errors += errs;
+            for s in statuses {
+                *by_status.entry(s).or_default() += 1;
+            }
+        }
+        let elapsed = started.elapsed();
+        latencies_us.sort_unstable();
+        let done = latencies_us.len();
+        let throughput = done as f64 / elapsed.as_secs_f64().max(1e-9);
+        let (p50, p95, p99) = (
+            quantile(&latencies_us, 0.50),
+            quantile(&latencies_us, 0.95),
+            quantile(&latencies_us, 0.99),
+        );
+
+        // Writes that hit a closed pipe (e.g. `serve_load | head`) are not
+        // an error worth a panic; swallow them.
+        let mut stdout = std::io::stdout();
+        if m.has("--json") {
+            let statuses: Vec<serde_json::Value> = by_status
+                .iter()
+                .map(|(s, n)| serde_json::json!({"status": *s as u64, "count": *n as u64}))
+                .collect();
+            let doc = serde_json::json!({
+                "endpoint": endpoint,
+                "clients": clients as u64,
+                "requests": done as u64,
+                "errors": errors as u64,
+                "elapsed_seconds": elapsed.as_secs_f64(),
+                "throughput_rps": throughput,
+                "p50_us": p50,
+                "p95_us": p95,
+                "p99_us": p99,
+                "statuses": serde_json::Value::Array(statuses),
+            });
+            let _ = writeln!(
+                stdout,
+                "{}",
+                serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?
+            );
+        } else {
+            let _ = writeln!(
+                stdout,
+                "{endpoint}: {done} requests over {clients} clients in {:.2} s ({throughput:.1} req/s)",
+                elapsed.as_secs_f64()
+            );
+            let _ = writeln!(
+                stdout,
+                "  latency p50 = {:.2} ms  p95 = {:.2} ms  p99 = {:.2} ms",
+                p50 as f64 / 1e3,
+                p95 as f64 / 1e3,
+                p99 as f64 / 1e3
+            );
+            for (status, count) in &by_status {
+                let _ = writeln!(stdout, "  {status}: {count}");
+            }
+            if errors > 0 {
+                let _ = writeln!(stdout, "  transport errors: {errors}");
+            }
+        }
+        Ok(())
+    };
+    if let Err(e) = run() {
+        eprintln!("serve_load: {e}");
+        std::process::exit(1);
+    }
+}

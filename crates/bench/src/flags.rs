@@ -367,4 +367,36 @@ mod tests {
             assert!(u.contains(f), "usage missing {f}:\n{u}");
         }
     }
+
+    #[test]
+    fn malformed_integer_is_an_error_not_a_panic() {
+        // Parsing succeeds (the flag takes any string)…
+        let m = parser().parse(&args(&["--jobs", "four"])).unwrap();
+        // …but typed extraction reports the bad literal and the flag name.
+        let e = m.parsed::<usize>("--jobs").unwrap_err();
+        assert!(e.contains("--jobs"), "{e}");
+        assert!(e.contains("four"), "{e}");
+        // A negative literal is consumed as the value, then rejected by
+        // the unsigned typed extraction.
+        let m = parser().parse(&args(&["--jobs", "-3"])).unwrap();
+        assert!(m.parsed::<usize>("--jobs").is_err());
+        let m = parser().parse(&args(&["--window", "1e9"])).unwrap();
+        assert!(m.parsed::<u64>("--window").is_err());
+    }
+
+    #[test]
+    fn help_flag_is_always_accepted() {
+        let m = parser().parse(&args(&["--help"])).unwrap();
+        assert!(m.has("--help"));
+        // --help wins even alongside other valid flags.
+        let m = parser().parse(&args(&["--paper", "--help"])).unwrap();
+        assert!(m.has("--help"));
+    }
+
+    #[test]
+    fn usage_header_names_the_binary_and_about() {
+        let u = FlagParser::new("serve_load", "closed-loop load generator").usage();
+        assert!(u.contains("serve_load"), "{u}");
+        assert!(u.contains("closed-loop load generator"), "{u}");
+    }
 }

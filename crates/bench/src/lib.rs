@@ -24,11 +24,13 @@
 pub mod calib;
 pub mod experiments;
 pub mod flags;
+pub mod names;
 pub mod runner;
 pub mod sweeprun;
 pub mod tables;
 
 pub use flags::{FlagParser, Matches};
+pub use names::{config_by_name, paper_params, sizes_by_name, workload_kind_by_name};
 pub use runner::{
     characterize, simulate_workload, simulate_workload_observed, simulate_workload_with,
     Characterization, ObservedRun, ObserverConfig, SimRun, Sizes,

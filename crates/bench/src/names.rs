@@ -1,0 +1,84 @@
+//! Canonical string names for configs, workloads, and size tiers.
+//!
+//! The CLI, the experiment binaries, and the `memhierd` service all take
+//! the same spellings (`C1..C15`, `FFT|LU|Radix|EDGE|TPC-C`,
+//! `small|medium|paper`); resolving them lives here so every entry point
+//! accepts and rejects exactly the same inputs.
+
+use crate::runner::Sizes;
+use memhier_core::locality::WorkloadParams;
+use memhier_core::params::{self, configs};
+use memhier_core::platform::ClusterSpec;
+use memhier_workloads::registry::WorkloadKind;
+
+/// Resolve a paper configuration by name (`C1`..`C15`).
+pub fn config_by_name(name: &str) -> Result<ClusterSpec, String> {
+    configs::all_configs()
+        .into_iter()
+        .find(|c| c.name.as_deref() == Some(name))
+        .ok_or_else(|| format!("unknown config `{name}` (try `memhier configs`)"))
+}
+
+/// Resolve a workload kind by its display name (case-insensitive).
+pub fn workload_kind_by_name(name: &str) -> Result<WorkloadKind, String> {
+    match name.to_ascii_uppercase().as_str() {
+        "FFT" => Ok(WorkloadKind::Fft),
+        "LU" => Ok(WorkloadKind::Lu),
+        "RADIX" => Ok(WorkloadKind::Radix),
+        "EDGE" => Ok(WorkloadKind::Edge),
+        "TPC-C" | "TPCC" => Ok(WorkloadKind::Tpcc),
+        other => Err(format!("unknown workload `{other}`")),
+    }
+}
+
+/// Resolve a problem-size tier by name.
+pub fn sizes_by_name(name: &str) -> Result<Sizes, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "small" => Ok(Sizes::Small),
+        "medium" => Ok(Sizes::Medium),
+        "paper" => Ok(Sizes::Paper),
+        other => Err(format!("unknown size `{other}` (small|medium|paper)")),
+    }
+}
+
+/// The paper's Table-2 `(α, β, ρ)` parameters for a kernel.
+pub fn paper_params(kind: WorkloadKind) -> WorkloadParams {
+    match kind {
+        WorkloadKind::Fft => params::workload_fft(),
+        WorkloadKind::Lu => params::workload_lu(),
+        WorkloadKind::Radix => params::workload_radix(),
+        WorkloadKind::Edge => params::workload_edge(),
+        WorkloadKind::Tpcc => params::workload_tpcc(),
+        // WorkloadKind is non_exhaustive; workload_kind_by_name only emits
+        // the five above.
+        other => unreachable!("no paper parameters for {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_lookup_roundtrips() {
+        for c in configs::all_configs() {
+            let name = c.name.clone().unwrap();
+            assert_eq!(config_by_name(&name).unwrap().name.as_deref(), Some(&*name));
+        }
+        assert!(config_by_name("C99").is_err());
+    }
+
+    #[test]
+    fn workload_names_case_insensitive() {
+        assert_eq!(workload_kind_by_name("fft").unwrap(), WorkloadKind::Fft);
+        assert_eq!(workload_kind_by_name("TPCC").unwrap(), WorkloadKind::Tpcc);
+        assert!(workload_kind_by_name("SORT").is_err());
+    }
+
+    #[test]
+    fn size_names() {
+        assert_eq!(sizes_by_name("small").unwrap(), Sizes::Small);
+        assert_eq!(sizes_by_name("PAPER").unwrap(), Sizes::Paper);
+        assert!(sizes_by_name("huge").is_err());
+    }
+}

@@ -17,18 +17,22 @@
 //! `--metrics`, `--trace`, sizes, and `--help` behave exactly as in the
 //! experiment binaries.
 
+use memhier::MemhierError;
 use memhier_bench::runner::{characterize, simulate_workload_observed, Sizes};
-use memhier_bench::{FlagParser, Matches};
+use memhier_bench::{config_by_name, paper_params, workload_kind_by_name, FlagParser, Matches};
 use memhier_core::locality::WorkloadParams;
 use memhier_core::machine::{LatencyParams, MachineSpec, NetworkKind};
 use memhier_core::model::AnalyticModel;
-use memhier_core::params::{self, configs};
+use memhier_core::params::configs;
 use memhier_core::platform::ClusterSpec;
 use memhier_cost::{
-    optimize, pareto_frontier, plan_upgrade, recommend, CandidateSpace, PriceTable,
+    optimize, pareto_frontier, plan_upgrade, recommend, recommendation_json, CandidateSpace,
+    PriceTable,
 };
+use memhier_serve::{ServeConfig, Server};
 use memhier_workloads::registry::WorkloadKind;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,12 +50,15 @@ fn main() -> ExitCode {
         "pareto" => cmd_pareto(rest),
         "upgrade" => cmd_upgrade(rest),
         "recommend" => cmd_recommend(rest),
+        "serve" => cmd_serve(rest),
         "reproduce" => cmd_reproduce(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        other => Err(MemhierError::Invalid(format!(
+            "unknown command `{other}`\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -77,6 +84,9 @@ USAGE:
   memhier upgrade  --budget <dollars> --workload <name> [--machines N --procs n
                     --cache KB --mem MB --network <eth10|eth100|atm>]
   memhier recommend (--workload <name> | --alpha A --beta B --rho R)
+                    [--format text|json]
+  memhier serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
+                   [--timeout-ms MS] [--addr-file PATH]
   memhier reproduce <table1|table2|fig2|fig3|fig4|coherence|speedup|
                      budget5k|budget20k|upgrade|fft4x|recommendations|
                      sensitivity|ablation|sweep|utilization|all>
@@ -99,38 +109,7 @@ fn req<'a>(m: &'a Matches, name: &str) -> Result<&'a str, String> {
     m.get(name).ok_or_else(|| format!("{name} required"))
 }
 
-fn parse_config(name: &str) -> Result<ClusterSpec, String> {
-    configs::all_configs()
-        .into_iter()
-        .find(|c| c.name.as_deref() == Some(name))
-        .ok_or_else(|| format!("unknown config `{name}` (try `memhier configs`)"))
-}
-
-fn parse_workload_kind(name: &str) -> Result<WorkloadKind, String> {
-    match name.to_ascii_uppercase().as_str() {
-        "FFT" => Ok(WorkloadKind::Fft),
-        "LU" => Ok(WorkloadKind::Lu),
-        "RADIX" => Ok(WorkloadKind::Radix),
-        "EDGE" => Ok(WorkloadKind::Edge),
-        "TPC-C" | "TPCC" => Ok(WorkloadKind::Tpcc),
-        other => Err(format!("unknown workload `{other}`")),
-    }
-}
-
-fn paper_params(kind: WorkloadKind) -> WorkloadParams {
-    match kind {
-        WorkloadKind::Fft => params::workload_fft(),
-        WorkloadKind::Lu => params::workload_lu(),
-        WorkloadKind::Radix => params::workload_radix(),
-        WorkloadKind::Edge => params::workload_edge(),
-        WorkloadKind::Tpcc => params::workload_tpcc(),
-        // WorkloadKind is non_exhaustive; parse_workload_kind only emits
-        // the five above.
-        other => unreachable!("no paper parameters for {other:?}"),
-    }
-}
-
-fn cmd_configs() -> Result<(), String> {
+fn cmd_configs() -> Result<(), MemhierError> {
     println!("Paper configurations (Tables 3-5):");
     for c in configs::all_configs() {
         println!("  {}", c.describe());
@@ -138,7 +117,7 @@ fn cmd_configs() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_model(rest: &[String]) -> Result<(), String> {
+fn cmd_model(rest: &[String]) -> Result<(), MemhierError> {
     let parser = FlagParser::new("memhier model", "analytic E(Instr) prediction")
         .option("--config", "C1..C15", "paper configuration")
         .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
@@ -170,16 +149,16 @@ fn cmd_model(rest: &[String]) -> Result<(), String> {
             }
         }
         if json {
-            println!("{}", serde_json::to_string_pretty(&out).unwrap());
+            println!("{}", serde_json::to_string_pretty(&out)?);
         }
         return Ok(());
     }
-    let cfg = parse_config(req(&m, "--config")?)?;
-    let kind = parse_workload_kind(req(&m, "--workload")?)?;
+    let cfg = config_by_name(req(&m, "--config")?)?;
+    let kind = workload_kind_by_name(req(&m, "--workload")?)?;
     let w = paper_params(kind);
-    let p = model.evaluate(&cfg, &w).map_err(|e| e.to_string())?;
+    let p = model.evaluate(&cfg, &w)?;
     if json {
-        println!("{}", serde_json::to_string_pretty(&p).unwrap());
+        println!("{}", serde_json::to_string_pretty(&p)?);
     } else {
         let rep = p.report();
         println!("{} running {}", cfg.describe(), w.name);
@@ -214,7 +193,7 @@ fn cmd_model(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(rest: &[String]) -> Result<(), String> {
+fn cmd_simulate(rest: &[String]) -> Result<(), MemhierError> {
     let parser = FlagParser::new("memhier simulate", "program-driven simulation of one run")
         .option("--config", "C1..C15", "paper configuration")
         .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
@@ -224,15 +203,15 @@ fn cmd_simulate(rest: &[String]) -> Result<(), String> {
     let Some(m) = sub(&parser, rest)? else {
         return Ok(());
     };
-    let cfg = parse_config(req(&m, "--config")?)?;
-    let kind = parse_workload_kind(req(&m, "--workload")?)?;
+    let cfg = config_by_name(req(&m, "--config")?)?;
+    let kind = workload_kind_by_name(req(&m, "--workload")?)?;
     let sizes = m.sizes();
     let observers = m.observers()?;
     let w = sizes.workload(kind);
     let out = simulate_workload_observed(&w, &cfg, &LatencyParams::paper(), &observers);
     if let Some(path) = m.get("--metrics") {
         let series = out.metrics.as_ref().expect("metrics requested");
-        let json = serde_json::to_string_pretty(series).unwrap();
+        let json = serde_json::to_string_pretty(series)?;
         std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!(
             "wrote {} window(s) of metrics to {path}",
@@ -250,7 +229,7 @@ fn cmd_simulate(rest: &[String]) -> Result<(), String> {
     }
     let run = &out.run;
     if m.has("--json") {
-        println!("{}", serde_json::to_string_pretty(&run.report).unwrap());
+        println!("{}", serde_json::to_string_pretty(&run.report)?);
         return Ok(());
     }
     let r = &run.report;
@@ -292,7 +271,7 @@ fn cmd_simulate(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fit(rest: &[String]) -> Result<(), String> {
+fn cmd_fit(rest: &[String]) -> Result<(), MemhierError> {
     let parser = FlagParser::new(
         "memhier fit",
         "measure alpha/beta/rho from the address trace",
@@ -304,14 +283,14 @@ fn cmd_fit(rest: &[String]) -> Result<(), String> {
     let Some(m) = sub(&parser, rest)? else {
         return Ok(());
     };
-    let kind = parse_workload_kind(req(&m, "--workload")?)?;
+    let kind = workload_kind_by_name(req(&m, "--workload")?)?;
     let sizes = m.sizes();
     if m.has("--phases") {
         return cmd_fit_phases(kind, sizes, m.has("--json"));
     }
     let c = characterize(&sizes.workload(kind), 64);
     if m.has("--json") {
-        println!("{}", serde_json::to_string_pretty(&c).unwrap());
+        println!("{}", serde_json::to_string_pretty(&c)?);
         return Ok(());
     }
     println!("{} ({:?} size):", c.name, sizes);
@@ -337,7 +316,7 @@ fn cmd_fit(rest: &[String]) -> Result<(), String> {
 
 /// Per-phase locality fits (the bulk-synchronous structure of §3 makes a
 /// single global fit blur phases with very different locality).
-fn cmd_fit_phases(kind: WorkloadKind, sizes: Sizes, json: bool) -> Result<(), String> {
+fn cmd_fit_phases(kind: WorkloadKind, sizes: Sizes, json: bool) -> Result<(), MemhierError> {
     use memhier_trace::PhaseAnalyzer;
     use memhier_workloads::spmd::stream_spmd;
     let program = sizes.workload(kind).instantiate(1);
@@ -360,7 +339,7 @@ fn cmd_fit_phases(kind: WorkloadKind, sizes: Sizes, json: bool) -> Result<(), St
     });
     let (phases, global) = analyzer.finish();
     if json {
-        println!("{}", serde_json::to_string_pretty(&phases).unwrap());
+        println!("{}", serde_json::to_string_pretty(&phases)?);
         return Ok(());
     }
     println!(
@@ -390,7 +369,7 @@ fn cmd_fit_phases(kind: WorkloadKind, sizes: Sizes, json: bool) -> Result<(), St
     Ok(())
 }
 
-fn cmd_optimize(rest: &[String]) -> Result<(), String> {
+fn cmd_optimize(rest: &[String]) -> Result<(), MemhierError> {
     let parser = FlagParser::new("memhier optimize", "best cluster under a budget")
         .option("--budget", "DOLLARS", "total budget")
         .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
@@ -400,7 +379,7 @@ fn cmd_optimize(rest: &[String]) -> Result<(), String> {
         return Ok(());
     };
     let budget: f64 = req(&m, "--budget")?.parse().map_err(|_| "bad --budget")?;
-    let kind = parse_workload_kind(req(&m, "--workload")?)?;
+    let kind = workload_kind_by_name(req(&m, "--workload")?)?;
     let top: usize = m.parsed("--top")?.unwrap_or(3);
     let w = paper_params(kind);
     let ranked = optimize(
@@ -411,12 +390,14 @@ fn cmd_optimize(rest: &[String]) -> Result<(), String> {
         &CandidateSpace::paper_market(),
     );
     if ranked.is_empty() {
-        return Err(format!("nothing affordable under ${budget}"));
+        return Err(MemhierError::Invalid(format!(
+            "nothing affordable under ${budget}"
+        )));
     }
     if m.has("--json") {
         println!(
             "{}",
-            serde_json::to_string_pretty(&ranked[..top.min(ranked.len())]).unwrap()
+            serde_json::to_string_pretty(&ranked[..top.min(ranked.len())])?
         );
         return Ok(());
     }
@@ -433,14 +414,14 @@ fn cmd_optimize(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_pareto(rest: &[String]) -> Result<(), String> {
+fn cmd_pareto(rest: &[String]) -> Result<(), MemhierError> {
     let parser = FlagParser::new("memhier pareto", "cost/performance Pareto frontier")
         .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
         .switch("--json", "machine-readable output");
     let Some(m) = sub(&parser, rest)? else {
         return Ok(());
     };
-    let kind = parse_workload_kind(req(&m, "--workload")?)?;
+    let kind = workload_kind_by_name(req(&m, "--workload")?)?;
     let w = paper_params(kind);
     let frontier = pareto_frontier(
         &w,
@@ -449,7 +430,7 @@ fn cmd_pareto(rest: &[String]) -> Result<(), String> {
         &CandidateSpace::paper_market(),
     );
     if m.has("--json") {
-        println!("{}", serde_json::to_string_pretty(&frontier).unwrap());
+        println!("{}", serde_json::to_string_pretty(&frontier)?);
         return Ok(());
     }
     println!("Cost / performance Pareto frontier for {}:", w.name);
@@ -464,7 +445,7 @@ fn cmd_pareto(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_upgrade(rest: &[String]) -> Result<(), String> {
+fn cmd_upgrade(rest: &[String]) -> Result<(), MemhierError> {
     let parser = FlagParser::new("memhier upgrade", "best upgrade for an existing cluster")
         .option("--budget", "DOLLARS", "upgrade budget")
         .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
@@ -477,7 +458,7 @@ fn cmd_upgrade(rest: &[String]) -> Result<(), String> {
         return Ok(());
     };
     let budget: f64 = req(&m, "--budget")?.parse().map_err(|_| "bad --budget")?;
-    let kind = parse_workload_kind(req(&m, "--workload")?)?;
+    let kind = workload_kind_by_name(req(&m, "--workload")?)?;
     let machines: u32 = m.parsed("--machines")?.unwrap_or(2);
     let procs: u32 = m.parsed("--procs")?.unwrap_or(1);
     let cache: u64 = m.parsed("--cache")?.unwrap_or(256);
@@ -486,7 +467,7 @@ fn cmd_upgrade(rest: &[String]) -> Result<(), String> {
         None | Some("eth10") => NetworkKind::Ethernet10,
         Some("eth100") => NetworkKind::Ethernet100,
         Some("atm") | Some("atm155") => NetworkKind::Atm155,
-        Some(o) => return Err(format!("unknown network `{o}`")),
+        Some(o) => return Err(MemhierError::Invalid(format!("unknown network `{o}`"))),
     };
     let existing = if machines > 1 {
         ClusterSpec::cluster(
@@ -516,7 +497,7 @@ fn cmd_upgrade(rest: &[String]) -> Result<(), String> {
 
 /// Dispatch to the experiment harness (same code the `memhier-bench`
 /// binaries run).
-fn cmd_reproduce(rest: &[String]) -> Result<(), String> {
+fn cmd_reproduce(rest: &[String]) -> Result<(), MemhierError> {
     use memhier_bench::experiments as ex;
     let parser = FlagParser::new("memhier reproduce", "regenerate paper artifacts")
         .positionals("<EXPERIMENT>")
@@ -568,22 +549,27 @@ fn cmd_reproduce(rest: &[String]) -> Result<(), String> {
             ex::utilization(sizes, &kernels).print();
             println!("{}", ex::sweep_map(20_000.0));
         }
-        other => return Err(format!("unknown experiment `{other}`")),
+        other => {
+            return Err(MemhierError::Invalid(format!(
+                "unknown experiment `{other}`"
+            )))
+        }
     }
     Ok(())
 }
 
-fn cmd_recommend(rest: &[String]) -> Result<(), String> {
+fn cmd_recommend(rest: &[String]) -> Result<(), MemhierError> {
     let parser = FlagParser::new("memhier recommend", "platform recommendation (\u{a7}6)")
         .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
         .option("--alpha", "A", "locality shape (with --beta --rho)")
         .option("--beta", "B", "locality scale, bytes")
-        .option("--rho", "R", "memory-reference fraction");
+        .option("--rho", "R", "memory-reference fraction")
+        .option("--format", "FMT", "text (default) or json");
     let Some(m) = sub(&parser, rest)? else {
         return Ok(());
     };
     let w = if let Some(name) = m.get("--workload") {
-        paper_params(parse_workload_kind(name)?)
+        paper_params(workload_kind_by_name(name)?)
     } else {
         let alpha: f64 = req(&m, "--alpha")
             .map_err(|_| "--alpha or --workload required".to_string())?
@@ -591,11 +577,84 @@ fn cmd_recommend(rest: &[String]) -> Result<(), String> {
             .map_err(|_| "bad --alpha")?;
         let beta: f64 = req(&m, "--beta")?.parse().map_err(|_| "bad --beta")?;
         let rho: f64 = req(&m, "--rho")?.parse().map_err(|_| "bad --rho")?;
-        WorkloadParams::new("custom", alpha, beta, rho).map_err(|e| e.to_string())?
+        WorkloadParams::new("custom", alpha, beta, rho)?
     };
     let r = recommend(&w);
-    println!("{}: {:?}", w.name, r.platform);
-    println!("  {}", r.rationale);
-    println!("  upgrade: {}", r.upgrade_advice);
+    match m.get("--format") {
+        None | Some("text") => {
+            println!("{}: {:?}", w.name, r.platform);
+            println!("  {}", r.rationale);
+            println!("  upgrade: {}", r.upgrade_advice);
+        }
+        // The same serializer `/v1/recommend` uses, so the CLI and the
+        // service emit byte-identical JSON.
+        Some("json") => println!(
+            "{}",
+            serde_json::to_string_pretty(&recommendation_json(&w, &r, None))?
+        ),
+        Some(other) => return Err(MemhierError::Invalid(format!("unknown format `{other}`"))),
+    }
+    Ok(())
+}
+
+fn cmd_serve(rest: &[String]) -> Result<(), MemhierError> {
+    let parser = FlagParser::new("memhier serve", "run memhierd, the HTTP advisor service")
+        .option(
+            "--addr",
+            "HOST:PORT",
+            "bind address (default 127.0.0.1:7070; port 0 picks one)",
+        )
+        .option("--workers", "N", "worker threads (default 4)")
+        .option("--queue-depth", "N", "admission queue bound (default 64)")
+        .option("--timeout-ms", "MS", "per-request deadline (default 10000)")
+        .option(
+            "--cache-capacity",
+            "N",
+            "response-cache entries (default 256)",
+        )
+        .option("--cache-shards", "N", "response-cache shards (default 8)")
+        .option("--addr-file", "PATH", "write the bound address to PATH");
+    let Some(m) = sub(&parser, rest)? else {
+        return Ok(());
+    };
+    let mut config = ServeConfig::default();
+    if let Some(addr) = m.get("--addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(n) = m.parsed::<usize>("--workers")? {
+        config.workers = n;
+    }
+    if let Some(n) = m.parsed::<usize>("--queue-depth")? {
+        config.queue_depth = n;
+    }
+    if let Some(ms) = m.parsed::<u64>("--timeout-ms")? {
+        config.timeout = Duration::from_millis(ms);
+    }
+    if let Some(n) = m.parsed::<usize>("--cache-capacity")? {
+        config.cache_capacity = n;
+    }
+    if let Some(n) = m.parsed::<usize>("--cache-shards")? {
+        config.cache_shards = n;
+    }
+    let server = Server::start(config.clone())?;
+    let addr = server.local_addr();
+    if let Some(path) = m.get("--addr-file") {
+        std::fs::write(path, addr.to_string())?;
+    }
+    memhier_serve::signal::install();
+    eprintln!(
+        "memhierd listening on {addr} ({} workers, queue {}, {} ms deadline)",
+        config.workers.max(1),
+        config.queue_depth.max(1),
+        config.timeout.as_millis()
+    );
+    while !memhier_serve::signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let m = &server.state().metrics;
+    let (ok, rejected) = (m.ok_count(), m.rejected_count());
+    eprintln!("memhierd: shutdown signal received, draining admitted requests");
+    server.shutdown();
+    eprintln!("memhierd: stopped cleanly ({ok} ok, {rejected} rejected busy)");
     Ok(())
 }

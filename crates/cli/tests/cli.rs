@@ -169,3 +169,79 @@ fn reproduce_rejects_unknown_experiment() {
     assert!(!ok);
     assert!(err.contains("unknown experiment"));
 }
+
+#[test]
+fn recommend_format_json_has_full_field_parity() {
+    let (ok, out, _) = memhier(&["recommend", "--workload", "Radix", "--format", "json"]);
+    assert!(ok, "{out}");
+    let v: serde_json::Value = serde_json::from_str(out.trim()).expect("valid JSON");
+    for field in [
+        "workload",
+        "alpha",
+        "beta",
+        "rho",
+        "platform",
+        "rationale",
+        "upgrade_advice",
+    ] {
+        assert!(!v[field].is_null(), "missing `{field}` in {out}");
+    }
+    assert_eq!(v["workload"].as_str(), Some("Radix"));
+    assert_eq!(v["platform"].as_str(), Some("SingleSmp"));
+}
+
+#[test]
+fn recommend_rejects_unknown_format() {
+    let (ok, _, err) = memhier(&["recommend", "--workload", "FFT", "--format", "yaml"]);
+    assert!(!ok);
+    assert!(err.contains("unknown format"), "{err}");
+}
+
+#[test]
+fn recommend_text_is_default() {
+    let (ok, out, _) = memhier(&["recommend", "--workload", "LU"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("ManyWorkstationsSlowNetwork"), "{out}");
+    assert!(out.contains("upgrade:"), "{out}");
+}
+
+#[test]
+fn serve_help_lists_all_tuning_flags() {
+    let (ok, out, _) = memhier(&["serve", "--help"]);
+    assert!(ok, "{out}");
+    for flag in [
+        "--addr",
+        "--workers",
+        "--queue-depth",
+        "--timeout-ms",
+        "--cache-capacity",
+        "--cache-shards",
+        "--addr-file",
+    ] {
+        assert!(out.contains(flag), "serve --help missing {flag}:\n{out}");
+    }
+}
+
+#[test]
+fn subcommand_help_prints_usage_and_succeeds() {
+    for cmd in ["model", "simulate", "fit", "optimize", "recommend"] {
+        let (ok, out, _) = memhier(&[cmd, "--help"]);
+        assert!(ok, "{cmd} --help failed");
+        assert!(out.contains("--help"), "{cmd} --help output:\n{out}");
+    }
+}
+
+#[test]
+fn malformed_integer_flag_fails_cleanly() {
+    let (ok, _, err) = memhier(&[
+        "optimize",
+        "--budget",
+        "20000",
+        "--workload",
+        "FFT",
+        "--top",
+        "many",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("--top"), "{err}");
+}

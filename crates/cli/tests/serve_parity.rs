@@ -1,0 +1,84 @@
+//! CLI/service output parity: the bytes `memhierd` serves must be the
+//! bytes the CLI prints for the same question.
+
+use memhier_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::Command;
+use std::time::Duration;
+
+fn memhier_stdout(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_memhier"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "memhier {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+fn serve_body(server: &Server, path: &str, body: &str) -> String {
+    let mut s = TcpStream::connect(server.local_addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    s.write_all(
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .expect("send");
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).expect("read");
+    let (head, body) = reply.split_once("\r\n\r\n").expect("header/body split");
+    assert!(head.starts_with("HTTP/1.1 200"), "{reply}");
+    body.to_string()
+}
+
+fn server() -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 8,
+        timeout: Duration::from_secs(120),
+        ..ServeConfig::default()
+    })
+    .expect("start")
+}
+
+/// `/v1/simulate` must be byte-identical to `memhier simulate --json` for
+/// the same config/workload/size.
+#[test]
+fn v1_simulate_matches_cli_json_bytes() {
+    let server = server();
+    let from_service = serve_body(
+        &server,
+        "/v1/simulate",
+        r#"{"config": "C1", "workload": "FFT", "size": "small"}"#,
+    );
+    let from_cli = memhier_stdout(&[
+        "simulate",
+        "--config",
+        "C1",
+        "--workload",
+        "FFT",
+        "--small",
+        "--json",
+    ]);
+    assert_eq!(from_service, from_cli, "service and CLI bytes diverge");
+    server.shutdown();
+}
+
+/// `/v1/recommend` must be byte-identical to `memhier recommend --format
+/// json` for the same paper workload.
+#[test]
+fn v1_recommend_matches_cli_json_bytes() {
+    let server = server();
+    let from_service = serve_body(&server, "/v1/recommend", r#"{"workload": "TPC-C"}"#);
+    let from_cli = memhier_stdout(&["recommend", "--workload", "TPC-C", "--format", "json"]);
+    assert_eq!(from_service, from_cli, "service and CLI bytes diverge");
+    server.shutdown();
+}

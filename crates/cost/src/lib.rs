@@ -25,6 +25,6 @@ pub mod upgrade;
 pub use enumerate::CandidateSpace;
 pub use optimize::{optimize, pareto_frontier, RankedConfig};
 pub use prices::PriceTable;
-pub use recommend::{recommend, RecommendedPlatform};
+pub use recommend::{recommend, recommendation_json, Recommendation, RecommendedPlatform};
 pub use sweep::{render_map, sweep, PlatformClass, SweepCell};
 pub use upgrade::{plan_upgrade, UpgradePlan};

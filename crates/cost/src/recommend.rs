@@ -109,6 +109,41 @@ pub fn recommend(w: &WorkloadParams) -> Recommendation {
     }
 }
 
+/// The one JSON shape for a recommendation, shared by `memhier recommend
+/// --format json` and the `memhierd` `/v1/recommend` endpoint so the CLI
+/// and the service stay byte-compatible.
+///
+/// `ranked` (present only when a budget was supplied) carries the
+/// cost-optimal concrete clusters backing the qualitative advice.
+pub fn recommendation_json(
+    w: &WorkloadParams,
+    r: &Recommendation,
+    ranked: Option<&[crate::optimize::RankedConfig]>,
+) -> serde_json::Value {
+    let mut fields = vec![
+        ("workload".to_string(), serde_json::json!(w.name)),
+        ("alpha".to_string(), serde_json::json!(w.locality.alpha)),
+        ("beta".to_string(), serde_json::json!(w.locality.beta)),
+        ("rho".to_string(), serde_json::json!(w.rho)),
+        (
+            "platform".to_string(),
+            serde_json::to_value(&r.platform).expect("platform serializes"),
+        ),
+        ("rationale".to_string(), serde_json::json!(r.rationale)),
+        (
+            "upgrade_advice".to_string(),
+            serde_json::json!(r.upgrade_advice),
+        ),
+    ];
+    if let Some(ranked) = ranked {
+        fields.push((
+            "ranked".to_string(),
+            serde_json::to_value(ranked).expect("ranked configs serialize"),
+        ));
+    }
+    serde_json::Value::Object(fields)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +184,19 @@ mod tests {
         let r = recommend(&params::workload_radix());
         assert!(r.rationale.contains("0.37"));
         assert!(r.rationale.contains("120.8"));
+    }
+
+    #[test]
+    fn recommendation_json_shape() {
+        let w = params::workload_fft();
+        let r = recommend(&w);
+        let v = recommendation_json(&w, &r, None);
+        assert_eq!(v["workload"].as_str(), Some("FFT"));
+        assert!(v["rationale"].as_str().unwrap().contains("locality"));
+        assert!(v.get("ranked").is_none(), "no budget, no ranked list");
+        let ranked = vec![];
+        let v = recommendation_json(&w, &r, Some(&ranked));
+        assert!(v.get("ranked").is_some());
     }
 
     #[test]

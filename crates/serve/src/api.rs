@@ -1,0 +1,549 @@
+//! Endpoint handlers: the JSON API surface of `memhierd`.
+//!
+//! | endpoint | verb | body | answer |
+//! |----------|------|------|--------|
+//! | `/healthz` | GET | — | liveness + version |
+//! | `/metrics` | GET | — | counters, latency histogram, cache stats |
+//! | `/v1/model` | POST | `{config, workload}` | analytic `E(Instr)` prediction |
+//! | `/v1/simulate` | POST | `{config, workload, size?}` | full `SimReport` |
+//! | `/v1/recommend` | POST | `{workload \| alpha+beta+rho, measure?, size?, budget?, top?}` | §6 platform advice (+ ranked clusters under a budget) |
+//! | `/v1/sweep` | POST | `{configs, workloads, size?}` | one row per grid point |
+//!
+//! Every `/v1` response is a pure function of its request, so successful
+//! bodies are memoized in the sharded LRU [`ResponseCache`] keyed by
+//! `method path` plus the request JSON **canonicalized** (object keys
+//! sorted recursively, compact form) — key order and whitespace in the
+//! client's JSON never cause a spurious miss.
+//!
+//! `/v1/simulate` serializes exactly what `memhier simulate --json`
+//! prints (`SimReport`, pretty, trailing newline), and `/v1/recommend`
+//! uses [`memhier_cost::recommendation_json`] — the same serializer as
+//! `memhier recommend --format json` — so the service and the CLI stay
+//! byte-for-byte interchangeable.
+
+use crate::cache::ResponseCache;
+use crate::http::{HttpError, Request, Response};
+use crate::metrics::Metrics;
+use memhier_bench::names::{config_by_name, paper_params, sizes_by_name, workload_kind_by_name};
+use memhier_bench::runner::ObserverConfig;
+use memhier_bench::{characterize_cached, run_sweep, simulate_workload_observed, SweepPlan};
+use memhier_core::locality::WorkloadParams;
+use memhier_core::machine::LatencyParams;
+use memhier_core::model::AnalyticModel;
+use memhier_cost::{optimize, recommend, recommendation_json, CandidateSpace, PriceTable};
+use serde_json::Value;
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Largest `configs × workloads` grid `/v1/sweep` accepts.
+pub const MAX_SWEEP_POINTS: usize = 64;
+
+/// Shared per-service state: the response cache plus the metric registry.
+pub struct AppState {
+    /// Memoized successful responses.
+    pub cache: ResponseCache,
+    /// Request counters and latency histogram.
+    pub metrics: Metrics,
+    /// Admission queue capacity (rendered in `/metrics`).
+    pub queue_capacity: usize,
+    /// Worker-pool width (rendered in `/metrics`).
+    pub workers: usize,
+}
+
+impl AppState {
+    /// Fresh state for a server with the given shape.
+    pub fn new(
+        cache_capacity: usize,
+        cache_shards: usize,
+        queue_capacity: usize,
+        workers: usize,
+    ) -> Self {
+        AppState {
+            cache: ResponseCache::new(cache_capacity, cache_shards),
+            metrics: Metrics::default(),
+            queue_capacity,
+            workers,
+        }
+    }
+}
+
+/// Recursively sort object keys so semantically equal requests share one
+/// cache key regardless of field order.
+pub fn canonicalize(v: &Value) -> Value {
+    match v {
+        Value::Object(fields) => {
+            let mut sorted: Vec<(String, Value)> = fields
+                .iter()
+                .map(|(k, val)| (k.clone(), canonicalize(val)))
+                .collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(sorted)
+        }
+        Value::Array(items) => Value::Array(items.iter().map(canonicalize).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Run `f` on a helper thread, waiting at most until `deadline`.  On
+/// timeout the caller gets a 503 and the helper thread is detached: its
+/// result is discarded when it eventually finishes (simulations have no
+/// cancellation points, so this is the abort the service can offer).
+pub fn run_with_deadline<T: Send + 'static>(
+    deadline: Instant,
+    label: &'static str,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> Result<T, HttpError> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::Builder::new()
+        .name(format!("memhierd-{label}"))
+        .spawn(move || {
+            let _ = tx.send(f());
+        })
+        .map_err(|e| HttpError::status(500, format!("spawning {label} worker: {e}")))?;
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    rx.recv_timeout(remaining)
+        .map_err(|_| HttpError::status(503, format!("deadline exceeded during {label}")))
+}
+
+fn json_error(e: serde_json::Error) -> HttpError {
+    HttpError::status(500, format!("serializing response: {e}"))
+}
+
+/// Pretty body with the same trailing newline `println!` gives the CLI's
+/// `--json` output.
+fn pretty_body<T: serde::Serialize>(value: &T) -> Result<String, HttpError> {
+    Ok(format!(
+        "{}\n",
+        serde_json::to_string_pretty(value).map_err(json_error)?
+    ))
+}
+
+fn body_object(req: &Request) -> Result<Value, HttpError> {
+    let text = req.body_str()?;
+    let v: Value = serde_json::from_str(text.trim())
+        .map_err(|e| HttpError::bad(format!("request body is not valid JSON: {e}")))?;
+    match v {
+        Value::Object(_) => Ok(v),
+        _ => Err(HttpError::bad("request body must be a JSON object")),
+    }
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    v.get(key).filter(|f| !f.is_null())
+}
+
+fn opt_str<'a>(v: &'a Value, key: &str) -> Result<Option<&'a str>, HttpError> {
+    match field(v, key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| HttpError::bad(format!("`{key}` must be a string"))),
+    }
+}
+
+fn req_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, HttpError> {
+    opt_str(v, key)?.ok_or_else(|| HttpError::bad(format!("`{key}` is required")))
+}
+
+fn opt_f64(v: &Value, key: &str) -> Result<Option<f64>, HttpError> {
+    match field(v, key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| HttpError::bad(format!("`{key}` must be a number"))),
+    }
+}
+
+fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, HttpError> {
+    match field(v, key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| HttpError::bad(format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+fn opt_bool(v: &Value, key: &str) -> Result<Option<bool>, HttpError> {
+    match field(v, key) {
+        None => Ok(None),
+        Some(f) => f
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| HttpError::bad(format!("`{key}` must be a boolean"))),
+    }
+}
+
+fn str_array<'a>(v: &'a Value, key: &str) -> Result<Vec<&'a str>, HttpError> {
+    let arr = field(v, key)
+        .and_then(|f| f.as_array())
+        .ok_or_else(|| HttpError::bad(format!("`{key}` must be an array of strings")))?;
+    arr.iter()
+        .map(|e| {
+            e.as_str()
+                .ok_or_else(|| HttpError::bad(format!("`{key}` must contain only strings")))
+        })
+        .collect()
+}
+
+fn sizes_field(v: &Value, default: &str) -> Result<memhier_bench::Sizes, HttpError> {
+    sizes_by_name(opt_str(v, "size")?.unwrap_or(default)).map_err(HttpError::bad)
+}
+
+/// Route one parsed request.  `deadline` is absolute (accept time plus the
+/// configured per-request timeout).
+pub fn handle(req: &Request, state: &AppState, deadline: Instant) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => metrics(state),
+        ("POST", "/v1/model")
+        | ("POST", "/v1/simulate")
+        | ("POST", "/v1/recommend")
+        | ("POST", "/v1/sweep") => cached_post(req, state, deadline),
+        ("GET", "/v1/model")
+        | ("GET", "/v1/simulate")
+        | ("GET", "/v1/recommend")
+        | ("GET", "/v1/sweep") => Response::error(405, "use POST with a JSON body"),
+        _ => Response::error(404, &format!("no route for {} {}", req.method, req.path)),
+    }
+}
+
+fn healthz(state: &AppState) -> Response {
+    let body = serde_json::json!({
+        "status": "ok",
+        "service": "memhierd",
+        "version": env!("CARGO_PKG_VERSION"),
+        "uptime_seconds": state.metrics.uptime_seconds(),
+    });
+    match pretty_body(&body) {
+        Ok(b) => Response::json(200, b),
+        Err(e) => Response::error(e.status, &e.message),
+    }
+}
+
+fn metrics(state: &AppState) -> Response {
+    let doc = state
+        .metrics
+        .render(state.cache.stats(), state.queue_capacity, state.workers);
+    match pretty_body(&doc) {
+        Ok(b) => Response::json(200, b),
+        Err(e) => Response::error(e.status, &e.message),
+    }
+}
+
+/// The shared memoization wrapper for every `/v1` POST.
+fn cached_post(req: &Request, state: &AppState, deadline: Instant) -> Response {
+    let parsed = match body_object(req) {
+        Ok(v) => v,
+        Err(e) => return Response::error(e.status, &e.message),
+    };
+    let key = {
+        let canon = canonicalize(&parsed);
+        let compact = serde_json::to_string(&canon).unwrap_or_default();
+        format!("{} {}\n{compact}", req.method, req.path)
+    };
+    if let Some(hit) = state.cache.get(&key) {
+        return Response::json(hit.status, hit.body.clone()).with_header("X-Cache", "hit");
+    }
+    let computed = match req.path.as_str() {
+        "/v1/model" => v1_model(&parsed),
+        "/v1/simulate" => v1_simulate(&parsed, deadline),
+        "/v1/recommend" => v1_recommend(&parsed, deadline),
+        "/v1/sweep" => v1_sweep(&parsed, deadline),
+        // handle() only routes the four paths above here.
+        other => Err(HttpError::status(500, format!("unroutable path {other}"))),
+    };
+    match computed {
+        Ok(body) => {
+            state.cache.insert(key, 200, body.clone());
+            Response::json(200, body).with_header("X-Cache", "miss")
+        }
+        Err(e) => Response::error(e.status, &e.message),
+    }
+}
+
+fn v1_model(v: &Value) -> Result<String, HttpError> {
+    let cfg = config_by_name(req_str(v, "config")?).map_err(HttpError::bad)?;
+    let kind = workload_kind_by_name(req_str(v, "workload")?).map_err(HttpError::bad)?;
+    let w = paper_params(kind);
+    let p = AnalyticModel::default()
+        .evaluate(&cfg, &w)
+        .map_err(|e| HttpError::status(422, e.to_string()))?;
+    pretty_body(&p)
+}
+
+fn v1_simulate(v: &Value, deadline: Instant) -> Result<String, HttpError> {
+    let cfg = config_by_name(req_str(v, "config")?).map_err(HttpError::bad)?;
+    let kind = workload_kind_by_name(req_str(v, "workload")?).map_err(HttpError::bad)?;
+    // `medium` matches the CLI's default tier, preserving byte parity with
+    // a flagless `memhier simulate --json`.
+    let sizes = sizes_field(v, "medium")?;
+    let out = run_with_deadline(deadline, "simulate", move || {
+        simulate_workload_observed(
+            &sizes.workload(kind),
+            &cfg,
+            &LatencyParams::paper(),
+            &ObserverConfig::default(),
+        )
+    })?;
+    pretty_body(&out.run.report)
+}
+
+fn v1_recommend(v: &Value, deadline: Instant) -> Result<String, HttpError> {
+    let params: WorkloadParams = if let Some(name) = opt_str(v, "workload")? {
+        let kind = workload_kind_by_name(name).map_err(HttpError::bad)?;
+        if opt_bool(v, "measure")?.unwrap_or(false) {
+            // Trace-measured (α, β, ρ) instead of the paper's Table-2
+            // values: the expensive path the response cache absorbs.
+            let sizes = sizes_field(v, "small")?;
+            let c = run_with_deadline(deadline, "characterize", move || {
+                characterize_cached(&sizes.workload(kind), 64)
+            })?;
+            c.to_model_params()
+        } else {
+            paper_params(kind)
+        }
+    } else {
+        let alpha = opt_f64(v, "alpha")?
+            .ok_or_else(|| HttpError::bad("`workload` or `alpha`+`beta`+`rho` required"))?;
+        let beta =
+            opt_f64(v, "beta")?.ok_or_else(|| HttpError::bad("`beta` is required with `alpha`"))?;
+        let rho =
+            opt_f64(v, "rho")?.ok_or_else(|| HttpError::bad("`rho` is required with `alpha`"))?;
+        WorkloadParams::new("custom", alpha, beta, rho)
+            .map_err(|e| HttpError::status(422, e.to_string()))?
+    };
+    let rec = recommend(&params);
+    let ranked = match opt_f64(v, "budget")? {
+        None => None,
+        Some(budget) => {
+            let top = opt_u64(v, "top")?.unwrap_or(3) as usize;
+            let ranked = optimize(
+                budget,
+                &params,
+                &AnalyticModel::default(),
+                &PriceTable::circa_1999(),
+                &CandidateSpace::paper_market(),
+            );
+            Some(ranked.into_iter().take(top.max(1)).collect::<Vec<_>>())
+        }
+    };
+    pretty_body(&recommendation_json(&params, &rec, ranked.as_deref()))
+}
+
+fn v1_sweep(v: &Value, deadline: Instant) -> Result<String, HttpError> {
+    let configs = str_array(v, "configs")?;
+    let workloads = str_array(v, "workloads")?;
+    let sizes = sizes_field(v, "small")?;
+    let clusters = configs
+        .iter()
+        .map(|n| config_by_name(n).map_err(HttpError::bad))
+        .collect::<Result<Vec<_>, _>>()?;
+    let kinds = workloads
+        .iter()
+        .map(|n| workload_kind_by_name(n).map_err(HttpError::bad))
+        .collect::<Result<Vec<_>, _>>()?;
+    let n_points = clusters.len() * kinds.len();
+    if n_points == 0 {
+        return Err(HttpError::bad(
+            "`configs` and `workloads` must be non-empty",
+        ));
+    }
+    if n_points > MAX_SWEEP_POINTS {
+        return Err(HttpError::bad(format!(
+            "grid of {n_points} points exceeds the {MAX_SWEEP_POINTS}-point cap"
+        )));
+    }
+    let results = run_with_deadline(deadline, "sweep", move || {
+        let plan = SweepPlan::new("serve", sizes).cross(&clusters, &kinds);
+        run_sweep(&plan)
+    })?;
+    let rows: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "config": r.point.cluster.name,
+                "workload": r.point.kind.name(),
+                "e_instr_cycles": r.run.report.e_instr_cycles,
+                "e_instr_seconds": r.run.report.e_instr_seconds,
+                "wall_cycles": r.run.report.wall_cycles,
+                "barriers": r.run.report.barriers,
+            })
+        })
+        .collect();
+    pretty_body(&Value::Array(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: vec![],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn state() -> AppState {
+        AppState::new(16, 2, 8, 1)
+    }
+
+    fn far_deadline() -> Instant {
+        Instant::now() + std::time::Duration::from_secs(60)
+    }
+
+    #[test]
+    fn canonicalize_sorts_keys_recursively() {
+        let a: Value =
+            serde_json::from_str(r#"{"b": {"y": 1, "x": 2}, "a": [ {"q": 1, "p": 2} ]}"#).unwrap();
+        let b: Value =
+            serde_json::from_str(r#"{"a": [{"p": 2, "q": 1}], "b": {"x": 2, "y": 1}}"#).unwrap();
+        assert_eq!(
+            serde_json::to_string(&canonicalize(&a)).unwrap(),
+            serde_json::to_string(&canonicalize(&b)).unwrap()
+        );
+    }
+
+    #[test]
+    fn model_endpoint_matches_direct_evaluation() {
+        let r = handle(
+            &post("/v1/model", r#"{"config": "C5", "workload": "FFT"}"#),
+            &state(),
+            far_deadline(),
+        );
+        assert_eq!(r.status, 200);
+        let body: Value =
+            serde_json::from_str(std::str::from_utf8(&r.body).unwrap().trim()).unwrap();
+        let direct = AnalyticModel::default()
+            .evaluate(
+                &config_by_name("C5").unwrap(),
+                &paper_params(workload_kind_by_name("FFT").unwrap()),
+            )
+            .unwrap();
+        assert_eq!(
+            body["e_instr_seconds"].as_f64(),
+            Some(direct.e_instr_seconds)
+        );
+    }
+
+    #[test]
+    fn model_cache_hits_on_reordered_keys() {
+        let s = state();
+        let r1 = handle(
+            &post("/v1/model", r#"{"config": "C1", "workload": "LU"}"#),
+            &s,
+            far_deadline(),
+        );
+        let r2 = handle(
+            &post("/v1/model", r#"{ "workload": "LU", "config": "C1" }"#),
+            &s,
+            far_deadline(),
+        );
+        assert_eq!(r1.status, 200);
+        assert_eq!(r2.status, 200);
+        assert_eq!(r1.body, r2.body);
+        let hit = r2.headers.iter().find(|(n, _)| *n == "X-Cache").unwrap();
+        assert_eq!(hit.1, "hit");
+        assert_eq!(s.cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn unknown_names_are_400_and_uncached() {
+        let s = state();
+        for body in [
+            r#"{"config": "C99", "workload": "FFT"}"#,
+            r#"{"config": "C1", "workload": "SORT"}"#,
+            r#"{"config": "C1"}"#,
+            r#"not json"#,
+            r#"[1, 2]"#,
+        ] {
+            let r = handle(&post("/v1/model", body), &s, far_deadline());
+            assert_eq!(r.status, 400, "{body}");
+        }
+        assert_eq!(s.cache.stats().entries, 0, "errors must not be cached");
+    }
+
+    #[test]
+    fn recommend_custom_params_and_validation() {
+        let r = handle(
+            &post(
+                "/v1/recommend",
+                r#"{"alpha": 1.5, "beta": 50.0, "rho": 0.2}"#,
+            ),
+            &state(),
+            far_deadline(),
+        );
+        assert_eq!(r.status, 200);
+        let v: Value = serde_json::from_str(std::str::from_utf8(&r.body).unwrap().trim()).unwrap();
+        assert_eq!(v["platform"].as_str(), Some("ManyWorkstationsSlowNetwork"));
+        // Out-of-domain parameters are a 422, not a panic.
+        let r = handle(
+            &post(
+                "/v1/recommend",
+                r#"{"alpha": 0.5, "beta": 50.0, "rho": 0.2}"#,
+            ),
+            &state(),
+            far_deadline(),
+        );
+        assert_eq!(r.status, 422);
+    }
+
+    #[test]
+    fn recommend_with_budget_ranks_clusters() {
+        let r = handle(
+            &post(
+                "/v1/recommend",
+                r#"{"workload": "Radix", "budget": 20000, "top": 2}"#,
+            ),
+            &state(),
+            far_deadline(),
+        );
+        assert_eq!(r.status, 200);
+        let v: Value = serde_json::from_str(std::str::from_utf8(&r.body).unwrap().trim()).unwrap();
+        let ranked = v["ranked"].as_array().expect("ranked present");
+        assert!(!ranked.is_empty() && ranked.len() <= 2);
+        assert!(ranked[0]["cost"].as_f64().unwrap() <= 20000.0);
+    }
+
+    #[test]
+    fn sweep_grid_is_capped() {
+        let configs: Vec<String> = (1..=15).map(|i| format!("\"C{i}\"")).collect();
+        let body = format!(
+            r#"{{"configs": [{}], "workloads": ["FFT", "LU", "Radix", "EDGE", "TPC-C"]}}"#,
+            configs.join(",")
+        );
+        let r = handle(&post("/v1/sweep", &body), &state(), far_deadline());
+        assert_eq!(r.status, 400);
+        let msg = String::from_utf8(r.body).unwrap();
+        assert!(msg.contains("exceeds"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_route_is_404_get_on_post_route_is_405() {
+        let mut req = post("/v1/nothing", "{}");
+        assert_eq!(handle(&req, &state(), far_deadline()).status, 404);
+        req.method = "GET".into();
+        req.path = "/v1/model".into();
+        assert_eq!(handle(&req, &state(), far_deadline()).status, 405);
+    }
+
+    #[test]
+    fn deadline_expires_simulation() {
+        let r = handle(
+            &post(
+                "/v1/simulate",
+                r#"{"config": "C8", "workload": "LU", "size": "small"}"#,
+            ),
+            &state(),
+            Instant::now(), // already expired
+        );
+        assert_eq!(r.status, 503);
+        let msg = String::from_utf8(r.body).unwrap();
+        assert!(msg.contains("deadline"), "{msg}");
+    }
+}

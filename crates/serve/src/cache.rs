@@ -1,0 +1,209 @@
+//! Sharded, capacity-bounded LRU response cache.
+//!
+//! Every cacheable endpoint is a pure function of its canonicalized
+//! request JSON (the simulator and the analytic model are deterministic),
+//! so responses are memoized whole.  Keys hash onto `RwLock`-guarded
+//! shards; lookups take only the shard's **read** lock — recency is
+//! tracked with a per-entry atomic stamped from a global clock, so
+//! concurrent hits never serialize on a writer lock.  Inserts take the
+//! shard's write lock and evict the least-recently-stamped entry once the
+//! shard is at capacity.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One memoized response.
+#[derive(Debug)]
+pub struct CachedResponse {
+    /// HTTP status of the memoized response (only 200s are cached today).
+    pub status: u16,
+    /// The exact body bytes served on a hit.
+    pub body: String,
+    last_used: AtomicU64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<String, Arc<CachedResponse>>,
+}
+
+/// The cache: `shards` independent LRU maps of `capacity` total entries.
+pub struct ResponseCache {
+    shards: Vec<RwLock<Shard>>,
+    per_shard_capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A point-in-time snapshot of the cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookup hits since start.
+    pub hits: u64,
+    /// Lookup misses since start.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Total entry capacity across shards.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits over lookups (0 when the cache is untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl ResponseCache {
+    /// A cache of about `capacity` entries spread over `shards` shards
+    /// (both floored at 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.div_ceil(shards).max(1);
+        ResponseCache {
+            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            per_shard_capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &str) -> &RwLock<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look `key` up, stamping recency on a hit.
+    pub fn get(&self, key: &str) -> Option<Arc<CachedResponse>> {
+        let shard = self.shard_for(key).read().expect("cache shard poisoned");
+        match shard.map.get(key) {
+            Some(entry) => {
+                let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+                entry.last_used.store(now, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(entry))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Memoize `body` under `key`, evicting the shard's least-recently
+    /// used entry if it is full.
+    pub fn insert(&self, key: String, status: u16, body: String) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = Arc::new(CachedResponse {
+            status,
+            body,
+            last_used: AtomicU64::new(now),
+        });
+        let mut shard = self.shard_for(&key).write().expect("cache shard poisoned");
+        if shard.map.len() >= self.per_shard_capacity && !shard.map.contains_key(&key) {
+            if let Some(coldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&coldest);
+            }
+        }
+        shard.map.insert(key, entry);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").map.len())
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            capacity: self.per_shard_capacity * self.shards.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let c = ResponseCache::new(8, 2);
+        assert!(c.get("k").is_none());
+        c.insert("k".into(), 200, "body".into());
+        let hit = c.get("k").expect("hit");
+        assert_eq!(hit.status, 200);
+        assert_eq!(hit.body, "body");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_within_shard() {
+        // One shard so the LRU order is global and observable.
+        let c = ResponseCache::new(2, 1);
+        c.insert("a".into(), 200, "A".into());
+        c.insert("b".into(), 200, "B".into());
+        // Touch `a` so `b` is the coldest, then overflow.
+        assert!(c.get("a").is_some());
+        c.insert("c".into(), 200, "C".into());
+        assert!(c.get("a").is_some(), "recently used entry survived");
+        assert!(c.get("b").is_none(), "coldest entry evicted");
+        assert!(c.get("c").is_some());
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn reinsert_same_key_does_not_evict() {
+        let c = ResponseCache::new(2, 1);
+        c.insert("a".into(), 200, "A".into());
+        c.insert("b".into(), 200, "B".into());
+        c.insert("a".into(), 200, "A2".into());
+        assert_eq!(c.get("a").unwrap().body, "A2");
+        assert!(c.get("b").is_some(), "re-insert must not evict a neighbor");
+    }
+
+    #[test]
+    fn concurrent_hits_and_inserts() {
+        let c = Arc::new(ResponseCache::new(64, 8));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let key = format!("k{}", i % 16);
+                        if c.get(&key).is_none() {
+                            c.insert(key, 200, format!("t{t}i{i}"));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.stats();
+        assert!(s.entries <= 64);
+        assert!(s.hits + s.misses == 8 * 200);
+    }
+}

@@ -1,0 +1,349 @@
+//! A deliberately small HTTP/1.1 subset: enough for `memhierd`'s JSON
+//! API, nothing more.
+//!
+//! The parser reads one request per connection (`Connection: close`
+//! semantics), enforces hard caps on header-block and body size, and
+//! turns every malformed input — bad request line, truncated headers,
+//! non-numeric or oversized `Content-Length`, short body — into a 400
+//! [`HttpError`] instead of a panic.  `crates/serve/src/http.rs` unit
+//! tests lock that contract in.
+
+use std::io::{Read, Write};
+
+/// Hard cap on the request line + header block.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on a request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Absolute path, e.g. `/v1/model`.
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or a 400.
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body).map_err(|_| HttpError::bad("request body is not UTF-8"))
+    }
+}
+
+/// A request-level failure carrying the HTTP status to answer with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// Response status (400 for every parse failure).
+    pub status: u16,
+    /// Human-readable reason, returned as `{"error": ...}`.
+    pub message: String,
+}
+
+impl HttpError {
+    /// A 400 Bad Request.
+    pub fn bad(message: impl Into<String>) -> Self {
+        HttpError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// Any other status.
+    pub fn status(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Read and parse one request from `stream`.
+///
+/// Every failure mode — connection closed mid-headers, header block over
+/// [`MAX_HEAD_BYTES`], malformed request line or header, bad or oversized
+/// `Content-Length`, truncated body — is a 400 [`HttpError`]; this
+/// function never panics on hostile input.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&head) {
+            break pos;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::bad(format!(
+                "header block exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let n = stream
+            .read(&mut buf)
+            .map_err(|e| HttpError::bad(format!("reading request: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::bad(
+                "truncated request (connection closed before end of headers)",
+            ));
+        }
+        head.extend_from_slice(&buf[..n]);
+    };
+
+    let head_str = std::str::from_utf8(&head[..header_end])
+        .map_err(|_| HttpError::bad("request head is not UTF-8"))?;
+    let mut lines = head_str.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(HttpError::bad(format!(
+                "malformed request line `{request_line}`"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::bad(format!("unsupported version `{version}`")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::bad(format!("malformed header `{line}`")));
+        };
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+
+    let content_length = match headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+    {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::bad(format!("bad Content-Length `{v}`")))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::bad(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
+        )));
+    }
+
+    let mut body = head[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut buf)
+            .map_err(|e| HttpError::bad(format!("reading body: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::bad(format!(
+                "truncated body ({} of {content_length} bytes)",
+                body.len()
+            )));
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// One response, written with `Connection: close`.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond Content-Type/Content-Length/Connection.
+    pub headers: Vec<(&'static str, String)>,
+    /// Body bytes (always JSON here).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given body.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A `{"error": message}` JSON response.
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = serde_json::to_string(&serde_json::json!({ "error": message }))
+            .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string());
+        Response::json(status, format!("{body}\n"))
+    }
+
+    /// Attach a header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// Canonical reason phrase for the statuses this service emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize onto `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            Response::reason(self.status),
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut std::io::Cursor::new(raw.to_vec()))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(b"POST /v1/model HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/model");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_request_line_is_400() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"GET /x SPDY/3\r\n\r\n",
+            b" / HTTP/1.1\r\n\r\n",
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert_eq!(err.status, 400, "{raw:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_headers_are_400() {
+        let err = parse(b"GET /healthz HTTP/1.1\r\nHost: x").unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("truncated"), "{}", err.message);
+    }
+
+    #[test]
+    fn malformed_header_is_400() {
+        let err = parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn oversized_head_is_400() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        let err = parse(&raw).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("header block"), "{}", err.message);
+    }
+
+    #[test]
+    fn oversized_body_is_400() {
+        let raw = format!(
+            "POST /v1/model HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = parse(raw.as_bytes()).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("exceeds"), "{}", err.message);
+    }
+
+    #[test]
+    fn bad_content_length_is_400() {
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: lots\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 400);
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn truncated_body_is_400() {
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("truncated body"), "{}", err.message);
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::json(200, "{}\n")
+            .with_header("X-Cache", "hit")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 3\r\n"));
+        assert!(text.contains("X-Cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}\n"));
+    }
+
+    #[test]
+    fn error_response_is_json() {
+        let r = Response::error(429, "queue full");
+        assert_eq!(r.status, 429);
+        let v: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&r.body).unwrap().trim()).unwrap();
+        assert_eq!(v["error"].as_str(), Some("queue full"));
+    }
+}

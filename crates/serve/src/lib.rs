@@ -1,0 +1,49 @@
+//! # memhier-serve
+//!
+//! `memhierd`: the cluster-advisor service.  Everything the `memhier`
+//! CLI computes — analytic predictions, full simulations, §6 platform
+//! recommendations, sweep grids — behind a std-only HTTP/1.1 JSON API,
+//! so one warm process (and one warm response cache) can answer a fleet
+//! of capacity-planning clients.
+//!
+//! The stack, bottom to top:
+//!
+//! * [`http`] — a minimal, panic-free HTTP/1.1 parser and serializer
+//!   (`Connection: close`, hard caps on head and body size).
+//! * [`cache`] — the sharded LRU response cache; lookups take only a
+//!   shard read-lock.
+//! * [`metrics`] — lock-free counters and a latency histogram rendered
+//!   by `GET /metrics`.
+//! * [`api`] — the endpoint handlers and the canonicalized-JSON cache
+//!   keying; `/v1/simulate` and `/v1/recommend` reuse the CLI's exact
+//!   serializers so service and CLI output stay byte-identical.
+//! * [`server`] — acceptor + bounded queue + worker pool, with 429
+//!   admission control, per-request deadlines (503), and graceful
+//!   drain-then-join shutdown.
+//! * [`signal`] — a SIGTERM/SIGINT latch for the CLI's serve loop.
+//!
+//! Start one in-process (tests do exactly this):
+//!
+//! ```no_run
+//! use memhier_serve::{ServeConfig, Server};
+//! let server = Server::start(ServeConfig {
+//!     addr: "127.0.0.1:0".to_string(),
+//!     ..ServeConfig::default()
+//! })
+//! .expect("bind");
+//! println!("listening on {}", server.local_addr());
+//! server.shutdown();
+//! ```
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod signal;
+
+pub use api::{canonicalize, handle, AppState};
+pub use cache::{CacheStats, CachedResponse, ResponseCache};
+pub use http::{read_request, HttpError, Request, Response};
+pub use metrics::{LatencyHistogram, Metrics};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,270 @@
+//! Service-level counters and the latency histogram behind `/metrics`.
+//!
+//! Everything is lock-free atomics so the request hot path never blocks
+//! on instrumentation, mirroring the simulator observability layer's
+//! pay-for-what-you-use stance.  `/metrics` renders the same JSON
+//! conventions as the `--metrics` artifacts: snake_case keys, explicit
+//! units in the names (`*_us`, `*_seconds`), counts as integers.
+
+use crate::cache::CacheStats;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Upper bucket bounds of the latency histogram, in microseconds; a final
+/// overflow bucket catches everything slower.
+pub const LATENCY_BOUNDS_US: [u64; 16] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 5_000_000, 30_000_000,
+];
+
+/// A fixed-bucket latency histogram (microseconds).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: (0..=LATENCY_BOUNDS_US.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper-bound estimate of quantile `q` in `[0, 1]`: the bound of the
+    /// first bucket whose cumulative count reaches `q·count` (the overflow
+    /// bucket reports the largest finite bound).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= target {
+                return LATENCY_BOUNDS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or(*LATENCY_BOUNDS_US.last().expect("non-empty bounds"));
+            }
+        }
+        *LATENCY_BOUNDS_US.last().expect("non-empty bounds")
+    }
+
+    fn to_json(&self) -> serde_json::Value {
+        let buckets: Vec<serde_json::Value> = LATENCY_BOUNDS_US
+            .iter()
+            .enumerate()
+            .map(|(i, &le)| {
+                serde_json::json!({
+                    "le_us": le,
+                    "count": self.buckets[i].load(Ordering::Relaxed),
+                })
+            })
+            .chain(std::iter::once(serde_json::json!({
+                "le_us": "inf",
+                "count": self.buckets[LATENCY_BOUNDS_US.len()].load(Ordering::Relaxed),
+            })))
+            .collect();
+        serde_json::json!({
+            "count": self.count(),
+            "mean_us": if self.count() == 0 { 0.0 } else {
+                self.sum_us.load(Ordering::Relaxed) as f64 / self.count() as f64
+            },
+            "p50_us": self.quantile_us(0.50),
+            "p95_us": self.quantile_us(0.95),
+            "p99_us": self.quantile_us(0.99),
+            "buckets": serde_json::Value::Array(buckets),
+        })
+    }
+}
+
+/// All service counters, shared across the acceptor and every worker.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    accepted: AtomicU64,
+    ok_2xx: AtomicU64,
+    client_errors_4xx: AtomicU64,
+    server_errors_5xx: AtomicU64,
+    rejected_busy: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    /// Live queue depth, maintained by the server.
+    pub queue_depth: AtomicUsize,
+    latency: LatencyHistogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            accepted: AtomicU64::new(0),
+            ok_2xx: AtomicU64::new(0),
+            client_errors_4xx: AtomicU64::new(0),
+            server_errors_5xx: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            latency: LatencyHistogram::default(),
+        }
+    }
+}
+
+impl Metrics {
+    /// A connection was accepted (before admission control).
+    pub fn on_accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was turned away with 429 (full queue).
+    pub fn on_reject_busy(&self) {
+        self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request finished with `status` after `elapsed` (accept-to-reply).
+    pub fn on_complete(&self, status: u16, elapsed: Duration) {
+        match status {
+            200..=299 => &self.ok_2xx,
+            503 => {
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                &self.server_errors_5xx
+            }
+            400..=499 => &self.client_errors_4xx,
+            _ => &self.server_errors_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.latency.record(elapsed);
+    }
+
+    /// Successful (2xx) responses so far.
+    pub fn ok_count(&self) -> u64 {
+        self.ok_2xx.load(Ordering::Relaxed)
+    }
+
+    /// 429 admission rejections so far.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected_busy.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since the service started.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// The `/metrics` document.
+    pub fn render(
+        &self,
+        cache: CacheStats,
+        queue_capacity: usize,
+        workers: usize,
+    ) -> serde_json::Value {
+        serde_json::json!({
+            "uptime_seconds": self.uptime_seconds(),
+            "requests": serde_json::json!({
+                "accepted": self.accepted.load(Ordering::Relaxed),
+                "ok": self.ok_2xx.load(Ordering::Relaxed),
+                "client_errors": self.client_errors_4xx.load(Ordering::Relaxed),
+                "server_errors": self.server_errors_5xx.load(Ordering::Relaxed),
+                "rejected_busy": self.rejected_busy.load(Ordering::Relaxed),
+                "deadline_exceeded": self.deadline_exceeded.load(Ordering::Relaxed),
+            }),
+            "latency_us": self.latency.to_json(),
+            "cache": serde_json::json!({
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": cache.hit_rate(),
+                "entries": cache.entries as u64,
+                "capacity": cache.capacity as u64,
+            }),
+            "queue": serde_json::json!({
+                "depth": self.queue_depth.load(Ordering::Relaxed) as u64,
+                "capacity": queue_capacity as u64,
+            }),
+            "workers": workers as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(40));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(40));
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), 50);
+        assert_eq!(h.quantile_us(0.95), 50_000);
+        assert_eq!(h.quantile_us(0.99), 50_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_slow_requests() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_secs(120));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_us(0.5), *LATENCY_BOUNDS_US.last().unwrap());
+    }
+
+    #[test]
+    fn render_shape() {
+        let m = Metrics::default();
+        m.on_accept();
+        m.on_complete(200, Duration::from_micros(80));
+        m.on_complete(503, Duration::from_millis(5));
+        let v = m.render(
+            CacheStats {
+                hits: 3,
+                misses: 1,
+                entries: 2,
+                capacity: 8,
+            },
+            64,
+            4,
+        );
+        assert_eq!(v["requests"]["accepted"].as_u64(), Some(1));
+        assert_eq!(v["requests"]["ok"].as_u64(), Some(1));
+        assert_eq!(v["requests"]["deadline_exceeded"].as_u64(), Some(1));
+        assert_eq!(v["cache"]["hits"].as_u64(), Some(3));
+        assert_eq!(v["latency_us"]["count"].as_u64(), Some(2));
+        assert_eq!(v["queue"]["capacity"].as_u64(), Some(64));
+    }
+}

@@ -1,0 +1,336 @@
+//! The `memhierd` server: one acceptor thread feeding a bounded job queue
+//! drained by a fixed worker pool.
+//!
+//! Admission control happens **before** a connection ever reaches a
+//! worker: when the queue already holds `queue_depth` connections the
+//! acceptor answers `429 Too Many Requests` (with `Retry-After`) on the
+//! spot and moves on, so an overloaded service degrades by shedding load
+//! instead of by growing an unbounded backlog.  Each admitted job carries
+//! its accept timestamp; workers enforce `accepted_at + timeout` as an
+//! absolute deadline, answering `503` when a simulation outlives it.
+//!
+//! Shutdown is cooperative: [`Server::shutdown`] raises a stop flag,
+//! wakes the blocking `accept()` with a loopback self-connect, lets the
+//! workers drain every already-admitted job, and joins all threads.
+
+use crate::api::{handle, AppState};
+use crate::http::{read_request, Response};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Admitted-but-unserved connections allowed before 429s start.
+    pub queue_depth: usize,
+    /// Per-request deadline, measured from accept.
+    pub timeout: Duration,
+    /// Response-cache entry budget.
+    pub cache_capacity: usize,
+    /// Response-cache shard count.
+    pub cache_shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7070".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            timeout: Duration::from_secs(10),
+            cache_capacity: 256,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// One admitted connection waiting for a worker.
+struct Job {
+    stream: TcpStream,
+    accepted_at: Instant,
+}
+
+/// A running `memhierd` instance.
+pub struct Server {
+    local_addr: SocketAddr,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    queue: Arc<(Mutex<VecDeque<Job>>, Condvar)>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `config.addr` and start the acceptor plus worker pool.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let queue_depth = config.queue_depth.max(1);
+        let state = Arc::new(AppState::new(
+            config.cache_capacity.max(1),
+            config.cache_shards.max(1),
+            queue_depth,
+            workers,
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue: Arc<(Mutex<VecDeque<Job>>, Condvar)> =
+            Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
+
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                let stop = Arc::clone(&stop);
+                let queue = Arc::clone(&queue);
+                let timeout = config.timeout;
+                std::thread::Builder::new()
+                    .name(format!("memhierd-worker-{i}"))
+                    .spawn(move || worker_loop(&state, &stop, &queue, timeout))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let acceptor = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            let io_timeout = config.timeout.max(Duration::from_secs(1));
+            std::thread::Builder::new()
+                .name("memhierd-acceptor".to_string())
+                .spawn(move || {
+                    accept_loop(&listener, &state, &stop, &queue, queue_depth, io_timeout)
+                })?
+        };
+
+        Ok(Server {
+            local_addr,
+            state,
+            stop,
+            queue,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (resolves port `0` to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared cache/metrics state (used by tests and the CLI's
+    /// shutdown report).
+    pub fn state(&self) -> &AppState {
+        &self.state
+    }
+
+    /// Stop accepting, drain admitted jobs, and join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept(); the acceptor sees `stop` and drops
+        // this dummy connection without enqueueing it.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        self.queue.1.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &AppState,
+    stop: &AtomicBool,
+    queue: &(Mutex<VecDeque<Job>>, Condvar),
+    queue_depth: usize,
+    io_timeout: Duration,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        state.metrics.on_accept();
+        // A stalled client must never wedge a worker past the deadline.
+        let _ = stream.set_read_timeout(Some(io_timeout));
+        let _ = stream.set_write_timeout(Some(io_timeout));
+
+        let mut q = queue.0.lock().expect("job queue poisoned");
+        if q.len() >= queue_depth {
+            drop(q);
+            state.metrics.on_reject_busy();
+            let mut stream = stream;
+            let _ = Response::error(429, "admission queue full, retry shortly")
+                .with_header("Retry-After", "1")
+                .write_to(&mut stream);
+            let _ = stream.shutdown(Shutdown::Both);
+        } else {
+            q.push_back(Job {
+                stream,
+                accepted_at: Instant::now(),
+            });
+            state.metrics.queue_depth.store(q.len(), Ordering::SeqCst);
+            queue.1.notify_one();
+        }
+    }
+}
+
+fn worker_loop(
+    state: &AppState,
+    stop: &AtomicBool,
+    queue: &(Mutex<VecDeque<Job>>, Condvar),
+    timeout: Duration,
+) {
+    loop {
+        let job = {
+            let mut q = queue.0.lock().expect("job queue poisoned");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    state.metrics.queue_depth.store(q.len(), Ordering::SeqCst);
+                    break Some(job);
+                }
+                // Drain semantics: only exit once the queue is empty AND
+                // shutdown was requested, so admitted requests complete.
+                if stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = queue.1.wait(q).expect("job queue poisoned");
+            }
+        };
+        let Some(mut job) = job else { return };
+
+        let deadline = job.accepted_at + timeout;
+        let response = match read_request(&mut job.stream) {
+            Ok(req) => catch_unwind(AssertUnwindSafe(|| handle(&req, state, deadline)))
+                .unwrap_or_else(|_| Response::error(500, "internal error (handler panicked)")),
+            Err(e) => Response::error(e.status, &e.message),
+        };
+        let _ = response.write_to(&mut job.stream);
+        let _ = job.stream.shutdown(Shutdown::Both);
+        state
+            .metrics
+            .on_complete(response.status, job.accepted_at.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn raw_request(addr: SocketAddr, payload: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(payload.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn healthz_roundtrip_and_clean_shutdown() {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 8,
+            timeout: Duration::from_secs(5),
+            ..ServeConfig::default()
+        })
+        .expect("start");
+        let addr = server.local_addr();
+        let reply = raw_request(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("\"status\": \"ok\""), "{reply}");
+        // The worker stamps metrics just after closing the stream; give it
+        // a beat.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while server.state().metrics.ok_count() < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.state().metrics.ok_count(), 1);
+        server.shutdown();
+        assert!(TcpStream::connect(addr).is_err(), "listener closed");
+    }
+
+    #[test]
+    fn malformed_request_is_400_not_a_crash() {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 4,
+            timeout: Duration::from_secs(5),
+            ..ServeConfig::default()
+        })
+        .expect("start");
+        let reply = raw_request(server.local_addr(), "NOT-HTTP\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400 Bad Request\r\n"), "{reply}");
+        // The server is still alive afterwards.
+        let reply = raw_request(server.local_addr(), "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_queue_answers_429_with_retry_after() {
+        // One worker, queue of one.  Two idle connections pin the worker
+        // (blocked reading) and fill the queue; the next connection must
+        // be turned away immediately with 429.
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 1,
+            timeout: Duration::from_secs(2),
+            ..ServeConfig::default()
+        })
+        .expect("start");
+        let addr = server.local_addr();
+        let _pin_worker = TcpStream::connect(addr).unwrap();
+        let _fill_queue = TcpStream::connect(addr).unwrap();
+        // Give the acceptor a moment to hand the first job to the worker
+        // and enqueue the second.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut saw_429 = false;
+        while Instant::now() < deadline && !saw_429 {
+            let reply = raw_request(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+            if reply.starts_with("HTTP/1.1 429") {
+                assert!(reply.contains("Retry-After: 1\r\n"), "{reply}");
+                saw_429 = true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(saw_429, "never saw a 429 while saturated");
+        assert!(server.state().metrics.rejected_count() >= 1);
+        server.shutdown();
+    }
+}

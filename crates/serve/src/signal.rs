@@ -1,0 +1,50 @@
+//! A SIGTERM/SIGINT latch with no libc dependency: the handler just
+//! raises an [`AtomicBool`] (the only async-signal-safe thing worth
+//! doing), and the CLI's serve loop polls [`shutdown_requested`] to drive
+//! a graceful [`crate::Server::shutdown`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal(2)` with a handler that only stores to a static
+        // atomic; both signals are replaced, never restored (the process
+        // is shutting down when they matter).
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install the SIGTERM/SIGINT handlers (no-op off unix).
+pub fn install() {
+    imp::install();
+}
+
+/// True once a termination signal has arrived.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}

@@ -187,6 +187,15 @@ pub struct Engine {
 impl Engine {
     /// Build an engine; `sources.len()` must equal the backend's processor
     /// count.
+    ///
+    /// Deprecated: construct through the [`SimSession`] builder instead —
+    /// it owns observer attachment and returns a [`SessionOutput`] whose
+    /// typed `observer::<T>()` accessor replaces manual downcasting:
+    ///
+    /// ```ignore
+    /// let out = SimSession::new(backend).with_sources(sources).run();
+    /// let report = out.report;
+    /// ```
     #[deprecated(note = "use `SimSession::new(backend).with_sources(sources)` instead")]
     pub fn new(backend: ClusterBackend, sources: Vec<ProcSource>) -> Self {
         Engine::build(backend, sources, Vec::new())
@@ -398,6 +407,14 @@ impl Engine {
 }
 
 /// Convenience: build and run in one call.
+///
+/// Deprecated: no longer re-exported from the crate root.  The
+/// [`SimSession`] builder is the supported entry point and the one the
+/// rest of the workspace (CLI, bench harness, `memhierd`) uses:
+///
+/// ```ignore
+/// let report = SimSession::new(backend).with_sources(sources).run().report;
+/// ```
 #[deprecated(note = "use `SimSession::new(backend).with_sources(sources).run().report` instead")]
 pub fn run_simulation(backend: ClusterBackend, sources: Vec<ProcSource>) -> SimReport {
     SimSession::new(backend).with_sources(sources).run().report

@@ -51,6 +51,8 @@ pub enum MemhierError {
     Model(memhier_core::ModelError),
     /// Filesystem/IO failure (metrics or trace export, artifact writes).
     Io(std::io::Error),
+    /// JSON serialization/deserialization failure.
+    Json(serde_json::Error),
     /// Anything else (flag parsing, malformed inputs).
     Invalid(String),
 }
@@ -60,6 +62,7 @@ impl std::fmt::Display for MemhierError {
         match self {
             MemhierError::Model(e) => write!(f, "model error: {e}"),
             MemhierError::Io(e) => write!(f, "io error: {e}"),
+            MemhierError::Json(e) => write!(f, "json error: {e}"),
             MemhierError::Invalid(msg) => write!(f, "invalid input: {msg}"),
         }
     }
@@ -70,6 +73,7 @@ impl std::error::Error for MemhierError {
         match self {
             MemhierError::Model(e) => Some(e),
             MemhierError::Io(e) => Some(e),
+            MemhierError::Json(e) => Some(e),
             MemhierError::Invalid(_) => None,
         }
     }
@@ -84,6 +88,24 @@ impl From<memhier_core::ModelError> for MemhierError {
 impl From<std::io::Error> for MemhierError {
     fn from(e: std::io::Error) -> Self {
         MemhierError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for MemhierError {
+    fn from(e: serde_json::Error) -> Self {
+        MemhierError::Json(e)
+    }
+}
+
+impl From<String> for MemhierError {
+    fn from(msg: String) -> Self {
+        MemhierError::Invalid(msg)
+    }
+}
+
+impl From<&str> for MemhierError {
+    fn from(msg: &str) -> Self {
+        MemhierError::Invalid(msg.to_string())
     }
 }
 
