@@ -9,11 +9,19 @@
 //!
 //! ```text
 //! serve_load --addr 127.0.0.1:7070 --clients 8 --requests 64 \
-//!            --endpoint recommend [--warm] [--json]
+//!            --endpoint recommend [--warm] [--json] [--retries N]
 //! ```
 //!
 //! `--warm` issues one untimed priming request first so the measured run
 //! exercises the server's response cache rather than cold simulation.
+//!
+//! A `429 Too Many Requests` answer is retried (up to `--retries` times,
+//! default 3) with exponential backoff: the wait is the larger of the
+//! server's `Retry-After` header and `--retry-base-ms << attempt`, plus
+//! a *deterministic* full jitter hashed from the request sequence number
+//! — the same run desynchronizes its retry herd the same way every time,
+//! keeping load tests reproducible.  Retry totals appear in the summary
+//! (`retries_429` in `--json`).
 
 use memhier_bench::FlagParser;
 use std::io::{Read, Write};
@@ -48,8 +56,9 @@ fn request_bytes(endpoint: &str, body: Option<&str>) -> Result<Vec<u8>, String> 
     .into_bytes())
 }
 
-/// One request: connect, send, read to EOF, return (status, latency).
-fn one_request(addr: &str, wire: &[u8]) -> Result<(u16, Duration), String> {
+/// One request: connect, send, read to EOF.  Returns the status, the
+/// latency, and the `Retry-After` header (seconds) when present.
+fn one_request(addr: &str, wire: &[u8]) -> Result<(u16, Duration, Option<u64>), String> {
     let started = Instant::now();
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream
@@ -66,7 +75,46 @@ fn one_request(addr: &str, wire: &[u8]) -> Result<(u16, Duration), String> {
         .and_then(|s| std::str::from_utf8(s).ok())
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| "malformed response status line".to_string())?;
-    Ok((status, started.elapsed()))
+    Ok((status, started.elapsed(), retry_after_secs(&reply)))
+}
+
+/// The `Retry-After` header of a raw HTTP/1.1 reply, in whole seconds
+/// (`None` when absent, malformed, or in the unsupported date form).
+fn retry_after_secs(reply: &[u8]) -> Option<u64> {
+    let head_end = reply.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&reply[..head_end]).ok()?;
+    head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("retry-after") {
+            value.trim().parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+/// Deterministic full jitter in `[0, cap)`: a splitmix64-style hash of
+/// `(seq, attempt)`.  No global RNG — identical runs back off identically.
+fn jitter_ms(seq: u64, attempt: u32, cap: u64) -> u64 {
+    if cap == 0 {
+        return 0;
+    }
+    let mut z = seq
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u64::from(attempt).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) % cap
+}
+
+/// Backoff before retry `attempt` (0-based) of request `seq`: honor the
+/// server's `Retry-After` as a floor, grow `base_ms` exponentially, add
+/// deterministic jitter so synchronized 429s do not re-collide.
+fn backoff_ms(base_ms: u64, attempt: u32, retry_after_s: Option<u64>, seq: u64) -> u64 {
+    let exp = base_ms.saturating_mul(1u64 << attempt.min(10));
+    let floor_ms = retry_after_s.map_or(0, |s| s.saturating_mul(1000));
+    exp.max(floor_ms)
+        .saturating_add(jitter_ms(seq, attempt, exp))
 }
 
 fn quantile(sorted_us: &[u64], q: f64) -> u64 {
@@ -88,6 +136,16 @@ fn main() {
             "healthz|metrics|model|recommend|simulate (default recommend)",
         )
         .option("--body", "JSON", "override the endpoint's request body")
+        .option(
+            "--retries",
+            "N",
+            "max retries per request on 429 (default 3)",
+        )
+        .option(
+            "--retry-base-ms",
+            "MS",
+            "exponential backoff base for 429 retries (default 25)",
+        )
         .switch("--warm", "issue one untimed priming request first")
         .switch("--json", "machine-readable summary")
         .parse_env_or_exit();
@@ -100,10 +158,12 @@ fn main() {
         let clients: usize = m.parsed("--clients")?.unwrap_or(8).max(1);
         let total: usize = m.parsed("--requests")?.unwrap_or(64).max(1);
         let endpoint = m.get("--endpoint").unwrap_or("recommend").to_string();
+        let max_retries: u32 = m.parsed("--retries")?.unwrap_or(3);
+        let retry_base_ms: u64 = m.parsed("--retry-base-ms")?.unwrap_or(25);
         let wire = Arc::new(request_bytes(&endpoint, m.get("--body"))?);
 
         if m.has("--warm") {
-            let (status, d) = one_request(&addr, &wire)?;
+            let (status, d, _) = one_request(&addr, &wire)?;
             eprintln!("warm-up: {status} in {:.1} ms", d.as_secs_f64() * 1e3);
         }
 
@@ -116,16 +176,34 @@ fn main() {
                     let mut latencies_us = Vec::new();
                     let mut statuses = Vec::new();
                     let mut errors = 0usize;
-                    while next.fetch_add(1, Ordering::Relaxed) < total {
-                        match one_request(&addr, &wire) {
-                            Ok((status, d)) => {
-                                latencies_us.push(d.as_micros().min(u128::from(u64::MAX)) as u64);
-                                statuses.push(status);
+                    let mut retries = 0usize;
+                    loop {
+                        let seq = next.fetch_add(1, Ordering::Relaxed);
+                        if seq >= total {
+                            break;
+                        }
+                        let mut attempt = 0u32;
+                        loop {
+                            match one_request(&addr, &wire) {
+                                Ok((429, _, retry_after)) if attempt < max_retries => {
+                                    retries += 1;
+                                    let wait =
+                                        backoff_ms(retry_base_ms, attempt, retry_after, seq as u64);
+                                    std::thread::sleep(Duration::from_millis(wait));
+                                    attempt += 1;
+                                    continue;
+                                }
+                                Ok((status, d, _)) => {
+                                    latencies_us
+                                        .push(d.as_micros().min(u128::from(u64::MAX)) as u64);
+                                    statuses.push(status);
+                                }
+                                Err(_) => errors += 1,
                             }
-                            Err(_) => errors += 1,
+                            break;
                         }
                     }
-                    (latencies_us, statuses, errors)
+                    (latencies_us, statuses, errors, retries)
                 })
             })
             .collect();
@@ -133,10 +211,12 @@ fn main() {
         let mut latencies_us = Vec::with_capacity(total);
         let mut by_status: std::collections::BTreeMap<u16, usize> = Default::default();
         let mut errors = 0usize;
+        let mut retries_429 = 0usize;
         for h in handles {
-            let (lat, statuses, errs) = h.join().map_err(|_| "client thread panicked")?;
+            let (lat, statuses, errs, retries) = h.join().map_err(|_| "client thread panicked")?;
             latencies_us.extend(lat);
             errors += errs;
+            retries_429 += retries;
             for s in statuses {
                 *by_status.entry(s).or_default() += 1;
             }
@@ -169,6 +249,7 @@ fn main() {
                 "p50_us": p50,
                 "p95_us": p95,
                 "p99_us": p99,
+                "retries_429": retries_429 as u64,
                 "statuses": serde_json::Value::Array(statuses),
             });
             let _ = writeln!(
@@ -192,6 +273,9 @@ fn main() {
             for (status, count) in &by_status {
                 let _ = writeln!(stdout, "  {status}: {count}");
             }
+            if retries_429 > 0 {
+                let _ = writeln!(stdout, "  429 retries: {retries_429}");
+            }
             if errors > 0 {
                 let _ = writeln!(stdout, "  transport errors: {errors}");
             }
@@ -201,5 +285,56 @@ fn main() {
     if let Err(e) = run() {
         eprintln!("serve_load: {e}");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_parses_case_insensitively() {
+        let reply = b"HTTP/1.1 429 Too Many Requests\r\nretry-after: 7\r\n\r\nbusy";
+        assert_eq!(retry_after_secs(reply), Some(7));
+        let reply = b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 1\r\n\r\n";
+        assert_eq!(retry_after_secs(reply), Some(1));
+    }
+
+    #[test]
+    fn retry_after_absent_or_malformed_is_none() {
+        assert_eq!(retry_after_secs(b"HTTP/1.1 200 OK\r\n\r\nok"), None);
+        assert_eq!(
+            retry_after_secs(b"HTTP/1.1 429 x\r\nRetry-After: soon\r\n\r\n"),
+            None
+        );
+        // Header value must not be read out of the body.
+        assert_eq!(
+            retry_after_secs(b"HTTP/1.1 200 OK\r\n\r\nRetry-After: 9"),
+            None
+        );
+    }
+
+    #[test]
+    fn backoff_grows_and_honors_retry_after_floor() {
+        // Without a header the wait is at least the exponential term.
+        assert!(backoff_ms(25, 0, None, 0) >= 25);
+        assert!(backoff_ms(25, 3, None, 0) >= 200);
+        // Retry-After of 2s floors a small exponential wait at 2000ms.
+        assert!(backoff_ms(25, 0, Some(2), 0) >= 2000);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        for seq in 0..50u64 {
+            for attempt in 0..4u32 {
+                let j = jitter_ms(seq, attempt, 100);
+                assert!(j < 100);
+                assert_eq!(j, jitter_ms(seq, attempt, 100), "replay must agree");
+            }
+        }
+        // The hash actually spreads: not every (seq, attempt) collides.
+        let distinct: std::collections::BTreeSet<u64> =
+            (0..50).map(|s| jitter_ms(s, 0, 1000)).collect();
+        assert!(distinct.len() > 10);
     }
 }

@@ -10,7 +10,9 @@
 //! `--jobs`, `--metrics`, `--trace`, sizes, and `--help` behave
 //! identically everywhere.
 
+use crate::faults::FaultPlan;
 use crate::runner::{ObserverConfig, Sizes};
+use crate::sweeprun::CheckpointConfig;
 use std::fmt::Write as _;
 
 /// Default time-series window width (cycles) when `--metrics` is given
@@ -79,7 +81,9 @@ impl FlagParser {
         self
     }
 
-    /// The common sweep knobs: `--small`, `--paper`, `--jobs N`.
+    /// The common sweep knobs: `--small`, `--paper`, `--jobs N`, plus
+    /// the crash-safety bundle (`--checkpoint`, `--resume`,
+    /// `--max-retries`, `--faults`).
     pub fn sweep_flags(self) -> Self {
         self.switch("--small", "tiny problem sizes (CI tier)")
             .switch("--paper", "the paper's \u{a7}5.2 problem sizes")
@@ -87,6 +91,25 @@ impl FlagParser {
                 "--jobs",
                 "N",
                 "worker threads for sweeps (also MEMHIER_JOBS)",
+            )
+            .option(
+                "--checkpoint",
+                "PATH",
+                "append completed sweep points to this JSONL journal",
+            )
+            .switch(
+                "--resume",
+                "skip points already completed in the --checkpoint journal",
+            )
+            .option(
+                "--max-retries",
+                "N",
+                "retries per point after a failure or panic (default 1)",
+            )
+            .option(
+                "--faults",
+                "SPEC",
+                "deterministic fault-injection spec (also MEMHIER_FAULTS)",
             )
     }
 
@@ -175,7 +198,9 @@ impl FlagParser {
     /// Parse the process arguments.  On a parse error, print it plus the
     /// usage to stderr and exit 2; on `--help`, print usage and exit 0.
     /// A present `--jobs` is installed process-wide (same contract as
-    /// [`crate::sweeprun::configure_from_args`]).
+    /// [`crate::sweeprun::configure_from_args`]), as is the sweep
+    /// crash-safety config when any of its flags (or `MEMHIER_FAULTS`)
+    /// is present.
     pub fn parse_env_or_exit(&self) -> Matches {
         let args: Vec<String> = std::env::args().skip(1).collect();
         match self.parse(&args) {
@@ -184,7 +209,10 @@ impl FlagParser {
                     print!("{}", self.usage());
                     std::process::exit(0);
                 }
-                m.apply_jobs();
+                if let Err(e) = m.apply_sweep_config() {
+                    eprint!("error: {e}\n\n{}", self.usage());
+                    std::process::exit(2);
+                }
                 m
             }
             Err(e) => {
@@ -275,6 +303,49 @@ impl Matches {
         } else if self.get("--jobs").is_some() {
             eprintln!("warning: ignoring malformed --jobs (want a positive integer)");
         }
+    }
+
+    /// The fault plan from `--faults SPEC`, falling back to
+    /// `MEMHIER_FAULTS` (a missing flag and env var is the empty plan; a
+    /// malformed spec in either is an error).
+    pub fn fault_plan(&self) -> Result<FaultPlan, String> {
+        match self.get("--faults") {
+            Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}")),
+            None => FaultPlan::from_env(),
+        }
+    }
+
+    /// The sweep crash-safety config from `--checkpoint`/`--resume`/
+    /// `--max-retries`/`--faults`.
+    pub fn checkpoint_config(&self) -> Result<CheckpointConfig, String> {
+        if self.resume_requested() && self.get("--checkpoint").is_none() {
+            return Err("--resume needs --checkpoint PATH".to_string());
+        }
+        Ok(CheckpointConfig {
+            path: self.get("--checkpoint").map(std::path::PathBuf::from),
+            resume: self.resume_requested(),
+            max_retries: self
+                .parsed::<u32>("--max-retries")?
+                .unwrap_or(crate::sweeprun::DEFAULT_MAX_RETRIES),
+            faults: self.fault_plan()?,
+        })
+    }
+
+    fn resume_requested(&self) -> bool {
+        self.switches.contains(&"--resume")
+    }
+
+    /// Install `--jobs` plus, when any crash-safety knob is active, the
+    /// process-wide [`CheckpointConfig`] that routes
+    /// [`run_sweep`](crate::sweeprun::run_sweep) through the
+    /// checkpointed path.
+    pub fn apply_sweep_config(&self) -> Result<(), String> {
+        self.apply_jobs();
+        let cfg = self.checkpoint_config()?;
+        if cfg.is_active() {
+            crate::sweeprun::set_checkpoint_config(Some(cfg));
+        }
+        Ok(())
     }
 }
 
@@ -391,6 +462,47 @@ mod tests {
         // --help wins even alongside other valid flags.
         let m = parser().parse(&args(&["--paper", "--help"])).unwrap();
         assert!(m.has("--help"));
+    }
+
+    #[test]
+    fn checkpoint_config_from_flags() {
+        let m = parser()
+            .parse(&args(&[
+                "--checkpoint",
+                "ck.jsonl",
+                "--resume",
+                "--max-retries",
+                "3",
+                "--faults",
+                "point:io:nth=2",
+            ]))
+            .unwrap();
+        let cfg = m.checkpoint_config().unwrap();
+        assert_eq!(cfg.path.as_deref(), Some(std::path::Path::new("ck.jsonl")));
+        assert!(cfg.resume);
+        assert_eq!(cfg.max_retries, 3);
+        assert_eq!(cfg.faults.rules().len(), 1);
+        assert!(cfg.is_active());
+        // No crash-safety flags → inert config.
+        let m = parser().parse(&args(&["--paper"])).unwrap();
+        std::env::remove_var("MEMHIER_FAULTS");
+        let cfg = m.checkpoint_config().unwrap();
+        assert!(!cfg.is_active());
+        assert_eq!(cfg.max_retries, crate::sweeprun::DEFAULT_MAX_RETRIES);
+    }
+
+    #[test]
+    fn resume_without_checkpoint_is_an_error() {
+        let m = parser().parse(&args(&["--resume"])).unwrap();
+        let e = m.checkpoint_config().unwrap_err();
+        assert!(e.contains("--checkpoint"), "{e}");
+    }
+
+    #[test]
+    fn malformed_faults_flag_is_an_error() {
+        let m = parser().parse(&args(&["--faults", "bogus"])).unwrap();
+        let e = m.checkpoint_config().unwrap_err();
+        assert!(e.contains("--faults"), "{e}");
     }
 
     #[test]

@@ -23,12 +23,14 @@
 
 pub mod calib;
 pub mod experiments;
+pub mod faults;
 pub mod flags;
 pub mod names;
 pub mod runner;
 pub mod sweeprun;
 pub mod tables;
 
+pub use faults::{FaultAction, FaultKind, FaultPlan, FaultRule, FaultSite};
 pub use flags::{FlagParser, Matches};
 pub use names::{config_by_name, paper_params, sizes_by_name, workload_kind_by_name};
 pub use runner::{
@@ -36,6 +38,7 @@ pub use runner::{
     Characterization, ObservedRun, ObserverConfig, SimRun, Sizes,
 };
 pub use sweeprun::{
-    characterize_cached, characterize_many, configure_from_args, run_sweep, set_jobs, GridPoint,
-    PointResult, SweepPlan,
+    characterize_cached, characterize_many, configure_from_args, run_sweep, run_sweep_checkpointed,
+    set_checkpoint_config, set_jobs, CheckpointConfig, GridPoint, PointOutcome, PointResult,
+    SweepOutcome, SweepPlan,
 };

@@ -1,0 +1,113 @@
+//! End-to-end check of `serve_load`'s 429 retry loop against a stub
+//! HTTP server: the first connections are shed with `429` +
+//! `Retry-After: 0`, later ones succeed, and the `--json` summary must
+//! show every logical request finishing 200 with the retries counted.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Answer `n_429` connections with 429 (Retry-After: 0), then 200s.
+fn stub_server(listener: TcpListener, n_429: usize) -> std::thread::JoinHandle<()> {
+    let served = Arc::new(AtomicUsize::new(0));
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { break };
+            let served = Arc::clone(&served);
+            std::thread::spawn(move || {
+                // Drain the request head; the body is tiny and ignored.
+                let mut buf = [0u8; 4096];
+                let _ = stream.read(&mut buf);
+                let n = served.fetch_add(1, Ordering::SeqCst);
+                let reply = if n < n_429 {
+                    "HTTP/1.1 429 Too Many Requests\r\nRetry-After: 0\r\n\
+                     Content-Length: 4\r\nConnection: close\r\n\r\nbusy"
+                } else {
+                    "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\
+                     Connection: close\r\n\r\nok"
+                };
+                let _ = stream.write_all(reply.as_bytes());
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            });
+        }
+    })
+}
+
+#[test]
+fn retries_429_until_success_and_reports_counts() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind stub");
+    let addr = listener.local_addr().expect("stub addr");
+    // First 2 connections shed: request #0 needs 2 retries, the rest none.
+    let _server = stub_server(listener, 2);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_serve_load"))
+        .args([
+            "--addr",
+            &addr.to_string(),
+            "--clients",
+            "1",
+            "--requests",
+            "3",
+            "--endpoint",
+            "healthz",
+            "--retries",
+            "3",
+            "--retry-base-ms",
+            "1",
+            "--json",
+        ])
+        .output()
+        .expect("run serve_load");
+    assert!(
+        out.status.success(),
+        "serve_load failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let doc: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("json summary");
+    assert_eq!(doc["requests"].as_u64(), Some(3));
+    assert_eq!(doc["errors"].as_u64(), Some(0));
+    assert_eq!(doc["retries_429"].as_u64(), Some(2), "{doc:?}");
+    let statuses = doc["statuses"].as_array().expect("statuses array");
+    assert_eq!(statuses.len(), 1, "only 200s after retries: {doc:?}");
+    assert_eq!(statuses[0]["status"].as_u64(), Some(200));
+    assert_eq!(statuses[0]["count"].as_u64(), Some(3));
+}
+
+#[test]
+fn exhausted_retries_surface_the_429() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind stub");
+    let addr = listener.local_addr().expect("stub addr");
+    // Every connection is shed; with --retries 2 each logical request
+    // burns 2 retries and still records a final 429.
+    let _server = stub_server(listener, usize::MAX);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_serve_load"))
+        .args([
+            "--addr",
+            &addr.to_string(),
+            "--clients",
+            "1",
+            "--requests",
+            "2",
+            "--endpoint",
+            "healthz",
+            "--retries",
+            "2",
+            "--retry-base-ms",
+            "1",
+            "--json",
+        ])
+        .output()
+        .expect("run serve_load");
+    assert!(out.status.success());
+    let doc: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("json summary");
+    assert_eq!(doc["retries_429"].as_u64(), Some(4), "{doc:?}");
+    let statuses = doc["statuses"].as_array().expect("statuses array");
+    assert_eq!(statuses[0]["status"].as_u64(), Some(429));
+    assert_eq!(statuses[0]["count"].as_u64(), Some(2));
+}

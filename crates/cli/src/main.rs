@@ -51,6 +51,7 @@ fn main() -> ExitCode {
         "upgrade" => cmd_upgrade(rest),
         "recommend" => cmd_recommend(rest),
         "serve" => cmd_serve(rest),
+        "sweep" => cmd_sweep(rest),
         "reproduce" => cmd_reproduce(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -86,7 +87,10 @@ USAGE:
   memhier recommend (--workload <name> | --alpha A --beta B --rho R)
                     [--format text|json]
   memhier serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
-                   [--timeout-ms MS] [--addr-file PATH]
+                   [--timeout-ms MS] [--addr-file PATH] [--faults SPEC]
+  memhier sweep    --configs C1,C2,... --workloads FFT,LU,... [--json]
+                   [--small|--paper] [--jobs N] [--checkpoint PATH]
+                   [--resume] [--max-retries N] [--faults SPEC]
   memhier reproduce <table1|table2|fig2|fig3|fig4|coherence|speedup|
                      budget5k|budget20k|upgrade|fft4x|recommendations|
                      sensitivity|ablation|sweep|utilization|all>
@@ -101,7 +105,7 @@ fn sub(parser: &FlagParser, rest: &[String]) -> Result<Option<Matches>, String> 
         print!("{}", parser.usage());
         return Ok(None);
     }
-    m.apply_jobs();
+    m.apply_sweep_config()?;
     Ok(Some(m))
 }
 
@@ -597,6 +601,107 @@ fn cmd_recommend(rest: &[String]) -> Result<(), MemhierError> {
     Ok(())
 }
 
+/// An explicit `(configs × workloads)` simulation sweep through the
+/// crash-safe checkpointed runner: `--checkpoint`/`--resume` journal and
+/// skip completed grid points, `--faults` injects deterministic failures,
+/// and quarantined points are reported instead of aborting the grid.
+/// Rows print in grid order, so a resumed run's output is byte-identical
+/// to an uninterrupted one.
+fn cmd_sweep(rest: &[String]) -> Result<(), MemhierError> {
+    use memhier_bench::{run_sweep_checkpointed, PointOutcome, SweepPlan};
+    let parser = FlagParser::new("memhier sweep", "checkpointed (configs x workloads) sweep")
+        .option("--configs", "LIST", "comma-separated configs, e.g. C1,C2")
+        .option(
+            "--workloads",
+            "LIST",
+            "comma-separated kernels, e.g. FFT,LU",
+        )
+        .switch("--json", "machine-readable rows")
+        .sweep_flags();
+    let Some(m) = sub(&parser, rest)? else {
+        return Ok(());
+    };
+    let clusters = req(&m, "--configs")?
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|name| config_by_name(name.trim()))
+        .collect::<Result<Vec<_>, _>>()?;
+    let kinds = req(&m, "--workloads")?
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|name| workload_kind_by_name(name.trim()))
+        .collect::<Result<Vec<_>, _>>()?;
+    if clusters.is_empty() || kinds.is_empty() {
+        return Err(MemhierError::Invalid(
+            "--configs and --workloads must each name at least one entry".to_string(),
+        ));
+    }
+    let plan = SweepPlan::new("cli", m.sizes()).cross(&clusters, &kinds);
+    let outcome = run_sweep_checkpointed(&plan, &m.checkpoint_config()?)?;
+    let rows: Vec<serde_json::Value> = outcome
+        .outcomes
+        .iter()
+        .map(|o| {
+            let p = &plan.points()[o.index()];
+            let config = p.cluster.name.as_deref().unwrap_or("unnamed");
+            match o {
+                PointOutcome::Ok { result, .. } => serde_json::json!({
+                    "index": o.index() as u64,
+                    "config": config,
+                    "workload": p.kind.name(),
+                    "attempts": u64::from(o.attempts()),
+                    "status": "ok",
+                    "e_instr_seconds": result.run.report.e_instr_seconds,
+                    "wall_cycles": result.run.report.wall_cycles,
+                }),
+                PointOutcome::Failed { error, .. } => serde_json::json!({
+                    "index": o.index() as u64,
+                    "config": config,
+                    "workload": p.kind.name(),
+                    "attempts": u64::from(o.attempts()),
+                    "status": "failed",
+                    "error": error.as_str(),
+                }),
+                PointOutcome::Panicked { message, .. } => serde_json::json!({
+                    "index": o.index() as u64,
+                    "config": config,
+                    "workload": p.kind.name(),
+                    "attempts": u64::from(o.attempts()),
+                    "status": "panicked",
+                    "error": message.as_str(),
+                }),
+            }
+        })
+        .collect();
+    if m.has("--json") {
+        println!("{}", serde_json::to_string_pretty(&rows)?);
+    } else {
+        for (o, p) in outcome.outcomes.iter().zip(plan.points()) {
+            match o {
+                PointOutcome::Ok { result, .. } => println!(
+                    "{:4} {:6} E(Instr) = {:.3e} s  ({} attempt(s))",
+                    p.cluster.name.as_deref().unwrap_or("unnamed"),
+                    p.kind.name(),
+                    result.run.report.e_instr_seconds,
+                    o.attempts()
+                ),
+                _ => println!(
+                    "{:4} {:6} QUARANTINED after {} attempt(s): {}",
+                    p.cluster.name.as_deref().unwrap_or("unnamed"),
+                    p.kind.name(),
+                    o.attempts(),
+                    o.error().unwrap_or("unknown")
+                ),
+            }
+        }
+    }
+    let quarantined = outcome.quarantined();
+    if quarantined > 0 {
+        eprintln!("memhier sweep: {quarantined} point(s) quarantined");
+    }
+    Ok(())
+}
+
 fn cmd_serve(rest: &[String]) -> Result<(), MemhierError> {
     let parser = FlagParser::new("memhier serve", "run memhierd, the HTTP advisor service")
         .option(
@@ -613,7 +718,12 @@ fn cmd_serve(rest: &[String]) -> Result<(), MemhierError> {
             "response-cache entries (default 256)",
         )
         .option("--cache-shards", "N", "response-cache shards (default 8)")
-        .option("--addr-file", "PATH", "write the bound address to PATH");
+        .option("--addr-file", "PATH", "write the bound address to PATH")
+        .option(
+            "--faults",
+            "SPEC",
+            "deterministic fault-injection spec (also MEMHIER_FAULTS)",
+        );
     let Some(m) = sub(&parser, rest)? else {
         return Ok(());
     };
@@ -635,6 +745,10 @@ fn cmd_serve(rest: &[String]) -> Result<(), MemhierError> {
     }
     if let Some(n) = m.parsed::<usize>("--cache-shards")? {
         config.cache_shards = n;
+    }
+    config.faults = m.fault_plan()?;
+    if !config.faults.is_empty() {
+        eprintln!("memhierd: fault injection active: {}", config.faults);
     }
     let server = Server::start(config.clone())?;
     let addr = server.local_addr();

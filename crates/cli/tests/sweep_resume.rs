@@ -1,0 +1,147 @@
+//! Kill-and-resume: SIGKILL a checkpointed `memhier sweep` mid-grid,
+//! resume it, and require the final stdout to be byte-identical to an
+//! uninterrupted run.  The interrupted run is slowed with an injected
+//! `point:delay` fault so the kill lands deterministically between
+//! journal appends; the resumed run drops the fault (the journal
+//! fingerprint deliberately excludes the fault plan) and finishes clean.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SWEEP_ARGS: &[&str] = &[
+    "sweep",
+    "--configs",
+    "C1,C2",
+    "--workloads",
+    "FFT,LU",
+    "--small",
+    "--jobs",
+    "1",
+    "--json",
+];
+
+fn memhier(extra: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_memhier"));
+    cmd.args(SWEEP_ARGS)
+        .args(extra)
+        .env_remove("MEMHIER_FAULTS")
+        .env_remove("MEMHIER_JOBS");
+    cmd
+}
+
+fn journal_lines(path: &Path) -> usize {
+    std::fs::read_to_string(path)
+        .map(|s| s.lines().filter(|l| !l.trim().is_empty()).count())
+        .unwrap_or(0)
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("memhier-sweep-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(format!("{tag}.jsonl"))
+}
+
+#[test]
+fn sigkill_mid_sweep_then_resume_matches_uninterrupted_run() {
+    // Golden: the same grid, no checkpointing, no faults, one shot.
+    let golden = memhier(&[]).output().expect("golden run");
+    assert!(
+        golden.status.success(),
+        "golden run failed: {}",
+        String::from_utf8_lossy(&golden.stderr)
+    );
+    assert!(!golden.stdout.is_empty());
+
+    // Interrupted: every point sleeps 500ms, so journal appends are at
+    // least that far apart; kill as soon as the first record lands.
+    let journal = temp_journal("kill");
+    let _ = std::fs::remove_file(&journal);
+    let mut child = memhier(&[
+        "--checkpoint",
+        journal.to_str().unwrap(),
+        "--faults",
+        "point:delay:ms=500",
+    ])
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .spawn()
+    .expect("spawn interrupted run");
+
+    // Header + >= 1 record, then SIGKILL (std's kill on Unix).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while journal_lines(&journal) < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let lines_at_kill = journal_lines(&journal);
+    assert!(
+        lines_at_kill >= 2,
+        "no journal record appeared before the deadline"
+    );
+    child.kill().expect("SIGKILL the sweep");
+    let status = child.wait().expect("reap killed sweep");
+    assert!(!status.success(), "killed process must not report success");
+    assert!(
+        lines_at_kill < 5,
+        "kill landed after the whole 4-point grid completed; nothing was interrupted"
+    );
+
+    // Resume with faults off: journaled points load, the rest re-run.
+    let resumed = memhier(&["--checkpoint", journal.to_str().unwrap(), "--resume"])
+        .output()
+        .expect("resumed run");
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("resumed"),
+        "resume must report loaded points: {stderr}"
+    );
+
+    assert_eq!(
+        String::from_utf8_lossy(&golden.stdout),
+        String::from_utf8_lossy(&resumed.stdout),
+        "resumed output must be byte-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn resume_refuses_a_journal_from_a_different_grid() {
+    let journal = temp_journal("mismatch");
+    let _ = std::fs::remove_file(&journal);
+    // Journal a 1-point grid...
+    let first = memhier(&["--checkpoint", journal.to_str().unwrap()])
+        .output()
+        .expect("first run");
+    assert!(first.status.success());
+    // ...then try to resume a different grid against it.
+    let out = Command::new(env!("CARGO_BIN_EXE_memhier"))
+        .args([
+            "sweep",
+            "--configs",
+            "C3",
+            "--workloads",
+            "Radix",
+            "--small",
+            "--jobs",
+            "1",
+            "--checkpoint",
+            journal.to_str().unwrap(),
+            "--resume",
+        ])
+        .env_remove("MEMHIER_FAULTS")
+        .env_remove("MEMHIER_JOBS")
+        .output()
+        .expect("mismatched resume");
+    assert!(
+        !out.status.success(),
+        "resuming across a changed plan must fail"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fingerprint"), "{stderr}");
+    let _ = std::fs::remove_file(&journal);
+}

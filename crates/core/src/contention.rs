@@ -22,7 +22,10 @@
 /// Mean response time of an M/D/1 queue: deterministic service time
 /// `service`, Poisson arrival rate `arrival` (in reciprocal units of
 /// `service`).  Returns `None` if the utilization `arrival·service ≥ 1`
-/// (queue is unstable, delay diverges).
+/// (queue is unstable, delay diverges), and also for negative or
+/// non-finite inputs: a degenerate configuration must surface upstream
+/// as [`crate::error::ModelError`], never as NaN cycles leaking into a
+/// prediction.
 ///
 /// ```
 /// use memhier_core::contention::md1_response;
@@ -30,9 +33,14 @@
 /// assert_eq!(md1_response(50.0, 0.0), Some(50.0));
 /// // Saturated: diverges.
 /// assert_eq!(md1_response(50.0, 0.02), None);
+/// // Degenerate inputs are errors, not NaN.
+/// assert_eq!(md1_response(f64::NAN, 0.0), None);
+/// assert_eq!(md1_response(50.0, -1.0), None);
 /// ```
 pub fn md1_response(service: f64, arrival: f64) -> Option<f64> {
-    debug_assert!(service >= 0.0 && arrival >= 0.0);
+    if !service.is_finite() || !arrival.is_finite() || service < 0.0 || arrival < 0.0 {
+        return None;
+    }
     if service == 0.0 {
         return Some(0.0);
     }
@@ -113,6 +121,20 @@ mod tests {
     #[test]
     fn md1_zero_service() {
         assert_eq!(md1_response(0.0, 5.0), Some(0.0));
+    }
+
+    #[test]
+    fn md1_rejects_degenerate_inputs() {
+        // NaN and infinities answer None (not Some(NaN)), as do negative
+        // rates: callers turn None into ModelError::Saturated instead of
+        // propagating poisoned arithmetic.
+        assert_eq!(md1_response(f64::NAN, 0.1), None);
+        assert_eq!(md1_response(10.0, f64::NAN), None);
+        assert_eq!(md1_response(f64::INFINITY, 0.0), None);
+        assert_eq!(md1_response(10.0, f64::INFINITY), None);
+        assert_eq!(md1_response(-1.0, 0.1), None);
+        assert_eq!(md1_response(10.0, -0.1), None);
+        assert_eq!(md1_wait(f64::NAN, 0.1), None);
     }
 
     #[test]

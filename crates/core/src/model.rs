@@ -703,6 +703,32 @@ mod tests {
     }
 
     #[test]
+    fn over_saturated_cluster_surfaces_model_error_not_panic() {
+        // Regression for the robustness audit: a pathologically
+        // over-committed cluster (32 machines sharing 10 Mb Ethernet under
+        // the most memory-bound kernel) must come back as a typed
+        // ModelError carrying the saturated level — never a panic, never
+        // NaN leaking out of the M/D/1 algebra.
+        let model = AnalyticModel {
+            arrival: ArrivalModel::Open,
+            ..AnalyticModel::default()
+        };
+        let spec = cow(32, NetworkKind::Ethernet10);
+        let r = std::panic::catch_unwind(|| model.evaluate(&spec, &radix()))
+            .expect("degenerate configs must not panic");
+        match r {
+            Err(ModelError::Saturated { level, utilization }) => {
+                assert_eq!(level, "remote");
+                assert!(utilization >= 1.0, "reported utilization {utilization}");
+            }
+            other => panic!("expected Saturated, got {other:?}"),
+        }
+        // The self-consistent default absorbs the same spec finitely.
+        let p = AnalyticModel::default().evaluate(&spec, &radix()).unwrap();
+        assert!(p.e_instr_cycles.is_finite() && p.e_instr_cycles > 0.0);
+    }
+
+    #[test]
     fn self_consistent_stays_finite_under_heavy_load() {
         let model = AnalyticModel::default();
         let w = radix();

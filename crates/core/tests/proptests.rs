@@ -85,6 +85,36 @@ proptest! {
     }
 
     #[test]
+    fn md1_never_nan_or_negative(service in -10.0f64..1e5, arrival in -0.1f64..10.0) {
+        // Over a domain that includes negative (illegal) inputs and every
+        // utilization regime, the answer is either None or a finite,
+        // non-negative response — Some(NaN) must be unrepresentable.
+        if let Some(r) = md1_response(service, arrival) {
+            prop_assert!(r.is_finite() && r >= 0.0, "md1({service}, {arrival}) = {r}");
+        }
+    }
+
+    #[test]
+    fn open_model_is_typed_error_or_finite_never_nan(
+        w in workload_strategy(),
+        c in cluster_strategy(),
+    ) {
+        // The open-arrival model may saturate, but saturation is a typed
+        // ModelError — an Ok prediction is always finite and positive.
+        let open = AnalyticModel { arrival: ArrivalModel::Open, ..AnalyticModel::default() };
+        match open.evaluate(&c, &w) {
+            Ok(p) => {
+                prop_assert!(p.e_instr_seconds.is_finite() && p.e_instr_seconds > 0.0);
+                prop_assert!(!p.t_cycles.is_nan());
+                for l in &p.levels {
+                    prop_assert!(!l.effective_cycles.is_nan(), "{}", l.name);
+                }
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    #[test]
     fn harmonic_increments(n in 1u32..1000) {
         let h1 = harmonic(n);
         let h2 = harmonic(n + 1);

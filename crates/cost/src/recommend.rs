@@ -37,7 +37,7 @@ pub struct Recommendation {
     /// Why (restating the triggering rule).
     pub rationale: String,
     /// §6 upgrade guidance for this class.
-    pub upgrade_advice: &'static str,
+    pub upgrade_advice: String,
 }
 
 /// ρ at or above this is "memory bound" (Radix 0.37 and EDGE 0.45 classify
@@ -96,10 +96,11 @@ pub fn recommend(w: &WorkloadParams) -> Recommendation {
     };
 
     let upgrade_advice = if good_locality {
-        "spend first on cache/memory capacity to reduce network usage"
+        "spend first on cache/memory capacity to reduce network usage".to_string()
     } else {
         "network activity is largely capacity-independent here: upgrade the \
          cluster network bandwidth first"
+            .to_string()
     };
 
     Recommendation {

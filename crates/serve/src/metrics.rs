@@ -115,6 +115,7 @@ pub struct Metrics {
     server_errors_5xx: AtomicU64,
     rejected_busy: AtomicU64,
     deadline_exceeded: AtomicU64,
+    worker_respawns: AtomicU64,
     /// Live queue depth, maintained by the server.
     pub queue_depth: AtomicUsize,
     latency: LatencyHistogram,
@@ -130,6 +131,7 @@ impl Default for Metrics {
             server_errors_5xx: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             latency: LatencyHistogram::default(),
         }
@@ -172,6 +174,16 @@ impl Metrics {
         self.rejected_busy.load(Ordering::Relaxed)
     }
 
+    /// A dead worker thread was replaced by the supervisor.
+    pub fn on_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Worker threads respawned after a panic so far.
+    pub fn worker_respawn_count(&self) -> u64 {
+        self.worker_respawns.load(Ordering::Relaxed)
+    }
+
     /// Seconds since the service started.
     pub fn uptime_seconds(&self) -> f64 {
         self.started.elapsed().as_secs_f64()
@@ -207,6 +219,7 @@ impl Metrics {
                 "capacity": queue_capacity as u64,
             }),
             "workers": workers as u64,
+            "worker_respawns": self.worker_respawns.load(Ordering::Relaxed),
         })
     }
 }
@@ -250,6 +263,7 @@ mod tests {
         m.on_accept();
         m.on_complete(200, Duration::from_micros(80));
         m.on_complete(503, Duration::from_millis(5));
+        m.on_worker_respawn();
         let v = m.render(
             CacheStats {
                 hits: 3,
@@ -266,5 +280,6 @@ mod tests {
         assert_eq!(v["cache"]["hits"].as_u64(), Some(3));
         assert_eq!(v["latency_us"]["count"].as_u64(), Some(2));
         assert_eq!(v["queue"]["capacity"].as_u64(), Some(64));
+        assert_eq!(v["worker_respawns"].as_u64(), Some(1));
     }
 }

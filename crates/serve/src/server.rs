@@ -12,17 +12,32 @@
 //! Shutdown is cooperative: [`Server::shutdown`] raises a stop flag,
 //! wakes the blocking `accept()` with a loopback self-connect, lets the
 //! workers drain every already-admitted job, and joins all threads.
+//!
+//! Workers are owned by a **supervisor** thread rather than the `Server`
+//! handle: if a worker dies (a handler panic that escapes `catch_unwind`,
+//! or an injected `serve:panic` fault), the supervisor respawns it and
+//! counts the replacement in `/metrics` as `worker_respawns`, so one
+//! poisoned request can never silently shrink the pool.  The
+//! [`FaultPlan`] in [`ServeConfig`] drives deterministic failure
+//! injection at the `serve` site: each admitted request draws a decision
+//! index from a shared sequence counter, and a firing rule can delay the
+//! request (exercising the 503 deadline and 429 admission paths), fail
+//! it with a synthetic 500, or kill the worker outright.
 
 use crate::api::{handle, AppState};
 use crate::http::{read_request, Response};
+use memhier_bench::{FaultAction, FaultPlan, FaultSite};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How often the supervisor scans for dead workers.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(10);
 
 /// Tunables for one [`Server`].
 #[derive(Debug, Clone)]
@@ -39,6 +54,8 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Response-cache shard count.
     pub cache_shards: usize,
+    /// Deterministic fault injection for the `serve` site (empty = off).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -50,6 +67,7 @@ impl Default for ServeConfig {
             timeout: Duration::from_secs(10),
             cache_capacity: 256,
             cache_shards: 8,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -60,6 +78,18 @@ struct Job {
     accepted_at: Instant,
 }
 
+/// Everything a worker (or the supervisor respawning one) needs.
+struct WorkerShared {
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    queue: Arc<(Mutex<VecDeque<Job>>, Condvar)>,
+    timeout: Duration,
+    faults: FaultPlan,
+    /// Request decision sequence for the `serve` fault site: one index
+    /// per popped job, in pop order.
+    serve_seq: AtomicU64,
+}
+
 /// A running `memhierd` instance.
 pub struct Server {
     local_addr: SocketAddr,
@@ -67,11 +97,12 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     queue: Arc<(Mutex<VecDeque<Job>>, Condvar)>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind `config.addr` and start the acceptor plus worker pool.
+    /// Bind `config.addr` and start the acceptor plus supervised worker
+    /// pool.
     pub fn start(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
@@ -87,17 +118,23 @@ impl Server {
         let queue: Arc<(Mutex<VecDeque<Job>>, Condvar)> =
             Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
 
+        let shared = Arc::new(WorkerShared {
+            state: Arc::clone(&state),
+            stop: Arc::clone(&stop),
+            queue: Arc::clone(&queue),
+            timeout: config.timeout,
+            faults: config.faults.clone(),
+            serve_seq: AtomicU64::new(0),
+        });
         let worker_handles = (0..workers)
-            .map(|i| {
-                let state = Arc::clone(&state);
-                let stop = Arc::clone(&stop);
-                let queue = Arc::clone(&queue);
-                let timeout = config.timeout;
-                std::thread::Builder::new()
-                    .name(format!("memhierd-worker-{i}"))
-                    .spawn(move || worker_loop(&state, &stop, &queue, timeout))
-            })
+            .map(|i| spawn_worker(i, &shared))
             .collect::<io::Result<Vec<_>>>()?;
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("memhierd-supervisor".to_string())
+                .spawn(move || supervise(&shared, worker_handles))?
+        };
 
         let acceptor = {
             let state = Arc::clone(&state);
@@ -117,7 +154,7 @@ impl Server {
             stop,
             queue,
             acceptor: Some(acceptor),
-            workers: worker_handles,
+            supervisor: Some(supervisor),
         })
     }
 
@@ -149,7 +186,8 @@ impl Server {
             let _ = h.join();
         }
         self.queue.1.notify_all();
-        for h in self.workers.drain(..) {
+        // The supervisor joins (and stops respawning) the workers.
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
     }
@@ -207,12 +245,60 @@ fn accept_loop(
     }
 }
 
-fn worker_loop(
-    state: &AppState,
-    stop: &AtomicBool,
-    queue: &(Mutex<VecDeque<Job>>, Condvar),
-    timeout: Duration,
-) {
+/// Start worker thread `memhierd-worker-{n}` over `shared`.
+fn spawn_worker(n: usize, shared: &Arc<WorkerShared>) -> io::Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("memhierd-worker-{n}"))
+        .spawn(move || worker_loop(&shared))
+}
+
+/// Own the worker pool: join dead workers, respawn replacements (counted
+/// in `/metrics` as `worker_respawns`), and on shutdown join everyone
+/// once the drain finishes.  Workers only exit cleanly when `stop` is
+/// raised, so any earlier exit is a panic escaping `worker_loop`.
+fn supervise(shared: &Arc<WorkerShared>, mut handles: Vec<JoinHandle<()>>) {
+    let mut next_name = handles.len();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            // Wake sleepers so the drain can finish, then join the pool.
+            shared.queue.1.notify_all();
+            for h in handles {
+                let _ = h.join();
+            }
+            return;
+        }
+        for slot in handles.iter_mut() {
+            if !slot.is_finished() || shared.stop.load(Ordering::SeqCst) {
+                continue;
+            }
+            match spawn_worker(next_name, shared) {
+                Ok(fresh) => {
+                    next_name += 1;
+                    let dead = std::mem::replace(slot, fresh);
+                    // A clean exit (shutdown race) is not a respawn.
+                    if dead.join().is_err() {
+                        shared.state.metrics.on_worker_respawn();
+                        eprintln!("memhierd: worker died (panic); respawned");
+                    }
+                }
+                // Out of threads: leave the slot and retry next scan.
+                Err(e) => eprintln!("memhierd: respawning worker failed: {e}"),
+            }
+        }
+        std::thread::sleep(SUPERVISOR_POLL);
+    }
+}
+
+fn worker_loop(shared: &WorkerShared) {
+    let WorkerShared {
+        state,
+        stop,
+        queue,
+        timeout,
+        faults,
+        serve_seq,
+    } = shared;
     loop {
         let job = {
             let mut q = queue.0.lock().expect("job queue poisoned");
@@ -231,11 +317,37 @@ fn worker_loop(
         };
         let Some(mut job) = job else { return };
 
-        let deadline = job.accepted_at + timeout;
-        let response = match read_request(&mut job.stream) {
-            Ok(req) => catch_unwind(AssertUnwindSafe(|| handle(&req, state, deadline)))
-                .unwrap_or_else(|_| Response::error(500, "internal error (handler panicked)")),
-            Err(e) => Response::error(e.status, &e.message),
+        // Fault decision for this request, outside the handler's
+        // catch_unwind: an injected panic must kill the worker (that is
+        // the failure being rehearsed), not fall into the 500 path.
+        let index = serve_seq.fetch_add(1, Ordering::SeqCst);
+        let injected = match faults.check(FaultSite::Serve, index, 0) {
+            Some(FaultAction::Panic) => {
+                // The client sees a dropped connection; the supervisor
+                // sees a dead worker.
+                panic!("injected fault: serve:panic (request {index})");
+            }
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                None
+            }
+            Some(FaultAction::Io) => Some(Response::error(
+                500,
+                &format!("injected fault: serve:io (request {index})"),
+            )),
+            // `FaultAction` is non-exhaustive; unknown future actions
+            // (and no action) serve the request normally.
+            _ => None,
+        };
+
+        let deadline = job.accepted_at + *timeout;
+        let response = match injected {
+            Some(r) => r,
+            None => match read_request(&mut job.stream) {
+                Ok(req) => catch_unwind(AssertUnwindSafe(|| handle(&req, state, deadline)))
+                    .unwrap_or_else(|_| Response::error(500, "internal error (handler panicked)")),
+                Err(e) => Response::error(e.status, &e.message),
+            },
         };
         let _ = response.write_to(&mut job.stream);
         let _ = job.stream.shutdown(Shutdown::Both);

@@ -1,0 +1,169 @@
+//! Deterministic fault injection against a real listening `memhierd`:
+//! injected worker panics must be healed by the supervisor (and counted
+//! in `/metrics`), injected delays must drive the existing 503 deadline
+//! and 429 admission machinery, and injected I/O faults must surface as
+//! 500s — all without wall-clock randomness, so these tests replay the
+//! exact same failures every run.
+
+use memhier_bench::FaultPlan;
+use memhier_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Send `payload` raw and read to EOF.  A dropped connection (the
+/// injected-panic case) yields whatever arrived before the reset,
+/// usually the empty string — never a test panic.
+fn raw_request(addr: SocketAddr, payload: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    if s.write_all(payload.as_bytes()).is_err() {
+        return String::new();
+    }
+    let mut reply = String::new();
+    let _ = s.read_to_string(&mut reply);
+    reply
+}
+
+fn get(path: &str) -> String {
+    format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n")
+}
+
+fn post(path: &str, body: &str) -> String {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn server_with(faults: &str, workers: usize, queue_depth: usize, timeout: Duration) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_depth,
+        timeout,
+        faults: FaultPlan::parse(faults).expect("valid fault spec"),
+        ..ServeConfig::default()
+    })
+    .expect("start")
+}
+
+/// `serve:panic:nth=3` kills the worker on the 3rd popped request; the
+/// supervisor must respawn it (visible in `/metrics` as
+/// `worker_respawns`) and the service must keep answering.
+#[test]
+fn injected_worker_panic_is_respawned_and_counted() {
+    let server = server_with("serve:panic:nth=3", 2, 8, Duration::from_secs(5));
+    let addr = server.local_addr();
+
+    // Requests 1-2 (indices 0-1) succeed; request 3 (index 2) hits the
+    // panic rule and the client sees a dropped connection.
+    for _ in 0..2 {
+        let reply = raw_request(addr, &get("/healthz"));
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    }
+    let reply = raw_request(addr, &get("/healthz"));
+    assert!(
+        !reply.starts_with("HTTP/1.1 2"),
+        "request at a panic index must not succeed: {reply}"
+    );
+
+    // The supervisor notices within a poll tick or two.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.state().metrics.worker_respawn_count() < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.state().metrics.worker_respawn_count(), 1);
+
+    // Index 3: alive again, full pool.
+    let reply = raw_request(addr, &get("/healthz"));
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    // Index 4: the respawn is visible through the public endpoint.
+    let reply = raw_request(addr, &get("/metrics"));
+    assert!(reply.contains("\"worker_respawns\": 1"), "{reply}");
+    server.shutdown();
+}
+
+/// An injected delay longer than the request timeout must surface as the
+/// existing 503 deadline path (and count as `deadline_exceeded`), not as
+/// a hang or a success.
+#[test]
+fn injected_delay_drives_the_503_deadline_path() {
+    // Every request sleeps 300ms against a 100ms deadline.
+    let server = server_with("serve:delay:ms=300", 1, 8, Duration::from_millis(100));
+    let addr = server.local_addr();
+    let reply = raw_request(
+        addr,
+        &post(
+            "/v1/simulate",
+            r#"{"config": "C1", "workload": "FFT", "size": "small"}"#,
+        ),
+    );
+    assert!(reply.starts_with("HTTP/1.1 503"), "{reply}");
+    assert!(reply.contains("deadline exceeded"), "{reply}");
+    let m = &server.state().metrics;
+    assert_eq!(m.ok_count(), 0);
+    server.shutdown();
+}
+
+/// With one worker pinned by an injected delay and a queue of one, the
+/// third connection must be shed with 429 + Retry-After — admission
+/// control driven deterministically, no idle-socket trickery needed.
+#[test]
+fn injected_delay_fills_the_queue_and_sheds_429() {
+    let server = server_with("serve:delay:ms=600", 1, 1, Duration::from_secs(5));
+    let addr = server.local_addr();
+
+    // First request: popped by the worker, now sleeping 600ms.
+    let h1 = std::thread::spawn(move || raw_request(addr, &get("/healthz")));
+    std::thread::sleep(Duration::from_millis(150));
+    // Second request: admitted, fills the queue while the worker sleeps.
+    let h2 = std::thread::spawn(move || raw_request(addr, &get("/healthz")));
+    std::thread::sleep(Duration::from_millis(150));
+    // Third request: the queue is full, the acceptor sheds it.
+    let reply = raw_request(addr, &get("/healthz"));
+    assert!(reply.starts_with("HTTP/1.1 429"), "{reply}");
+    assert!(reply.contains("Retry-After: 1\r\n"), "{reply}");
+    assert!(server.state().metrics.rejected_count() >= 1);
+
+    // The delayed requests still complete once the worker wakes.
+    for h in [h1, h2] {
+        let reply = h.join().expect("client thread");
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    }
+    server.shutdown();
+}
+
+/// `serve:io:nth=2` fails every 2nd request with a synthetic 500 whose
+/// body names the injection, while odd requests are untouched.
+#[test]
+fn injected_io_fault_answers_500_and_service_stays_up() {
+    let server = server_with("serve:io:nth=2", 1, 8, Duration::from_secs(5));
+    let addr = server.local_addr();
+    for index in 0..4u64 {
+        let reply = raw_request(addr, &get("/healthz"));
+        if (index + 1) % 2 == 0 {
+            assert!(reply.starts_with("HTTP/1.1 500"), "index {index}: {reply}");
+            assert!(reply.contains("injected fault: serve:io"), "{reply}");
+        } else {
+            assert!(reply.starts_with("HTTP/1.1 200"), "index {index}: {reply}");
+        }
+    }
+    assert_eq!(server.state().metrics.ok_count(), 2);
+    assert_eq!(server.state().metrics.worker_respawn_count(), 0);
+    server.shutdown();
+}
+
+/// The default (empty) plan injects nothing: the fault plane costs one
+/// emptiness check per request and changes no behavior.
+#[test]
+fn empty_plan_is_inert() {
+    let server = server_with("", 2, 8, Duration::from_secs(5));
+    let addr = server.local_addr();
+    for _ in 0..5 {
+        let reply = raw_request(addr, &get("/healthz"));
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    }
+    assert_eq!(server.state().metrics.worker_respawn_count(), 0);
+    server.shutdown();
+}

@@ -6,9 +6,8 @@
 //!
 //! * [`Serialize`] — a single-method trait producing a JSON [`Value`]
 //!   tree (the only serialization format the workspace emits);
-//! * [`Deserialize`] — a marker-style trait with a defaulted error body;
-//!   only `serde_json::Value` overrides it (typed deserialization is not
-//!   used anywhere in the workspace);
+//! * [`Deserialize`] — the inverse conversion, used by the sweep
+//!   checkpoint journal to load typed records back out of JSONL;
 //! * `#[derive(Serialize)]` / `#[derive(Deserialize)]` re-exported from
 //!   the companion `serde_derive` proc-macro crate, covering named-field
 //!   structs and unit-variant enums (the only shapes the workspace
@@ -169,17 +168,16 @@ pub trait Serialize {
     fn to_json_value(&self) -> Value;
 }
 
-/// Marker trait paired with `#[derive(Deserialize)]`.
+/// Types that can be rebuilt from a JSON [`Value`].
 ///
-/// No workspace code performs typed deserialization (only
-/// `serde_json::Value` is ever parsed from text), so the default body
-/// reports that honestly rather than dragging in a full deserializer
-/// framework.
+/// Upstream serde abstracts over deserializer back-ends; this workspace
+/// only ever parses JSON, so the shim collapses the trait to the one
+/// conversion actually exercised.  Derived impls treat a missing object
+/// key as `null` (so `Option` fields tolerate absent keys) and reject
+/// shape mismatches with a path-qualified error.
 pub trait Deserialize: Sized {
     /// Build `Self` from a parsed JSON value.
-    fn from_json_value(_v: Value) -> Result<Self, String> {
-        Err("typed deserialization is not supported by the serde shim".to_string())
-    }
+    fn from_json_value(v: Value) -> Result<Self, String>;
 }
 
 impl Serialize for Value {
@@ -313,6 +311,136 @@ impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V>
     }
 }
 
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(v: Value) -> Result<Self, String> {
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| format!("expected {}, got {v:?}", stringify!($t)))
+            }
+        }
+    )*};
+}
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(v: Value) -> Result<Self, String> {
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| format!("expected {}, got {v:?}", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_json_value(v: Value) -> Result<Self, String> {
+        v.as_f64().ok_or_else(|| format!("expected f64, got {v:?}"))
+    }
+}
+impl Deserialize for f32 {
+    fn from_json_value(v: Value) -> Result<Self, String> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| format!("expected f32, got {v:?}"))
+    }
+}
+impl Deserialize for bool {
+    fn from_json_value(v: Value) -> Result<Self, String> {
+        v.as_bool()
+            .ok_or_else(|| format!("expected bool, got {v:?}"))
+    }
+}
+impl Deserialize for String {
+    fn from_json_value(v: Value) -> Result<Self, String> {
+        match v {
+            Value::String(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+impl Deserialize for char {
+    fn from_json_value(v: Value) -> Result<Self, String> {
+        match v {
+            Value::String(ref s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(format!("expected single-char string, got {other:?}")),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: Value) -> Result<Self, String> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: Value) -> Result<Self, String> {
+        match v {
+            Value::Array(items) => items.into_iter().map(T::from_json_value).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: Value) -> Result<Self, String> {
+        let items = Vec::<T>::from_json_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| format!("expected array of length {N}, got length {got}"))
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: Value) -> Result<Self, String> {
+                const LEN: usize = 0 $(+ { let _ = stringify!($t); 1 })+;
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            $t::from_json_value(it.next().expect("length checked"))
+                                .map_err(|e| format!("tuple element {}: {e}", $n))?,
+                        )+))
+                    }
+                    other => Err(format!("expected array of length {LEN}, got {other:?}")),
+                }
+            }
+        }
+    )+};
+}
+impl_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_json_value(v: Value) -> Result<Self, String> {
+        match v {
+            Value::Object(fields) => fields
+                .into_iter()
+                .map(|(k, v)| V::from_json_value(v).map(|v| (k, v)))
+                .collect(),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,5 +467,53 @@ mod tests {
         );
         let arr = [1.0f64, 2.0].to_json_value();
         assert!(matches!(arr, Value::Array(ref a) if a.len() == 2));
+    }
+
+    #[test]
+    fn primitives_deserialize_back() {
+        let round = |v: Value| v;
+        assert_eq!(u32::from_json_value(round(5u32.to_json_value())), Ok(5));
+        assert_eq!(i64::from_json_value(round((-3i64).to_json_value())), Ok(-3));
+        assert_eq!(f64::from_json_value(round(1.5f64.to_json_value())), Ok(1.5));
+        // Integer-typed JSON numbers satisfy f64 fields.
+        assert_eq!(f64::from_json_value(Value::Number(Number::U64(7))), Ok(7.0));
+        assert_eq!(bool::from_json_value(Value::Bool(true)), Ok(true));
+        assert_eq!(
+            String::from_json_value(Value::String("x".into())),
+            Ok("x".to_string())
+        );
+        // Range and shape violations are errors, not truncations.
+        assert!(u8::from_json_value(Value::Number(Number::U64(300))).is_err());
+        assert!(u64::from_json_value(Value::Number(Number::I64(-1))).is_err());
+        assert!(bool::from_json_value(Value::Null).is_err());
+    }
+
+    #[test]
+    fn containers_deserialize_back() {
+        assert_eq!(
+            Option::<u64>::from_json_value(Value::Null),
+            Ok(None),
+            "null is None"
+        );
+        assert_eq!(
+            Option::<u64>::from_json_value(Value::Number(Number::U64(4))),
+            Ok(Some(4))
+        );
+        let v = vec![1u64, 2, 3].to_json_value();
+        assert_eq!(Vec::<u64>::from_json_value(v), Ok(vec![1, 2, 3]));
+        let t = (1u64, "a".to_string()).to_json_value();
+        assert_eq!(
+            <(u64, String)>::from_json_value(t),
+            Ok((1, "a".to_string()))
+        );
+        let a = [1u64, 2].to_json_value();
+        assert_eq!(<[u64; 2]>::from_json_value(a.clone()), Ok([1, 2]));
+        assert!(<[u64; 3]>::from_json_value(a).is_err());
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("k".to_string(), 9u64);
+        assert_eq!(
+            std::collections::BTreeMap::<String, u64>::from_json_value(m.to_json_value()),
+            Ok(m)
+        );
     }
 }

@@ -202,18 +202,78 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     src.parse().unwrap()
 }
 
-/// Derive `serde::Deserialize` (shim): emits the marker impl whose
-/// defaulted body rejects typed deserialization at run time.
+/// Derive `serde::Deserialize` (shim).
+///
+/// Structs deserialize from a JSON object: each field is looked up by
+/// name (a missing key reads as `null`, so `Option` fields tolerate
+/// absent keys) and errors are qualified with `Type.field`.  Unit enums
+/// deserialize from their variant-name string.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = match parse_item(input) {
         Ok(i) => i,
         Err(e) => return compile_error(&e),
     };
-    let name = match &item {
-        Item::Struct { name, .. } | Item::UnitEnum { name, .. } => name,
+    let src = match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: {{\n\
+                             let __fv = __fields\n\
+                                 .iter()\n\
+                                 .find(|(k, _)| k == {f:?})\n\
+                                 .map(|(_, v)| v.clone())\n\
+                                 .unwrap_or(::serde::__private::Value::Null);\n\
+                             ::serde::Deserialize::from_json_value(__fv)\n\
+                                 .map_err(|e| ::std::format!(\"{name}.{f}: {{e}}\"))?\n\
+                         }},\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(\n\
+                         __v: ::serde::__private::Value,\n\
+                     ) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         match __v {{\n\
+                             ::serde::__private::Value::Object(__fields) => Ok({name} {{\n\
+                                 {inits}\
+                             }}),\n\
+                             __other => ::std::result::Result::Err(::std::format!(\n\
+                                 \"expected object for {name}, got {{__other:?}}\"\n\
+                             )),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(\n\
+                         __v: ::serde::__private::Value,\n\
+                     ) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         match __v {{\n\
+                             ::serde::__private::Value::String(__s) => match __s.as_str() {{\n\
+                                 {arms}\
+                                 __other => ::std::result::Result::Err(::std::format!(\n\
+                                     \"unknown {name} variant `{{__other}}`\"\n\
+                                 )),\n\
+                             }},\n\
+                             __other => ::std::result::Result::Err(::std::format!(\n\
+                                 \"expected string for {name}, got {{__other:?}}\"\n\
+                             )),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
     };
-    format!("impl ::serde::Deserialize for {name} {{}}")
-        .parse()
-        .unwrap()
+    src.parse().unwrap()
 }

@@ -368,7 +368,7 @@ mod tests {
 
     #[test]
     fn roundtrip_compact() {
-        let v = json!({"a": 1u64, "b": [1.5f64, -2i64], "s": "x\"y"});
+        let v = json!({"a": 1u64, "b": json!([1.5f64, -2i64]), "s": "x\"y"});
         let s = to_string(&v).unwrap();
         let back: Value = from_str(&s).unwrap();
         assert_eq!(v, back);

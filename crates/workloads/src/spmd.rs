@@ -17,11 +17,12 @@
 use crate::traced::CELL_BYTES;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use memhier_sim::MemEvent;
+use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Barrier};
 
 /// Counters each process accumulates (the inputs to ρ and the barrier
 /// rate).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProcCounters {
     /// Loads.
     pub reads: u64,
