@@ -1,0 +1,363 @@
+//! The PR-5 performance suite: the repo's first regression-guarded
+//! throughput baseline for the simulator hot path.
+//!
+//! Three criterion groups print per-iteration timings (cache probe,
+//! trace replay per platform back-end, end-to-end simulation of the four
+//! paper kernels), and a JSON emitter measures the headline number —
+//! **replay throughput in refs/sec**, geomean over FFT/LU/Radix/EDGE on
+//! the bus-SMP and CLUMP back-ends — and writes it to `BENCH_pr5.json`
+//! (override with `MEMHIER_BENCH_OUT`).
+//!
+//! Replay throughput replays pre-materialized event traces through
+//! `SimSession` with in-memory sources, so it isolates the engine +
+//! backend + cache path from workload generation.  A synthetic
+//! calibration loop (splitmix64) is timed alongside so runs on machines
+//! of different speeds compare via the normalized ratio
+//! `refs_per_sec / calibration_ops_per_sec`.
+//!
+//! Baselines live in `benches/pr5_baseline.json` (checked in):
+//!
+//! * `pre_pr5` — the engine as of PR 4, blessed once with
+//!   `MEMHIER_BLESS_PR5=pre cargo bench -p memhier-bench --bench pr5`.
+//! * `post_pr5` — the rewritten engine, blessed with
+//!   `MEMHIER_BLESS_PR5=post ...` after the rewrite landed.
+//!
+//! With `MEMHIER_BENCH_GATE=1` (the CI bench-smoke job) the run fails if
+//! normalized throughput regresses more than 10% below `post_pr5`.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use memhier_bench::runner::Sizes;
+use memhier_core::machine::{LatencyParams, MachineSpec, NetworkKind};
+use memhier_core::platform::ClusterSpec;
+use memhier_sim::backend::ClusterBackend;
+use memhier_sim::cache::{LineState, SetAssocCache};
+use memhier_sim::engine::{ProcSource, SimSession};
+use memhier_sim::event::MemEvent;
+use memhier_sim::homemap::HomeMap;
+use memhier_workloads::registry::WorkloadKind;
+use memhier_workloads::spmd::{collect_events, home_map_for};
+use serde_json::{json, Value};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const KERNELS: [WorkloadKind; 4] = [
+    WorkloadKind::Fft,
+    WorkloadKind::Lu,
+    WorkloadKind::Radix,
+    WorkloadKind::Edge,
+];
+
+/// Bus-SMP: 4 processors snooping one memory bus.
+fn smp_bus() -> ClusterSpec {
+    ClusterSpec::single(MachineSpec::new(4, 256, 128, 200.0))
+}
+
+/// CLUMP: 2 × 2-way SMPs over a 100 Mb Ethernet bus.
+fn clump_bus() -> ClusterSpec {
+    ClusterSpec::cluster(
+        MachineSpec::new(2, 256, 128, 200.0),
+        2,
+        NetworkKind::Ethernet100,
+    )
+}
+
+/// All five platform back-ends (for the per-backend replay group).
+fn platforms() -> Vec<(&'static str, ClusterSpec)> {
+    vec![
+        ("smp", smp_bus()),
+        (
+            "cow_bus",
+            ClusterSpec::cluster(
+                MachineSpec::new(1, 256, 64, 200.0),
+                4,
+                NetworkKind::Ethernet100,
+            ),
+        ),
+        (
+            "cow_switch",
+            ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 4, NetworkKind::Atm155),
+        ),
+        ("clump_bus", clump_bus()),
+        (
+            "clump_switch",
+            ClusterSpec::cluster(MachineSpec::new(2, 256, 128, 200.0), 2, NetworkKind::Atm155),
+        ),
+    ]
+}
+
+/// A workload's traces plus everything needed to replay them.  Traces are
+/// refcount-shared (`ProcSource::shared`), so a replay hands the engine the
+/// same buffers each iteration instead of cloning megabytes of events.
+struct ReplayCase {
+    traces: Vec<Arc<[MemEvent]>>,
+    home: HomeMap,
+    cluster: ClusterSpec,
+    refs: u64,
+}
+
+impl ReplayCase {
+    fn prepare(cluster: &ClusterSpec, kind: WorkloadKind) -> ReplayCase {
+        let workload = Sizes::Small.workload(kind);
+        let procs = cluster.total_procs() as usize;
+        let program = workload.instantiate(procs);
+        let home = home_map_for(
+            &*program,
+            cluster.machines as usize,
+            cluster.machine.n_procs as usize,
+            256,
+        );
+        let collected = collect_events(program);
+        let refs = collected.iter().map(|(_, c)| c.mem_refs()).sum();
+        ReplayCase {
+            traces: collected.into_iter().map(|(e, _)| Arc::from(e)).collect(),
+            home,
+            cluster: cluster.clone(),
+            refs,
+        }
+    }
+
+    /// One full replay through the engine; returns the wall cycles so the
+    /// work can't be optimized out.
+    fn replay(&self) -> u64 {
+        let backend = ClusterBackend::new(&self.cluster, LatencyParams::paper(), self.home.clone());
+        let sources = self
+            .traces
+            .iter()
+            .map(|t| ProcSource::shared(t.clone()))
+            .collect();
+        SimSession::new(backend)
+            .with_sources(sources)
+            .run()
+            .report
+            .wall_cycles
+    }
+}
+
+fn bench_cache_probe(c: &mut Criterion) {
+    // The §5.1 SMP geometry: 256 KB, 2-way, 64-byte lines.
+    let addrs: Vec<u64> = (0..65_536u64)
+        .map(|i| (i.wrapping_mul(2654435761) % (1 << 20)) & !63)
+        .collect();
+    let mut g = c.benchmark_group("pr5_cache_probe");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("lookup_insert_256k_2way", |b| {
+        b.iter(|| {
+            let mut cache = SetAssocCache::new(256 * 1024, 2, 64);
+            let mut hits = 0u64;
+            for &a in &addrs {
+                match cache.lookup(a) {
+                    Some(_) => hits += 1,
+                    None => {
+                        cache.insert(a, LineState::Exclusive);
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("probe_warm_256k_2way", |b| {
+        let mut cache = SetAssocCache::new(256 * 1024, 2, 64);
+        for &a in &addrs {
+            cache.insert(a, LineState::Shared);
+        }
+        b.iter(|| {
+            let mut present = 0u64;
+            for &a in &addrs {
+                if cache.probe(a).is_some() {
+                    present += 1;
+                }
+            }
+            black_box(present)
+        })
+    });
+    g.finish();
+}
+
+fn bench_replay_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pr5_replay");
+    for (name, cluster) in platforms() {
+        let case = ReplayCase::prepare(&cluster, WorkloadKind::Fft);
+        g.throughput(Throughput::Elements(case.refs));
+        g.bench_with_input(BenchmarkId::new("fft_small", name), &case, |b, case| {
+            b.iter(|| black_box(case.replay()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_e2e(c: &mut Criterion) {
+    use memhier_bench::runner::simulate_workload;
+    let cluster = clump_bus();
+    let mut g = c.benchmark_group("pr5_e2e");
+    for kind in KERNELS {
+        g.bench_function(&format!("{}_small_clump", kind.name()), |b| {
+            b.iter(|| {
+                black_box(
+                    simulate_workload(&Sizes::Small.workload(kind), &cluster)
+                        .report
+                        .wall_cycles,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    pr5_groups,
+    bench_cache_probe,
+    bench_replay_backends,
+    bench_e2e
+);
+
+/// splitmix64 — the machine-speed calibration kernel.
+fn calibration_ops_per_sec() -> f64 {
+    const OPS: u64 = 1 << 24;
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let t = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..OPS {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            acc = acc.wrapping_add(z ^ (z >> 31));
+        }
+        black_box(acc);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    OPS as f64 / best
+}
+
+/// Best-of-5 replay throughput (refs/sec) for one case.
+fn measure_refs_per_sec(case: &ReplayCase) -> f64 {
+    black_box(case.replay()); // warm-up
+    let mut best = f64::MAX;
+    for _ in 0..5 {
+        let t = Instant::now();
+        black_box(case.replay());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    case.refs as f64 / best
+}
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("benches/pr5_baseline.json")
+}
+
+/// Set `key` on an object `Value`, replacing an existing entry.
+fn set_field(obj: &mut Value, key: &str, entry: Value) {
+    let Value::Object(fields) = obj else {
+        *obj = Value::Object(vec![(key.to_string(), entry)]);
+        return;
+    };
+    match fields.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = entry,
+        None => fields.push((key.to_string(), entry)),
+    }
+}
+
+fn emit_json() {
+    let calib = calibration_ops_per_sec();
+    let mut per_case: Vec<(String, Value)> = Vec::new();
+    let mut rates = Vec::new();
+    for (plat_name, cluster) in [("smp_bus", smp_bus()), ("clump_bus", clump_bus())] {
+        for kind in KERNELS {
+            let case = ReplayCase::prepare(&cluster, kind);
+            let rate = measure_refs_per_sec(&case);
+            eprintln!(
+                "pr5 e2e replay {plat_name}/{}: {:.3e} refs/s ({} refs)",
+                kind.name(),
+                rate,
+                case.refs
+            );
+            per_case.push((format!("{plat_name}/{}", kind.name()), json!(rate)));
+            rates.push(rate);
+        }
+    }
+    let geomean = (rates.iter().map(|r| r.ln()).sum::<f64>() / rates.len() as f64).exp();
+    let normalized = geomean / calib;
+    eprintln!("pr5 geomean: {geomean:.3e} refs/s  (normalized {normalized:.4e})");
+
+    let mut baseline: Value = std::fs::read_to_string(baseline_path())
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_else(|| json!({}));
+
+    // Bless mode: record this run as the pre- or post-rewrite baseline.
+    if let Ok(which) = std::env::var("MEMHIER_BLESS_PR5") {
+        let entry = json!({
+            "calibration_ops_per_sec": calib,
+            "geomean_refs_per_sec": geomean,
+            "normalized_throughput": normalized,
+            "per_case": Value::Object(per_case.clone()),
+        });
+        set_field(&mut baseline, &format!("{which}_pr5"), entry);
+        std::fs::write(
+            baseline_path(),
+            serde_json::to_string_pretty(&baseline).unwrap() + "\n",
+        )
+        .expect("write pr5 baseline");
+        eprintln!("[blessed {}_pr5 in {}]", which, baseline_path().display());
+    }
+
+    let norm_of = |v: &Value| v["normalized_throughput"].as_f64();
+    let pre_norm = norm_of(&baseline["pre_pr5"]);
+    let post_norm = norm_of(&baseline["post_pr5"]);
+    let improvement = pre_norm.map(|p| normalized / p);
+    if let Some(x) = improvement {
+        eprintln!("pr5 improvement vs pre-rewrite engine: {x:.2}x");
+    }
+
+    let out = json!({
+        "schema": "memhier-bench-pr5/v1",
+        "metric": "end-to-end replay throughput, refs/sec, geomean of FFT+LU+Radix+EDGE (small) on bus-SMP and CLUMP back-ends",
+        "calibration_ops_per_sec": calib,
+        "per_case": Value::Object(per_case),
+        "geomean_refs_per_sec": geomean,
+        "normalized_throughput": normalized,
+        "baseline_pre_pr5": baseline["pre_pr5"].clone(),
+        "baseline_post_pr5": baseline["post_pr5"].clone(),
+        "improvement_vs_pre_pr5": improvement,
+    });
+    let out_path =
+        std::env::var("MEMHIER_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr5.json".to_string());
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&out).unwrap() + "\n",
+    )
+    .expect("write BENCH_pr5.json");
+    eprintln!("[wrote {out_path}]");
+
+    // CI regression gate: >10% below the blessed post-rewrite number fails.
+    if std::env::var_os("MEMHIER_BENCH_GATE").is_some() {
+        let Some(post) = post_norm else {
+            eprintln!("pr5 gate: no post_pr5 baseline blessed; failing");
+            std::process::exit(1);
+        };
+        if normalized < 0.9 * post {
+            eprintln!(
+                "pr5 gate FAILED: normalized throughput {normalized:.4e} is more than 10% \
+                 below the blessed baseline {post:.4e}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "pr5 gate passed ({:.1}% of baseline)",
+            100.0 * normalized / post
+        );
+    }
+}
+
+fn main() {
+    // Criterion display groups are skipped in gate/bless runs unless asked
+    // for: the JSON emitter is the part CI consumes.
+    if std::env::var_os("MEMHIER_BENCH_JSON_ONLY").is_none() {
+        pr5_groups();
+    }
+    emit_json();
+}

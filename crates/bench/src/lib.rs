@@ -27,6 +27,7 @@ pub mod faults;
 pub mod flags;
 pub mod names;
 pub mod runner;
+pub mod scenario;
 pub mod sweeprun;
 pub mod tables;
 
@@ -37,6 +38,7 @@ pub use runner::{
     characterize, simulate_workload, simulate_workload_observed, simulate_workload_with,
     Characterization, ObservedRun, ObserverConfig, SimRun, Sizes,
 };
+pub use scenario::{size_name, Scenario, ScenarioBuilder, ScenarioError};
 pub use sweeprun::{
     characterize_cached, characterize_many, configure_from_args, run_sweep, run_sweep_checkpointed,
     set_checkpoint_config, set_jobs, CheckpointConfig, GridPoint, PointOutcome, PointResult,

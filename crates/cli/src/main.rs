@@ -18,10 +18,12 @@
 //! experiment binaries.
 
 use memhier::MemhierError;
-use memhier_bench::runner::{characterize, simulate_workload_observed, Sizes};
-use memhier_bench::{config_by_name, paper_params, workload_kind_by_name, FlagParser, Matches};
+use memhier_bench::runner::{characterize, Sizes};
+use memhier_bench::{
+    config_by_name, paper_params, workload_kind_by_name, FlagParser, Matches, Scenario,
+};
 use memhier_core::locality::WorkloadParams;
-use memhier_core::machine::{LatencyParams, MachineSpec, NetworkKind};
+use memhier_core::machine::{MachineSpec, NetworkKind};
 use memhier_core::model::AnalyticModel;
 use memhier_core::params::configs;
 use memhier_core::platform::ClusterSpec;
@@ -88,7 +90,7 @@ USAGE:
                     [--format text|json]
   memhier serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
                    [--timeout-ms MS] [--addr-file PATH] [--faults SPEC]
-  memhier sweep    --configs C1,C2,... --workloads FFT,LU,... [--json]
+  memhier sweep    --configs C1,C2,...|@plan.json --workloads FFT,LU,... [--json]
                    [--small|--paper] [--jobs N] [--checkpoint PATH]
                    [--resume] [--max-retries N] [--faults SPEC]
   memhier reproduce <table1|table2|fig2|fig3|fig4|coherence|speedup|
@@ -207,12 +209,13 @@ fn cmd_simulate(rest: &[String]) -> Result<(), MemhierError> {
     let Some(m) = sub(&parser, rest)? else {
         return Ok(());
     };
-    let cfg = config_by_name(req(&m, "--config")?)?;
-    let kind = workload_kind_by_name(req(&m, "--workload")?)?;
-    let sizes = m.sizes();
-    let observers = m.observers()?;
-    let w = sizes.workload(kind);
-    let out = simulate_workload_observed(&w, &cfg, &LatencyParams::paper(), &observers);
+    let scenario = Scenario::builder()
+        .config_name(req(&m, "--config")?)
+        .workload_name(req(&m, "--workload")?)
+        .size(m.sizes())
+        .observers(m.observers()?)
+        .build()?;
+    let out = scenario.run();
     if let Some(path) = m.get("--metrics") {
         let series = out.metrics.as_ref().expect("metrics requested");
         let json = serde_json::to_string_pretty(series)?;
@@ -239,9 +242,9 @@ fn cmd_simulate(rest: &[String]) -> Result<(), MemhierError> {
     let r = &run.report;
     println!(
         "{} running {} ({:?} size)",
-        cfg.describe(),
-        kind.name(),
-        sizes
+        scenario.config.describe(),
+        scenario.workload.name(),
+        scenario.size
     );
     println!(
         "  instructions = {}  refs = {}",
@@ -608,35 +611,25 @@ fn cmd_recommend(rest: &[String]) -> Result<(), MemhierError> {
 /// Rows print in grid order, so a resumed run's output is byte-identical
 /// to an uninterrupted one.
 fn cmd_sweep(rest: &[String]) -> Result<(), MemhierError> {
-    use memhier_bench::{run_sweep_checkpointed, PointOutcome, SweepPlan};
+    use memhier_bench::{run_sweep_checkpointed, PointOutcome};
     let parser = FlagParser::new("memhier sweep", "checkpointed (configs x workloads) sweep")
-        .option("--configs", "LIST", "comma-separated configs, e.g. C1,C2")
+        .option(
+            "--configs",
+            "LIST|@FILE",
+            "comma-separated configs (C1,C2) or @plan.json (scenario array)",
+        )
         .option(
             "--workloads",
             "LIST",
-            "comma-separated kernels, e.g. FFT,LU",
+            "comma-separated kernels, e.g. FFT,LU (unused with @FILE)",
         )
         .switch("--json", "machine-readable rows")
         .sweep_flags();
     let Some(m) = sub(&parser, rest)? else {
         return Ok(());
     };
-    let clusters = req(&m, "--configs")?
-        .split(',')
-        .filter(|s| !s.trim().is_empty())
-        .map(|name| config_by_name(name.trim()))
-        .collect::<Result<Vec<_>, _>>()?;
-    let kinds = req(&m, "--workloads")?
-        .split(',')
-        .filter(|s| !s.trim().is_empty())
-        .map(|name| workload_kind_by_name(name.trim()))
-        .collect::<Result<Vec<_>, _>>()?;
-    if clusters.is_empty() || kinds.is_empty() {
-        return Err(MemhierError::Invalid(
-            "--configs and --workloads must each name at least one entry".to_string(),
-        ));
-    }
-    let plan = SweepPlan::new("cli", m.sizes()).cross(&clusters, &kinds);
+    let scenarios = sweep_scenarios(&m)?;
+    let plan = memhier_bench::Scenario::sweep_plan("cli", &scenarios)?;
     let outcome = run_sweep_checkpointed(&plan, &m.checkpoint_config()?)?;
     let rows: Vec<serde_json::Value> = outcome
         .outcomes
@@ -700,6 +693,53 @@ fn cmd_sweep(rest: &[String]) -> Result<(), MemhierError> {
         eprintln!("memhier sweep: {quarantined} point(s) quarantined");
     }
     Ok(())
+}
+
+/// Resolve `--configs`/`--workloads` into scenarios: the cross-product
+/// of the two comma lists (cluster-major, like `/v1/sweep`), or — with
+/// `--configs @FILE` — a JSON plan file holding an array of scenario
+/// objects or compact `CONFIG:WORKLOAD[:SIZE]` strings.
+fn sweep_scenarios(m: &Matches) -> Result<Vec<Scenario>, MemhierError> {
+    let configs = req(m, "--configs")?;
+    if let Some(path) = configs.strip_prefix('@') {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| MemhierError::Invalid(format!("reading {path}: {e}")))?;
+        let v: serde_json::Value = serde_json::from_str(&text)?;
+        let scenarios = Scenario::parse_batch(&v)?;
+        if scenarios.is_empty() {
+            return Err(MemhierError::Invalid(format!(
+                "{path} contains no scenarios"
+            )));
+        }
+        return Ok(scenarios);
+    }
+    let split = |list: &str| -> Vec<String> {
+        list.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    };
+    let names = split(configs);
+    let kinds = split(req(m, "--workloads")?);
+    if names.is_empty() || kinds.is_empty() {
+        return Err(MemhierError::Invalid(
+            "--configs and --workloads must each name at least one entry".to_string(),
+        ));
+    }
+    let mut out = Vec::with_capacity(names.len() * kinds.len());
+    for config in &names {
+        for kind in &kinds {
+            out.push(
+                Scenario::builder()
+                    .config_name(config)
+                    .workload_name(kind)
+                    .size(m.sizes())
+                    .build()?,
+            );
+        }
+    }
+    Ok(out)
 }
 
 fn cmd_serve(rest: &[String]) -> Result<(), MemhierError> {

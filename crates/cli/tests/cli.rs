@@ -232,6 +232,45 @@ fn subcommand_help_prints_usage_and_succeeds() {
 }
 
 #[test]
+fn sweep_accepts_a_scenario_plan_file() {
+    let dir = std::env::temp_dir().join(format!("memhier-plan-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let plan = dir.join("plan.json");
+    // Compact strings and JSON objects mix freely in one plan.
+    std::fs::write(
+        &plan,
+        r#"["C1:FFT:small", {"config": "C2", "workload": "LU", "size": "small"}]"#,
+    )
+    .unwrap();
+    let spec = format!("@{}", plan.display());
+    let (ok, out, err) = memhier(&["sweep", "--configs", &spec, "--jobs", "2", "--json"]);
+    assert!(ok, "{err}");
+    let v: serde_json::Value = serde_json::from_str(out.trim()).expect("valid JSON");
+    let rows = v.as_array().expect("array of rows");
+    assert_eq!(rows.len(), 2, "{out}");
+    assert_eq!(rows[0]["config"].as_str(), Some("C1"));
+    assert_eq!(rows[1]["workload"].as_str(), Some("LU"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_rejects_a_typoed_scenario_field() {
+    let dir = std::env::temp_dir().join(format!("memhier-badplan-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let plan = dir.join("plan.json");
+    std::fs::write(
+        &plan,
+        r#"[{"config": "C1", "workload": "FFT", "siez": "small"}]"#,
+    )
+    .unwrap();
+    let spec = format!("@{}", plan.display());
+    let (ok, _, err) = memhier(&["sweep", "--configs", &spec, "--json"]);
+    assert!(!ok);
+    assert!(err.contains("unknown scenario field `siez`"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn malformed_integer_flag_fails_cleanly() {
     let (ok, _, err) = memhier(&[
         "optimize",

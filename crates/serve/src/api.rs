@@ -4,10 +4,15 @@
 //! |----------|------|------|--------|
 //! | `/healthz` | GET | — | liveness + version |
 //! | `/metrics` | GET | — | counters, latency histogram, cache stats |
-//! | `/v1/model` | POST | `{config, workload}` | analytic `E(Instr)` prediction |
-//! | `/v1/simulate` | POST | `{config, workload, size?}` | full `SimReport` |
+//! | `/v1/model` | POST | [`Scenario`] JSON (`{config, workload}`) | analytic `E(Instr)` prediction |
+//! | `/v1/simulate` | POST | [`Scenario`] JSON (`{config, workload, size?, ...}`) | full `SimReport` |
 //! | `/v1/recommend` | POST | `{workload \| alpha+beta+rho, measure?, size?, budget?, top?}` | §6 platform advice (+ ranked clusters under a budget) |
-//! | `/v1/sweep` | POST | `{configs, workloads, size?}` | one row per grid point |
+//! | `/v1/sweep` | POST | `{configs, workloads, size?}` — expands to one [`Scenario`] per grid point | one row per grid point |
+//!
+//! The simulation endpoints parse their bodies with the unified
+//! [`Scenario`] type, so the service, the CLI flags, and sweep plan
+//! files all accept exactly the same shapes and reject with the same
+//! typed [`ScenarioError`](memhier_bench::ScenarioError) messages.
 //!
 //! Every `/v1` response is a pure function of its request, so successful
 //! bodies are memoized in the sharded LRU [`ResponseCache`] keyed by
@@ -24,11 +29,9 @@
 use crate::cache::ResponseCache;
 use crate::http::{HttpError, Request, Response};
 use crate::metrics::Metrics;
-use memhier_bench::names::{config_by_name, paper_params, sizes_by_name, workload_kind_by_name};
-use memhier_bench::runner::ObserverConfig;
-use memhier_bench::{characterize_cached, run_sweep, simulate_workload_observed, SweepPlan};
+use memhier_bench::names::{paper_params, sizes_by_name, workload_kind_by_name};
+use memhier_bench::{characterize_cached, run_sweep, Scenario, Sizes};
 use memhier_core::locality::WorkloadParams;
-use memhier_core::machine::LatencyParams;
 use memhier_core::model::AnalyticModel;
 use memhier_cost::{optimize, recommend, recommendation_json, CandidateSpace, PriceTable};
 use serde_json::Value;
@@ -142,10 +145,6 @@ fn opt_str<'a>(v: &'a Value, key: &str) -> Result<Option<&'a str>, HttpError> {
     }
 }
 
-fn req_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, HttpError> {
-    opt_str(v, key)?.ok_or_else(|| HttpError::bad(format!("`{key}` is required")))
-}
-
 fn opt_f64(v: &Value, key: &str) -> Result<Option<f64>, HttpError> {
     match field(v, key) {
         None => Ok(None),
@@ -174,18 +173,6 @@ fn opt_bool(v: &Value, key: &str) -> Result<Option<bool>, HttpError> {
             .map(Some)
             .ok_or_else(|| HttpError::bad(format!("`{key}` must be a boolean"))),
     }
-}
-
-fn str_array<'a>(v: &'a Value, key: &str) -> Result<Vec<&'a str>, HttpError> {
-    let arr = field(v, key)
-        .and_then(|f| f.as_array())
-        .ok_or_else(|| HttpError::bad(format!("`{key}` must be an array of strings")))?;
-    arr.iter()
-        .map(|e| {
-            e.as_str()
-                .ok_or_else(|| HttpError::bad(format!("`{key}` must contain only strings")))
-        })
-        .collect()
 }
 
 fn sizes_field(v: &Value, default: &str) -> Result<memhier_bench::Sizes, HttpError> {
@@ -265,29 +252,22 @@ fn cached_post(req: &Request, state: &AppState, deadline: Instant) -> Response {
 }
 
 fn v1_model(v: &Value) -> Result<String, HttpError> {
-    let cfg = config_by_name(req_str(v, "config")?).map_err(HttpError::bad)?;
-    let kind = workload_kind_by_name(req_str(v, "workload")?).map_err(HttpError::bad)?;
-    let w = paper_params(kind);
+    // The body is a `Scenario` (the model endpoint just has no use for
+    // its size/observer fields).
+    let scenario = Scenario::from_json(v)?;
+    let w = paper_params(scenario.workload);
     let p = AnalyticModel::default()
-        .evaluate(&cfg, &w)
+        .evaluate(&scenario.config, &w)
         .map_err(|e| HttpError::status(422, e.to_string()))?;
     pretty_body(&p)
 }
 
 fn v1_simulate(v: &Value, deadline: Instant) -> Result<String, HttpError> {
-    let cfg = config_by_name(req_str(v, "config")?).map_err(HttpError::bad)?;
-    let kind = workload_kind_by_name(req_str(v, "workload")?).map_err(HttpError::bad)?;
-    // `medium` matches the CLI's default tier, preserving byte parity with
-    // a flagless `memhier simulate --json`.
-    let sizes = sizes_field(v, "medium")?;
-    let out = run_with_deadline(deadline, "simulate", move || {
-        simulate_workload_observed(
-            &sizes.workload(kind),
-            &cfg,
-            &LatencyParams::paper(),
-            &ObserverConfig::default(),
-        )
-    })?;
+    // A missing `size` means `medium`, matching the CLI's default tier
+    // and preserving byte parity with a flagless `memhier simulate
+    // --json`.
+    let scenario = Scenario::from_json_default(v, Sizes::Medium)?;
+    let out = run_with_deadline(deadline, "simulate", move || scenario.run())?;
     pretty_body(&out.run.report)
 }
 
@@ -334,32 +314,22 @@ fn v1_recommend(v: &Value, deadline: Instant) -> Result<String, HttpError> {
 }
 
 fn v1_sweep(v: &Value, deadline: Instant) -> Result<String, HttpError> {
-    let configs = str_array(v, "configs")?;
-    let workloads = str_array(v, "workloads")?;
-    let sizes = sizes_field(v, "small")?;
-    let clusters = configs
-        .iter()
-        .map(|n| config_by_name(n).map_err(HttpError::bad))
-        .collect::<Result<Vec<_>, _>>()?;
-    let kinds = workloads
-        .iter()
-        .map(|n| workload_kind_by_name(n).map_err(HttpError::bad))
-        .collect::<Result<Vec<_>, _>>()?;
-    let n_points = clusters.len() * kinds.len();
-    if n_points == 0 {
+    // One scenario per `configs × workloads` grid point; a missing
+    // `size` means `small` (sweeps multiply cost by the grid area).
+    let scenarios = Scenario::expand_grid(v, Sizes::Small)?;
+    if scenarios.is_empty() {
         return Err(HttpError::bad(
             "`configs` and `workloads` must be non-empty",
         ));
     }
-    if n_points > MAX_SWEEP_POINTS {
+    if scenarios.len() > MAX_SWEEP_POINTS {
         return Err(HttpError::bad(format!(
-            "grid of {n_points} points exceeds the {MAX_SWEEP_POINTS}-point cap"
+            "grid of {} points exceeds the {MAX_SWEEP_POINTS}-point cap",
+            scenarios.len()
         )));
     }
-    let results = run_with_deadline(deadline, "sweep", move || {
-        let plan = SweepPlan::new("serve", sizes).cross(&clusters, &kinds);
-        run_sweep(&plan)
-    })?;
+    let plan = Scenario::sweep_plan("serve", &scenarios)?;
+    let results = run_with_deadline(deadline, "sweep", move || run_sweep(&plan))?;
     let rows: Vec<Value> = results
         .iter()
         .map(|r| {
@@ -419,11 +389,9 @@ mod tests {
         assert_eq!(r.status, 200);
         let body: Value =
             serde_json::from_str(std::str::from_utf8(&r.body).unwrap().trim()).unwrap();
+        let scenario: Scenario = "C5:FFT".parse().unwrap();
         let direct = AnalyticModel::default()
-            .evaluate(
-                &config_by_name("C5").unwrap(),
-                &paper_params(workload_kind_by_name("FFT").unwrap()),
-            )
+            .evaluate(&scenario.config, &paper_params(scenario.workload))
             .unwrap();
         assert_eq!(
             body["e_instr_seconds"].as_f64(),

@@ -70,6 +70,15 @@ impl HttpError {
     }
 }
 
+/// Scenario parse/build failures are client errors: the typed
+/// [`ScenarioError`](memhier_bench::ScenarioError) becomes a 400 with
+/// its `Display` text as the reason.
+impl From<memhier_bench::ScenarioError> for HttpError {
+    fn from(e: memhier_bench::ScenarioError) -> Self {
+        HttpError::bad(e.to_string())
+    }
+}
+
 fn find_header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }

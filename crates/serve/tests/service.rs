@@ -90,12 +90,17 @@ fn burst_sheds_429_while_in_flight_requests_complete() {
         workers: 1,
         queue_depth: 1,
         timeout: Duration::from_secs(120),
+        // The PR-5 engine finishes a small sweep in well under a second,
+        // so simulator slowness can no longer hold the worker busy; a
+        // deterministic per-request delay keeps the saturation window
+        // open instead.
+        faults: memhier_bench::FaultPlan::parse("serve:delay:ms=2000").unwrap(),
         ..ServeConfig::default()
     })
     .expect("start");
     let addr = server.local_addr();
 
-    // Occupies the single worker for several seconds.
+    // Occupies the single worker (2 s injected delay plus the sweep).
     let sweep = post(
         "/v1/sweep",
         r#"{"configs": ["C1", "C8"], "workloads": ["FFT", "LU"], "size": "small"}"#,

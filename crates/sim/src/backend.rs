@@ -23,10 +23,9 @@
 use crate::cache::{LineState, SetAssocCache};
 use crate::homemap::HomeMap;
 use crate::report::{LevelCounts, Traffic};
-use crate::util::{LruSet, Resource};
+use crate::util::{FastHashMap, LruSet, Resource};
 use memhier_core::machine::{LatencyParams, NetworkKind, NetworkTopology};
 use memhier_core::platform::ClusterSpec;
-use std::collections::HashMap;
 
 /// Protocol geometry (§5.1 defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,12 +81,19 @@ pub struct ClusterBackend {
     lat: LatencyParams,
     params: ProtocolParams,
     clock_hz: f64,
+    /// `lat.cache_hit` pre-truncated to cycles — the L1-hit fast path must
+    /// not pay a float conversion per reference.
+    hit_lat: u64,
+    /// `log2(params.block_bytes)` / `log2(params.page_bytes)`: block and
+    /// page numbers are shifts, not divisions, on the miss path.
+    block_shift: u32,
+    page_shift: u32,
     n_per_node: usize,
     nodes: Vec<Node>,
     /// Per-processor L1 caches, indexed globally (`proc = node·n + local`).
     caches: Vec<SetAssocCache>,
     /// Directory over inter-node blocks (cluster platforms only).
-    directory: HashMap<u64, DirState>,
+    directory: FastHashMap<u64, DirState>,
     home: HomeMap,
     net_kind: Option<NetworkKind>,
     /// The shared medium for bus networks.
@@ -114,6 +120,10 @@ impl ClusterBackend {
         params: ProtocolParams,
     ) -> Self {
         cluster.validate().expect("invalid cluster spec");
+        assert!(
+            params.block_bytes.is_power_of_two() && params.page_bytes.is_power_of_two(),
+            "protocol block and page sizes must be powers of two"
+        );
         let n = cluster.machine.n_procs as usize;
         let nn = cluster.machines as usize;
         assert_eq!(home.nodes(), nn, "home map must cover every node");
@@ -134,13 +144,16 @@ impl ClusterBackend {
             })
             .collect();
         ClusterBackend {
+            hit_lat: lat.cache_hit as u64,
+            block_shift: params.block_bytes.trailing_zeros(),
+            page_shift: params.page_bytes.trailing_zeros(),
             lat,
             params,
             clock_hz: cluster.machine.clock_hz,
             n_per_node: n,
             nodes,
             caches,
-            directory: HashMap::new(),
+            directory: FastHashMap::default(),
             home,
             net_kind: cluster.network,
             net_bus: Resource::new(),
@@ -208,7 +221,7 @@ impl ClusterBackend {
     }
 
     fn block_of(&self, addr: u64) -> u64 {
-        addr / self.params.block_bytes
+        addr >> self.block_shift
     }
 
     fn is_cluster(&self) -> bool {
@@ -314,7 +327,7 @@ impl ClusterBackend {
         let wait = self.nodes[node].bus.acquire(now, mem);
         let mut lat = wait + mem;
         if check_residency {
-            let page = addr / self.params.page_bytes;
+            let page = addr >> self.page_shift;
             if !self.nodes[node].residency.touch(page) {
                 // Page-in from disk over the I/O bus.  `disk` counts
                 // page-in events; the reference itself is still serviced by
@@ -334,71 +347,81 @@ impl ClusterBackend {
     /// Handle one memory reference by processor `proc` at simulated time
     /// `now`.  Returns the total latency in cycles (≥ 1; includes the
     /// 1-cycle cache access).
+    ///
+    /// Inlined into the engine's replay loop: every hit that needs no
+    /// coherence action — any read hit, or a write hit on a Modified line —
+    /// resolves right here with one cache probe and a counter bump.  The
+    /// coherence-bearing paths are outlined so the fast path stays small.
+    #[inline]
     pub fn access(&mut self, proc: usize, addr: u64, write: bool, now: u64) -> u64 {
-        let node = self.node_of(proc);
-        let line = self.caches[proc].line_of(addr);
-        let hit_cycles = self.lat.cache_hit as u64;
-
         match self.caches[proc].lookup(addr) {
+            Some(_) if !write => {
+                // A read hit in any valid state is serviced by the L1 alone.
+                self.counts.l1_hits += 1;
+                self.hit_lat
+            }
             Some(LineState::Modified) => {
                 self.counts.l1_hits += 1;
-                hit_cycles
+                self.hit_lat
             }
-            Some(LineState::Exclusive) => {
-                // MESI silent upgrade: the sole clean copy becomes dirty
-                // with no bus transaction.  The Exclusive invariant
-                // guarantees this node is the block's only sharer, so only
-                // the directory's dirtiness needs recording.
-                self.counts.l1_hits += 1;
-                if write {
-                    self.caches[proc].set_state(addr, LineState::Modified);
-                    if self.is_cluster() {
-                        let block = self.block_of(addr);
-                        self.directory.insert(block, DirState::Exclusive(node));
-                    }
-                }
-                hit_cycles
-            }
-            Some(LineState::Shared) if !write => {
-                self.counts.l1_hits += 1;
-                hit_cycles
-            }
-            Some(LineState::Shared) => {
-                // Write upgrade: invalidate other copies.
-                self.counts.l1_hits += 1;
-                self.counts.upgrades += 1;
-                let lat = self.upgrade(proc, node, line, addr, now);
-                self.caches[proc].set_state(addr, LineState::Modified);
-                hit_cycles + lat
-            }
-            None => {
-                let lat = self.miss(proc, node, line, addr, write, now);
-                let state = if write {
-                    LineState::Modified
-                } else if self.peer_holds_line(node, proc, line)
-                    || !self.may_hold_exclusive(node, addr)
-                {
-                    // Downgrade any peer Exclusive copy: two sharers now.
-                    self.downgrade_peers_line(node, proc, line);
-                    LineState::Shared
-                } else {
-                    // Sole cached copy in this node — and, on clusters, the
-                    // directory shows no other sharer node: MESI Exclusive.
-                    LineState::Exclusive
-                };
-                if let Some(ev) = self.caches[proc].insert(addr, state) {
-                    if ev.state == LineState::Modified {
-                        // Victim writeback occupies the node bus
-                        // asynchronously (no latency charged to the
-                        // requester).
-                        let mem = self.lat.local_memory as u64;
-                        self.nodes[node].bus.acquire(now, mem);
-                        self.traffic.data_bytes += self.params.line_bytes;
-                    }
-                }
-                hit_cycles + lat
+            Some(LineState::Exclusive) => self.exclusive_write_hit(proc, addr),
+            Some(LineState::Shared) => self.shared_write_upgrade(proc, addr, now),
+            None => self.miss_fill(proc, addr, write, now),
+        }
+    }
+
+    /// MESI silent upgrade on a write to an Exclusive line: the sole clean
+    /// copy becomes dirty with no bus transaction.  The Exclusive invariant
+    /// guarantees this node is the block's only sharer, so only the
+    /// directory's dirtiness needs recording.
+    fn exclusive_write_hit(&mut self, proc: usize, addr: u64) -> u64 {
+        self.counts.l1_hits += 1;
+        self.caches[proc].set_state(addr, LineState::Modified);
+        if self.is_cluster() {
+            let node = self.node_of(proc);
+            let block = self.block_of(addr);
+            self.directory.insert(block, DirState::Exclusive(node));
+        }
+        self.hit_lat
+    }
+
+    /// Write hit on a Shared line: invalidate other copies (upgrade).
+    fn shared_write_upgrade(&mut self, proc: usize, addr: u64, now: u64) -> u64 {
+        let node = self.node_of(proc);
+        let line = self.caches[proc].line_of(addr);
+        self.counts.l1_hits += 1;
+        self.counts.upgrades += 1;
+        let lat = self.upgrade(proc, node, line, addr, now);
+        self.caches[proc].set_state(addr, LineState::Modified);
+        self.hit_lat + lat
+    }
+
+    /// L1 miss: service the reference below the cache and fill the line.
+    fn miss_fill(&mut self, proc: usize, addr: u64, write: bool, now: u64) -> u64 {
+        let node = self.node_of(proc);
+        let line = self.caches[proc].line_of(addr);
+        let lat = self.miss(proc, node, line, addr, write, now);
+        let state = if write {
+            LineState::Modified
+        } else if self.peer_holds_line(node, proc, line) || !self.may_hold_exclusive(node, addr) {
+            // Downgrade any peer Exclusive copy: two sharers now.
+            self.downgrade_peers_line(node, proc, line);
+            LineState::Shared
+        } else {
+            // Sole cached copy in this node — and, on clusters, the
+            // directory shows no other sharer node: MESI Exclusive.
+            LineState::Exclusive
+        };
+        if let Some(ev) = self.caches[proc].insert(addr, state) {
+            if ev.state == LineState::Modified {
+                // Victim writeback occupies the node bus asynchronously
+                // (no latency charged to the requester).
+                let mem = self.lat.local_memory as u64;
+                self.nodes[node].bus.acquire(now, mem);
+                self.traffic.data_bytes += self.params.line_bytes;
             }
         }
+        self.hit_lat + lat
     }
 
     /// Shared→Modified upgrade: invalidate peer lines (snoop) and, on
@@ -544,7 +567,7 @@ impl ClusterBackend {
                     let wait = self.network_acquire(now, home, cost);
                     lat = wait + cost;
                     // Home page-in if its memory doesn't hold the page.
-                    let page = addr / self.params.page_bytes;
+                    let page = addr >> self.page_shift;
                     if !self.nodes[home].residency.touch(page) {
                         let disk = self.lat.local_disk as u64;
                         let io_wait = self.nodes[home].io.acquire(now + lat, disk);
@@ -624,7 +647,7 @@ impl ClusterBackend {
                     self.directory.remove(&evicted);
                     self.nodes[victim_home]
                         .residency
-                        .insert(evicted * self.params.block_bytes / self.params.page_bytes);
+                        .insert((evicted << self.block_shift) >> self.page_shift);
                 }
                 _ => {}
             }

@@ -1,5 +1,17 @@
 //! Set-associative LRU cache with MSI line states (§5.1: 64-byte lines,
 //! two-way set-associative, LRU replacement, write-invalidate).
+//!
+//! Storage is a per-set tile of packed words: for each set, `ways` tag
+//! words followed by `ways` metadata words, each metadata word packing
+//! `stamp << 2 | state` (state 0 = invalid).  A whole 2-way set is 32
+//! bytes, so a lookup touches a single cache line of tile data.  Set and
+//! tag extraction are pure shift/mask arithmetic — the line size and set
+//! count are powers of two, so the hot `lookup` never divides and never
+//! allocates.  Stamps come from per-set age counters bumped on every
+//! `lookup` and `insert`; they are only ever compared *within* a set and
+//! each touch stamps uniquely, so the per-set LRU victim order is exactly
+//! the order of touches — the same order any strictly-increasing clock
+//! (global or per-set) would produce.
 
 /// Coherence state of a cache line (write-invalidate MESI).
 ///
@@ -17,13 +29,27 @@ pub enum LineState {
     Modified,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    state: LineState,
-    /// Global LRU stamp (bigger = more recent).
-    stamp: u64,
-    valid: bool,
+/// Line-state byte encoding: 0 = invalid, 1.. = `LineState`.
+const ST_SHARED: u8 = 1;
+const ST_EXCLUSIVE: u8 = 2;
+const ST_MODIFIED: u8 = 3;
+
+#[inline]
+fn pack(state: LineState) -> u8 {
+    match state {
+        LineState::Shared => ST_SHARED,
+        LineState::Exclusive => ST_EXCLUSIVE,
+        LineState::Modified => ST_MODIFIED,
+    }
+}
+
+#[inline]
+fn unpack(byte: u8) -> LineState {
+    match byte {
+        ST_SHARED => LineState::Shared,
+        ST_EXCLUSIVE => LineState::Exclusive,
+        _ => LineState::Modified,
+    }
 }
 
 /// A set-associative, LRU-replacement cache indexed by byte address.
@@ -32,8 +58,24 @@ pub struct SetAssocCache {
     line_bytes: u64,
     sets: usize,
     ways: usize,
-    lines: Vec<Line>,
-    clock: u64,
+    /// `log2(line_bytes)`: shifts an address down to its block number.
+    line_shift: u32,
+    /// `log2(sets)`: shifts a block number down to its tag.
+    set_shift: u32,
+    /// `sets - 1`: masks a block number to its set index.
+    set_mask: u64,
+    /// Tiled line storage: set `s` occupies `data[s*2*ways ..]` — first
+    /// `ways` words are tags, the next `ways` words are packed metadata
+    /// (`stamp << 2 | state`, state 0 = invalid, bigger stamp = more
+    /// recent *within its set*).
+    data: Vec<u64>,
+    /// Monotonic age counter per set, bumped on every lookup and insert.
+    /// Stamps are only ever *compared* within a set, and each touch
+    /// stamps uniquely, so any strictly-increasing clock (global or
+    /// per-set) yields the same LRU victim order; per-set counters keep
+    /// successive lookups' read-modify-writes on independent locations
+    /// instead of one serial store-to-load chain.
+    ages: Vec<u64>,
 }
 
 /// Outcome of inserting a line: the victim, if a valid line was evicted.
@@ -60,20 +102,16 @@ impl SetAssocCache {
             sets.is_power_of_two(),
             "cache geometry must give a power-of-two set count (got {sets})"
         );
+        let lines = sets * ways;
         SetAssocCache {
             line_bytes,
             sets,
             ways,
-            lines: vec![
-                Line {
-                    tag: 0,
-                    state: LineState::Shared,
-                    stamp: 0,
-                    valid: false
-                };
-                sets * ways
-            ],
-            clock: 0,
+            line_shift: line_bytes.trailing_zeros(),
+            set_shift: sets.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            data: vec![0; lines * 2],
+            ages: vec![0; sets],
         }
     }
 
@@ -87,28 +125,26 @@ impl SetAssocCache {
         (self.sets * self.ways) as u64 * self.line_bytes
     }
 
-    fn line_addr(&self, addr: u64) -> u64 {
-        addr & !(self.line_bytes - 1)
-    }
-
-    fn set_of(&self, addr: u64) -> usize {
-        ((addr / self.line_bytes) as usize) & (self.sets - 1)
-    }
-
-    fn tag_of(&self, addr: u64) -> u64 {
-        (addr / self.line_bytes) / self.sets as u64
+    /// Set index and tag of `addr` — two shifts and a mask, no division.
+    #[inline]
+    fn split(&self, addr: u64) -> (usize, u64) {
+        let block = addr >> self.line_shift;
+        ((block & self.set_mask) as usize, block >> self.set_shift)
     }
 
     /// Look up `addr`; a hit refreshes LRU and returns the line state.
+    #[inline]
     pub fn lookup(&mut self, addr: u64) -> Option<LineState> {
-        let set = self.set_of(addr);
-        let tag = self.tag_of(addr);
-        self.clock += 1;
-        let base = set * self.ways;
-        for i in base..base + self.ways {
-            if self.lines[i].valid && self.lines[i].tag == tag {
-                self.lines[i].stamp = self.clock;
-                return Some(self.lines[i].state);
+        let (set, tag) = self.split(addr);
+        self.ages[set] += 1;
+        let age = self.ages[set];
+        let tags = set * 2 * self.ways;
+        let meta = tags + self.ways;
+        for w in 0..self.ways {
+            let m = self.data[meta + w];
+            if m & 3 != 0 && self.data[tags + w] == tag {
+                self.data[meta + w] = age << 2 | (m & 3);
+                return Some(unpack((m & 3) as u8));
             }
         }
         None
@@ -116,26 +152,31 @@ impl SetAssocCache {
 
     /// Look up `addr` without touching LRU recency — used for snoop probes
     /// by other processors, which must not refresh the line.
+    #[inline]
     pub fn probe(&self, addr: u64) -> Option<LineState> {
-        let set = self.set_of(addr);
-        let tag = self.tag_of(addr);
-        let base = set * self.ways;
-        for i in base..base + self.ways {
-            if self.lines[i].valid && self.lines[i].tag == tag {
-                return Some(self.lines[i].state);
+        let (set, tag) = self.split(addr);
+        let tags = set * 2 * self.ways;
+        let meta = tags + self.ways;
+        for w in 0..self.ways {
+            let m = self.data[meta + w];
+            if m & 3 != 0 && self.data[tags + w] == tag {
+                return Some(unpack((m & 3) as u8));
             }
         }
         None
     }
 
     /// Set the state of a resident line (no-op if absent).
+    #[inline]
     pub fn set_state(&mut self, addr: u64, state: LineState) {
-        let set = self.set_of(addr);
-        let tag = self.tag_of(addr);
-        let base = set * self.ways;
-        for i in base..base + self.ways {
-            if self.lines[i].valid && self.lines[i].tag == tag {
-                self.lines[i].state = state;
+        let (set, tag) = self.split(addr);
+        let tags = set * 2 * self.ways;
+        let meta = tags + self.ways;
+        for w in 0..self.ways {
+            let m = self.data[meta + w];
+            if m & 3 != 0 && self.data[tags + w] == tag {
+                // Replace the state bits, preserving the LRU stamp.
+                self.data[meta + w] = (m & !3) | pack(state) as u64;
                 return;
             }
         }
@@ -143,59 +184,62 @@ impl SetAssocCache {
 
     /// Insert `addr` with `state`, evicting the set's LRU line if needed.
     pub fn insert(&mut self, addr: u64, state: LineState) -> Option<Evicted> {
-        let set = self.set_of(addr);
-        let tag = self.tag_of(addr);
-        self.clock += 1;
-        let base = set * self.ways;
+        let (set, tag) = self.split(addr);
+        self.ages[set] += 1;
+        let age = self.ages[set];
+        let tags = set * 2 * self.ways;
+        let meta = tags + self.ways;
         // Already present: update in place.
-        for i in base..base + self.ways {
-            if self.lines[i].valid && self.lines[i].tag == tag {
-                self.lines[i].state = state;
-                self.lines[i].stamp = self.clock;
+        for w in 0..self.ways {
+            let m = self.data[meta + w];
+            if m & 3 != 0 && self.data[tags + w] == tag {
+                self.data[meta + w] = age << 2 | pack(state) as u64;
                 return None;
             }
         }
-        // Pick an invalid way or the LRU way.
-        let mut victim = base;
+        // Pick an invalid way or the LRU way.  Comparing packed metadata
+        // words orders valid lines exactly by stamp (stamps are unique
+        // within a set, so the state bits can never decide).
+        let mut victim = 0usize;
         let mut best = u64::MAX;
-        for i in base..base + self.ways {
-            if !self.lines[i].valid {
-                victim = i;
+        for w in 0..self.ways {
+            let m = self.data[meta + w];
+            if m & 3 == 0 {
+                victim = w;
                 break;
             }
-            if self.lines[i].stamp < best {
-                best = self.lines[i].stamp;
-                victim = i;
+            if m < best {
+                best = m;
+                victim = w;
             }
         }
-        let evicted = if self.lines[victim].valid {
-            let v = self.lines[victim];
-            let victim_addr = (v.tag * self.sets as u64 + set as u64) * self.line_bytes;
+        let vm = self.data[meta + victim];
+        let evicted = if vm & 3 != 0 {
+            let victim_addr =
+                ((self.data[tags + victim] << self.set_shift) + set as u64) << self.line_shift;
             Some(Evicted {
                 addr: victim_addr,
-                state: v.state,
+                state: unpack((vm & 3) as u8),
             })
         } else {
             None
         };
-        self.lines[victim] = Line {
-            tag,
-            state,
-            stamp: self.clock,
-            valid: true,
-        };
+        self.data[tags + victim] = tag;
+        self.data[meta + victim] = age << 2 | pack(state) as u64;
         evicted
     }
 
     /// Invalidate `addr` if resident; returns its state when it was.
+    #[inline]
     pub fn invalidate(&mut self, addr: u64) -> Option<LineState> {
-        let set = self.set_of(addr);
-        let tag = self.tag_of(addr);
-        let base = set * self.ways;
-        for i in base..base + self.ways {
-            if self.lines[i].valid && self.lines[i].tag == tag {
-                self.lines[i].valid = false;
-                return Some(self.lines[i].state);
+        let (set, tag) = self.split(addr);
+        let tags = set * 2 * self.ways;
+        let meta = tags + self.ways;
+        for w in 0..self.ways {
+            let m = self.data[meta + w];
+            if m & 3 != 0 && self.data[tags + w] == tag {
+                self.data[meta + w] = 0;
+                return Some(unpack((m & 3) as u8));
             }
         }
         None
@@ -220,8 +264,9 @@ impl SetAssocCache {
     }
 
     /// Base address of the line containing `addr`.
+    #[inline]
     pub fn line_of(&self, addr: u64) -> u64 {
-        self.line_addr(addr)
+        addr & !(self.line_bytes - 1)
     }
 }
 
@@ -342,5 +387,17 @@ mod tests {
         // 256 KB, 2-way, 64-byte lines = 2048 sets; must construct.
         let c = SetAssocCache::new(256 * 1024, 2, 64);
         assert_eq!(c.capacity_bytes(), 256 * 1024);
+    }
+
+    #[test]
+    fn victim_address_reconstruction_matches_arithmetic_form() {
+        // addr = (tag * sets + set) * line_bytes must round-trip through
+        // the shift-based reconstruction for a non-trivial geometry.
+        let mut c = SetAssocCache::new(4096, 2, 64); // 32 sets
+        let addr: u64 = 7 * 32 * 64 + 5 * 64; // tag 7, set 5
+        c.insert(addr, LineState::Shared);
+        c.insert(addr + 32 * 64, LineState::Shared); // tag 8, same set
+        let ev = c.insert(addr + 2 * 32 * 64, LineState::Shared).unwrap();
+        assert_eq!(ev.addr, addr);
     }
 }

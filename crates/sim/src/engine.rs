@@ -7,6 +7,15 @@
 //! clocks), so shared-resource queueing in the backend sees requests in the
 //! order the simulated machine would issue them.
 //!
+//! The hot loop replays events in **chunks**: each processor's stream is a
+//! flat buffer consumed by cursor (no per-event queue traffic), and the
+//! scheduler is a linear scan over per-processor ready clocks that also
+//! returns the *runner-up* — the winning processor then replays a whole run
+//! of events inline until its clock catches up with the runner-up, which
+//! amortizes scheduling across the run.  Because no other processor's
+//! clock can change while it runs, the event order is exactly the one the
+//! old per-event priority queue produced (min `(clock, index)` first).
+//!
 //! The entry point is the [`SimSession`] builder: backend + one source per
 //! processor + any number of [`SimObserver`] taps.  With no observers the
 //! hot loop takes no snapshots at all — observability is strictly
@@ -25,13 +34,17 @@ use crate::event::MemEvent;
 use crate::observe::{AccessObservation, BarrierObservation, ServiceLevel, SimObserver};
 use crate::report::{LevelCounts, SimReport};
 use crossbeam::channel::Receiver;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 /// Where a logical processor's events come from.
 pub enum ProcSource {
     /// A pre-materialized event list (tests, small traces).
-    InMemory(VecDeque<MemEvent>),
+    InMemory(Vec<MemEvent>),
+    /// A pre-materialized event list shared by reference count — replaying
+    /// the same trace across many runs (benchmarks, sweeps over platform
+    /// configurations) costs a pointer copy instead of cloning the whole
+    /// buffer each time.
+    Shared(Arc<[MemEvent]>),
     /// Batches streamed from a live workload thread.
     ///
     /// **Each channel must have its own producer thread** (the `spmd`
@@ -45,13 +58,38 @@ pub enum ProcSource {
 impl ProcSource {
     /// Wrap an event vector.
     pub fn from_events(events: Vec<MemEvent>) -> Self {
-        ProcSource::InMemory(events.into())
+        ProcSource::InMemory(events)
+    }
+
+    /// Wrap a shared event buffer (cheap to clone per replay).
+    pub fn shared(events: Arc<[MemEvent]>) -> Self {
+        ProcSource::Shared(events)
+    }
+}
+
+/// A replay buffer the engine consumes by cursor — either an owned batch
+/// or a refcounted shared trace.  Never popped element-by-element.
+enum ReplayBuf {
+    Owned(Vec<MemEvent>),
+    Shared(Arc<[MemEvent]>),
+}
+
+impl ReplayBuf {
+    #[inline]
+    fn as_slice(&self) -> &[MemEvent] {
+        match self {
+            ReplayBuf::Owned(v) => v,
+            ReplayBuf::Shared(s) => s,
+        }
     }
 }
 
 struct ProcState {
-    source: ProcSource,
-    buf: VecDeque<MemEvent>,
+    /// Live producer channel; dropped once it disconnects.
+    channel: Option<Receiver<Vec<MemEvent>>>,
+    /// Current replay buffer, consumed by cursor.
+    buf: ReplayBuf,
+    pos: usize,
     clock: u64,
     instructions: u64,
     refs: u64,
@@ -60,25 +98,46 @@ struct ProcState {
 }
 
 impl ProcState {
-    /// Next event, refilling from the source; `None` = stream exhausted.
-    fn next_event(&mut self) -> Option<MemEvent> {
-        if let Some(e) = self.buf.pop_front() {
-            return Some(e);
+    fn new(source: ProcSource) -> Self {
+        let (channel, buf) = match source {
+            ProcSource::InMemory(events) => (None, ReplayBuf::Owned(events)),
+            ProcSource::Shared(events) => (None, ReplayBuf::Shared(events)),
+            ProcSource::Channel(rx) => (Some(rx), ReplayBuf::Owned(Vec::new())),
+        };
+        ProcState {
+            channel,
+            buf,
+            pos: 0,
+            clock: 0,
+            instructions: 0,
+            refs: 0,
+            finished: false,
+            at_barrier: false,
         }
-        match &mut self.source {
-            ProcSource::InMemory(q) => q.pop_front(),
-            ProcSource::Channel(rx) => loop {
-                match rx.recv() {
-                    Ok(batch) => {
-                        if batch.is_empty() {
-                            continue;
-                        }
-                        self.buf = batch.into();
-                        return self.buf.pop_front();
-                    }
-                    Err(_) => return None,
+    }
+
+    /// Next event, refilling the buffer from the channel when it runs dry;
+    /// `None` = stream exhausted.
+    #[inline]
+    fn next_event(&mut self) -> Option<MemEvent> {
+        loop {
+            if let Some(&e) = self.buf.as_slice().get(self.pos) {
+                self.pos += 1;
+                return Some(e);
+            }
+            let rx = self.channel.as_ref()?;
+            match rx.recv() {
+                Ok(batch) => {
+                    // Empty batches (a producer-side flush with nothing
+                    // pending) are skipped by looping.
+                    self.buf = ReplayBuf::Owned(batch);
+                    self.pos = 0;
                 }
-            },
+                Err(_) => {
+                    self.channel = None;
+                    return None;
+                }
+            }
         }
     }
 }
@@ -173,9 +232,23 @@ impl SessionOutput {
     }
 }
 
+/// Sentinel ready-clock for a processor that cannot run (finished or
+/// parked at a barrier).  Simulated clocks never reach it.
+const PARKED: u64 = u64::MAX;
+
+/// Why a replay run ended.
+enum RunEnd {
+    /// Clock passed the runner-up; the processor stays runnable.
+    Yield,
+    /// Parked at a barrier.
+    Barrier,
+    /// Event stream exhausted.
+    Finished,
+}
+
 /// The simulation engine: a backend plus one event source per processor.
-/// Prefer driving it through [`SimSession`].
-pub struct Engine {
+/// Internal — drive it through [`SimSession`].
+struct Engine {
     backend: ClusterBackend,
     procs: Vec<ProcState>,
     barriers: u64,
@@ -185,22 +258,6 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Build an engine; `sources.len()` must equal the backend's processor
-    /// count.
-    ///
-    /// Deprecated: construct through the [`SimSession`] builder instead —
-    /// it owns observer attachment and returns a [`SessionOutput`] whose
-    /// typed `observer::<T>()` accessor replaces manual downcasting:
-    ///
-    /// ```ignore
-    /// let out = SimSession::new(backend).with_sources(sources).run();
-    /// let report = out.report;
-    /// ```
-    #[deprecated(note = "use `SimSession::new(backend).with_sources(sources)` instead")]
-    pub fn new(backend: ClusterBackend, sources: Vec<ProcSource>) -> Self {
-        Engine::build(backend, sources, Vec::new())
-    }
-
     fn build(
         backend: ClusterBackend,
         sources: Vec<ProcSource>,
@@ -211,18 +268,7 @@ impl Engine {
             backend.total_procs(),
             "one event source per simulated processor"
         );
-        let procs = sources
-            .into_iter()
-            .map(|source| ProcState {
-                source,
-                buf: VecDeque::new(),
-                clock: 0,
-                instructions: 0,
-                refs: 0,
-                finished: false,
-                at_barrier: false,
-            })
-            .collect();
+        let procs = sources.into_iter().map(ProcState::new).collect();
         Engine {
             backend,
             procs,
@@ -234,8 +280,8 @@ impl Engine {
     }
 
     /// Release a resolved barrier: align every parked clock to the latest
-    /// arrival and resume.
-    fn release_barrier(&mut self, heap: &mut BinaryHeap<Reverse<(u64, usize)>>) {
+    /// arrival and resume (ready clocks in `keys` updated to match).
+    fn release_barrier(&mut self, keys: &mut [u64]) {
         let max = self
             .procs
             .iter()
@@ -254,7 +300,7 @@ impl Engine {
                 }
                 p.clock = max;
                 p.at_barrier = false;
-                heap.push(Reverse((p.clock, i)));
+                keys[i] = max;
             }
         }
         if observing {
@@ -309,48 +355,163 @@ impl Engine {
         }
     }
 
-    /// Run to completion and report (observers, if any, are dropped; use
-    /// [`SimSession::run`] to get them back).
-    pub fn run(self) -> SimReport {
-        self.run_inner().0
+    fn run_inner(mut self) -> (SimReport, Vec<Box<dyn SimObserver>>) {
+        let observing = !self.observers.is_empty();
+        // `keys[i]` is the simulated time at which processor i may next
+        // act, or PARKED.  Processor count is small (the paper's platforms
+        // top out at a few dozen), so a linear scan beats a heap — and one
+        // scan yields both the lexicographic minimum of (clock, index) and
+        // the runner-up, which bounds how long the winner may replay
+        // events inline before any other processor could act.
+        let mut keys: Vec<u64> = vec![0; self.procs.len()];
+        loop {
+            let mut bi = 0usize;
+            let mut bc = PARKED;
+            let mut si = 0usize;
+            let mut sc = PARKED;
+            for (j, &c) in keys.iter().enumerate() {
+                if c < bc {
+                    sc = bc;
+                    si = bi;
+                    bc = c;
+                    bi = j;
+                } else if c < sc {
+                    sc = c;
+                    si = j;
+                }
+            }
+            if bc == PARKED {
+                break;
+            }
+            let i = bi;
+            debug_assert_eq!(self.procs[i].clock, bc);
+            // Replay a run: processor i stays first in (clock, index)
+            // order until its clock passes the runner-up's — no other
+            // clock moves meanwhile, so this is exactly the order a
+            // per-event priority queue would produce.
+            let end = if observing {
+                self.run_observed(i, si, sc)
+            } else {
+                self.run_fast(i, si, sc)
+            };
+            match end {
+                RunEnd::Yield => keys[i] = self.procs[i].clock,
+                RunEnd::Barrier | RunEnd::Finished => {
+                    keys[i] = PARKED;
+                    // A finishing process may complete a pending barrier.
+                    if self.barrier_ready() {
+                        self.release_barrier(&mut keys);
+                    }
+                }
+            }
+        }
+        self.finish()
     }
 
-    fn run_inner(mut self) -> (SimReport, Vec<Box<dyn SimObserver>>) {
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-        for i in 0..self.procs.len() {
-            heap.push(Reverse((0, i)));
-        }
-        let observing = !self.observers.is_empty();
-        while let Some(Reverse((clock, i))) = heap.pop() {
-            debug_assert_eq!(clock, self.procs[i].clock);
+    /// The observer-free hot loop: replay processor `i`'s events until it
+    /// can no longer be first in `(clock, index)` order, with the proc
+    /// state hoisted into locals and the buffer viewed as one slice.
+    ///
+    /// The lexicographic continuation test `(clock, i) < (sc, si)`
+    /// collapses to `clock <= limit` with `limit = sc` when `i < si` and
+    /// `sc - 1` otherwise.  `sc - 1` cannot underflow: the scan only
+    /// leaves `si < i` when the runner-up was a displaced earlier winner,
+    /// which forces `sc` strictly above the winning clock, hence `sc >= 1`.
+    #[inline(always)]
+    fn run_fast(&mut self, i: usize, si: usize, sc: u64) -> RunEnd {
+        let backend = &mut self.backend;
+        let p = &mut self.procs[i];
+        let mut clock = p.clock;
+        let mut instructions = p.instructions;
+        let mut refs = p.refs;
+        let limit = if i < si { sc } else { sc - 1 };
+        let end = 'run: loop {
+            let slice = p.buf.as_slice();
+            let mut pos = p.pos;
+            while let Some(&e) = slice.get(pos) {
+                pos += 1;
+                // Memory references dominate the stream, so test for them
+                // with one compare-chain branch instead of letting the
+                // four-way match become an indirect jump-table dispatch
+                // (which mispredicts on mixed read/write/compute runs).
+                match e {
+                    // A memory instruction costs 1 cycle to execute (the
+                    // paper's "one instruction execution: 1") plus the
+                    // memory time returned by the backend (which includes
+                    // the 1-cycle cache access) — exactly the model's
+                    // `1/S + ρ·T` split.
+                    MemEvent::Read(a) | MemEvent::Write(a) => {
+                        let write = matches!(e, MemEvent::Write(_));
+                        let lat = backend.access(i, a, write, clock);
+                        clock += 1 + lat;
+                        instructions += 1;
+                        refs += 1;
+                    }
+                    MemEvent::Compute(k) => {
+                        clock += k as u64;
+                        instructions += k as u64;
+                    }
+                    MemEvent::Barrier => {
+                        p.pos = pos;
+                        p.at_barrier = true;
+                        break 'run RunEnd::Barrier;
+                    }
+                }
+                if clock > limit {
+                    p.pos = pos;
+                    break 'run RunEnd::Yield;
+                }
+            }
+            p.pos = pos;
+            match p.channel.as_ref() {
+                None => {
+                    p.finished = true;
+                    break RunEnd::Finished;
+                }
+                Some(rx) => match rx.recv() {
+                    Ok(batch) => {
+                        // Empty batches (a producer-side flush with nothing
+                        // pending) fall through to the next recv.
+                        p.buf = ReplayBuf::Owned(batch);
+                        p.pos = 0;
+                    }
+                    Err(_) => {
+                        p.channel = None;
+                        p.finished = true;
+                        break RunEnd::Finished;
+                    }
+                },
+            }
+        };
+        p.clock = clock;
+        p.instructions = instructions;
+        p.refs = refs;
+        end
+    }
+
+    /// The same run loop with per-access observer snapshots.  Kept as a
+    /// separate per-event path because snapshotting borrows the whole
+    /// engine; simulated results are identical to [`Engine::run_fast`].
+    fn run_observed(&mut self, i: usize, si: usize, sc: u64) -> RunEnd {
+        loop {
+            let clock = self.procs[i].clock;
             match self.procs[i].next_event() {
                 None => {
                     self.procs[i].finished = true;
-                    // A finishing process may complete a pending barrier.
-                    if self.barrier_ready() {
-                        self.release_barrier(&mut heap);
-                    }
+                    return RunEnd::Finished;
                 }
                 Some(MemEvent::Compute(k)) => {
                     let p = &mut self.procs[i];
                     p.clock += k as u64;
                     p.instructions += k as u64;
-                    heap.push(Reverse((p.clock, i)));
                 }
-                // A memory instruction costs 1 cycle to execute (the
-                // paper's "one instruction execution: 1") plus the memory
-                // time returned by the backend (which includes the 1-cycle
-                // cache access) — exactly the model's `1/S + ρ·T` split.
                 Some(MemEvent::Read(a)) => {
                     let lat = self.backend.access(i, a, false, clock);
                     let p = &mut self.procs[i];
                     p.clock += 1 + lat;
                     p.instructions += 1;
                     p.refs += 1;
-                    heap.push(Reverse((p.clock, i)));
-                    if observing {
-                        self.notify_access(i, a, false, clock, lat);
-                    }
+                    self.notify_access(i, a, false, clock, lat);
                 }
                 Some(MemEvent::Write(a)) => {
                     let lat = self.backend.access(i, a, true, clock);
@@ -358,20 +519,18 @@ impl Engine {
                     p.clock += 1 + lat;
                     p.instructions += 1;
                     p.refs += 1;
-                    heap.push(Reverse((p.clock, i)));
-                    if observing {
-                        self.notify_access(i, a, true, clock, lat);
-                    }
+                    self.notify_access(i, a, true, clock, lat);
                 }
                 Some(MemEvent::Barrier) => {
                     self.procs[i].at_barrier = true;
-                    if self.barrier_ready() {
-                        self.release_barrier(&mut heap);
-                    }
+                    return RunEnd::Barrier;
                 }
             }
+            let c = self.procs[i].clock;
+            if !(c < sc || (c == sc && i < si)) {
+                return RunEnd::Yield;
+            }
         }
-        self.finish()
     }
 
     fn finish(mut self) -> (SimReport, Vec<Box<dyn SimObserver>>) {
@@ -404,20 +563,6 @@ impl Engine {
         }
         (report, self.observers)
     }
-}
-
-/// Convenience: build and run in one call.
-///
-/// Deprecated: no longer re-exported from the crate root.  The
-/// [`SimSession`] builder is the supported entry point and the one the
-/// rest of the workspace (CLI, bench harness, `memhierd`) uses:
-///
-/// ```ignore
-/// let report = SimSession::new(backend).with_sources(sources).run().report;
-/// ```
-#[deprecated(note = "use `SimSession::new(backend).with_sources(sources).run().report` instead")]
-pub fn run_simulation(backend: ClusterBackend, sources: Vec<ProcSource>) -> SimReport {
-    SimSession::new(backend).with_sources(sources).run().report
 }
 
 #[cfg(test)]
@@ -577,16 +722,115 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_session() {
-        let mk_sources = || {
-            vec![ProcSource::from_events(
-                (0..50u64).map(|i| MemEvent::Read(i * 64)).collect(),
-            )]
+    fn chunk_size_invariance() {
+        // Results must not depend on how the event stream is batched:
+        // chunk=1 over a channel ≡ chunk=4096 ≡ one in-memory vector.
+        let events = |p: u64| -> Vec<MemEvent> {
+            (0..500u64)
+                .map(|i| match i % 4 {
+                    0 => MemEvent::Write(p * (1 << 20) + i * 8),
+                    1 => MemEvent::Compute(7),
+                    _ => MemEvent::Read(p * (1 << 20) + i * 32),
+                })
+                .chain([MemEvent::Barrier])
+                .chain((0..100u64).map(|i| MemEvent::Read(i * 64)))
+                .collect()
         };
-        let via_shim = run_simulation(smp_backend(1), mk_sources());
-        let via_session = run_sim(smp_backend(1), mk_sources());
-        assert_eq!(via_shim, via_session);
+        let chunked = |chunk: usize| -> SimReport {
+            let mut sources = Vec::new();
+            let mut handles = Vec::new();
+            for p in 0..2u64 {
+                let (tx, rx) = channel::bounded::<Vec<MemEvent>>(4);
+                let evs = events(p);
+                handles.push(std::thread::spawn(move || {
+                    for piece in evs.chunks(chunk) {
+                        tx.send(piece.to_vec()).unwrap();
+                    }
+                    // An empty trailing flush must be invisible.
+                    tx.send(Vec::new()).unwrap();
+                }));
+                sources.push(ProcSource::Channel(rx));
+            }
+            let r = run_sim(smp_backend(2), sources);
+            for h in handles {
+                h.join().unwrap();
+            }
+            r
+        };
+        let in_memory = run_sim(
+            smp_backend(2),
+            vec![
+                ProcSource::from_events(events(0)),
+                ProcSource::from_events(events(1)),
+            ],
+        );
+        assert_eq!(chunked(1), in_memory);
+        assert_eq!(chunked(4096), in_memory);
+        // A refcount-shared buffer replays identically to an owned one.
+        let shared = run_sim(
+            smp_backend(2),
+            vec![
+                ProcSource::shared(events(0).into()),
+                ProcSource::shared(events(1).into()),
+            ],
+        );
+        assert_eq!(shared, in_memory);
+    }
+
+    #[test]
+    fn chunk_size_invariance_with_timeseries_observer() {
+        // The observed path (slow loop) must be batching-invariant too:
+        // with a TimeSeriesCollector attached, both the report and the
+        // emitted windowed series must not depend on chunk size.
+        let events = |p: u64| -> Vec<MemEvent> {
+            (0..800u64)
+                .map(|i| match i % 5 {
+                    0 => MemEvent::Write(p * (1 << 21) + i * 16),
+                    1 => MemEvent::Compute(3),
+                    _ => MemEvent::Read(p * (1 << 21) + i * 64),
+                })
+                .chain([MemEvent::Barrier])
+                .chain((0..200u64).map(|i| MemEvent::Read(i * 128)))
+                .collect()
+        };
+        let observed = |sources: Vec<ProcSource>| {
+            let out = SimSession::new(smp_backend(2))
+                .with_sources(sources)
+                .observe(TimeSeriesCollector::new(1_000))
+                .run();
+            let series = out
+                .observer::<TimeSeriesCollector>()
+                .expect("collector attached")
+                .series()
+                .clone();
+            (out.report, series)
+        };
+        let chunked = |chunk: usize| {
+            let mut sources = Vec::new();
+            let mut handles = Vec::new();
+            for p in 0..2u64 {
+                let (tx, rx) = channel::bounded::<Vec<MemEvent>>(4);
+                let evs = events(p);
+                handles.push(std::thread::spawn(move || {
+                    for piece in evs.chunks(chunk) {
+                        tx.send(piece.to_vec()).unwrap();
+                    }
+                }));
+                sources.push(ProcSource::Channel(rx));
+            }
+            let out = observed(sources);
+            for h in handles {
+                h.join().unwrap();
+            }
+            out
+        };
+        let (report, series) = observed(vec![
+            ProcSource::from_events(events(0)),
+            ProcSource::from_events(events(1)),
+        ]);
+        assert!(!series.windows.is_empty(), "series should have windows");
+        assert_eq!(chunked(1), (report.clone(), series.clone()));
+        assert_eq!(chunked(4096), (report, series));
     }
 
     #[test]

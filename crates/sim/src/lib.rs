@@ -36,10 +36,7 @@ pub mod report;
 pub mod util;
 
 pub use backend::{ClusterBackend, ProtocolParams};
-// `engine::run_simulation` and `Engine::new` are deprecated shims kept
-// for source compatibility; new code goes through [`SimSession`], so the
-// crate root deliberately does not re-export them.
-pub use engine::{Engine, ProcSource, SessionOutput, SimSession};
+pub use engine::{ProcSource, SessionOutput, SimSession};
 pub use event::MemEvent;
 pub use homemap::HomeMap;
 pub use observe::{

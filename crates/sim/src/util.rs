@@ -1,8 +1,55 @@
-//! Small simulation utilities: time-ordered shared resources and an O(1)
-//! LRU set.
+//! Small simulation utilities: time-ordered shared resources, an O(1)
+//! LRU set, and a fast hasher for the simulator's integer-keyed maps.
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// A splitmix64-style mixing hasher for the simulator's integer keys
+/// (block numbers, page numbers).  SipHash dominates the miss path's
+/// directory and residency lookups; these maps are never iterated, so
+/// their bucket order is unobservable and a fast non-DoS-resistant hash
+/// is safe — simulation results are bit-identical either way.
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-style fallback for non-integer keys.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let mut z = self.0 ^ n ^ 0x9E37_79B9_7F4A_7C15;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`]-keyed maps.
+pub type FastHashBuilder = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed with [`FastHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, FastHashBuilder>;
 
 /// A serially-reusable resource (a bus, a switch port, a disk arm) modeled
 /// by its `free_at` timestamp.  Acquiring at time `now` for `occupancy`
@@ -47,7 +94,7 @@ impl Resource {
 #[derive(Debug)]
 pub struct LruSet<K: Eq + Hash + Copy> {
     capacity: usize,
-    map: HashMap<K, usize>,
+    map: FastHashMap<K, usize>,
     /// Slab of nodes: (key, prev, next); usize::MAX = none.
     nodes: Vec<(K, usize, usize)>,
     free: Vec<usize>,
@@ -64,7 +111,7 @@ impl<K: Eq + Hash + Copy> LruSet<K> {
     pub fn new(capacity: usize) -> Self {
         LruSet {
             capacity: capacity.max(1),
-            map: HashMap::new(),
+            map: FastHashMap::default(),
             nodes: Vec::new(),
             free: Vec::new(),
             head: NONE,

@@ -48,6 +48,28 @@ impl WorkloadKind {
     }
 }
 
+/// Serializes as the canonical display name (`"FFT"`, `"TPC-C"`, ...),
+/// matching what the CLI flags and `memhierd` request bodies spell.
+impl serde::Serialize for WorkloadKind {
+    fn to_json_value(&self) -> serde::__private::Value {
+        serde::__private::Value::String(self.name().to_string())
+    }
+}
+
+impl serde::Deserialize for WorkloadKind {
+    fn from_json_value(v: serde::__private::Value) -> Result<Self, String> {
+        let name = v.as_str().ok_or("workload must be a string")?;
+        match name.to_ascii_uppercase().as_str() {
+            "FFT" => Ok(WorkloadKind::Fft),
+            "LU" => Ok(WorkloadKind::Lu),
+            "RADIX" => Ok(WorkloadKind::Radix),
+            "EDGE" => Ok(WorkloadKind::Edge),
+            "TPC-C" | "TPCC" => Ok(WorkloadKind::Tpcc),
+            other => Err(format!("unknown workload `{other}`")),
+        }
+    }
+}
+
 /// A fully-specified workload: kind plus problem size.
 ///
 /// `Hash` + `Eq` make a `Workload` (with a granularity) directly usable

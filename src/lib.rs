@@ -7,7 +7,7 @@
 //! synthetic TPC-C), a trace-analysis toolchain (exact stack distances +
 //! locality fitting), and a budget-constrained cluster optimizer.
 //!
-//! This facade crate re-exports the five sub-crates:
+//! This facade crate re-exports the six sub-crates:
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
@@ -16,6 +16,7 @@
 //! | [`sim`] | `memhier-sim` | caches, snooping/directory/hybrid coherence, bus/switch networks, engine |
 //! | [`workloads`] | `memhier-workloads` | instrumented SPMD kernels |
 //! | [`cost`] | `memhier-cost` | price table, optimizer, upgrade planner, §6 recommendations |
+//! | [`mod@bench`] | `memhier-bench` | `Scenario` API, experiment harness, parallel sweep runner |
 //!
 //! ## Quickstart
 //!
@@ -33,6 +34,7 @@
 //! analysis, full simulation) and the `memhier-bench` crate for the
 //! binaries that regenerate every table and figure of the paper.
 
+pub use memhier_bench as bench;
 pub use memhier_core as core;
 pub use memhier_cost as cost;
 pub use memhier_sim as sim;
@@ -49,6 +51,9 @@ pub use memhier_workloads as workloads;
 pub enum MemhierError {
     /// Analytic-model validation or evaluation failure.
     Model(memhier_core::ModelError),
+    /// Scenario construction or parsing failure (bad config/workload/
+    /// size names, malformed JSON or compact form).
+    Scenario(memhier_bench::ScenarioError),
     /// Filesystem/IO failure (metrics or trace export, artifact writes).
     Io(std::io::Error),
     /// JSON serialization/deserialization failure.
@@ -61,6 +66,7 @@ impl std::fmt::Display for MemhierError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MemhierError::Model(e) => write!(f, "model error: {e}"),
+            MemhierError::Scenario(e) => write!(f, "scenario error: {e}"),
             MemhierError::Io(e) => write!(f, "io error: {e}"),
             MemhierError::Json(e) => write!(f, "json error: {e}"),
             MemhierError::Invalid(msg) => write!(f, "invalid input: {msg}"),
@@ -72,6 +78,7 @@ impl std::error::Error for MemhierError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             MemhierError::Model(e) => Some(e),
+            MemhierError::Scenario(e) => Some(e),
             MemhierError::Io(e) => Some(e),
             MemhierError::Json(e) => Some(e),
             MemhierError::Invalid(_) => None,
@@ -82,6 +89,12 @@ impl std::error::Error for MemhierError {
 impl From<memhier_core::ModelError> for MemhierError {
     fn from(e: memhier_core::ModelError) -> Self {
         MemhierError::Model(e)
+    }
+}
+
+impl From<memhier_bench::ScenarioError> for MemhierError {
+    fn from(e: memhier_bench::ScenarioError) -> Self {
+        MemhierError::Scenario(e)
     }
 }
 
@@ -113,6 +126,7 @@ impl From<&str> for MemhierError {
 /// `use memhier::prelude::*;`.
 pub mod prelude {
     pub use crate::MemhierError;
+    pub use memhier_bench::{Scenario, ScenarioBuilder, ScenarioError, Sizes, SweepPlan};
     pub use memhier_core::model::{LevelBreakdown, LevelDiagnostic, ModelReport};
     pub use memhier_core::{
         AnalyticModel, ArrivalModel, ClusterSpec, LatencyParams, Locality, MachineSpec, ModelError,
