@@ -35,12 +35,12 @@ pub use faults::{FaultAction, FaultKind, FaultPlan, FaultRule, FaultSite};
 pub use flags::{FlagParser, Matches};
 pub use names::{config_by_name, paper_params, sizes_by_name, workload_kind_by_name};
 pub use runner::{
-    characterize, simulate_workload, simulate_workload_observed, simulate_workload_with,
-    Characterization, ObservedRun, ObserverConfig, SimRun, Sizes,
+    characterize, simulate_workload, simulate_workload_observed, simulate_workload_threads,
+    simulate_workload_with, Characterization, ObservedRun, ObserverConfig, SimRun, Sizes,
 };
 pub use scenario::{size_name, Scenario, ScenarioBuilder, ScenarioError};
 pub use sweeprun::{
     characterize_cached, characterize_many, configure_from_args, run_sweep, run_sweep_checkpointed,
-    set_checkpoint_config, set_jobs, CheckpointConfig, GridPoint, PointOutcome, PointResult,
-    SweepOutcome, SweepPlan,
+    set_checkpoint_config, set_jobs, set_sim_threads, sim_threads, CheckpointConfig, GridPoint,
+    PointOutcome, PointResult, SweepOutcome, SweepPlan,
 };

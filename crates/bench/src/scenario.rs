@@ -35,7 +35,7 @@
 
 use crate::faults::FaultPlan;
 use crate::names::{config_by_name, sizes_by_name, workload_kind_by_name};
-use crate::runner::{simulate_workload_observed, ObservedRun, ObserverConfig, Sizes};
+use crate::runner::{simulate_workload_threads, ObservedRun, ObserverConfig, Sizes};
 use crate::sweeprun::SweepPlan;
 use memhier_core::machine::LatencyParams;
 use memhier_core::platform::ClusterSpec;
@@ -107,6 +107,11 @@ pub struct Scenario {
     /// Observers attached to the run (default: none — the engine's hot
     /// loop stays observer-free).
     pub observers: ObserverConfig,
+    /// Intra-scenario engine threads: `Some(n)` pins the epoch-parallel
+    /// engine on `n` host threads (`Some(0)` pins the classic engine),
+    /// `None` defers to the ambient `--sim-threads` /
+    /// `MEMHIER_SIM_THREADS` setting.
+    pub sim_threads: Option<usize>,
     /// Deterministic fault-injection plan (default: empty).
     pub faults: FaultPlan,
 }
@@ -121,12 +126,22 @@ impl Scenario {
     /// Run the scenario through the program-driven simulator with the
     /// paper's latency table.
     pub fn run(&self) -> ObservedRun {
-        simulate_workload_observed(
+        simulate_workload_threads(
             &self.size.workload(self.workload),
             &self.config,
             &LatencyParams::paper(),
             &self.observers,
+            self.resolved_sim_threads(),
         )
+    }
+
+    /// The engine selection this scenario runs with: its own pin, else
+    /// the ambient [`crate::sweeprun::sim_threads`] setting, else the
+    /// classic engine.
+    pub fn resolved_sim_threads(&self) -> usize {
+        self.sim_threads
+            .or_else(crate::sweeprun::sim_threads)
+            .unwrap_or(0)
     }
 
     /// The canonical JSON form.  `config` collapses to its paper name
@@ -161,6 +176,12 @@ impl Scenario {
             fields.push((
                 "trace_capacity".to_string(),
                 serde_json::to_value(&cap).unwrap(),
+            ));
+        }
+        if let Some(threads) = self.sim_threads {
+            fields.push((
+                "sim_threads".to_string(),
+                serde_json::to_value(&(threads as u64)).unwrap(),
             ));
         }
         if !self.faults.is_empty() {
@@ -238,6 +259,13 @@ impl Scenario {
                     ))?;
                     b = b.trace_capacity(cap as usize);
                 }
+                "sim_threads" => {
+                    let threads = value.as_u64().ok_or(ScenarioError::Invalid(
+                        "sim_threads",
+                        "must be a non-negative integer (0 = classic engine)".to_string(),
+                    ))?;
+                    b = b.sim_threads(threads as usize);
+                }
                 "faults" => {
                     let spec = value.as_str().ok_or(ScenarioError::Invalid(
                         "faults",
@@ -287,16 +315,24 @@ impl Scenario {
                 sizes_by_name(name).map_err(|_| ScenarioError::UnknownSize(name.to_string()))?
             }
         };
+        let sim_threads = match v.get("sim_threads").filter(|f| !f.is_null()) {
+            None => None,
+            Some(f) => Some(f.as_u64().ok_or(ScenarioError::Invalid(
+                "sim_threads",
+                "must be a non-negative integer (0 = classic engine)".to_string(),
+            ))? as usize),
+        };
         let mut out = Vec::with_capacity(configs.len() * workloads.len());
         for config in &configs {
             for workload in &workloads {
-                out.push(
-                    Scenario::builder()
-                        .config_name(config)
-                        .workload_name(workload)
-                        .size(size)
-                        .build()?,
-                );
+                let mut b = Scenario::builder()
+                    .config_name(config)
+                    .workload_name(workload)
+                    .size(size);
+                if let Some(threads) = sim_threads {
+                    b = b.sim_threads(threads);
+                }
+                out.push(b.build()?);
             }
         }
         Ok(out)
@@ -335,7 +371,12 @@ impl Scenario {
         if scenarios.iter().any(|s| s.observers != first.observers) {
             return Err(ScenarioError::Mixed("observers"));
         }
-        let mut plan = SweepPlan::new(name, first.size).with_observers(first.observers);
+        if scenarios.iter().any(|s| s.sim_threads != first.sim_threads) {
+            return Err(ScenarioError::Mixed("sim_threads"));
+        }
+        let mut plan = SweepPlan::new(name, first.size)
+            .with_observers(first.observers)
+            .with_sim_threads(first.sim_threads);
         for s in scenarios {
             plan = plan.point(&s.config, s.workload);
         }
@@ -347,7 +388,9 @@ impl Scenario {
 /// spellings parse back via [`FromStr`].
 impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let plain = self.observers == ObserverConfig::default() && self.faults.is_empty();
+        let plain = self.observers == ObserverConfig::default()
+            && self.faults.is_empty()
+            && self.sim_threads.is_none();
         match (&self.config.name, plain) {
             (Some(name), true) => write!(
                 f,
@@ -422,6 +465,7 @@ pub struct ScenarioBuilder {
     workload: Option<Result<WorkloadKind, ScenarioError>>,
     size: Option<Result<Sizes, ScenarioError>>,
     observers: ObserverConfig,
+    sim_threads: Option<usize>,
     faults: FaultPlan,
 }
 
@@ -489,6 +533,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Pin the intra-scenario engine: `n ≥ 1` runs the epoch-parallel
+    /// engine on `n` host threads, `0` pins the classic engine (unset
+    /// defers to the ambient `--sim-threads` / `MEMHIER_SIM_THREADS`).
+    pub fn sim_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = Some(threads);
+        self
+    }
+
     /// Set the fault-injection plan.
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
@@ -503,6 +555,7 @@ impl ScenarioBuilder {
             workload: self.workload.ok_or(ScenarioError::Missing("workload"))??,
             size: self.size.unwrap_or(Ok(Sizes::Medium))?,
             observers: self.observers,
+            sim_threads: self.sim_threads,
             faults: self.faults,
         })
     }

@@ -15,8 +15,8 @@
 //! the full `SimReport` JSON: the whole point of the rewrite is that
 //! absolute results do **not** move.
 
-use memhier_bench::runner::{simulate_workload, Sizes};
-use memhier_core::machine::{MachineSpec, NetworkKind};
+use memhier_bench::runner::{simulate_workload_threads, ObserverConfig, Sizes};
+use memhier_core::machine::{LatencyParams, MachineSpec, NetworkKind};
 use memhier_core::platform::ClusterSpec;
 use memhier_workloads::registry::WorkloadKind;
 use std::fs;
@@ -64,6 +64,35 @@ const WORKLOADS: [WorkloadKind; 4] = [
     WorkloadKind::Edge,
 ];
 
+/// Miss-heavy platforms: caches an order of magnitude too small for the
+/// working sets, so nearly every reference leaves L1 and exercises the
+/// flattened directory/home-map miss path rather than the hit fast
+/// path the Table-1 fixtures are dominated by.
+fn miss_platforms() -> Vec<(&'static str, ClusterSpec)> {
+    vec![
+        // Streaming pressure: an SMP whose 8 KB caches turn the
+        // kernels' sweeps into α→1 streams of misses.
+        (
+            "miss_smp_stream",
+            ClusterSpec::single(MachineSpec::new(4, 8, 128, 200.0)),
+        ),
+        // Large working set relative to cache *and* split across
+        // machines, so misses fan out over the network/home path too.
+        (
+            "miss_clump_bigset",
+            ClusterSpec::cluster(
+                MachineSpec::new(2, 8, 128, 200.0),
+                2,
+                NetworkKind::Ethernet100,
+            ),
+        ),
+    ]
+}
+
+/// The miss-heavy fixtures run the two lowest-locality kernels: Radix
+/// (scattered histogram writes) and the TPC-C-like commercial mix.
+const MISS_WORKLOADS: [WorkloadKind; 2] = [WorkloadKind::Radix, WorkloadKind::Tpcc];
+
 fn fixture_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/reports")
 }
@@ -92,7 +121,18 @@ fn check_report(name: &str, actual: &str) {
 }
 
 fn run_one(plat_name: &str, cluster: &ClusterSpec, kind: WorkloadKind) {
-    let run = simulate_workload(&Sizes::Small.workload(kind), cluster);
+    // Pin the classic engine (`sim_threads = 0`) so these fixtures stay
+    // byte-stable even when the CI matrix exports MEMHIER_SIM_THREADS:
+    // they bless the *reference* engine the epoch engine is diffed
+    // against (see tests/thread_invariance.rs).
+    let run = simulate_workload_threads(
+        &Sizes::Small.workload(kind),
+        cluster,
+        &LatencyParams::paper(),
+        &ObserverConfig::default(),
+        0,
+    )
+    .run;
     let mut json = serde_json::to_string_pretty(&run.report).expect("serialize report");
     json.push('\n');
     check_report(
@@ -144,6 +184,22 @@ fn reports_clump_bus() {
 fn reports_clump_switch() {
     let (name, cluster) = &platforms()[4];
     for kind in WORKLOADS {
+        run_one(name, cluster, kind);
+    }
+}
+
+#[test]
+fn reports_miss_smp_stream() {
+    let (name, cluster) = &miss_platforms()[0];
+    for kind in MISS_WORKLOADS {
+        run_one(name, cluster, kind);
+    }
+}
+
+#[test]
+fn reports_miss_clump_bigset() {
+    let (name, cluster) = &miss_platforms()[1];
+    for kind in MISS_WORKLOADS {
         run_one(name, cluster, kind);
     }
 }

@@ -79,7 +79,7 @@ USAGE:
   memhier model    --config <C1..C15> --workload <FFT|LU|Radix|EDGE|TPC-C> [--json]
   memhier model    --all [--json]
   memhier simulate --config <C1..C15> --workload <name> [--small|--paper] [--json]
-                   [--metrics <out.json> [--window <cycles>]]
+                   [--sim-threads <N>] [--metrics <out.json> [--window <cycles>]]
                    [--trace <out.jsonl> [--trace-cap <n>]]
   memhier fit      --workload <name> [--small|--paper] [--phases] [--json]
   memhier optimize --budget <dollars> --workload <name> [--top <k>] [--json]
@@ -91,8 +91,8 @@ USAGE:
   memhier serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
                    [--timeout-ms MS] [--addr-file PATH] [--faults SPEC]
   memhier sweep    --configs C1,C2,...|@plan.json --workloads FFT,LU,... [--json]
-                   [--small|--paper] [--jobs N] [--checkpoint PATH]
-                   [--resume] [--max-retries N] [--faults SPEC]
+                   [--small|--paper] [--jobs N] [--sim-threads N]
+                   [--checkpoint PATH] [--resume] [--max-retries N] [--faults SPEC]
   memhier reproduce <table1|table2|fig2|fig3|fig4|coherence|speedup|
                      budget5k|budget20k|upgrade|fft4x|recommendations|
                      sensitivity|ablation|sweep|utilization|all>

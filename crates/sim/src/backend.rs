@@ -21,9 +21,10 @@
 //! contention the analytic model approximates with M/D/1.
 
 use crate::cache::{LineState, SetAssocCache};
+use crate::dirtable::{DirEntry, DirTable};
 use crate::homemap::HomeMap;
 use crate::report::{LevelCounts, Traffic};
-use crate::util::{FastHashMap, LruSet, Resource};
+use crate::util::{LruSet, Resource};
 use memhier_core::machine::{LatencyParams, NetworkKind, NetworkTopology};
 use memhier_core::platform::ClusterSpec;
 
@@ -55,15 +56,6 @@ impl Default for ProtocolParams {
     }
 }
 
-/// Directory entry for one 256-byte block.
-#[derive(Debug, Clone, Copy)]
-enum DirState {
-    /// Clean copies at the nodes in the bitmask.
-    Shared(u64),
-    /// Dirty, exclusively owned by one node.
-    Exclusive(usize),
-}
-
 /// One machine of the cluster.
 struct Node {
     /// The SMP memory bus (also the path to local memory for n = 1).
@@ -92,8 +84,10 @@ pub struct ClusterBackend {
     nodes: Vec<Node>,
     /// Per-processor L1 caches, indexed globally (`proc = node·n + local`).
     caches: Vec<SetAssocCache>,
-    /// Directory over inter-node blocks (cluster platforms only).
-    directory: FastHashMap<u64, DirState>,
+    /// Directory over inter-node blocks (cluster platforms only), stored
+    /// flat and tiled (`dirtable.rs`) so miss-path probes stay on two
+    /// host cache lines.
+    directory: DirTable,
     home: HomeMap,
     net_kind: Option<NetworkKind>,
     /// The shared medium for bus networks.
@@ -153,7 +147,7 @@ impl ClusterBackend {
             n_per_node: n,
             nodes,
             caches,
-            directory: FastHashMap::default(),
+            directory: DirTable::default(),
             home,
             net_kind: cluster.network,
             net_bus: Resource::new(),
@@ -216,6 +210,24 @@ impl ClusterBackend {
         self.nodes.iter().map(|n| n.io.busy_cycles()).sum()
     }
 
+    /// L1 hit latency in cycles — the epoch engine applies speculative hits
+    /// outside [`ClusterBackend::access`] and needs the same cost.
+    pub(crate) fn hit_latency(&self) -> u64 {
+        self.hit_lat
+    }
+
+    /// The per-processor L1 caches, for the epoch engine's parallel Phase A
+    /// (each worker touches only its own shard's caches).
+    pub(crate) fn caches_mut(&mut self) -> &mut [SetAssocCache] {
+        &mut self.caches
+    }
+
+    /// Credit `n` L1 hits applied outside [`ClusterBackend::access`] (the
+    /// epoch engine's speculative Phase A hits).
+    pub(crate) fn add_l1_hits(&mut self, n: u64) {
+        self.counts.l1_hits += n;
+    }
+
     fn node_of(&self, proc: usize) -> usize {
         proc / self.n_per_node
     }
@@ -258,10 +270,10 @@ impl ClusterBackend {
         if !self.is_cluster() {
             return true;
         }
-        match self.directory.get(&self.block_of(addr)) {
+        match self.directory.get(self.block_of(addr)) {
             None => true,
-            Some(DirState::Exclusive(o)) => *o == node,
-            Some(DirState::Shared(mask)) => mask & !(1u64 << node) == 0,
+            Some(DirEntry::Exclusive(o)) => o == node,
+            Some(DirEntry::Shared(mask)) => mask & !(1u64 << node) == 0,
         }
     }
 
@@ -380,7 +392,7 @@ impl ClusterBackend {
         if self.is_cluster() {
             let node = self.node_of(proc);
             let block = self.block_of(addr);
-            self.directory.insert(block, DirState::Exclusive(node));
+            self.directory.insert(block, DirEntry::Exclusive(node));
         }
         self.hit_lat
     }
@@ -439,9 +451,9 @@ impl ClusterBackend {
         }
         if self.is_cluster() {
             let block = self.block_of(addr);
-            let sharers = match self.directory.get(&block) {
-                Some(DirState::Shared(mask)) => *mask & !(1u64 << node),
-                Some(DirState::Exclusive(o)) if *o != node => 1u64 << *o,
+            let sharers = match self.directory.get(block) {
+                Some(DirEntry::Shared(mask)) => mask & !(1u64 << node),
+                Some(DirEntry::Exclusive(o)) if o != node => 1u64 << o,
                 _ => 0,
             };
             if sharers != 0 {
@@ -456,7 +468,7 @@ impl ClusterBackend {
                     }
                 }
             }
-            self.directory.insert(block, DirState::Exclusive(node));
+            self.directory.insert(block, DirEntry::Exclusive(node));
         }
         lat
     }
@@ -510,11 +522,11 @@ impl ClusterBackend {
         // 2b. Cluster: directory protocol on 256-byte blocks.
         let block = self.block_of(addr);
         let home = self.home.home(addr);
-        let dir = self.directory.get(&block).copied();
+        let dir = self.directory.get(block);
 
         // Where is the valid data?
         match dir {
-            Some(DirState::Exclusive(owner)) if owner != node => {
+            Some(DirEntry::Exclusive(owner)) if owner != node => {
                 // Dirty at another node: fetched at the remote-cached cost.
                 let cost = self.lat.remote_cached(self.net_kind.unwrap(), self.clump()) as u64;
                 let wait = self.network_acquire(now, owner, cost);
@@ -524,7 +536,7 @@ impl ClusterBackend {
                 // The owner's caches lose (write) or downgrade (read) the block.
                 if write {
                     self.invalidate_node_block(owner, block);
-                    self.directory.insert(block, DirState::Exclusive(node));
+                    self.directory.insert(block, DirEntry::Exclusive(node));
                 } else {
                     // Owner keeps a clean copy; both become sharers.
                     let base = owner * self.n_per_node;
@@ -537,7 +549,7 @@ impl ClusterBackend {
                         }
                     }
                     self.directory
-                        .insert(block, DirState::Shared((1 << owner) | (1 << node)));
+                        .insert(block, DirEntry::Shared((1 << owner) | (1 << node)));
                 }
                 self.deposit_remote(node, home, block, now);
                 wait + cost
@@ -545,8 +557,8 @@ impl ClusterBackend {
             _ => {
                 // Clean (or uncached).  Sharer bookkeeping:
                 let mut sharers = match dir {
-                    Some(DirState::Shared(m)) => m,
-                    Some(DirState::Exclusive(o)) => 1u64 << o, // o == node
+                    Some(DirEntry::Shared(m)) => m,
+                    Some(DirEntry::Exclusive(o)) => 1u64 << o, // o == node
                     None => 0,
                 };
                 let local_copy = node == home
@@ -612,9 +624,9 @@ impl ClusterBackend {
                             }
                         }
                     }
-                    self.directory.insert(block, DirState::Exclusive(node));
+                    self.directory.insert(block, DirEntry::Exclusive(node));
                 } else {
-                    self.directory.insert(block, DirState::Shared(sharers));
+                    self.directory.insert(block, DirEntry::Shared(sharers));
                 }
                 lat
             }
@@ -631,12 +643,12 @@ impl ClusterBackend {
             return;
         }
         if let Some(evicted) = self.nodes[node].remote_cache.insert(block) {
-            match self.directory.get(&evicted).copied() {
-                Some(DirState::Shared(m)) => {
+            match self.directory.get(evicted) {
+                Some(DirEntry::Shared(m)) => {
                     let m2 = m & !(1u64 << node);
-                    self.directory.insert(evicted, DirState::Shared(m2));
+                    self.directory.insert(evicted, DirEntry::Shared(m2));
                 }
-                Some(DirState::Exclusive(o)) if o == node => {
+                Some(DirEntry::Exclusive(o)) if o == node => {
                     // Dirty writeback to the victim's home node.
                     let victim_home = self.home.home(evicted * self.params.block_bytes);
                     let cost = self.lat.remote_node(self.net_kind.unwrap(), self.clump()) as u64;
@@ -644,7 +656,7 @@ impl ClusterBackend {
                     self.traffic.data_bytes += self.params.block_bytes;
                     // Home memory now holds the clean data; drop the entry
                     // (uncached-clean).
-                    self.directory.remove(&evicted);
+                    self.directory.remove(evicted);
                     self.nodes[victim_home]
                         .residency
                         .insert((evicted << self.block_shift) >> self.page_shift);

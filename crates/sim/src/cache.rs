@@ -132,22 +132,45 @@ impl SetAssocCache {
         ((block & self.set_mask) as usize, block >> self.set_shift)
     }
 
+    /// Scan set tile `data[base..]` for `tag`; on a hit, return the way
+    /// index and its packed metadata word.  The ubiquitous two-way
+    /// geometry (every paper platform) gets a straight-line body — the
+    /// single slice take proves the bounds, so the scan compiles to four
+    /// loads and two compares with no loop.  Probe order matches the
+    /// generic loop (way 0 first), so both arms pick identical ways.
+    #[inline(always)]
+    fn find(&self, base: usize, tag: u64) -> Option<(usize, u64)> {
+        if self.ways == 2 {
+            let t = &self.data[base..base + 4];
+            let m0 = t[2];
+            if m0 & 3 != 0 && t[0] == tag {
+                return Some((0, m0));
+            }
+            let m1 = t[3];
+            if m1 & 3 != 0 && t[1] == tag {
+                return Some((1, m1));
+            }
+            return None;
+        }
+        let (tags, meta) = self.data[base..base + 2 * self.ways].split_at(self.ways);
+        for (w, (&t, &m)) in tags.iter().zip(meta.iter()).enumerate() {
+            if m & 3 != 0 && t == tag {
+                return Some((w, m));
+            }
+        }
+        None
+    }
+
     /// Look up `addr`; a hit refreshes LRU and returns the line state.
     #[inline]
     pub fn lookup(&mut self, addr: u64) -> Option<LineState> {
         let (set, tag) = self.split(addr);
         self.ages[set] += 1;
         let age = self.ages[set];
-        let tags = set * 2 * self.ways;
-        let meta = tags + self.ways;
-        for w in 0..self.ways {
-            let m = self.data[meta + w];
-            if m & 3 != 0 && self.data[tags + w] == tag {
-                self.data[meta + w] = age << 2 | (m & 3);
-                return Some(unpack((m & 3) as u8));
-            }
-        }
-        None
+        let base = set * 2 * self.ways;
+        let (w, m) = self.find(base, tag)?;
+        self.data[base + self.ways + w] = age << 2 | (m & 3);
+        Some(unpack((m & 3) as u8))
     }
 
     /// Look up `addr` without touching LRU recency — used for snoop probes
@@ -155,30 +178,18 @@ impl SetAssocCache {
     #[inline]
     pub fn probe(&self, addr: u64) -> Option<LineState> {
         let (set, tag) = self.split(addr);
-        let tags = set * 2 * self.ways;
-        let meta = tags + self.ways;
-        for w in 0..self.ways {
-            let m = self.data[meta + w];
-            if m & 3 != 0 && self.data[tags + w] == tag {
-                return Some(unpack((m & 3) as u8));
-            }
-        }
-        None
+        let (_, m) = self.find(set * 2 * self.ways, tag)?;
+        Some(unpack((m & 3) as u8))
     }
 
     /// Set the state of a resident line (no-op if absent).
     #[inline]
     pub fn set_state(&mut self, addr: u64, state: LineState) {
         let (set, tag) = self.split(addr);
-        let tags = set * 2 * self.ways;
-        let meta = tags + self.ways;
-        for w in 0..self.ways {
-            let m = self.data[meta + w];
-            if m & 3 != 0 && self.data[tags + w] == tag {
-                // Replace the state bits, preserving the LRU stamp.
-                self.data[meta + w] = (m & !3) | pack(state) as u64;
-                return;
-            }
+        let base = set * 2 * self.ways;
+        if let Some((w, m)) = self.find(base, tag) {
+            // Replace the state bits, preserving the LRU stamp.
+            self.data[base + self.ways + w] = (m & !3) | pack(state) as u64;
         }
     }
 
@@ -190,12 +201,9 @@ impl SetAssocCache {
         let tags = set * 2 * self.ways;
         let meta = tags + self.ways;
         // Already present: update in place.
-        for w in 0..self.ways {
-            let m = self.data[meta + w];
-            if m & 3 != 0 && self.data[tags + w] == tag {
-                self.data[meta + w] = age << 2 | pack(state) as u64;
-                return None;
-            }
+        if let Some((w, _)) = self.find(tags, tag) {
+            self.data[meta + w] = age << 2 | pack(state) as u64;
+            return None;
         }
         // Pick an invalid way or the LRU way.  Comparing packed metadata
         // words orders valid lines exactly by stamp (stamps are unique
@@ -233,16 +241,10 @@ impl SetAssocCache {
     #[inline]
     pub fn invalidate(&mut self, addr: u64) -> Option<LineState> {
         let (set, tag) = self.split(addr);
-        let tags = set * 2 * self.ways;
-        let meta = tags + self.ways;
-        for w in 0..self.ways {
-            let m = self.data[meta + w];
-            if m & 3 != 0 && self.data[tags + w] == tag {
-                self.data[meta + w] = 0;
-                return Some(unpack((m & 3) as u8));
-            }
-        }
-        None
+        let base = set * 2 * self.ways;
+        let (w, m) = self.find(base, tag)?;
+        self.data[base + self.ways + w] = 0;
+        Some(unpack((m & 3) as u8))
     }
 
     /// Invalidate every resident line within `[block_addr, block_addr +

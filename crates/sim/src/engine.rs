@@ -161,6 +161,7 @@ pub struct SimSession {
     backend: ClusterBackend,
     sources: Vec<ProcSource>,
     observers: Vec<Box<dyn SimObserver>>,
+    sim_threads: usize,
 }
 
 impl SimSession {
@@ -170,6 +171,7 @@ impl SimSession {
             backend,
             sources: Vec::new(),
             observers: Vec::new(),
+            sim_threads: 0,
         }
     }
 
@@ -199,9 +201,27 @@ impl SimSession {
         self
     }
 
+    /// Select the engine: `0` (the default) runs the classic conservative
+    /// engine in this module; any `n ≥ 1` runs the epoch-parallel engine
+    /// (see [`crate::epoch`]) with `n` host threads.  The epoch engine's
+    /// results are identical for every `n` — the thread count is a host
+    /// resource knob, never a simulated parameter.
+    pub fn sim_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = threads;
+        self
+    }
+
     /// Run to completion.  Panics unless `sources.len()` equals the
     /// backend's processor count.
     pub fn run(self) -> SessionOutput {
+        if self.sim_threads > 0 {
+            return crate::epoch::run_epoch(
+                self.backend,
+                self.sources,
+                self.observers,
+                self.sim_threads,
+            );
+        }
         let engine = Engine::build(self.backend, self.sources, self.observers);
         let (report, observers) = engine.run_inner();
         SessionOutput { report, observers }
@@ -217,6 +237,11 @@ pub struct SessionOutput {
 }
 
 impl SessionOutput {
+    /// Assemble an output from a finished engine's parts (epoch engine).
+    pub(crate) fn from_parts(report: SimReport, observers: Vec<Box<dyn SimObserver>>) -> Self {
+        SessionOutput { report, observers }
+    }
+
     /// Borrow the first attached observer of concrete type `T`.
     pub fn observer<T: SimObserver>(&self) -> Option<&T> {
         self.observers

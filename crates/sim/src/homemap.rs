@@ -5,16 +5,32 @@
 //! containing it.  [`HomeMap`] records `(range → owner)` entries registered
 //! at allocation time, with a configurable fallback (block-interleaved) for
 //! unregistered addresses.
+//!
+//! Lookups are on the simulator's miss path, so the map stores its ranges
+//! flattened into parallel arrays (`starts` / `ends` / `owners`) — the
+//! binary search walks one dense `u64` array instead of striding over
+//! 24-byte tuples — and keeps a one-entry hint of the last range that
+//! answered: SPMD partitions make consecutive misses land in the same
+//! partition far more often than not, turning most lookups into two
+//! compares.
+
+use std::cell::Cell;
 
 /// Maps byte addresses to home node ids.
 #[derive(Debug, Clone)]
 pub struct HomeMap {
-    /// Sorted, non-overlapping `(start, end_exclusive, node)` ranges.
-    ranges: Vec<(u64, u64, usize)>,
+    /// Sorted range starts; `starts[i]..ends[i]` is owned by `owners[i]`.
+    starts: Vec<u64>,
+    /// Exclusive range ends, parallel to `starts`.
+    ends: Vec<u64>,
+    /// Owning node per range, parallel to `starts`.
+    owners: Vec<u32>,
+    /// Index of the last range that answered a lookup.
+    hint: Cell<usize>,
     /// Number of nodes, for the interleaved fallback.
     nodes: usize,
-    /// Block size of the interleaved fallback.
-    block_bytes: u64,
+    /// `log2(block_bytes)` of the interleaved fallback.
+    block_shift: u32,
 }
 
 impl HomeMap {
@@ -24,9 +40,12 @@ impl HomeMap {
         assert!(nodes >= 1);
         assert!(block_bytes.is_power_of_two());
         HomeMap {
-            ranges: Vec::new(),
+            starts: Vec::new(),
+            ends: Vec::new(),
+            owners: Vec::new(),
+            hint: Cell::new(0),
             nodes,
-            block_bytes,
+            block_shift: block_bytes.trailing_zeros(),
         }
     }
 
@@ -35,14 +54,16 @@ impl HomeMap {
     pub fn register(&mut self, start: u64, end: u64, node: usize) {
         assert!(start < end, "empty range");
         assert!(node < self.nodes, "node {node} out of {}", self.nodes);
-        let pos = self.ranges.partition_point(|&(s, _, _)| s < start);
+        let pos = self.starts.partition_point(|&s| s < start);
         if pos > 0 {
-            assert!(self.ranges[pos - 1].1 <= start, "overlapping home ranges");
+            assert!(self.ends[pos - 1] <= start, "overlapping home ranges");
         }
-        if pos < self.ranges.len() {
-            assert!(end <= self.ranges[pos].0, "overlapping home ranges");
+        if pos < self.starts.len() {
+            assert!(end <= self.starts[pos], "overlapping home ranges");
         }
-        self.ranges.insert(pos, (start, end, node));
+        self.starts.insert(pos, start);
+        self.ends.insert(pos, end);
+        self.owners.insert(pos, node as u32);
     }
 
     /// Like [`HomeMap::register`] but tolerant of overlap with existing
@@ -57,7 +78,8 @@ impl HomeMap {
         // Collect the gaps of [start, end) not covered by existing ranges.
         let mut cursor = start;
         let mut gaps: Vec<(u64, u64)> = Vec::new();
-        for &(s, e, _) in &self.ranges {
+        for i in 0..self.starts.len() {
+            let (s, e) = (self.starts[i], self.ends[i]);
             if e <= cursor {
                 continue;
             }
@@ -81,15 +103,26 @@ impl HomeMap {
     }
 
     /// Home node of `addr`.
+    #[inline]
     pub fn home(&self, addr: u64) -> usize {
-        let pos = self.ranges.partition_point(|&(s, _, _)| s <= addr);
-        if pos > 0 {
-            let (s, e, n) = self.ranges[pos - 1];
-            if addr >= s && addr < e {
-                return n;
+        // Hint first: repeated misses into one partition short-circuit the
+        // search entirely.  The hint only steers which compare runs first —
+        // the answer is identical either way.
+        let h = self.hint.get();
+        if let Some(&s) = self.starts.get(h) {
+            if addr >= s && addr < self.ends[h] {
+                return self.owners[h] as usize;
             }
         }
-        ((addr / self.block_bytes) as usize) % self.nodes
+        let pos = self.starts.partition_point(|&s| s <= addr);
+        if pos > 0 {
+            let i = pos - 1;
+            if addr < self.ends[i] {
+                self.hint.set(i);
+                return self.owners[i] as usize;
+            }
+        }
+        ((addr >> self.block_shift) as usize) % self.nodes
     }
 
     /// Number of nodes.
@@ -185,6 +218,26 @@ mod tests {
         let m = HomeMap::new(1, 256);
         for a in [0u64, 1 << 20, 1 << 40] {
             assert_eq!(m.home(a), 0);
+        }
+    }
+
+    #[test]
+    fn hint_never_changes_answers() {
+        // Interleave lookups across ranges and the fallback so the hint is
+        // repeatedly stale, and check against a hintless fresh map.
+        let mut m = HomeMap::new(4, 256);
+        m.register(0, 4096, 1);
+        m.register(8192, 12_288, 3);
+        let fresh = || {
+            let mut f = HomeMap::new(4, 256);
+            f.register(0, 4096, 1);
+            f.register(8192, 12_288, 3);
+            f
+        };
+        let probes = [0u64, 9000, 5000, 100, 13_000, 8191, 8192, 12_287, 12_288];
+        for (i, &a) in probes.iter().cycle().take(100).enumerate() {
+            let expect = fresh().home(a.wrapping_add((i as u64 % 3) * 64));
+            assert_eq!(m.home(a.wrapping_add((i as u64 % 3) * 64)), expect);
         }
     }
 }

@@ -28,7 +28,9 @@
 
 pub mod backend;
 pub mod cache;
+pub mod dirtable;
 pub mod engine;
+pub mod epoch;
 pub mod event;
 pub mod homemap;
 pub mod observe;
@@ -36,6 +38,7 @@ pub mod report;
 pub mod util;
 
 pub use backend::{ClusterBackend, ProtocolParams};
+pub use dirtable::{DirEntry, DirTable};
 pub use engine::{ProcSource, SessionOutput, SimSession};
 pub use event::MemEvent;
 pub use homemap::HomeMap;

@@ -1,0 +1,235 @@
+//! Model-based property tests for the flattened miss-path structures.
+//!
+//! The tiled open-addressed [`DirTable`] replaced a `HashMap` in the
+//! backend's directory hot path, and the struct-of-arrays [`HomeMap`]
+//! carries a lookup hint; neither is allowed to *answer* differently
+//! than the naive structure it replaced.  These properties drive both
+//! against simple reference models with arbitrary address streams and
+//! check equivalence **after every event**:
+//!
+//! * `DirTable` versus `HashMap<u64, DirEntry>` under a directory-style
+//!   event stream (read/write/evict per block, plus adversarial raw
+//!   insert/remove/get mixes over a small colliding key pool so probes,
+//!   tombstones, and growth all trigger);
+//! * `HomeMap::register_clamped` + `home()` versus a linear-scan range
+//!   list with the same block-interleaved fallback.
+
+use memhier_sim::{DirEntry, DirTable, HomeMap};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// DirTable versus HashMap
+// ---------------------------------------------------------------------------
+
+/// One step of a directory-style workload.
+#[derive(Debug, Clone, Copy)]
+enum DirOp {
+    /// A processor read of a block: sharer set grows (or the exclusive
+    /// owner's copy is downgraded into a two-sharer set).
+    Read,
+    /// A processor write of a block: the writer becomes exclusive owner.
+    Write,
+    /// The block's last cached copy is evicted: entry removed.
+    Evict,
+    /// Raw overwrite with a shared mask (exercises in-place update).
+    RawShared,
+}
+
+fn op_strategy() -> impl Strategy<Value = DirOp> {
+    prop_oneof![
+        Just(DirOp::Read),
+        Just(DirOp::Write),
+        Just(DirOp::Evict),
+        Just(DirOp::RawShared),
+    ]
+}
+
+/// The map update one directory event turns into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MapAction {
+    Insert(u64, DirEntry),
+    Remove(u64),
+}
+
+/// Plan one directory event from the entry a `get` returned.  Written
+/// once over the *current entry*, so the table and the model — each
+/// answering from its own state — must plan identical updates or the
+/// divergence surfaces right here.
+fn plan_event(op: DirOp, block: u64, proc: usize, current: Option<DirEntry>) -> MapAction {
+    match op {
+        DirOp::Read => {
+            let next = match current {
+                None => DirEntry::Shared(1 << proc),
+                Some(DirEntry::Shared(mask)) => DirEntry::Shared(mask | (1 << proc)),
+                Some(DirEntry::Exclusive(owner)) => DirEntry::Shared((1 << owner) | (1 << proc)),
+            };
+            MapAction::Insert(block, next)
+        }
+        DirOp::Write => MapAction::Insert(block, DirEntry::Exclusive(proc)),
+        DirOp::Evict => MapAction::Remove(block),
+        DirOp::RawShared => MapAction::Insert(block, DirEntry::Shared(proc as u64)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// A directory-style event stream over a small, colliding block pool
+    /// leaves the tiled table and a `HashMap` in agreement after every
+    /// single event — same lookups, same lengths, same survivors.
+    #[test]
+    fn dirtable_matches_hashmap_model(
+        events in vec((op_strategy(), 0usize..96, 0usize..32), 1..1200),
+        pool_stride in 1u64..5,
+    ) {
+        // Start tiny so the stream forces several growth rehashes, and
+        // stride the pool so keys collide in low slot counts.
+        let mut table = DirTable::with_capacity(0);
+        let mut model: HashMap<u64, DirEntry> = HashMap::new();
+        for (op, block_idx, proc) in events {
+            let block = (block_idx as u64) * pool_stride * 64;
+            let table_plan = plan_event(op, block, proc, table.get(block));
+            let model_plan = plan_event(op, block, proc, model.get(&block).copied());
+            prop_assert_eq!(table_plan, model_plan);
+            match table_plan {
+                MapAction::Insert(k, e) => {
+                    table.insert(k, e);
+                    model.insert(k, e);
+                }
+                MapAction::Remove(k) => {
+                    let removed = table.remove(k);
+                    prop_assert_eq!(removed, model.remove(&k));
+                }
+            }
+            prop_assert_eq!(table.get(block), model.get(&block).copied());
+            prop_assert_eq!(table.len(), model.len());
+            prop_assert_eq!(table.is_empty(), model.is_empty());
+        }
+        // Full-state sweep: every block either agrees or is absent from
+        // both (covers keys displaced by growth or tombstone reuse).
+        for idx in 0..96u64 {
+            let block = idx * pool_stride * 64;
+            prop_assert_eq!(table.get(block), model.get(&block).copied());
+        }
+    }
+
+    /// Raw insert/remove/get chaos with arbitrary 64-bit keys: removal
+    /// returns what the model says, and absent keys stay absent.
+    #[test]
+    fn dirtable_remove_matches_model(
+        ops in vec((any::<u64>(), 0u8..3, 0usize..61), 1..600),
+    ) {
+        let mut table = DirTable::with_capacity(4);
+        let mut model: HashMap<u64, DirEntry> = HashMap::new();
+        for (raw_key, kind, node) in ops {
+            // Fold into a modest space so removes actually hit.
+            let key = raw_key % 257;
+            match kind {
+                0 => {
+                    let e = DirEntry::Exclusive(node);
+                    table.insert(key, e);
+                    model.insert(key, e);
+                }
+                1 => {
+                    let e = DirEntry::Shared(1u64 << node);
+                    table.insert(key, e);
+                    model.insert(key, e);
+                }
+                _ => {
+                    prop_assert_eq!(table.remove(key), model.remove(&key));
+                }
+            }
+            prop_assert_eq!(table.get(key), model.get(&key).copied());
+            prop_assert_eq!(table.len(), model.len());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HomeMap versus a linear-scan reference
+// ---------------------------------------------------------------------------
+
+/// The naive model: an unordered range list scanned linearly, with the
+/// same block-interleaved fallback the real map documents.
+struct RefHomes {
+    ranges: Vec<(u64, u64, usize)>,
+    nodes: usize,
+    block_shift: u32,
+}
+
+impl RefHomes {
+    /// `register_clamped` semantics: earlier registrations win; only the
+    /// uncovered gaps of `[start, end)` are claimed.
+    fn register_clamped(&mut self, start: u64, end: u64, node: usize) {
+        let mut cuts: Vec<u64> = vec![start, end];
+        for &(s, e, _) in &self.ranges {
+            for b in [s, e] {
+                if b > start && b < end {
+                    cuts.push(b);
+                }
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        for w in cuts.windows(2) {
+            let (s, e) = (w[0], w[1]);
+            if s < e && self.owner_of(s).is_none() {
+                self.ranges.push((s, e, node));
+            }
+        }
+    }
+
+    fn owner_of(&self, addr: u64) -> Option<usize> {
+        self.ranges
+            .iter()
+            .find(|&&(s, e, _)| addr >= s && addr < e)
+            .map(|&(_, _, n)| n)
+    }
+
+    fn home(&self, addr: u64) -> usize {
+        self.owner_of(addr)
+            .unwrap_or(((addr >> self.block_shift) as usize) % self.nodes)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary clamped registrations interleaved with lookups: the
+    /// flattened, hinted map answers exactly like the linear scan, with
+    /// lookups *between* registrations keeping the hint maximally stale.
+    #[test]
+    fn homemap_matches_linear_reference(
+        nodes in 1usize..6,
+        regs in vec((0u64..1 << 16, 1u64..1 << 12, 0usize..6), 1..24),
+        probes in vec(any::<u64>(), 1..200),
+    ) {
+        let mut map = HomeMap::new(nodes, 256);
+        let mut reference = RefHomes { ranges: Vec::new(), nodes, block_shift: 8 };
+        for (i, &(start, len, node)) in regs.iter().enumerate() {
+            let node = node % nodes;
+            map.register_clamped(start, start + len, node);
+            reference.register_clamped(start, start + len, node);
+            // Probe mid-build so stale hints and partial coverage are hit.
+            for &p in probes.iter().skip(i * 7).take(7) {
+                let addr = p % (1 << 17);
+                prop_assert_eq!(map.home(addr), reference.home(addr));
+            }
+        }
+        for &p in &probes {
+            // Full-range plus boundary probes (range edges are where a
+            // partition_point off-by-one would hide).
+            let addr = p % (1 << 17);
+            prop_assert_eq!(map.home(addr), reference.home(addr));
+            prop_assert_eq!(map.nodes(), reference.nodes);
+        }
+        for &(s, _, _) in &reference.ranges.clone() {
+            prop_assert_eq!(map.home(s), reference.home(s));
+            if s > 0 {
+                prop_assert_eq!(map.home(s - 1), reference.home(s - 1));
+            }
+        }
+    }
+}
