@@ -10,6 +10,9 @@
 //!   `SweepPlan` grids fanned out over a rayon pool (`--jobs N` /
 //!   `MEMHIER_JOBS`), with a process-wide characterization cache and
 //!   grid-ordered (deterministic) results.
+//! * [`optimrun`] — the fleet-scale optimizer pipeline: analytic
+//!   pruning over a candidate grid (`memhier-cost`), then simulation
+//!   confirmation of the finalists through the sweep runner.
 //! * [`calib`] — the §5.3.2 "adjust the rates until the model tracks the
 //!   simulator" calibration, generalized to a small grid search.
 //! * [`tables`] — aligned text tables plus JSON result dumps under
@@ -26,6 +29,7 @@ pub mod experiments;
 pub mod faults;
 pub mod flags;
 pub mod names;
+pub mod optimrun;
 pub mod runner;
 pub mod scenario;
 pub mod sweeprun;
@@ -34,6 +38,7 @@ pub mod tables;
 pub use faults::{FaultAction, FaultKind, FaultPlan, FaultRule, FaultSite};
 pub use flags::{FlagParser, Matches};
 pub use names::{config_by_name, paper_params, sizes_by_name, workload_kind_by_name};
+pub use optimrun::{run_optimize, run_recommend};
 pub use runner::{
     characterize, simulate_workload, simulate_workload_observed, simulate_workload_threads,
     simulate_workload_with, Characterization, ObservedRun, ObserverConfig, SimRun, Sizes,

@@ -1,0 +1,159 @@
+//! End-to-end guarantees for the fleet-scale optimizer pipeline
+//! ([`run_optimize`]): analytic pruning soundness against full
+//! simulation, and byte-identical reports across scheduling widths and
+//! checkpoint/resume.
+
+use memhier_bench::runner::simulate_workload;
+use memhier_bench::sweeprun::{set_checkpoint_config, set_jobs, CheckpointConfig};
+use memhier_bench::{run_optimize, sizes_by_name};
+use memhier_core::model::AnalyticModel;
+use memhier_cost::{evaluate_space, OptimizeRequest, WorkloadSpec};
+use memhier_workloads::registry::WorkloadKind;
+use proptest::prelude::*;
+
+/// A compact grid: a handful of feasible points so confirming *all* of
+/// them stays cheap.
+fn small_grid(req: &mut OptimizeRequest) {
+    req.search_space.proc_counts = vec![1, 2];
+    req.search_space.cache_kb = vec![256];
+    req.search_space.max_machines = 3;
+}
+
+proptest! {
+    // Each case fully simulates every feasible candidate, so a few
+    // cases already cover the property across budgets and grids.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Pruning soundness: the analytic stage only ever drops candidates
+    /// for *eligibility* reasons (unpriced, over budget, model-rejected)
+    /// — never on predicted rank.  So when every feasible survivor is
+    /// confirmed, the reported best must equal the true simulation
+    /// argmin over the whole feasible set, computed independently here.
+    #[test]
+    fn pruning_never_evicts_the_simulation_winner(
+        kernel in prop_oneof![Just("LU"), Just("FFT"), Just("Radix")],
+        budget in 4_000.0f64..12_000.0,
+        mem in prop_oneof![Just(vec![32u64, 64]), Just(vec![64]), Just(vec![32])],
+    ) {
+        let mut req = OptimizeRequest::new(
+            WorkloadSpec::named(kernel).expect("paper kernel"),
+            budget,
+        );
+        small_grid(&mut req);
+        req.search_space.memory_mb = mem;
+        // Confirm everything feasible (the grid is small by design).
+        req.confirm = 64;
+
+        let params = req.workload.resolve().expect("named workloads resolve");
+        let eval = evaluate_space(
+            req.budget,
+            req.slo,
+            &params,
+            &AnalyticModel::default(),
+            &req.prices,
+            &req.search_space,
+        );
+        prop_assert_eq!(
+            eval.stats.candidates,
+            eval.stats.unpriced
+                + eval.stats.over_budget
+                + eval.stats.model_rejected
+                + eval.stats.slo_filtered
+                + eval.stats.feasible,
+            "every candidate lands in exactly one bucket"
+        );
+        // Independent ground truth: simulate every feasible spec the
+        // kernel can decompose across, bypassing the optimizer entirely.
+        let kind = match kernel {
+            "LU" => WorkloadKind::Lu,
+            "FFT" => WorkloadKind::Fft,
+            _ => WorkloadKind::Radix,
+        };
+        let workload = sizes_by_name(&req.confirm_size).unwrap().workload(kind);
+        let simulatable: Vec<_> = eval
+            .feasible
+            .iter()
+            .filter(|r| workload.supports_processes(r.spec.total_procs() as usize))
+            .collect();
+        if simulatable.is_empty() {
+            return Ok(());
+        }
+
+        let report = run_optimize(&req).expect("optimize runs");
+        prop_assert_eq!(report.search.confirmed, simulatable.len());
+        let best = report.best.as_ref().expect("feasible set is non-empty");
+        let best_sim = best.simulated.as_ref().expect("best is confirmed");
+
+        let truth: Vec<(String, f64, f64)> = simulatable
+            .iter()
+            .map(|r| {
+                let run = simulate_workload(&workload, &r.spec);
+                (r.spec.describe(), run.report.e_instr_seconds, r.cost)
+            })
+            .collect();
+        let winner = truth
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.2.total_cmp(&b.2)))
+            .expect("non-empty");
+        prop_assert_eq!(&best.config, &winner.0, "sim winner was evicted");
+        prop_assert_eq!(best_sim.seconds, winner.1);
+    }
+}
+
+fn report_bytes(req: &OptimizeRequest) -> String {
+    let report = run_optimize(req).expect("optimize runs");
+    serde_json::to_string_pretty(&report.to_json()).expect("serializes")
+}
+
+fn confirm_request() -> OptimizeRequest {
+    let mut req = OptimizeRequest::new(WorkloadSpec::named("LU").unwrap(), 8_000.0);
+    small_grid(&mut req);
+    req.search_space.memory_mb = vec![32, 64];
+    req.confirm = 3;
+    req
+}
+
+/// The full report — simulation confirmations included — must be
+/// byte-identical however the sweep was scheduled: `--jobs 1` vs
+/// `--jobs 8`, and an uninterrupted run vs a checkpointed run resumed
+/// from its own journal.
+#[test]
+fn optimize_report_is_byte_identical_across_jobs_and_resume() {
+    let req = confirm_request();
+
+    set_jobs(1);
+    let narrow = report_bytes(&req);
+    set_jobs(8);
+    let wide = report_bytes(&req);
+    set_jobs(0);
+    assert_eq!(narrow, wide, "--jobs must not change a single byte");
+
+    // Checkpoint the confirmation sweep, then resume from the complete
+    // journal: every point is skipped, the report is unchanged.
+    let journal = {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "memhier-optimize-ckpt-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    };
+    set_checkpoint_config(Some(CheckpointConfig {
+        path: Some(journal.clone()),
+        resume: false,
+        ..CheckpointConfig::default()
+    }));
+    let checkpointed = report_bytes(&req);
+    set_checkpoint_config(Some(CheckpointConfig {
+        path: Some(journal.clone()),
+        resume: true,
+        ..CheckpointConfig::default()
+    }));
+    let resumed = report_bytes(&req);
+    set_checkpoint_config(None);
+    let _ = std::fs::remove_file(&journal);
+
+    assert_eq!(narrow, checkpointed, "journaling must not change bytes");
+    assert_eq!(narrow, resumed, "resume must not change bytes");
+}

@@ -7,7 +7,9 @@
 //! memhier simulate --config C8 --workload LU   program-driven simulation
 //!   [--metrics m.json] [--trace events.jsonl]  ... with observers attached
 //! memhier fit --workload Radix                 measure alpha/beta/rho
-//! memhier optimize --budget 20000 --workload Radix [--top 5]
+//! memhier optimize --budget 20000 --workload Radix --confirm 4
+//!   [--slo S] [--procs 1,2,4] [--mem 32,64] [--max-machines 32] ...
+//!                                              fleet-scale model-guided search
 //! memhier upgrade --budget 2500 --workload FFT
 //! memhier recommend --workload FFT | --alpha A --beta B --rho R
 //! ```
@@ -20,16 +22,16 @@
 use memhier::MemhierError;
 use memhier_bench::runner::{characterize, Sizes};
 use memhier_bench::{
-    config_by_name, paper_params, workload_kind_by_name, FlagParser, Matches, Scenario,
+    config_by_name, paper_params, run_optimize, run_recommend, workload_kind_by_name, FlagParser,
+    Matches, Scenario,
 };
-use memhier_core::locality::WorkloadParams;
 use memhier_core::machine::{MachineSpec, NetworkKind};
 use memhier_core::model::AnalyticModel;
 use memhier_core::params::configs;
 use memhier_core::platform::ClusterSpec;
 use memhier_cost::{
-    optimize, pareto_frontier, plan_upgrade, recommend, recommendation_json, CandidateSpace,
-    PriceTable,
+    network_by_name, pareto_frontier, plan_upgrade, CandidateSpace, OptimizeReport,
+    OptimizeRequest, PriceTable, RecommendRequest, WorkloadSpec,
 };
 use memhier_serve::{ServeConfig, Server};
 use memhier_workloads::registry::WorkloadKind;
@@ -82,11 +84,16 @@ USAGE:
                    [--sim-threads <N>] [--metrics <out.json> [--window <cycles>]]
                    [--trace <out.jsonl> [--trace-cap <n>]]
   memhier fit      --workload <name> [--small|--paper] [--phases] [--json]
-  memhier optimize --budget <dollars> --workload <name> [--top <k>] [--json]
+  memhier optimize --budget <dollars> (--workload <name> | --alpha A --beta B --rho R)
+                   [--slo <s>] [--top <k>] [--confirm <k> [--confirm-size <tier>]]
+                   [--procs LIST] [--cache LIST] [--mem LIST] [--max-machines N]
+                   [--networks LIST] [--clock MHZ] [--request JSON|@FILE] [--json]
+                   [--jobs N] [--checkpoint PATH] [--resume]
   memhier pareto   --workload <name> [--json]
   memhier upgrade  --budget <dollars> --workload <name> [--machines N --procs n
                     --cache KB --mem MB --network <eth10|eth100|atm>]
   memhier recommend (--workload <name> | --alpha A --beta B --rho R)
+                    [--measure [--size <tier>]] [--budget <dollars> [--top <k>]]
                     [--format text|json]
   memhier serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
                    [--timeout-ms MS] [--addr-file PATH] [--faults SPEC]
@@ -377,48 +384,217 @@ fn cmd_fit_phases(kind: WorkloadKind, sizes: Sizes, json: bool) -> Result<(), Me
 }
 
 fn cmd_optimize(rest: &[String]) -> Result<(), MemhierError> {
-    let parser = FlagParser::new("memhier optimize", "best cluster under a budget")
-        .option("--budget", "DOLLARS", "total budget")
-        .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
-        .option("--top", "K", "how many ranked configs to print (default 3)")
-        .switch("--json", "machine-readable output");
+    let parser = FlagParser::new(
+        "memhier optimize",
+        "fleet-scale model-guided cluster search under a budget",
+    )
+    .option(
+        "--budget",
+        "DOLLARS",
+        "total budget (required unless --request)",
+    )
+    .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
+    .option("--alpha", "A", "custom locality shape (with --beta --rho)")
+    .option("--beta", "B", "custom locality scale, bytes")
+    .option("--rho", "R", "custom memory-reference fraction")
+    .option(
+        "--slo",
+        "SECONDS",
+        "max acceptable model-predicted E(Instr)",
+    )
+    .option("--top", "K", "ranked configs to report (default 5)")
+    .option(
+        "--confirm",
+        "K",
+        "finalists to confirm by full simulation (default 0 = analytic only)",
+    )
+    .option(
+        "--confirm-size",
+        "TIER",
+        "small|medium|paper confirmation tier (default small)",
+    )
+    .option(
+        "--procs",
+        "LIST",
+        "per-machine processor counts, e.g. 1,2,4",
+    )
+    .option(
+        "--cache",
+        "LIST",
+        "per-processor cache KB options, e.g. 256,512",
+    )
+    .option(
+        "--mem",
+        "LIST",
+        "per-machine memory MB options, e.g. 32,64,128",
+    )
+    .option("--max-machines", "N", "largest cluster size (default 16)")
+    .option("--networks", "LIST", "subset of eth10,eth100,atm")
+    .option(
+        "--clock",
+        "MHZ",
+        "CPU clock for every candidate (default 200)",
+    )
+    .option(
+        "--request",
+        "JSON|@FILE",
+        "a full OptimizeRequest (JSON or WORKLOAD@BUDGET); overrides the flags above",
+    )
+    .switch("--json", "print the OptimizeReport as JSON")
+    .sweep_flags();
     let Some(m) = sub(&parser, rest)? else {
         return Ok(());
     };
-    let budget: f64 = req(&m, "--budget")?.parse().map_err(|_| "bad --budget")?;
-    let kind = workload_kind_by_name(req(&m, "--workload")?)?;
-    let top: usize = m.parsed("--top")?.unwrap_or(3);
-    let w = paper_params(kind);
-    let ranked = optimize(
-        budget,
-        &w,
-        &AnalyticModel::default(),
-        &PriceTable::circa_1999(),
-        &CandidateSpace::paper_market(),
-    );
-    if ranked.is_empty() {
-        return Err(MemhierError::Invalid(format!(
-            "nothing affordable under ${budget}"
-        )));
-    }
+    let req = optimize_request(&m)?;
+    let report = run_optimize(&req)?;
     if m.has("--json") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&ranked[..top.min(ranked.len())])?
-        );
+        // The same serializer `/v1/optimize` uses, so the CLI and the
+        // service emit byte-identical JSON.
+        println!("{}", serde_json::to_string_pretty(&report.to_json())?);
         return Ok(());
     }
-    println!("Best clusters for {} under ${budget:.0}:", w.name);
-    for (i, r) in ranked.iter().take(top).enumerate() {
+    print_optimize_report(&report);
+    Ok(())
+}
+
+/// Build the typed optimize request from the flag set: `--request` takes
+/// the wire form verbatim; otherwise the grid flags override the
+/// paper-market defaults field by field.  Either way the request is
+/// round-tripped through its own JSON parser, so the CLI enforces
+/// exactly the validation `/v1/optimize` does.
+fn optimize_request(m: &Matches) -> Result<OptimizeRequest, MemhierError> {
+    if let Some(spec) = m.get("--request") {
+        let text = match spec.strip_prefix('@') {
+            Some(path) => std::fs::read_to_string(path)
+                .map_err(|e| MemhierError::Invalid(format!("reading {path}: {e}")))?,
+            None => spec.to_string(),
+        };
+        return Ok(text.trim().parse::<OptimizeRequest>()?);
+    }
+    let budget: f64 = req(m, "--budget")?.parse().map_err(|_| "bad --budget")?;
+    let mut r = OptimizeRequest::new(workload_spec(m)?, budget);
+    if let Some(slo) = m.parsed::<f64>("--slo")? {
+        r.slo = Some(slo);
+    }
+    if let Some(top) = m.parsed::<usize>("--top")? {
+        r.top = top;
+    }
+    if let Some(confirm) = m.parsed::<usize>("--confirm")? {
+        r.confirm = confirm;
+    }
+    if let Some(size) = m.get("--confirm-size") {
+        r.confirm_size = size.to_ascii_lowercase();
+    }
+    if let Some(list) = m.get("--procs") {
+        r.search_space.proc_counts = csv_list(list, "--procs")?;
+    }
+    if let Some(list) = m.get("--cache") {
+        r.search_space.cache_kb = csv_list(list, "--cache")?;
+    }
+    if let Some(list) = m.get("--mem") {
+        r.search_space.memory_mb = csv_list(list, "--mem")?;
+    }
+    if let Some(n) = m.parsed::<u32>("--max-machines")? {
+        r.search_space.max_machines = n;
+    }
+    if let Some(list) = m.get("--networks") {
+        r.search_space.networks = csv_items(list, "--networks")?
+            .iter()
+            .map(|s| network_by_name(s))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(mhz) = m.parsed::<f64>("--clock")? {
+        r.search_space.clock_mhz = mhz;
+    }
+    Ok(OptimizeRequest::from_json(&r.to_json())?)
+}
+
+/// The workload a request names: `--workload NAME` or the custom
+/// `--alpha/--beta/--rho` triple.
+fn workload_spec(m: &Matches) -> Result<WorkloadSpec, MemhierError> {
+    if let Some(name) = m.get("--workload") {
+        return Ok(WorkloadSpec::named(name)?);
+    }
+    let alpha: f64 = req(m, "--alpha")
+        .map_err(|_| "--workload or --alpha/--beta/--rho required".to_string())?
+        .parse()
+        .map_err(|_| "bad --alpha")?;
+    let beta: f64 = req(m, "--beta")?.parse().map_err(|_| "bad --beta")?;
+    let rho: f64 = req(m, "--rho")?.parse().map_err(|_| "bad --rho")?;
+    let spec = WorkloadSpec::Custom { alpha, beta, rho };
+    spec.resolve()?;
+    Ok(spec)
+}
+
+fn csv_items(list: &str, flag: &str) -> Result<Vec<String>, MemhierError> {
+    let items: Vec<String> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if items.is_empty() {
+        return Err(MemhierError::Invalid(format!("{flag}: empty list")));
+    }
+    Ok(items)
+}
+
+fn csv_list<T: std::str::FromStr>(list: &str, flag: &str) -> Result<Vec<T>, MemhierError> {
+    csv_items(list, flag)?
+        .iter()
+        .map(|s| {
+            s.parse::<T>()
+                .map_err(|_| MemhierError::Invalid(format!("{flag}: bad entry `{s}`")))
+        })
+        .collect()
+}
+
+fn print_optimize_report(report: &OptimizeReport) {
+    let s = &report.search;
+    match report.slo {
+        Some(slo) => println!(
+            "Optimizing {} under ${:.0} (SLO {:.3e} s):",
+            report.workload, report.budget, slo
+        ),
+        None => println!(
+            "Optimizing {} under ${:.0}:",
+            report.workload, report.budget
+        ),
+    }
+    println!(
+        "  searched {} candidates: {} unpriced, {} over budget, {} model-rejected, \
+         {} SLO-filtered -> {} feasible",
+        s.candidates, s.unpriced, s.over_budget, s.model_rejected, s.slo_filtered, s.feasible
+    );
+    println!(
+        "  simulated {} finalist(s); pruning ratio {:.2}%",
+        s.confirmed,
+        100.0 * s.pruning_ratio
+    );
+    for (i, e) in report.ranked.iter().enumerate() {
+        let sim = match &e.simulated {
+            Some(sc) => format!(", sim {:.3e} s @ {}", sc.seconds, sc.size),
+            None => String::new(),
+        };
         println!(
-            "  {}. {}  (${:.0}, E(Instr) = {:.3e} s)",
+            "  {}. {}  (${:.0}, model {:.3e} s{sim})",
             i + 1,
-            r.spec.describe(),
-            r.cost,
-            r.e_instr_seconds
+            e.config,
+            e.cost,
+            e.model_seconds
         );
     }
-    Ok(())
+    match &report.best {
+        Some(b) => println!("  best: {}  (${:.0})", b.config, b.cost),
+        None => println!("  nothing feasible under this budget"),
+    }
+    println!("  Pareto frontier ({} point(s)):", report.pareto.len());
+    for e in &report.pareto {
+        println!(
+            "    ${:>8.0}  model {:.3e} s  {}",
+            e.cost, e.model_seconds, e.config
+        );
+    }
 }
 
 fn cmd_pareto(rest: &[String]) -> Result<(), MemhierError> {
@@ -471,10 +647,8 @@ fn cmd_upgrade(rest: &[String]) -> Result<(), MemhierError> {
     let cache: u64 = m.parsed("--cache")?.unwrap_or(256);
     let mem: u64 = m.parsed("--mem")?.unwrap_or(32);
     let network = match m.get("--network") {
-        None | Some("eth10") => NetworkKind::Ethernet10,
-        Some("eth100") => NetworkKind::Ethernet100,
-        Some("atm") | Some("atm155") => NetworkKind::Atm155,
-        Some(o) => return Err(MemhierError::Invalid(format!("unknown network `{o}`"))),
+        None => NetworkKind::Ethernet10,
+        Some(name) => network_by_name(name)?,
     };
     let existing = if machines > 1 {
         ClusterSpec::cluster(
@@ -571,34 +745,57 @@ fn cmd_recommend(rest: &[String]) -> Result<(), MemhierError> {
         .option("--alpha", "A", "locality shape (with --beta --rho)")
         .option("--beta", "B", "locality scale, bytes")
         .option("--rho", "R", "memory-reference fraction")
+        .switch(
+            "--measure",
+            "measure (alpha, beta, rho) from the trace instead of Table 2",
+        )
+        .option("--size", "TIER", "small|medium|paper measurement tier")
+        .option(
+            "--budget",
+            "DOLLARS",
+            "attach the cost-optimal concrete clusters under this budget",
+        )
+        .option("--top", "K", "ranked clusters with --budget (default 3)")
         .option("--format", "FMT", "text (default) or json");
     let Some(m) = sub(&parser, rest)? else {
         return Ok(());
     };
-    let w = if let Some(name) = m.get("--workload") {
-        paper_params(workload_kind_by_name(name)?)
-    } else {
-        let alpha: f64 = req(&m, "--alpha")
-            .map_err(|_| "--alpha or --workload required".to_string())?
-            .parse()
-            .map_err(|_| "bad --alpha")?;
-        let beta: f64 = req(&m, "--beta")?.parse().map_err(|_| "bad --beta")?;
-        let rho: f64 = req(&m, "--rho")?.parse().map_err(|_| "bad --rho")?;
-        WorkloadParams::new("custom", alpha, beta, rho)?
-    };
-    let r = recommend(&w);
+    let mut r = RecommendRequest::new(workload_spec(&m)?);
+    r.measure = m.has("--measure");
+    if let Some(size) = m.get("--size") {
+        r.size = Some(size.to_ascii_lowercase());
+    }
+    if let Some(budget) = m.parsed::<f64>("--budget")? {
+        r.budget = Some(budget);
+    }
+    if let Some(top) = m.parsed::<usize>("--top")? {
+        r.top = top;
+    }
+    // Round-trip through the wire parser: the CLI enforces exactly the
+    // validation `/v1/recommend` does.
+    let request = RecommendRequest::from_json(&r.to_json())?;
+    let report = run_recommend(&request)?;
     match m.get("--format") {
         None | Some("text") => {
-            println!("{}: {:?}", w.name, r.platform);
-            println!("  {}", r.rationale);
-            println!("  upgrade: {}", r.upgrade_advice);
+            println!("{}: {:?}", report.workload, report.platform);
+            println!("  {}", report.rationale);
+            println!("  upgrade: {}", report.upgrade_advice);
+            if let Some(ranked) = &report.ranked {
+                println!("  under budget:");
+                for (i, e) in ranked.iter().enumerate() {
+                    println!(
+                        "    {}. {}  (${:.0}, model {:.3e} s)",
+                        i + 1,
+                        e.config,
+                        e.cost,
+                        e.model_seconds
+                    );
+                }
+            }
         }
         // The same serializer `/v1/recommend` uses, so the CLI and the
         // service emit byte-identical JSON.
-        Some("json") => println!(
-            "{}",
-            serde_json::to_string_pretty(&recommendation_json(&w, &r, None))?
-        ),
+        Some("json") => println!("{}", serde_json::to_string_pretty(&report.to_json())?),
         Some(other) => return Err(MemhierError::Invalid(format!("unknown format `{other}`"))),
     }
     Ok(())

@@ -103,10 +103,57 @@ fn fit_small_reports_parameters() {
 fn optimize_respects_budget_flag() {
     let (ok, out, _) = memhier(&["optimize", "--budget", "5000", "--workload", "LU"]);
     assert!(ok, "{out}");
-    assert!(out.contains("Best clusters"));
-    let (ok, _, err) = memhier(&["optimize", "--budget", "100", "--workload", "LU"]);
+    assert!(out.contains("Optimizing LU under $5000"), "{out}");
+    assert!(out.contains("pruning ratio"), "{out}");
+    assert!(out.contains("Pareto frontier"), "{out}");
+    // An infeasible budget is diagnosed, not an error: every candidate
+    // is counted into a pruning bucket.
+    let (ok, out, _) = memhier(&["optimize", "--budget", "100", "--workload", "LU"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("nothing feasible"), "{out}");
+    assert!(out.contains("over budget"), "{out}");
+}
+
+#[test]
+fn optimize_grid_flags_expand_thousands_of_candidates() {
+    let (ok, out, _) = memhier(&[
+        "optimize",
+        "--budget",
+        "30000",
+        "--workload",
+        "FFT",
+        "--max-machines",
+        "32",
+        "--mem",
+        "32,64,128,256",
+        "--json",
+    ]);
+    assert!(ok, "{out}");
+    let v: serde_json::Value = serde_json::from_str(out.trim()).expect("valid JSON");
+    assert!(
+        v["search"]["candidates"].as_u64().unwrap() >= 1000,
+        "grid too small: {:?}",
+        v["search"]
+    );
+    assert!(v["search"]["pruning_ratio"].as_f64().unwrap() > 0.99);
+}
+
+#[test]
+fn optimize_rejects_bad_requests() {
+    let (ok, _, err) = memhier(&["optimize", "--budget", "5000", "--workload", "SORT"]);
     assert!(!ok);
-    assert!(err.contains("nothing affordable"));
+    assert!(err.contains("unknown workload"), "{err}");
+    let (ok, _, err) = memhier(&[
+        "optimize",
+        "--budget",
+        "5000",
+        "--workload",
+        "LU",
+        "--networks",
+        "token-ring",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("unknown network"), "{err}");
 }
 
 #[test]

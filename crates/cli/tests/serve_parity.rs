@@ -82,3 +82,62 @@ fn v1_recommend_matches_cli_json_bytes() {
     assert_eq!(from_service, from_cli, "service and CLI bytes diverge");
     server.shutdown();
 }
+
+/// A budgeted `/v1/recommend` attaches the same ranked clusters the CLI
+/// prints, byte for byte.
+#[test]
+fn v1_recommend_budget_matches_cli_json_bytes() {
+    let server = server();
+    let from_service = serve_body(
+        &server,
+        "/v1/recommend",
+        r#"{"workload": "Radix", "budget": 12000, "top": 4}"#,
+    );
+    let from_cli = memhier_stdout(&[
+        "recommend",
+        "--workload",
+        "Radix",
+        "--budget",
+        "12000",
+        "--top",
+        "4",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(from_service, from_cli, "service and CLI bytes diverge");
+    server.shutdown();
+}
+
+/// `/v1/optimize` must be byte-identical to `memhier optimize --json`
+/// for the same request — including the simulation confirmations, which
+/// ride on the thread-invariant engine.  The CLI's `--request` spelling
+/// accepts the exact serve body, closing the loop.
+#[test]
+fn v1_optimize_matches_cli_json_bytes() {
+    let server = server();
+    let body = r#"{"workload": "LU", "budget": 8000,
+                   "search_space": {"max_machines": 4, "memory_mb": [32, 64]},
+                   "confirm": 2}"#;
+    let from_service = serve_body(&server, "/v1/optimize", body);
+    let from_cli = memhier_stdout(&[
+        "optimize",
+        "--budget",
+        "8000",
+        "--workload",
+        "LU",
+        "--max-machines",
+        "4",
+        "--mem",
+        "32,64",
+        "--confirm",
+        "2",
+        "--json",
+    ]);
+    assert_eq!(from_service, from_cli, "service and CLI bytes diverge");
+    let from_request = memhier_stdout(&["optimize", "--request", body, "--json"]);
+    assert_eq!(
+        from_request, from_cli,
+        "--request and flag spellings diverge"
+    );
+    server.shutdown();
+}

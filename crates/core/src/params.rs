@@ -65,6 +65,21 @@ pub fn workload_tpcc() -> WorkloadParams {
     WorkloadParams::new("TPC-C", 1.73, 1222.66, 0.36).expect("paper constants are valid")
 }
 
+/// Look up a paper workload by name, case-insensitively (`TPCC` is
+/// accepted for `TPC-C`).  Returns `None` for names outside Table 2 —
+/// callers with their own (α, β, ρ) should construct [`WorkloadParams`]
+/// directly.
+pub fn workload_by_name(name: &str) -> Option<WorkloadParams> {
+    match name.to_ascii_uppercase().as_str() {
+        "FFT" => Some(workload_fft()),
+        "LU" => Some(workload_lu()),
+        "RADIX" => Some(workload_radix()),
+        "EDGE" => Some(workload_edge()),
+        "TPC-C" | "TPCC" => Some(workload_tpcc()),
+        _ => None,
+    }
+}
+
 /// All four Table-2 kernels, in the paper's order.
 pub fn paper_workloads() -> Vec<WorkloadParams> {
     vec![

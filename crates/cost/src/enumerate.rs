@@ -5,7 +5,7 @@ use memhier_core::machine::{MachineSpec, NetworkKind};
 use memhier_core::platform::ClusterSpec;
 
 /// The space of cluster configurations the optimizer enumerates.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CandidateSpace {
     /// Processor counts per machine on offer (paper: 1, 2, 4).
     pub proc_counts: Vec<u32>,
@@ -66,6 +66,13 @@ impl CandidateSpace {
     /// Whether the space is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl Default for CandidateSpace {
+    /// The paper market.
+    fn default() -> Self {
+        Self::paper_market()
     }
 }
 

@@ -14,6 +14,10 @@
 //!   *increase* on an existing cluster.
 //! * [`mod@recommend`] — the §6 qualitative recommendation rules
 //!   (ρ × β classification → platform advice).
+//! * [`wire`] — the typed request/response wire format behind `memhier
+//!   optimize`/`recommend` and `memhierd`'s `/v1/optimize` and
+//!   `/v1/recommend` (fixed-point JSON, unknown-field rejection,
+//!   [`CostError`]).
 
 pub mod enumerate;
 pub mod optimize;
@@ -21,10 +25,17 @@ pub mod prices;
 pub mod recommend;
 pub mod sweep;
 pub mod upgrade;
+pub mod wire;
 
 pub use enumerate::CandidateSpace;
-pub use optimize::{optimize, pareto_frontier, RankedConfig};
+pub use optimize::{
+    analyze, analyze_eval, evaluate_space, optimize, pareto_frontier, RankedConfig, SpaceEvaluation,
+};
 pub use prices::PriceTable;
 pub use recommend::{recommend, recommendation_json, Recommendation, RecommendedPlatform};
 pub use sweep::{render_map, sweep, PlatformClass, SweepCell};
 pub use upgrade::{plan_upgrade, UpgradePlan};
+pub use wire::{
+    network_by_name, network_name, CostError, OptimizeReport, OptimizeRequest, RankedEntry,
+    RecommendReport, RecommendRequest, SearchStats, SimConfirmation, WorkloadSpec,
+};

@@ -8,6 +8,7 @@
 
 use crate::enumerate::CandidateSpace;
 use crate::prices::PriceTable;
+use crate::wire::{CostError, OptimizeReport, OptimizeRequest, RankedEntry, SearchStats};
 use memhier_core::locality::WorkloadParams;
 use memhier_core::model::AnalyticModel;
 use memhier_core::platform::ClusterSpec;
@@ -25,75 +26,106 @@ pub struct RankedConfig {
     pub e_instr_seconds: f64,
 }
 
-/// Enumerate `space`, keep candidates within `budget`, evaluate the model
-/// for `workload`, and return the survivors sorted by predicted
-/// `E(Instr)` (ties broken by lower cost).
-///
-/// The first element, if any, is the optimizer's answer to the paper's
-/// question 1: *"what is an optimal or a nearly optimal cluster platform
-/// for cost-effective parallel computing under a given budget and a given
-/// type of workload?"*
-pub fn optimize(
+/// Where one candidate of the grid landed during evaluation.
+enum Tally {
+    Unpriced,
+    OverBudget,
+    ModelRejected,
+    SloFiltered,
+    Feasible(RankedConfig),
+}
+
+/// A fully evaluated candidate space: the ranked feasible survivors,
+/// their Pareto frontier, and the counted fate of every candidate.
+#[derive(Debug, Clone)]
+pub struct SpaceEvaluation {
+    /// Feasible candidates, best predicted `E(Instr)` first (ties broken
+    /// by lower cost).
+    pub feasible: Vec<RankedConfig>,
+    /// Cost/performance Pareto frontier of the feasible set, cost
+    /// ascending and `E(Instr)` strictly descending.
+    pub pareto: Vec<RankedConfig>,
+    /// Where every candidate went (`confirmed` still 0 at this stage —
+    /// simulation confirmation happens in `memhier-bench`).
+    pub stats: SearchStats,
+}
+
+/// Evaluate every candidate of `space` against `budget`, an optional
+/// `slo` (max model-predicted seconds), `workload`, and `prices` in one
+/// parallel pass.  Nothing is silently dropped: a candidate the market
+/// cannot price, an over-budget cluster, a model-rejected config, and an
+/// SLO miss are each counted in [`SearchStats`].
+pub fn evaluate_space(
     budget: f64,
+    slo: Option<f64>,
     workload: &WorkloadParams,
     model: &AnalyticModel,
     prices: &PriceTable,
     space: &CandidateSpace,
-) -> Vec<RankedConfig> {
-    let mut ranked: Vec<RankedConfig> = space
+) -> SpaceEvaluation {
+    let tallies: Vec<Tally> = space
         .candidates()
         .into_par_iter()
-        .filter_map(|spec| {
-            let cost = prices.cluster_cost(&spec)?;
+        .map(|spec| {
+            let Some(cost) = prices.cluster_cost(&spec) else {
+                return Tally::Unpriced;
+            };
             if cost > budget {
-                return None;
+                return Tally::OverBudget;
             }
             let e = model.evaluate_or_inf(&spec, workload);
             if !e.is_finite() {
-                return None;
+                return Tally::ModelRejected;
             }
-            Some(RankedConfig {
+            if slo.is_some_and(|max| e > max) {
+                return Tally::SloFiltered;
+            }
+            Tally::Feasible(RankedConfig {
                 spec,
                 cost,
                 e_instr_seconds: e,
             })
         })
         .collect();
-    ranked.sort_by(|a, b| {
+
+    let mut stats = SearchStats {
+        candidates: tallies.len(),
+        unpriced: 0,
+        over_budget: 0,
+        model_rejected: 0,
+        slo_filtered: 0,
+        feasible: 0,
+        confirmed: 0,
+        pruning_ratio: 0.0,
+    };
+    let mut feasible = Vec::new();
+    for t in tallies {
+        match t {
+            Tally::Unpriced => stats.unpriced += 1,
+            Tally::OverBudget => stats.over_budget += 1,
+            Tally::ModelRejected => stats.model_rejected += 1,
+            Tally::SloFiltered => stats.slo_filtered += 1,
+            Tally::Feasible(r) => feasible.push(r),
+        }
+    }
+    stats.feasible = feasible.len();
+    stats.set_confirmed(0);
+    feasible.sort_by(|a, b| {
         a.e_instr_seconds
             .total_cmp(&b.e_instr_seconds)
             .then(a.cost.total_cmp(&b.cost))
     });
-    ranked
+    let pareto = frontier_of(feasible.clone());
+    SpaceEvaluation {
+        feasible,
+        pareto,
+        stats,
+    }
 }
 
-/// The cost-vs-performance **Pareto frontier** of a candidate space: the
-/// configurations that no cheaper configuration can match.  Useful when
-/// the budget itself is negotiable — the frontier shows where extra
-/// dollars stop buying meaningful speedup.  Returned sorted by cost
-/// ascending (and, by construction, `E(Instr)` strictly descending).
-pub fn pareto_frontier(
-    workload: &WorkloadParams,
-    model: &AnalyticModel,
-    prices: &PriceTable,
-    space: &CandidateSpace,
-) -> Vec<RankedConfig> {
-    let mut all: Vec<RankedConfig> = space
-        .candidates()
-        .into_par_iter()
-        .filter_map(|spec| {
-            let cost = prices.cluster_cost(&spec)?;
-            let e = model.evaluate_or_inf(&spec, workload);
-            if !e.is_finite() {
-                return None;
-            }
-            Some(RankedConfig {
-                spec,
-                cost,
-                e_instr_seconds: e,
-            })
-        })
-        .collect();
+/// The Pareto frontier of an arbitrary evaluated set: sort by cost, keep
+/// every config no cheaper config can match.
+fn frontier_of(mut all: Vec<RankedConfig>) -> Vec<RankedConfig> {
     all.sort_by(|a, b| {
         a.cost
             .total_cmp(&b.cost)
@@ -108,6 +140,103 @@ pub fn pareto_frontier(
         }
     }
     frontier
+}
+
+/// Enumerate `space`, keep candidates within `budget`, evaluate the model
+/// for `workload`, and return the survivors sorted by predicted
+/// `E(Instr)` (ties broken by lower cost).
+///
+/// The first element, if any, is the optimizer's answer to the paper's
+/// question 1: *"what is an optimal or a nearly optimal cluster platform
+/// for cost-effective parallel computing under a given budget and a given
+/// type of workload?"*  (Thin wrapper over [`evaluate_space`], which
+/// additionally reports where every pruned candidate went.)
+pub fn optimize(
+    budget: f64,
+    workload: &WorkloadParams,
+    model: &AnalyticModel,
+    prices: &PriceTable,
+    space: &CandidateSpace,
+) -> Vec<RankedConfig> {
+    evaluate_space(budget, None, workload, model, prices, space).feasible
+}
+
+/// Run the analytic stage of an [`OptimizeRequest`] end to end: resolve
+/// the workload, evaluate the grid, and assemble the [`OptimizeReport`]
+/// (ranked shortlist, analytic `best`, feasible-set Pareto frontier,
+/// pruning diagnostics).  Simulation confirmation of the finalists —
+/// `confirm > 0` — is layered on by `memhier-bench`, which owns the
+/// simulator; this function alone leaves `search.confirmed` at 0.
+pub fn analyze(req: &OptimizeRequest) -> Result<OptimizeReport, CostError> {
+    Ok(analyze_eval(req)?.0)
+}
+
+/// [`analyze`] returning the underlying [`SpaceEvaluation`] alongside
+/// the report, so a confirmation stage can reach the concrete
+/// [`ClusterSpec`]s of the ranked finalists (the report itself carries
+/// only their flattened wire projection).
+pub fn analyze_eval(req: &OptimizeRequest) -> Result<(OptimizeReport, SpaceEvaluation), CostError> {
+    let w = req.workload.resolve()?;
+    let eval = evaluate_space(
+        req.budget,
+        req.slo,
+        &w,
+        &AnalyticModel::default(),
+        &req.prices,
+        &req.search_space,
+    );
+    // The shortlist must show every simulated finalist, so it extends to
+    // `confirm` when that exceeds `top`.
+    let shortlist = req.top.max(req.confirm).min(eval.feasible.len());
+    let ranked: Vec<RankedEntry> = eval.feasible[..shortlist]
+        .iter()
+        .map(RankedEntry::from_ranked)
+        .collect();
+    let best = ranked.first().cloned();
+    let pareto = eval.pareto.iter().map(RankedEntry::from_ranked).collect();
+    let report = OptimizeReport {
+        workload: w.name.clone(),
+        alpha: w.locality.alpha,
+        beta: w.locality.beta,
+        rho: w.rho,
+        budget: req.budget,
+        slo: req.slo,
+        search: eval.stats.clone(),
+        ranked,
+        best,
+        pareto,
+    };
+    Ok((report, eval))
+}
+
+/// The cost-vs-performance **Pareto frontier** of a candidate space: the
+/// configurations that no cheaper configuration can match.  Useful when
+/// the budget itself is negotiable — the frontier shows where extra
+/// dollars stop buying meaningful speedup.  Returned sorted by cost
+/// ascending (and, by construction, `E(Instr)` strictly descending).
+pub fn pareto_frontier(
+    workload: &WorkloadParams,
+    model: &AnalyticModel,
+    prices: &PriceTable,
+    space: &CandidateSpace,
+) -> Vec<RankedConfig> {
+    let all: Vec<RankedConfig> = space
+        .candidates()
+        .into_par_iter()
+        .filter_map(|spec| {
+            let cost = prices.cluster_cost(&spec)?;
+            let e = model.evaluate_or_inf(&spec, workload);
+            if !e.is_finite() {
+                return None;
+            }
+            Some(RankedConfig {
+                spec,
+                cost,
+                e_instr_seconds: e,
+            })
+        })
+        .collect();
+    frontier_of(all)
 }
 
 #[cfg(test)]

@@ -116,33 +116,20 @@ pub fn recommend(w: &WorkloadParams) -> Recommendation {
 ///
 /// `ranked` (present only when a budget was supplied) carries the
 /// cost-optimal concrete clusters backing the qualitative advice.
+///
+/// Thin wrapper over the typed [`RecommendReport`](crate::wire::RecommendReport)
+/// wire struct — prefer that type directly in new code.
 pub fn recommendation_json(
     w: &WorkloadParams,
     r: &Recommendation,
     ranked: Option<&[crate::optimize::RankedConfig]>,
 ) -> serde_json::Value {
-    let mut fields = vec![
-        ("workload".to_string(), serde_json::json!(w.name)),
-        ("alpha".to_string(), serde_json::json!(w.locality.alpha)),
-        ("beta".to_string(), serde_json::json!(w.locality.beta)),
-        ("rho".to_string(), serde_json::json!(w.rho)),
-        (
-            "platform".to_string(),
-            serde_json::to_value(&r.platform).expect("platform serializes"),
-        ),
-        ("rationale".to_string(), serde_json::json!(r.rationale)),
-        (
-            "upgrade_advice".to_string(),
-            serde_json::json!(r.upgrade_advice),
-        ),
-    ];
-    if let Some(ranked) = ranked {
-        fields.push((
-            "ranked".to_string(),
-            serde_json::to_value(ranked).expect("ranked configs serialize"),
-        ));
-    }
-    serde_json::Value::Object(fields)
+    let entries = ranked.map(|rs| {
+        rs.iter()
+            .map(crate::wire::RankedEntry::from_ranked)
+            .collect()
+    });
+    crate::wire::RecommendReport::new(w, r, entries).to_json()
 }
 
 #[cfg(test)]

@@ -6,13 +6,17 @@
 //! | `/metrics` | GET | — | counters, latency histogram, cache stats |
 //! | `/v1/model` | POST | [`Scenario`] JSON (`{config, workload}`) | analytic `E(Instr)` prediction |
 //! | `/v1/simulate` | POST | [`Scenario`] JSON (`{config, workload, size?, ...}`) | full `SimReport` |
-//! | `/v1/recommend` | POST | `{workload \| alpha+beta+rho, measure?, size?, budget?, top?}` | §6 platform advice (+ ranked clusters under a budget) |
+//! | `/v1/recommend` | POST | [`RecommendRequest`] JSON (`{workload \| alpha+beta+rho, measure?, size?, budget?, top?, prices?}`) | §6 platform advice (+ ranked clusters under a budget) |
+//! | `/v1/optimize` | POST | [`OptimizeRequest`] JSON (`{workload, budget, slo?, search_space?, prices?, top?, confirm?, confirm_size?}`) | fleet-scale search: ranked shortlist, pruning stats, Pareto frontier |
 //! | `/v1/sweep` | POST | `{configs, workloads, size?}` — expands to one [`Scenario`] per grid point | one row per grid point |
 //!
-//! The simulation endpoints parse their bodies with the unified
-//! [`Scenario`] type, so the service, the CLI flags, and sweep plan
-//! files all accept exactly the same shapes and reject with the same
-//! typed [`ScenarioError`](memhier_bench::ScenarioError) messages.
+//! Every POST endpoint parses its body with a unified typed wire format
+//! — [`Scenario`] for the simulation endpoints, the `memhier-cost`
+//! request structs for the advisor endpoints — so the service, the CLI
+//! flags, and plan files all accept exactly the same shapes and reject
+//! with the same typed error messages
+//! ([`ScenarioError`](memhier_bench::ScenarioError) / [`CostError`],
+//! both 400s).
 //!
 //! Every `/v1` response is a pure function of its request, so successful
 //! bodies are memoized in the sharded LRU [`ResponseCache`] keyed by
@@ -21,25 +25,36 @@
 //! client's JSON never cause a spurious miss.
 //!
 //! `/v1/simulate` serializes exactly what `memhier simulate --json`
-//! prints (`SimReport`, pretty, trailing newline), and `/v1/recommend`
-//! uses [`memhier_cost::recommendation_json`] — the same serializer as
-//! `memhier recommend --format json` — so the service and the CLI stay
-//! byte-for-byte interchangeable.
+//! prints (`SimReport`, pretty, trailing newline), `/v1/recommend` the
+//! [`RecommendReport`](memhier_cost::RecommendReport) `memhier recommend
+//! --format json` prints, and `/v1/optimize` the
+//! [`OptimizeReport`](memhier_cost::OptimizeReport) `memhier optimize
+//! --json` prints, so the service and the CLI stay byte-for-byte
+//! interchangeable.
 
 use crate::cache::ResponseCache;
 use crate::http::{HttpError, Request, Response};
 use crate::metrics::Metrics;
-use memhier_bench::names::{paper_params, sizes_by_name, workload_kind_by_name};
-use memhier_bench::{characterize_cached, run_sweep, Scenario, Sizes};
-use memhier_core::locality::WorkloadParams;
+use memhier_bench::names::paper_params;
+use memhier_bench::{run_optimize, run_recommend, run_sweep, Scenario, Sizes};
 use memhier_core::model::AnalyticModel;
-use memhier_cost::{optimize, recommend, recommendation_json, CandidateSpace, PriceTable};
+use memhier_cost::{CostError, OptimizeRequest, RecommendRequest};
 use serde_json::Value;
 use std::sync::mpsc;
 use std::time::Instant;
 
 /// Largest `configs × workloads` grid `/v1/sweep` accepts.
 pub const MAX_SWEEP_POINTS: usize = 64;
+
+/// Largest candidate grid `/v1/optimize` will enumerate (the analytic
+/// prune is cheap, but the grid is the product of six axes and a typo'd
+/// request shouldn't pin a worker).
+pub const MAX_OPTIMIZE_CANDIDATES: usize = 250_000;
+
+/// Largest `confirm` count `/v1/optimize` accepts: confirmation runs
+/// full simulations through the sweep runner, so it shares the sweep
+/// endpoint's cap.
+pub const MAX_OPTIMIZE_CONFIRM: usize = MAX_SWEEP_POINTS;
 
 /// Shared per-service state: the response cache plus the metric registry.
 pub struct AppState {
@@ -131,54 +146,6 @@ fn body_object(req: &Request) -> Result<Value, HttpError> {
     }
 }
 
-fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
-    v.get(key).filter(|f| !f.is_null())
-}
-
-fn opt_str<'a>(v: &'a Value, key: &str) -> Result<Option<&'a str>, HttpError> {
-    match field(v, key) {
-        None => Ok(None),
-        Some(f) => f
-            .as_str()
-            .map(Some)
-            .ok_or_else(|| HttpError::bad(format!("`{key}` must be a string"))),
-    }
-}
-
-fn opt_f64(v: &Value, key: &str) -> Result<Option<f64>, HttpError> {
-    match field(v, key) {
-        None => Ok(None),
-        Some(f) => f
-            .as_f64()
-            .map(Some)
-            .ok_or_else(|| HttpError::bad(format!("`{key}` must be a number"))),
-    }
-}
-
-fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, HttpError> {
-    match field(v, key) {
-        None => Ok(None),
-        Some(f) => f
-            .as_u64()
-            .map(Some)
-            .ok_or_else(|| HttpError::bad(format!("`{key}` must be a non-negative integer"))),
-    }
-}
-
-fn opt_bool(v: &Value, key: &str) -> Result<Option<bool>, HttpError> {
-    match field(v, key) {
-        None => Ok(None),
-        Some(f) => f
-            .as_bool()
-            .map(Some)
-            .ok_or_else(|| HttpError::bad(format!("`{key}` must be a boolean"))),
-    }
-}
-
-fn sizes_field(v: &Value, default: &str) -> Result<memhier_bench::Sizes, HttpError> {
-    sizes_by_name(opt_str(v, "size")?.unwrap_or(default)).map_err(HttpError::bad)
-}
-
 /// Route one parsed request.  `deadline` is absolute (accept time plus the
 /// configured per-request timeout).
 pub fn handle(req: &Request, state: &AppState, deadline: Instant) -> Response {
@@ -188,10 +155,12 @@ pub fn handle(req: &Request, state: &AppState, deadline: Instant) -> Response {
         ("POST", "/v1/model")
         | ("POST", "/v1/simulate")
         | ("POST", "/v1/recommend")
+        | ("POST", "/v1/optimize")
         | ("POST", "/v1/sweep") => cached_post(req, state, deadline),
         ("GET", "/v1/model")
         | ("GET", "/v1/simulate")
         | ("GET", "/v1/recommend")
+        | ("GET", "/v1/optimize")
         | ("GET", "/v1/sweep") => Response::error(405, "use POST with a JSON body"),
         _ => Response::error(404, &format!("no route for {} {}", req.method, req.path)),
     }
@@ -238,8 +207,9 @@ fn cached_post(req: &Request, state: &AppState, deadline: Instant) -> Response {
         "/v1/model" => v1_model(&parsed),
         "/v1/simulate" => v1_simulate(&parsed, deadline),
         "/v1/recommend" => v1_recommend(&parsed, deadline),
+        "/v1/optimize" => v1_optimize(&parsed, deadline),
         "/v1/sweep" => v1_sweep(&parsed, deadline),
-        // handle() only routes the four paths above here.
+        // handle() only routes the five paths above here.
         other => Err(HttpError::status(500, format!("unroutable path {other}"))),
     };
     match computed {
@@ -271,46 +241,40 @@ fn v1_simulate(v: &Value, deadline: Instant) -> Result<String, HttpError> {
     pretty_body(&out.run.report)
 }
 
+/// Evaluation-stage cost errors are 422s (the request parsed fine, the
+/// work it asked for is impossible); parse errors go through
+/// `From<CostError>` as 400s.
+fn cost_unprocessable(e: CostError) -> HttpError {
+    HttpError::status(422, e.to_string())
+}
+
 fn v1_recommend(v: &Value, deadline: Instant) -> Result<String, HttpError> {
-    let params: WorkloadParams = if let Some(name) = opt_str(v, "workload")? {
-        let kind = workload_kind_by_name(name).map_err(HttpError::bad)?;
-        if opt_bool(v, "measure")?.unwrap_or(false) {
-            // Trace-measured (α, β, ρ) instead of the paper's Table-2
-            // values: the expensive path the response cache absorbs.
-            let sizes = sizes_field(v, "small")?;
-            let c = run_with_deadline(deadline, "characterize", move || {
-                characterize_cached(&sizes.workload(kind), 64)
-            })?;
-            c.to_model_params()
-        } else {
-            paper_params(kind)
-        }
-    } else {
-        let alpha = opt_f64(v, "alpha")?
-            .ok_or_else(|| HttpError::bad("`workload` or `alpha`+`beta`+`rho` required"))?;
-        let beta =
-            opt_f64(v, "beta")?.ok_or_else(|| HttpError::bad("`beta` is required with `alpha`"))?;
-        let rho =
-            opt_f64(v, "rho")?.ok_or_else(|| HttpError::bad("`rho` is required with `alpha`"))?;
-        WorkloadParams::new("custom", alpha, beta, rho)
-            .map_err(|e| HttpError::status(422, e.to_string()))?
-    };
-    let rec = recommend(&params);
-    let ranked = match opt_f64(v, "budget")? {
-        None => None,
-        Some(budget) => {
-            let top = opt_u64(v, "top")?.unwrap_or(3) as usize;
-            let ranked = optimize(
-                budget,
-                &params,
-                &AnalyticModel::default(),
-                &PriceTable::circa_1999(),
-                &CandidateSpace::paper_market(),
-            );
-            Some(ranked.into_iter().take(top.max(1)).collect::<Vec<_>>())
-        }
-    };
-    pretty_body(&recommendation_json(&params, &rec, ranked.as_deref()))
+    let req = RecommendRequest::from_json(v)?;
+    // The measure path replays the workload trace — the expensive branch
+    // the deadline guards and the response cache absorbs.
+    let report = run_with_deadline(deadline, "recommend", move || run_recommend(&req))?
+        .map_err(cost_unprocessable)?;
+    pretty_body(&report)
+}
+
+fn v1_optimize(v: &Value, deadline: Instant) -> Result<String, HttpError> {
+    let req = OptimizeRequest::from_json(v)?;
+    let candidates = req.search_space.len();
+    if candidates > MAX_OPTIMIZE_CANDIDATES {
+        return Err(HttpError::bad(format!(
+            "search space of {candidates} candidates exceeds the \
+             {MAX_OPTIMIZE_CANDIDATES}-candidate cap"
+        )));
+    }
+    if req.confirm > MAX_OPTIMIZE_CONFIRM {
+        return Err(HttpError::bad(format!(
+            "confirm of {} finalists exceeds the {MAX_OPTIMIZE_CONFIRM}-point cap",
+            req.confirm
+        )));
+    }
+    let report = run_with_deadline(deadline, "optimize", move || run_optimize(&req))?
+        .map_err(cost_unprocessable)?;
+    pretty_body(&report)
 }
 
 fn v1_sweep(v: &Value, deadline: Instant) -> Result<String, HttpError> {
@@ -449,7 +413,8 @@ mod tests {
         assert_eq!(r.status, 200);
         let v: Value = serde_json::from_str(std::str::from_utf8(&r.body).unwrap().trim()).unwrap();
         assert_eq!(v["platform"].as_str(), Some("ManyWorkstationsSlowNetwork"));
-        // Out-of-domain parameters are a 422, not a panic.
+        // Out-of-domain parameters fail typed-request parsing: a 400,
+        // not a panic.
         let r = handle(
             &post(
                 "/v1/recommend",
@@ -458,7 +423,7 @@ mod tests {
             &state(),
             far_deadline(),
         );
-        assert_eq!(r.status, 422);
+        assert_eq!(r.status, 400);
     }
 
     #[test]
@@ -476,6 +441,55 @@ mod tests {
         let ranked = v["ranked"].as_array().expect("ranked present");
         assert!(!ranked.is_empty() && ranked.len() <= 2);
         assert!(ranked[0]["cost"].as_f64().unwrap() <= 20000.0);
+    }
+
+    #[test]
+    fn optimize_endpoint_searches_and_reports() {
+        let r = handle(
+            &post(
+                "/v1/optimize",
+                r#"{"workload": "LU", "budget": 8000,
+                    "search_space": {"max_machines": 4, "memory_mb": [32, 64]}}"#,
+            ),
+            &state(),
+            far_deadline(),
+        );
+        assert_eq!(r.status, 200);
+        let v: Value = serde_json::from_str(std::str::from_utf8(&r.body).unwrap().trim()).unwrap();
+        let search = &v["search"];
+        assert!(search["candidates"].as_u64().unwrap() > 0);
+        assert_eq!(search["confirmed"].as_u64(), Some(0));
+        assert_eq!(search["pruning_ratio"].as_f64(), Some(1.0));
+        assert!(!v["pareto"].as_array().unwrap().is_empty());
+        assert!(v["best"]["cost"].as_f64().unwrap() <= 8000.0);
+    }
+
+    #[test]
+    fn optimize_request_caps_and_typos_are_400() {
+        for body in [
+            // An unknown field fails the typed parse.
+            r#"{"workload": "LU", "budget": 8000, "buget": 1}"#,
+            // The candidate grid is capped.
+            r#"{"workload": "LU", "budget": 8000,
+                "search_space": {"max_machines": 1000000}}"#,
+            // The confirmation count shares the sweep cap.
+            r#"{"workload": "LU", "budget": 8000, "confirm": 65}"#,
+        ] {
+            let r = handle(&post("/v1/optimize", body), &state(), far_deadline());
+            assert_eq!(r.status, 400, "{body}");
+        }
+        // A well-formed request for an unsimulatable confirmation is a
+        // 422: it parsed, but the work is impossible.
+        let r = handle(
+            &post(
+                "/v1/optimize",
+                r#"{"workload": {"alpha": 1.5, "beta": 90, "rho": 0.3},
+                    "budget": 8000, "confirm": 2}"#,
+            ),
+            &state(),
+            far_deadline(),
+        );
+        assert_eq!(r.status, 422);
     }
 
     #[test]

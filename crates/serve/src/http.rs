@@ -79,6 +79,15 @@ impl From<memhier_bench::ScenarioError> for HttpError {
     }
 }
 
+/// Optimize/recommend request parse failures are likewise client
+/// errors: the typed [`CostError`](memhier_cost::CostError) becomes a
+/// 400 with its `Display` text as the reason.
+impl From<memhier_cost::CostError> for HttpError {
+    fn from(e: memhier_cost::CostError) -> Self {
+        HttpError::bad(e.to_string())
+    }
+}
+
 fn find_header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }

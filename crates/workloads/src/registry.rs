@@ -195,10 +195,37 @@ impl Workload {
         }
     }
 
+    /// Whether this size can be partitioned across `processes` SPMD
+    /// processes — the kernels' divisibility constraints, queryable
+    /// without instantiating: FFT needs `processes | √points`, Radix
+    /// `processes | keys`, EDGE `processes | dim` (rows of the image);
+    /// LU and TPC-C accept any positive count.
+    ///
+    /// Config planners (the fleet optimizer, sweep assemblers) use this
+    /// to pass over grid points no decomposition exists for instead of
+    /// tripping [`instantiate`](Self::instantiate)'s assertions.
+    pub fn supports_processes(&self, processes: usize) -> bool {
+        if processes == 0 {
+            return false;
+        }
+        match *self {
+            Workload::Fft { points } => {
+                let m = 1usize << (points.trailing_zeros() / 2);
+                m.is_multiple_of(processes)
+            }
+            Workload::Lu { .. } => true,
+            Workload::Radix { keys, .. } => keys.is_multiple_of(processes),
+            Workload::Edge { dim, .. } => dim.is_multiple_of(processes),
+            Workload::Tpcc { .. } => true,
+        }
+    }
+
     /// Instantiate for `processes` SPMD processes with a fixed seed.
     ///
     /// Panics if `processes` is incompatible with the size (each kernel
-    /// documents its divisibility constraint).
+    /// documents its divisibility constraint; probe with
+    /// [`supports_processes`](Self::supports_processes) first when the
+    /// count comes from a searched grid rather than a curated config).
     pub fn instantiate(&self, processes: usize) -> Arc<dyn SpmdProgram> {
         let seed = 0xC0FFEE;
         match *self {
@@ -264,6 +291,24 @@ mod tests {
             assert_eq!(Workload::paper(k).kind(), k);
             assert_eq!(Workload::small(k).kind(), k);
             assert_eq!(Workload::medium(k).kind(), k);
+        }
+    }
+
+    #[test]
+    fn supports_processes_matches_kernel_constraints() {
+        // small FFT: 4096 points → m = 64 rows; small Radix: 16 K keys;
+        // small EDGE: 32-row image.
+        let fft = Workload::small(WorkloadKind::Fft);
+        assert!(fft.supports_processes(64) && !fft.supports_processes(3));
+        let radix = Workload::small(WorkloadKind::Radix);
+        assert!(radix.supports_processes(8) && !radix.supports_processes(6));
+        let edge = Workload::small(WorkloadKind::Edge);
+        assert!(edge.supports_processes(16) && !edge.supports_processes(5));
+        for k in [WorkloadKind::Lu, WorkloadKind::Tpcc] {
+            assert!(Workload::small(k).supports_processes(7));
+        }
+        for k in WorkloadKind::PAPER {
+            assert!(!Workload::small(k).supports_processes(0));
         }
     }
 

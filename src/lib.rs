@@ -54,6 +54,9 @@ pub enum MemhierError {
     /// Scenario construction or parsing failure (bad config/workload/
     /// size names, malformed JSON or compact form).
     Scenario(memhier_bench::ScenarioError),
+    /// Optimizer request/response failure (bad optimize/recommend
+    /// requests, unsimulatable workloads).
+    Cost(memhier_cost::CostError),
     /// Filesystem/IO failure (metrics or trace export, artifact writes).
     Io(std::io::Error),
     /// JSON serialization/deserialization failure.
@@ -67,6 +70,7 @@ impl std::fmt::Display for MemhierError {
         match self {
             MemhierError::Model(e) => write!(f, "model error: {e}"),
             MemhierError::Scenario(e) => write!(f, "scenario error: {e}"),
+            MemhierError::Cost(e) => write!(f, "cost error: {e}"),
             MemhierError::Io(e) => write!(f, "io error: {e}"),
             MemhierError::Json(e) => write!(f, "json error: {e}"),
             MemhierError::Invalid(msg) => write!(f, "invalid input: {msg}"),
@@ -79,6 +83,7 @@ impl std::error::Error for MemhierError {
         match self {
             MemhierError::Model(e) => Some(e),
             MemhierError::Scenario(e) => Some(e),
+            MemhierError::Cost(e) => Some(e),
             MemhierError::Io(e) => Some(e),
             MemhierError::Json(e) => Some(e),
             MemhierError::Invalid(_) => None,
@@ -95,6 +100,12 @@ impl From<memhier_core::ModelError> for MemhierError {
 impl From<memhier_bench::ScenarioError> for MemhierError {
     fn from(e: memhier_bench::ScenarioError) -> Self {
         MemhierError::Scenario(e)
+    }
+}
+
+impl From<memhier_cost::CostError> for MemhierError {
+    fn from(e: memhier_cost::CostError) -> Self {
+        MemhierError::Cost(e)
     }
 }
 
@@ -131,6 +142,9 @@ pub mod prelude {
     pub use memhier_core::{
         AnalyticModel, ArrivalModel, ClusterSpec, LatencyParams, Locality, MachineSpec, ModelError,
         NetworkKind, NetworkTopology, PlatformKind, Prediction, TailMode, WorkloadParams,
+    };
+    pub use memhier_cost::{
+        CostError, OptimizeReport, OptimizeRequest, RecommendReport, RecommendRequest, WorkloadSpec,
     };
     pub use memhier_sim::{
         ClusterBackend, EventTracer, HomeMap, MemEvent, MetricsSeries, NopObserver, ProcSource,
