@@ -165,6 +165,8 @@ impl FlagParser {
 
     /// Parse `args` (without the program name).  Returns an error message
     /// for unknown flags, missing values, or unexpected positionals.
+    /// Registered single-dash names (e.g. `-o`) are accepted too;
+    /// unregistered ones fall through to positional handling.
     pub fn parse(&self, args: &[String]) -> Result<Matches, String> {
         let mut m = Matches {
             switches: Vec::new(),
@@ -181,7 +183,7 @@ impl FlagParser {
                     return Err(format!("`{name}` takes no value"));
                 }
                 m.options.push((spec.name, value.to_string()));
-            } else if a.starts_with("--") {
+            } else if a.starts_with("--") || (a.starts_with('-') && self.find(a).is_some()) {
                 let spec = self.find(a).ok_or_else(|| format!("unknown flag `{a}`"))?;
                 match spec.metavar {
                     None => m.switches.push(spec.name),

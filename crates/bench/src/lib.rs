@@ -30,6 +30,7 @@ pub mod faults;
 pub mod flags;
 pub mod names;
 pub mod optimrun;
+pub mod record;
 pub mod runner;
 pub mod scenario;
 pub mod sweeprun;
@@ -39,6 +40,7 @@ pub use faults::{FaultAction, FaultKind, FaultPlan, FaultRule, FaultSite};
 pub use flags::{FlagParser, Matches};
 pub use names::{config_by_name, paper_params, sizes_by_name, workload_kind_by_name};
 pub use optimrun::{run_optimize, run_recommend};
+pub use record::{record_scenario, RecordSummary, TraceRecorder};
 pub use runner::{
     characterize, simulate_workload, simulate_workload_observed, simulate_workload_threads,
     simulate_workload_with, Characterization, ObservedRun, ObserverConfig, SimRun, Sizes,

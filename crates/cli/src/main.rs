@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         "configs" => cmd_configs(),
         "model" => cmd_model(rest),
         "simulate" => cmd_simulate(rest),
+        "record" => cmd_record(rest),
         "fit" => cmd_fit(rest),
         "optimize" => cmd_optimize(rest),
         "pareto" => cmd_pareto(rest),
@@ -83,12 +84,15 @@ USAGE:
   memhier simulate --config <C1..C15> --workload <name> [--small|--paper] [--json]
                    [--sim-threads <N>] [--metrics <out.json> [--window <cycles>]]
                    [--trace <out.jsonl> [--trace-cap <n>]]
+  memhier record   --scenario <CONFIG:WORKLOAD[:SIZE]> -o <trace.mtr>
+                   [--sim-threads N]
   memhier fit      --workload <name> [--small|--paper] [--phases] [--json]
+  memhier fit      --trace <file.mtr> [--granularity N] [--chunk-records N] [--json]
   memhier optimize --budget <dollars> (--workload <name> | --alpha A --beta B --rho R)
                    [--slo <s>] [--top <k>] [--confirm <k> [--confirm-size <tier>]]
                    [--procs LIST] [--cache LIST] [--mem LIST] [--max-machines N]
                    [--networks LIST] [--clock MHZ] [--request JSON|@FILE] [--json]
-                   [--jobs N] [--checkpoint PATH] [--resume]
+                   [--from-fit report.json] [--jobs N] [--checkpoint PATH] [--resume]
   memhier pareto   --workload <name> [--json]
   memhier upgrade  --budget <dollars> --workload <name> [--machines N --procs n
                     --cache KB --mem MB --network <eth10|eth100|atm>]
@@ -285,18 +289,62 @@ fn cmd_simulate(rest: &[String]) -> Result<(), MemhierError> {
     Ok(())
 }
 
+fn cmd_record(rest: &[String]) -> Result<(), MemhierError> {
+    let parser = FlagParser::new(
+        "memhier record",
+        "run a scenario and stream its address trace to a .mtr file",
+    )
+    .option(
+        "--scenario",
+        "SPEC",
+        "CONFIG:WORKLOAD[:SIZE] or a JSON scenario object",
+    )
+    .option("-o", "FILE", "output trace path (.mtr)")
+    .sweep_flags();
+    let Some(m) = sub(&parser, rest)? else {
+        return Ok(());
+    };
+    let scenario: Scenario = req(&m, "--scenario")?.parse()?;
+    let out = req(&m, "-o")?;
+    let summary = memhier_bench::record_scenario(&scenario, std::path::Path::new(out))?;
+    let rho = if summary.total_instructions == 0 {
+        0.0
+    } else {
+        summary.records as f64 / summary.total_instructions as f64
+    };
+    println!(
+        "recorded {} references over {} instructions (rho = {:.3}) -> {}",
+        summary.records, summary.total_instructions, rho, out
+    );
+    Ok(())
+}
+
 fn cmd_fit(rest: &[String]) -> Result<(), MemhierError> {
     let parser = FlagParser::new(
         "memhier fit",
         "measure alpha/beta/rho from the address trace",
     )
     .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
+    .option("--trace", "FILE", "fit a recorded .mtr trace (streaming)")
+    .option(
+        "--granularity",
+        "BYTES",
+        "block granularity for --trace (power of two, default 64)",
+    )
+    .option(
+        "--chunk-records",
+        "N",
+        "streaming chunk size for --trace (default 65536)",
+    )
     .switch("--phases", "per-phase locality fits")
     .switch("--json", "machine-readable output")
     .sweep_flags();
     let Some(m) = sub(&parser, rest)? else {
         return Ok(());
     };
+    if let Some(trace) = m.get("--trace") {
+        return cmd_fit_trace(&m, trace);
+    }
     let kind = workload_kind_by_name(req(&m, "--workload")?)?;
     let sizes = m.sizes();
     if m.has("--phases") {
@@ -325,6 +373,46 @@ fn cmd_fit(rest: &[String]) -> Result<(), MemhierError> {
         "  paper: alpha = {:.2}  beta = {:.1}  rho = {:.2}",
         w.locality.alpha, w.locality.beta, w.rho
     );
+    Ok(())
+}
+
+/// Streaming fit of a recorded `.mtr` trace.  The request round-trips
+/// through its own JSON parser and the `--json` output uses the same
+/// serializer as `/v1/fit`, so the CLI and the service validate and emit
+/// byte-identical JSON.
+fn cmd_fit_trace(m: &Matches, trace: &str) -> Result<(), MemhierError> {
+    use memhier_trace::{run_fit, FitRequest};
+    let mut r = FitRequest::new(trace);
+    if let Some(g) = m.parsed::<u64>("--granularity")? {
+        r.granularity = g;
+    }
+    if let Some(n) = m.parsed::<u64>("--chunk-records")? {
+        r.chunk_records = n;
+    }
+    let r = FitRequest::from_json(&r.to_json())?;
+    let report = run_fit(&r)?;
+    if m.has("--json") {
+        println!("{}", serde_json::to_string_pretty(&report.to_json())?);
+        return Ok(());
+    }
+    println!(
+        "{} ({} records @ {}-byte blocks):",
+        trace, report.records, report.granularity
+    );
+    println!(
+        "  alpha = {:.3}   beta = {:.1} bytes   (R^2 = {:.4})",
+        report.alpha, report.beta, report.r_squared
+    );
+    println!(
+        "  rho = {:.3}   converged = {}",
+        report.rho, report.converged
+    );
+    for s in &report.history {
+        println!(
+            "  @{:>9} records: alpha={:.3} beta={:<10.1} R^2={:.4}",
+            s.records, s.alpha, s.beta, s.r_squared
+        );
+    }
     Ok(())
 }
 
@@ -397,6 +485,11 @@ fn cmd_optimize(rest: &[String]) -> Result<(), MemhierError> {
     .option("--alpha", "A", "custom locality shape (with --beta --rho)")
     .option("--beta", "B", "custom locality scale, bytes")
     .option("--rho", "R", "custom memory-reference fraction")
+    .option(
+        "--from-fit",
+        "FILE",
+        "take alpha/beta/rho from a `memhier fit --json` report",
+    )
     .option(
         "--slo",
         "SECONDS",
@@ -509,14 +602,29 @@ fn optimize_request(m: &Matches) -> Result<OptimizeRequest, MemhierError> {
     Ok(OptimizeRequest::from_json(&r.to_json())?)
 }
 
-/// The workload a request names: `--workload NAME` or the custom
-/// `--alpha/--beta/--rho` triple.
+/// The workload a request names: `--workload NAME`, a `--from-fit`
+/// report from `memhier fit --json`, or the custom `--alpha/--beta/--rho`
+/// triple.
 fn workload_spec(m: &Matches) -> Result<WorkloadSpec, MemhierError> {
     if let Some(name) = m.get("--workload") {
         return Ok(WorkloadSpec::named(name)?);
     }
+    if let Some(path) = m.get("--from-fit") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| MemhierError::Invalid(format!("reading {path}: {e}")))?;
+        let v: serde_json::Value = serde_json::from_str(&text)
+            .map_err(|e| memhier_trace::TraceError::Syntax(e.to_string()))?;
+        let report = memhier_trace::FitReport::from_json(&v)?;
+        let spec = WorkloadSpec::Custom {
+            alpha: report.alpha,
+            beta: report.beta,
+            rho: report.rho,
+        };
+        spec.resolve()?;
+        return Ok(spec);
+    }
     let alpha: f64 = req(m, "--alpha")
-        .map_err(|_| "--workload or --alpha/--beta/--rho required".to_string())?
+        .map_err(|_| "--workload, --from-fit, or --alpha/--beta/--rho required".to_string())?
         .parse()
         .map_err(|_| "bad --alpha")?;
     let beta: f64 = req(m, "--beta")?.parse().map_err(|_| "bad --beta")?;

@@ -108,6 +108,32 @@ fn v1_recommend_budget_matches_cli_json_bytes() {
     server.shutdown();
 }
 
+/// `/v1/fit` must be byte-identical to `memhier fit --trace --json` for
+/// the same recorded trace.  The trace itself comes from `memhier
+/// record`, so this exercises the whole record → fit surface both ways.
+#[test]
+fn v1_fit_matches_cli_json_bytes() {
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    let trace = dir.join("parity_fft.mtr");
+    let trace_str = trace.to_str().expect("utf8 path");
+    memhier_stdout(&["record", "--scenario", "C1:FFT:small", "-o", trace_str]);
+
+    let server = server();
+    let body = format!(r#"{{"trace": "{trace_str}", "chunk_records": 4096}}"#);
+    let from_service = serve_body(&server, "/v1/fit", &body);
+    let from_cli = memhier_stdout(&[
+        "fit",
+        "--trace",
+        trace_str,
+        "--chunk-records",
+        "4096",
+        "--json",
+    ]);
+    assert_eq!(from_service, from_cli, "service and CLI bytes diverge");
+    server.shutdown();
+}
+
 /// `/v1/optimize` must be byte-identical to `memhier optimize --json`
 /// for the same request — including the simulation confirmations, which
 /// ride on the thread-invariant engine.  The CLI's `--request` spelling

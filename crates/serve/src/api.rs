@@ -9,6 +9,7 @@
 //! | `/v1/recommend` | POST | [`RecommendRequest`] JSON (`{workload \| alpha+beta+rho, measure?, size?, budget?, top?, prices?}`) | §6 platform advice (+ ranked clusters under a budget) |
 //! | `/v1/optimize` | POST | [`OptimizeRequest`] JSON (`{workload, budget, slo?, search_space?, prices?, top?, confirm?, confirm_size?}`) | fleet-scale search: ranked shortlist, pruning stats, Pareto frontier |
 //! | `/v1/sweep` | POST | `{configs, workloads, size?}` — expands to one [`Scenario`] per grid point | one row per grid point |
+//! | `/v1/fit` | POST | [`FitRequest`] JSON (`{trace, granularity?, chunk_records?}`) | streaming α/β/ρ fit of a recorded `.mtr` trace ([`FitReport`](memhier_trace::FitReport)) |
 //!
 //! Every POST endpoint parses its body with a unified typed wire format
 //! — [`Scenario`] for the simulation endpoints, the `memhier-cost`
@@ -30,7 +31,10 @@
 //! --format json` prints, and `/v1/optimize` the
 //! [`OptimizeReport`](memhier_cost::OptimizeReport) `memhier optimize
 //! --json` prints, so the service and the CLI stay byte-for-byte
-//! interchangeable.
+//! interchangeable.  `/v1/fit` likewise serializes exactly what `memhier
+//! fit --trace FILE --json` prints; it is the one `/v1` endpoint that is
+//! **not** memoized, because its answer depends on the trace file's
+//! bytes, not only on the request body.
 
 use crate::cache::ResponseCache;
 use crate::http::{HttpError, Request, Response};
@@ -39,6 +43,7 @@ use memhier_bench::names::paper_params;
 use memhier_bench::{run_optimize, run_recommend, run_sweep, Scenario, Sizes};
 use memhier_core::model::AnalyticModel;
 use memhier_cost::{CostError, OptimizeRequest, RecommendRequest};
+use memhier_trace::{run_fit, FitRequest};
 use serde_json::Value;
 use std::sync::mpsc;
 use std::time::Instant;
@@ -157,11 +162,15 @@ pub fn handle(req: &Request, state: &AppState, deadline: Instant) -> Response {
         | ("POST", "/v1/recommend")
         | ("POST", "/v1/optimize")
         | ("POST", "/v1/sweep") => cached_post(req, state, deadline),
+        // Uncached: the answer depends on the trace file on disk, so a
+        // memoized body could go stale if the file is re-recorded.
+        ("POST", "/v1/fit") => fit_post(req, deadline),
         ("GET", "/v1/model")
         | ("GET", "/v1/simulate")
         | ("GET", "/v1/recommend")
         | ("GET", "/v1/optimize")
-        | ("GET", "/v1/sweep") => Response::error(405, "use POST with a JSON body"),
+        | ("GET", "/v1/sweep")
+        | ("GET", "/v1/fit") => Response::error(405, "use POST with a JSON body"),
         _ => Response::error(404, &format!("no route for {} {}", req.method, req.path)),
     }
 }
@@ -275,6 +284,28 @@ fn v1_optimize(v: &Value, deadline: Instant) -> Result<String, HttpError> {
     let report = run_with_deadline(deadline, "optimize", move || run_optimize(&req))?
         .map_err(cost_unprocessable)?;
     pretty_body(&report)
+}
+
+/// `POST /v1/fit`: parse the body as a [`FitRequest`] (400 on parse
+/// errors, exactly the validation `memhier fit --trace` applies), then
+/// stream the trace through the out-of-core fitter (422 when the file is
+/// unreadable or the fit is degenerate).
+fn fit_post(req: &Request, deadline: Instant) -> Response {
+    let parsed = match body_object(req) {
+        Ok(v) => v,
+        Err(e) => return Response::error(e.status, &e.message),
+    };
+    match v1_fit(&parsed, deadline) {
+        Ok(body) => Response::json(200, body),
+        Err(e) => Response::error(e.status, &e.message),
+    }
+}
+
+fn v1_fit(v: &Value, deadline: Instant) -> Result<String, HttpError> {
+    let req = FitRequest::from_json(v)?;
+    let report = run_with_deadline(deadline, "fit", move || run_fit(&req))?
+        .map_err(|e| HttpError::status(422, e.to_string()))?;
+    pretty_body(&report.to_json())
 }
 
 fn v1_sweep(v: &Value, deadline: Instant) -> Result<String, HttpError> {

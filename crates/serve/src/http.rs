@@ -88,6 +88,17 @@ impl From<memhier_cost::CostError> for HttpError {
     }
 }
 
+/// Fit request parse failures are likewise client errors: the typed
+/// [`TraceError`](memhier_trace::TraceError) becomes a 400 with its
+/// `Display` text as the reason.  (Evaluation-stage trace errors —
+/// unreadable files, degenerate fits — are mapped to 422 at the
+/// endpoint, mirroring the optimize/recommend split.)
+impl From<memhier_trace::TraceError> for HttpError {
+    fn from(e: memhier_trace::TraceError) -> Self {
+        HttpError::bad(e.to_string())
+    }
+}
+
 fn find_header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }

@@ -255,6 +255,14 @@ impl SessionOutput {
             .iter_mut()
             .find_map(|o| o.as_any_mut().downcast_mut())
     }
+
+    /// Remove and return the first attached observer of concrete type
+    /// `T`, yielding ownership — the escape hatch for observers holding
+    /// resources that must be finalized (an open trace file, a socket).
+    pub fn take_observer<T: SimObserver>(&mut self) -> Option<Box<T>> {
+        let idx = self.observers.iter().position(|o| o.as_any().is::<T>())?;
+        self.observers.swap_remove(idx).into_any().downcast().ok()
+    }
 }
 
 /// Sentinel ready-clock for a processor that cannot run (finished or

@@ -132,6 +132,12 @@ pub trait SimObserver: Any + Send {
     fn as_any(&self) -> &dyn Any;
     /// Mutable upcast.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+    /// Consuming upcast, so
+    /// [`SessionOutput::take_observer`](crate::SessionOutput::take_observer)
+    /// can hand the observer back by value (e.g. to finalize a file it
+    /// owns).  Implementations are always `fn into_any(self: Box<Self>)
+    /// -> Box<dyn Any> { self }`.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
 }
 
 /// The zero-cost default: observes nothing.  Attaching it must not change
@@ -144,6 +150,9 @@ impl SimObserver for NopObserver {
         self
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
     }
 }
@@ -428,6 +437,9 @@ impl SimObserver for TimeSeriesCollector {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -565,6 +577,9 @@ impl SimObserver for EventTracer {
         self
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
     }
 }

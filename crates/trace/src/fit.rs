@@ -14,6 +14,61 @@
 //! minimization of the residual, which is smooth and unimodal in practice.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a fit could not be produced.  The checked entry point
+/// [`fit_locality_checked`] returns these instead of letting degenerate
+/// inputs (empty histograms, all-equal distances, anti-locality data)
+/// surface as `NaN`/`Inf` parameters downstream.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FitError {
+    /// Fewer than 3 usable CDF points survived filtering (empty
+    /// histogram, fully-saturated CDF, ...).
+    TooFewPoints {
+        /// How many usable points there were.
+        usable: usize,
+    },
+    /// An input point was `NaN` or infinite.
+    NonFinite {
+        /// The offending abscissa.
+        x: f64,
+        /// The offending cumulative probability.
+        p: f64,
+    },
+    /// The input carries no curvature to fit (what degenerates, why).
+    Degenerate(&'static str),
+    /// The best fit ran into the `α > 1` bound — the data does not decay
+    /// with distance, so the paper's locality model does not apply.
+    OutOfRange {
+        /// The boundary `α` the search converged to.
+        alpha: f64,
+        /// The `β` paired with it.
+        beta: f64,
+    },
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::TooFewPoints { usable } => write!(
+                f,
+                "need at least 3 usable CDF points to fit (α, β), got {usable}"
+            ),
+            FitError::NonFinite { x, p } => {
+                write!(f, "non-finite CDF point ({x}, {p})")
+            }
+            FitError::Degenerate(why) => write!(f, "degenerate input: {why}"),
+            FitError::OutOfRange { alpha, beta } => write!(
+                f,
+                "fit hit the model boundary (α = {alpha}, β = {beta:.3}): \
+                 references do not exhibit decaying locality"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
 
 /// Result of a locality fit.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -73,13 +128,41 @@ fn rss_for_beta(points: &[(f64, f64)], beta: f64) -> (f64, f64) {
 /// assert!((fit.beta - 90.0).abs() < 0.5);
 /// ```
 pub fn fit_locality(points: &[(f64, f64)]) -> Option<FitResult> {
+    fit_locality_checked(points).ok()
+}
+
+/// [`fit_locality`] with typed rejection: degenerate inputs come back as
+/// a [`FitError`] describing *why* no `(α, β)` exists instead of a bare
+/// `None` (or, worse, `NaN`/`Inf` parameters).
+///
+/// ```
+/// use memhier_trace::fit::{fit_locality_checked, FitError};
+/// assert!(matches!(
+///     fit_locality_checked(&[]),
+///     Err(FitError::TooFewPoints { usable: 0 })
+/// ));
+/// ```
+pub fn fit_locality_checked(points: &[(f64, f64)]) -> Result<FitResult, FitError> {
+    if let Some(&(x, p)) = points
+        .iter()
+        .find(|(x, p)| !x.is_finite() || !p.is_finite())
+    {
+        return Err(FitError::NonFinite { x, p });
+    }
     let usable: Vec<(f64, f64)> = points
         .iter()
         .copied()
         .filter(|&(x, p)| x > 0.0 && p > 0.0 && p < 1.0 - 1e-12)
         .collect();
     if usable.len() < 3 {
-        return None;
+        return Err(FitError::TooFewPoints {
+            usable: usable.len(),
+        });
+    }
+    if usable.iter().all(|&(x, _)| x == usable[0].0) {
+        return Err(FitError::Degenerate(
+            "all points share one stack distance, so β is unconstrained",
+        ));
     }
 
     // Golden-section search over ln β in [ln 1.001, ln 1e12].
@@ -111,13 +194,29 @@ pub fn fit_locality(points: &[(f64, f64)]) -> Option<FitResult> {
     let beta = (0.5 * (a + b)).exp();
     let (rss, k) = rss_for_beta(&usable, beta);
 
+    // The slope clamp in `rss_for_beta` floors k = α−1 at 1e-9; landing
+    // exactly on the floor means the unconstrained solution had α ≤ 1
+    // (probability mass *grows* with distance).
+    if k <= 1e-9 {
+        return Err(FitError::OutOfRange {
+            alpha: 1.0 + k,
+            beta,
+        });
+    }
+
     // R² in the log domain.
     let ys: Vec<f64> = usable.iter().map(|&(_, p)| (1.0 - p).ln()).collect();
     let mean = ys.iter().sum::<f64>() / ys.len() as f64;
     let tss: f64 = ys.iter().map(|y| (y - mean) * (y - mean)).sum();
     let r2 = if tss > 0.0 { 1.0 - rss / tss } else { 1.0 };
 
-    Some(FitResult {
+    if !k.is_finite() || !beta.is_finite() || !r2.is_finite() || beta <= 0.0 {
+        return Err(FitError::Degenerate(
+            "least squares produced non-finite or non-positive parameters",
+        ));
+    }
+
+    Ok(FitResult {
         alpha: 1.0 + k,
         beta,
         r_squared: r2,
@@ -208,6 +307,92 @@ mod tests {
             fit.beta
         );
         assert!(fit.r_squared > 0.95, "r2 {}", fit.r_squared);
+    }
+
+    #[test]
+    fn empty_histogram_is_typed_too_few_points() {
+        let h = DistanceHistogram::new(64);
+        assert_eq!(
+            fit_locality_checked(&h.cdf_points()),
+            Err(FitError::TooFewPoints { usable: 0 })
+        );
+    }
+
+    #[test]
+    fn all_equal_distances_rejected() {
+        // Every reuse at the same distance: the histogram collapses to a
+        // single CDF point (plus cold mass), which cannot constrain β.
+        let mut h = DistanceHistogram::new(1);
+        for _ in 0..10_000 {
+            h.record(Some(17));
+        }
+        h.record(None);
+        let err = fit_locality_checked(&h.cdf_points()).unwrap_err();
+        assert!(
+            matches!(err, FitError::TooFewPoints { usable: 1 }),
+            "{err:?}"
+        );
+        // Raw caller-supplied points with one shared x hit the explicit
+        // degeneracy guard instead.
+        let flat = [(50.0, 0.2), (50.0, 0.4), (50.0, 0.6)];
+        assert!(matches!(
+            fit_locality_checked(&flat).unwrap_err(),
+            FitError::Degenerate(_)
+        ));
+    }
+
+    #[test]
+    fn non_finite_points_rejected() {
+        let pts = [(10.0, 0.1), (f64::NAN, 0.2), (30.0, 0.3)];
+        assert!(matches!(
+            fit_locality_checked(&pts).unwrap_err(),
+            FitError::NonFinite { .. }
+        ));
+        let pts = [(10.0, 0.1), (20.0, f64::INFINITY), (30.0, 0.3)];
+        assert!(matches!(
+            fit_locality_checked(&pts).unwrap_err(),
+            FitError::NonFinite { .. }
+        ));
+        // The unchecked API mirrors the rejection as None, never NaN.
+        assert!(fit_locality(&pts).is_none());
+    }
+
+    #[test]
+    fn anti_locality_hits_alpha_bound() {
+        // A CDF that never accumulates mass (P ≈ 0 at every distance)
+        // drives the slope α−1 into its 1e-9 floor: the old code silently
+        // returned α = 1 + 1e-9; now it is a typed rejection.
+        let pts = [
+            (10.0, 1e-13),
+            (100.0, 2e-13),
+            (1000.0, 3e-13),
+            (5000.0, 2e-13),
+        ];
+        match fit_locality_checked(&pts).unwrap_err() {
+            FitError::OutOfRange { alpha, beta } => {
+                assert!(alpha <= 1.0 + 1e-9, "alpha {alpha}");
+                assert!(beta.is_finite());
+            }
+            other => panic!("expected OutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_display_without_panicking() {
+        for e in [
+            FitError::TooFewPoints { usable: 2 },
+            FitError::NonFinite {
+                x: f64::NAN,
+                p: 0.5,
+            },
+            FitError::Degenerate("x"),
+            FitError::OutOfRange {
+                alpha: 1.0,
+                beta: 2.0,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]

@@ -82,6 +82,13 @@ impl DistanceHistogram {
         self.granularity
     }
 
+    /// Deterministic resident size of the bucket arrays in bytes.  The
+    /// log-bucket scheme caps this at a few kilobytes no matter how long
+    /// the trace runs (64 buckets per factor-of-16 in distance).
+    pub fn state_bytes(&self) -> u64 {
+        (self.linear.len() + self.log.len()) as u64 * 8 + 32
+    }
+
     /// Merge another histogram (e.g. from another SPMD process) into this
     /// one.  Panics if granularities differ.
     pub fn merge(&mut self, other: &DistanceHistogram) {

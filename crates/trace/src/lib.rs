@@ -31,15 +31,19 @@
 //! ```
 
 pub mod fit;
+pub mod format;
 pub mod histogram;
 pub mod phase;
 pub mod stackdist;
 pub mod stats;
+pub mod stream;
 pub mod synthetic;
 
-pub use fit::{fit_locality, FitResult};
+pub use fit::{fit_locality, fit_locality_checked, FitError, FitResult};
+pub use format::{TraceError, TraceHeader, TraceReader, TraceWriter};
 pub use histogram::DistanceHistogram;
 pub use phase::{PhaseAnalyzer, PhaseSummary};
 pub use stackdist::{NaiveStackDistance, StackDistanceAnalyzer};
 pub use stats::TraceStats;
+pub use stream::{run_fit, FitReport, FitRequest, FitSnapshot, StreamAnalyzer};
 pub use synthetic::SyntheticTrace;

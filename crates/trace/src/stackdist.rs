@@ -147,6 +147,20 @@ impl StackDistanceAnalyzer {
         self.live
     }
 
+    /// Deterministic estimate of the analyzer's resident state in bytes
+    /// (Fenwick slots + block map entries + histogram buckets), computed
+    /// from container lengths so identical inputs report identical
+    /// sizes.  This is what the out-of-core pipeline's memory-bound
+    /// assertions measure: it scales with *live blocks*, never with
+    /// trace length.
+    pub fn state_bytes(&self) -> u64 {
+        let fenwick = self.bit.tree.len() as u64 * 4;
+        // HashMap entry: key + value + ~1/3 table overhead, rounded to
+        // 24 bytes per live block.
+        let map = self.last_slot.len() as u64 * 24;
+        fenwick + map + self.hist.state_bytes()
+    }
+
     /// The accumulated distance histogram (distances in blocks; the
     /// histogram knows the byte granularity for CDF conversion).
     pub fn histogram(&self) -> DistanceHistogram {

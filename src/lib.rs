@@ -57,6 +57,8 @@ pub enum MemhierError {
     /// Optimizer request/response failure (bad optimize/recommend
     /// requests, unsimulatable workloads).
     Cost(memhier_cost::CostError),
+    /// Trace format, streaming-analysis, or fit-request failure.
+    Trace(memhier_trace::TraceError),
     /// Filesystem/IO failure (metrics or trace export, artifact writes).
     Io(std::io::Error),
     /// JSON serialization/deserialization failure.
@@ -71,6 +73,7 @@ impl std::fmt::Display for MemhierError {
             MemhierError::Model(e) => write!(f, "model error: {e}"),
             MemhierError::Scenario(e) => write!(f, "scenario error: {e}"),
             MemhierError::Cost(e) => write!(f, "cost error: {e}"),
+            MemhierError::Trace(e) => write!(f, "trace error: {e}"),
             MemhierError::Io(e) => write!(f, "io error: {e}"),
             MemhierError::Json(e) => write!(f, "json error: {e}"),
             MemhierError::Invalid(msg) => write!(f, "invalid input: {msg}"),
@@ -84,6 +87,7 @@ impl std::error::Error for MemhierError {
             MemhierError::Model(e) => Some(e),
             MemhierError::Scenario(e) => Some(e),
             MemhierError::Cost(e) => Some(e),
+            MemhierError::Trace(e) => Some(e),
             MemhierError::Io(e) => Some(e),
             MemhierError::Json(e) => Some(e),
             MemhierError::Invalid(_) => None,
@@ -106,6 +110,12 @@ impl From<memhier_bench::ScenarioError> for MemhierError {
 impl From<memhier_cost::CostError> for MemhierError {
     fn from(e: memhier_cost::CostError) -> Self {
         MemhierError::Cost(e)
+    }
+}
+
+impl From<memhier_trace::TraceError> for MemhierError {
+    fn from(e: memhier_trace::TraceError) -> Self {
+        MemhierError::Trace(e)
     }
 }
 
