@@ -1,11 +1,17 @@
 //! serve_load — a closed-loop load generator for `memhierd`.
 //!
-//! `--clients` threads each open one connection per request (the service
-//! is `Connection: close`), pull work from a shared counter until
-//! `--requests` have been issued, and record per-request latency and
-//! status.  The summary prints p50/p95/p99 latency, throughput, and the
-//! status-code mix; `--json` emits the same numbers machine-readably
-//! (the CI smoke job and the integration tests parse it).
+//! `--clients` threads each hold one **keep-alive** connection
+//! ([`LoadClient`]), pull work from a shared counter until `--requests`
+//! have been issued, and record per-request latency and status.  The
+//! summary prints p50/p95/p99 latency, throughput, and the status-code
+//! mix; `--json` emits the same numbers machine-readably (the CI smoke
+//! job and the integration tests parse it).  Transport failures are
+//! broken out by kind — `connect_errors` (service unreachable),
+//! `premature_closes` (connection dropped mid-response: the "dropped
+//! in-flight request" signal), and other transport errors — with the
+//! historical `errors` field kept as their sum.  `reconnects` counts
+//! idle-keep-alive races transparently retried by the client; they are
+//! not errors.
 //!
 //! ```text
 //! serve_load --addr 127.0.0.1:7070 --clients 8 --requests 64 \
@@ -23,9 +29,8 @@
 //! keeping load tests reproducible.  Retry totals appear in the summary
 //! (`retries_429` in `--json`).
 
-use memhier_bench::FlagParser;
-use std::io::{Read, Write};
-use std::net::TcpStream;
+use memhier_bench::{FlagParser, LoadClient, LoadError};
+use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -56,41 +61,26 @@ fn request_bytes(endpoint: &str, body: Option<&str>) -> Result<Vec<u8>, String> 
     .into_bytes())
 }
 
-/// One request: connect, send, read to EOF.  Returns the status, the
-/// latency, and the `Retry-After` header (seconds) when present.
-fn one_request(addr: &str, wire: &[u8]) -> Result<(u16, Duration, Option<u64>), String> {
-    let started = Instant::now();
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(60)))
-        .map_err(|e| e.to_string())?;
-    stream.write_all(wire).map_err(|e| format!("send: {e}"))?;
-    let mut reply = Vec::new();
-    stream
-        .read_to_end(&mut reply)
-        .map_err(|e| format!("read: {e}"))?;
-    let status: u16 = reply
-        .strip_prefix(b"HTTP/1.1 ")
-        .and_then(|r| r.get(..3))
-        .and_then(|s| std::str::from_utf8(s).ok())
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| "malformed response status line".to_string())?;
-    Ok((status, started.elapsed(), retry_after_secs(&reply)))
+/// Per-thread transport-failure tally, by [`LoadError`] kind.
+#[derive(Default)]
+struct ErrorTally {
+    connect: usize,
+    premature: usize,
+    transport: usize,
 }
 
-/// The `Retry-After` header of a raw HTTP/1.1 reply, in whole seconds
-/// (`None` when absent, malformed, or in the unsupported date form).
-fn retry_after_secs(reply: &[u8]) -> Option<u64> {
-    let head_end = reply.windows(4).position(|w| w == b"\r\n\r\n")?;
-    let head = std::str::from_utf8(&reply[..head_end]).ok()?;
-    head.lines().find_map(|line| {
-        let (name, value) = line.split_once(':')?;
-        if name.trim().eq_ignore_ascii_case("retry-after") {
-            value.trim().parse().ok()
-        } else {
-            None
+impl ErrorTally {
+    fn count(&mut self, e: &LoadError) {
+        match e {
+            LoadError::Connect(_) => self.connect += 1,
+            LoadError::PrematureClose => self.premature += 1,
+            LoadError::Transport(_) | LoadError::Malformed(_) => self.transport += 1,
         }
-    })
+    }
+
+    fn total(&self) -> usize {
+        self.connect + self.premature + self.transport
+    }
 }
 
 /// Deterministic full jitter in `[0, cap)`: a splitmix64-style hash of
@@ -163,8 +153,13 @@ fn main() {
         let wire = Arc::new(request_bytes(&endpoint, m.get("--body"))?);
 
         if m.has("--warm") {
-            let (status, d, _) = one_request(&addr, &wire)?;
-            eprintln!("warm-up: {status} in {:.1} ms", d.as_secs_f64() * 1e3);
+            let mut warm = LoadClient::new(addr.clone(), Duration::from_secs(60));
+            let r = warm.exchange(&wire).map_err(|e| format!("warm-up: {e}"))?;
+            eprintln!(
+                "warm-up: {} in {:.1} ms",
+                r.status,
+                r.latency.as_secs_f64() * 1e3
+            );
         }
 
         let next = Arc::new(AtomicUsize::new(0));
@@ -173,9 +168,12 @@ fn main() {
             .map(|_| {
                 let (addr, wire, next) = (addr.clone(), Arc::clone(&wire), Arc::clone(&next));
                 std::thread::spawn(move || {
+                    // One keep-alive connection per client thread; the
+                    // daemon answers every request on it in order.
+                    let mut client = LoadClient::new(addr, Duration::from_secs(60));
                     let mut latencies_us = Vec::new();
                     let mut statuses = Vec::new();
-                    let mut errors = 0usize;
+                    let mut errors = ErrorTally::default();
                     let mut retries = 0usize;
                     loop {
                         let seq = next.fetch_add(1, Ordering::Relaxed);
@@ -184,39 +182,49 @@ fn main() {
                         }
                         let mut attempt = 0u32;
                         loop {
-                            match one_request(&addr, &wire) {
-                                Ok((429, _, retry_after)) if attempt < max_retries => {
+                            match client.exchange(&wire) {
+                                Ok(reply) if reply.status == 429 && attempt < max_retries => {
                                     retries += 1;
-                                    let wait =
-                                        backoff_ms(retry_base_ms, attempt, retry_after, seq as u64);
+                                    let wait = backoff_ms(
+                                        retry_base_ms,
+                                        attempt,
+                                        reply.retry_after_secs(),
+                                        seq as u64,
+                                    );
                                     std::thread::sleep(Duration::from_millis(wait));
                                     attempt += 1;
                                     continue;
                                 }
-                                Ok((status, d, _)) => {
+                                Ok(reply) => {
                                     latencies_us
-                                        .push(d.as_micros().min(u128::from(u64::MAX)) as u64);
-                                    statuses.push(status);
+                                        .push(reply.latency.as_micros().min(u128::from(u64::MAX))
+                                            as u64);
+                                    statuses.push(reply.status);
                                 }
-                                Err(_) => errors += 1,
+                                Err(e) => errors.count(&e),
                             }
                             break;
                         }
                     }
-                    (latencies_us, statuses, errors, retries)
+                    (latencies_us, statuses, errors, retries, client.reconnects())
                 })
             })
             .collect();
 
         let mut latencies_us = Vec::with_capacity(total);
         let mut by_status: std::collections::BTreeMap<u16, usize> = Default::default();
-        let mut errors = 0usize;
+        let mut errors = ErrorTally::default();
         let mut retries_429 = 0usize;
+        let mut reconnects = 0u64;
         for h in handles {
-            let (lat, statuses, errs, retries) = h.join().map_err(|_| "client thread panicked")?;
+            let (lat, statuses, errs, retries, reconn) =
+                h.join().map_err(|_| "client thread panicked")?;
             latencies_us.extend(lat);
-            errors += errs;
+            errors.connect += errs.connect;
+            errors.premature += errs.premature;
+            errors.transport += errs.transport;
             retries_429 += retries;
+            reconnects += reconn;
             for s in statuses {
                 *by_status.entry(s).or_default() += 1;
             }
@@ -243,7 +251,11 @@ fn main() {
                 "endpoint": endpoint,
                 "clients": clients as u64,
                 "requests": done as u64,
-                "errors": errors as u64,
+                "errors": errors.total() as u64,
+                "connect_errors": errors.connect as u64,
+                "premature_closes": errors.premature as u64,
+                "transport_errors": errors.transport as u64,
+                "reconnects": reconnects,
                 "elapsed_seconds": elapsed.as_secs_f64(),
                 "throughput_rps": throughput,
                 "p50_us": p50,
@@ -276,8 +288,18 @@ fn main() {
             if retries_429 > 0 {
                 let _ = writeln!(stdout, "  429 retries: {retries_429}");
             }
-            if errors > 0 {
-                let _ = writeln!(stdout, "  transport errors: {errors}");
+            if reconnects > 0 {
+                let _ = writeln!(stdout, "  keep-alive reconnects: {reconnects}");
+            }
+            if errors.total() > 0 {
+                let _ = writeln!(
+                    stdout,
+                    "  errors: {} (connect {}, premature close {}, transport {})",
+                    errors.total(),
+                    errors.connect,
+                    errors.premature,
+                    errors.transport
+                );
             }
         }
         Ok(())
@@ -291,28 +313,6 @@ fn main() {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn retry_after_parses_case_insensitively() {
-        let reply = b"HTTP/1.1 429 Too Many Requests\r\nretry-after: 7\r\n\r\nbusy";
-        assert_eq!(retry_after_secs(reply), Some(7));
-        let reply = b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 1\r\n\r\n";
-        assert_eq!(retry_after_secs(reply), Some(1));
-    }
-
-    #[test]
-    fn retry_after_absent_or_malformed_is_none() {
-        assert_eq!(retry_after_secs(b"HTTP/1.1 200 OK\r\n\r\nok"), None);
-        assert_eq!(
-            retry_after_secs(b"HTTP/1.1 429 x\r\nRetry-After: soon\r\n\r\n"),
-            None
-        );
-        // Header value must not be read out of the body.
-        assert_eq!(
-            retry_after_secs(b"HTTP/1.1 200 OK\r\n\r\nRetry-After: 9"),
-            None
-        );
-    }
 
     #[test]
     fn backoff_grows_and_honors_retry_after_floor() {

@@ -1,0 +1,565 @@
+//! serve_soak — a chaos-soak SLO gate for `memhierd`.
+//!
+//! Runs a fixed-duration, mixed, keep-alive workload against a live
+//! daemon (typically started with `--faults
+//! serve:panic:nth=50,serve:delay:ms=100:rate=0.05`) and then **judges**
+//! the run against a service-level objective instead of merely printing
+//! latencies.  Exit status 0 means the SLO held; 1 means it was
+//! violated; 2 means the harness itself could not run.
+//!
+//! The workload mix is deterministic — a splitmix64 hash of
+//! `(client, seq)` picks each request, so the same flags replay the same
+//! byte stream:
+//!
+//! | share | request | exercises |
+//! |---|---|---|
+//! | 70% | `POST /v1/model`, one of 8 warmed configs | event-loop cache hits (and stale-while-revalidate once `--cache-ttl-ms` ages them) |
+//! | 15% | `POST /v1/model`, a distinct inline cluster spec | worker-pool misses — the jobs that consume fault indices |
+//! | 10% | `GET /healthz` | the probe fast path |
+//! |  5% | `GET /metrics` | the metrics fast path |
+//!
+//! The SLO, checked after the clock runs out:
+//!
+//! * **zero non-injected 5xx** — a 5xx whose body does not name an
+//!   injected fault (and is not the deadline 503 that injected delays
+//!   legitimately cause) is a real server bug;
+//! * **zero dropped in-flight requests** — no connect errors, no
+//!   premature closes, no other transport errors, even while injected
+//!   panics kill and respawn workers mid-run;
+//! * **bounded hit latency** — p99 over cache-hit/stale responses stays
+//!   under `--hit-p99-max-ms` (hits are answered on the event loop and
+//!   must not queue behind slow misses);
+//! * **the chaos actually ran** — with `--require-respawns N` the
+//!   server's `/metrics` must report at least N worker respawns, proving
+//!   the panics fired and were healed rather than never injected.
+//!
+//! `--json` emits the full [`SoakReport`] (typed, serde-serialized) for
+//! the CI artifact; the human summary prints the same numbers.
+
+use memhier_bench::{quantile_us, FlagParser, LoadClient, LoadError};
+use memhier_core::machine::MachineSpec;
+use memhier_core::platform::ClusterSpec;
+use serde::Serialize;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Request classes of the deterministic mix.
+#[derive(Clone, Copy, PartialEq)]
+enum Class {
+    /// One of the 8 warmed `/v1/model` bodies: a cache hit (or stale).
+    Hot,
+    /// A distinct inline-spec `/v1/model` body: a worker-bound miss.
+    Miss,
+    /// `GET /healthz`.
+    Health,
+    /// `GET /metrics`.
+    Metrics,
+}
+
+/// splitmix64: deterministic, well-spread, no global RNG.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The mix decision for request `seq` of `client`.
+fn pick(client: u64, seq: u64) -> (Class, u64) {
+    let h = mix64(client << 32 | (seq & 0xffff_ffff));
+    let class = match h % 100 {
+        0..=69 => Class::Hot,
+        70..=84 => Class::Miss,
+        85..=94 => Class::Health,
+        _ => Class::Metrics,
+    };
+    (class, h)
+}
+
+/// One of the 8 hot `/v1/model` bodies (named configs, all warmed
+/// before the clock starts).
+fn hot_body(h: u64) -> String {
+    format!(
+        r#"{{"config": "C{}", "workload": "FFT"}}"#,
+        (h / 100) % 8 + 1
+    )
+}
+
+/// A `/v1/model` body no other soak request shares: an inline cluster
+/// spec whose memory size encodes `(client, seq)`.  Inline specs bypass
+/// the named-config table, so each one is a genuine cache miss bound for
+/// the worker pool — these are the jobs injected faults act on.
+fn miss_body(client: u64, seq: u64) -> Result<String, String> {
+    let memory_mb = 33 + (client * 61 + seq) % 4096;
+    let spec = ClusterSpec::single(MachineSpec::new(1, 128, memory_mb, 200.0));
+    let config = serde_json::to_value(&spec).map_err(|e| e.to_string())?;
+    let body = serde_json::json!({"config": config, "workload": "LU"});
+    serde_json::to_string(&body).map_err(|e| e.to_string())
+}
+
+fn get(path: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.1\r\nHost: serve_soak\r\n\r\n").into_bytes()
+}
+
+fn post(path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: serve_soak\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Per-thread outcome tally; summed into the [`SoakReport`].
+#[derive(Default)]
+struct Tally {
+    requests: u64,
+    ok: u64,
+    shed_429: u64,
+    timeout_408: u64,
+    deadline_503: u64,
+    injected_5xx: u64,
+    other_5xx: u64,
+    other_4xx: u64,
+    connect_errors: u64,
+    premature_closes: u64,
+    transport_errors: u64,
+    /// Latencies (µs) of hot-class responses the cache answered
+    /// (`X-Cache: hit` or `stale` — i.e. served on the event loop).
+    hit_latencies_us: Vec<u64>,
+    /// Up to 3 sample bodies of non-injected 5xx, for the report.
+    failure_samples: Vec<String>,
+}
+
+impl Tally {
+    fn record(&mut self, class: Class, reply: &memhier_bench::Reply) {
+        self.requests += 1;
+        let body = String::from_utf8_lossy(&reply.body);
+        match reply.status {
+            200..=299 => {
+                self.ok += 1;
+                if class == Class::Hot
+                    && reply
+                        .header("x-cache")
+                        .is_some_and(|v| v == "hit" || v == "stale")
+                {
+                    self.hit_latencies_us
+                        .push(reply.latency.as_micros().min(u128::from(u64::MAX)) as u64);
+                }
+            }
+            408 => self.timeout_408 += 1,
+            429 => self.shed_429 += 1,
+            503 if body.contains("deadline exceeded") => self.deadline_503 += 1,
+            500..=599 if body.contains("injected fault") => self.injected_5xx += 1,
+            500..=599 => {
+                self.other_5xx += 1;
+                if self.failure_samples.len() < 3 {
+                    self.failure_samples.push(format!(
+                        "{}: {}",
+                        reply.status,
+                        body.chars().take(200).collect::<String>()
+                    ));
+                }
+            }
+            _ => self.other_4xx += 1,
+        }
+    }
+
+    fn record_error(&mut self, e: &LoadError) {
+        self.requests += 1;
+        match e {
+            LoadError::Connect(_) => self.connect_errors += 1,
+            LoadError::PrematureClose => self.premature_closes += 1,
+            LoadError::Transport(_) | LoadError::Malformed(_) => self.transport_errors += 1,
+        }
+    }
+
+    fn absorb(&mut self, other: Tally) {
+        self.requests += other.requests;
+        self.ok += other.ok;
+        self.shed_429 += other.shed_429;
+        self.timeout_408 += other.timeout_408;
+        self.deadline_503 += other.deadline_503;
+        self.injected_5xx += other.injected_5xx;
+        self.other_5xx += other.other_5xx;
+        self.other_4xx += other.other_4xx;
+        self.connect_errors += other.connect_errors;
+        self.premature_closes += other.premature_closes;
+        self.transport_errors += other.transport_errors;
+        self.hit_latencies_us.extend(other.hit_latencies_us);
+        for s in other.failure_samples {
+            if self.failure_samples.len() < 3 {
+                self.failure_samples.push(s);
+            }
+        }
+    }
+}
+
+/// Worker-supervision counters scraped from the server's `/metrics`
+/// after the soak.
+#[derive(Serialize)]
+struct ServerCounters {
+    /// Workers the supervisor replaced after a panic.
+    worker_respawns: u64,
+    /// In-flight jobs requeued from a dying worker.
+    requeued_jobs: u64,
+}
+
+/// The SLO verdict.
+#[derive(Serialize)]
+struct SloVerdict {
+    /// Did every objective hold?
+    pass: bool,
+    /// The `--hit-p99-max-ms` bound the run was judged against.
+    hit_p99_max_ms: u64,
+    /// The `--require-respawns` floor the run was judged against.
+    require_respawns: u64,
+    /// One line per violated objective (empty on pass).
+    violations: Vec<String>,
+}
+
+/// The machine-readable soak result (`--json`).
+#[derive(Serialize)]
+struct SoakReport {
+    /// Target daemon address.
+    addr: String,
+    /// Client threads (one keep-alive connection each).
+    clients: u64,
+    /// Wall-clock seconds the mixed load actually ran.
+    elapsed_seconds: f64,
+    /// Total exchanges attempted (including transport failures).
+    requests: u64,
+    /// Throughput over the timed window, requests per second.
+    throughput_rps: f64,
+    /// 2xx responses.
+    ok: u64,
+    /// 429 + Retry-After sheds (graceful degradation, not a violation).
+    shed_429: u64,
+    /// 408 slow-request timeouts.
+    timeout_408: u64,
+    /// 503 deadline-exceeded responses (caused by injected delays).
+    deadline_503: u64,
+    /// 5xx whose body names an injected fault.
+    injected_5xx: u64,
+    /// 5xx with no injected-fault marker — real failures; SLO-gated to 0.
+    other_5xx: u64,
+    /// Other 4xx responses.
+    other_4xx: u64,
+    /// TCP connects that failed; SLO-gated to 0.
+    connect_errors: u64,
+    /// Connections dropped mid-response; SLO-gated to 0.
+    premature_closes: u64,
+    /// Other transport errors; SLO-gated to 0.
+    transport_errors: u64,
+    /// Idle-keep-alive races transparently retried (not errors).
+    reconnects: u64,
+    /// Cache-answered hot responses sampled for the latency bound.
+    hit_samples: u64,
+    /// p50 over cache-hit latencies, microseconds.
+    hit_p50_us: u64,
+    /// p99 over cache-hit latencies, microseconds — SLO-gated.
+    hit_p99_us: u64,
+    /// Sample bodies of non-injected 5xx (at most 3), for debugging.
+    failure_samples: Vec<String>,
+    /// Post-run supervision counters from `/metrics` (None if the
+    /// scrape failed — itself an SLO violation).
+    server: Option<ServerCounters>,
+    /// The verdict.
+    slo: SloVerdict,
+}
+
+/// Scrape `worker_respawns` / `requeued_jobs` from `GET /metrics`.
+fn scrape_counters(addr: &str) -> Result<ServerCounters, String> {
+    let mut client = LoadClient::new(addr.to_string(), Duration::from_secs(10));
+    let reply = client
+        .exchange(&get("/metrics"))
+        .map_err(|e| e.to_string())?;
+    if reply.status != 200 {
+        return Err(format!("/metrics answered {}", reply.status));
+    }
+    let text = std::str::from_utf8(&reply.body).map_err(|e| format!("/metrics body: {e}"))?;
+    let doc: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("/metrics body: {e}"))?;
+    let counter = |k: &str| doc.get(k).and_then(|v| v.as_u64());
+    Ok(ServerCounters {
+        worker_respawns: counter("worker_respawns")
+            .ok_or_else(|| "no worker_respawns counter".to_string())?,
+        requeued_jobs: counter("requeued_jobs")
+            .ok_or_else(|| "no requeued_jobs counter".to_string())?,
+    })
+}
+
+fn main() {
+    let m = FlagParser::new("serve_soak", "chaos-soak SLO gate for memhierd")
+        .option("--addr", "HOST:PORT", "memhierd address (required)")
+        .option("--clients", "N", "concurrent client threads (default 4)")
+        .option("--duration-s", "S", "soak length in seconds (default 30)")
+        .option(
+            "--hit-p99-max-ms",
+            "MS",
+            "SLO bound on cache-hit p99 latency (default 250)",
+        )
+        .option(
+            "--require-respawns",
+            "N",
+            "SLO floor on /metrics worker_respawns (default 0)",
+        )
+        .switch("--json", "emit the full SoakReport as JSON")
+        .parse_env_or_exit();
+
+    match run(&m) {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("serve_soak: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Run the soak; `Ok(true)` iff the SLO held.
+fn run(m: &memhier_bench::Matches) -> Result<bool, String> {
+    let addr = m
+        .get("--addr")
+        .ok_or_else(|| "--addr required".to_string())?
+        .to_string();
+    let clients: u64 = m.parsed("--clients")?.unwrap_or(4).max(1);
+    let duration_s: u64 = m.parsed("--duration-s")?.unwrap_or(30).max(1);
+    let hit_p99_max_ms: u64 = m.parsed("--hit-p99-max-ms")?.unwrap_or(250).max(1);
+    let require_respawns: u64 = m.parsed("--require-respawns")?.unwrap_or(0);
+
+    // Warm the 8 hot bodies so the timed window measures cache hits,
+    // not cold simulation (the first soak hit would otherwise be a miss).
+    {
+        let mut warm = LoadClient::new(addr.clone(), Duration::from_secs(60));
+        for h in 0..8u64 {
+            let reply = warm
+                .exchange(&post("/v1/model", &hot_body(h * 100)))
+                .map_err(|e| format!("warm-up: {e}"))?;
+            if reply.status != 200 {
+                return Err(format!("warm-up: C{} answered {}", h + 1, reply.status));
+            }
+        }
+    }
+
+    let stop_at = Arc::new(Instant::now() + Duration::from_secs(duration_s));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|client_id| {
+            let (addr, stop_at) = (addr.clone(), Arc::clone(&stop_at));
+            std::thread::spawn(move || -> Result<(Tally, u64), String> {
+                let mut client = LoadClient::new(addr, Duration::from_secs(60));
+                let mut tally = Tally::default();
+                let mut seq = 0u64;
+                while Instant::now() < *stop_at {
+                    let (class, h) = pick(client_id, seq);
+                    let wire = match class {
+                        Class::Hot => post("/v1/model", &hot_body(h)),
+                        Class::Miss => post("/v1/model", &miss_body(client_id, seq)?),
+                        Class::Health => get("/healthz"),
+                        Class::Metrics => get("/metrics"),
+                    };
+                    match client.exchange(&wire) {
+                        Ok(reply) => tally.record(class, &reply),
+                        Err(e) => tally.record_error(&e),
+                    }
+                    seq += 1;
+                }
+                Ok((tally, client.reconnects()))
+            })
+        })
+        .collect();
+
+    let mut tally = Tally::default();
+    let mut reconnects = 0u64;
+    for h in handles {
+        let (t, r) = h.join().map_err(|_| "client thread panicked")??;
+        tally.absorb(t);
+        reconnects += r;
+    }
+    let elapsed = started.elapsed();
+
+    tally.hit_latencies_us.sort_unstable();
+    let hit_p50_us = quantile_us(&tally.hit_latencies_us, 0.50);
+    let hit_p99_us = quantile_us(&tally.hit_latencies_us, 0.99);
+
+    let server = scrape_counters(&addr);
+
+    // The verdict: every objective that fails contributes one line.
+    let mut violations = Vec::new();
+    if tally.requests == 0 {
+        violations.push("no requests completed within the soak window".to_string());
+    }
+    if tally.other_5xx > 0 {
+        violations.push(format!(
+            "{} non-injected 5xx responses (SLO: 0)",
+            tally.other_5xx
+        ));
+    }
+    if tally.connect_errors > 0 {
+        violations.push(format!("{} connect errors (SLO: 0)", tally.connect_errors));
+    }
+    if tally.premature_closes > 0 {
+        violations.push(format!(
+            "{} connections dropped mid-response (SLO: 0)",
+            tally.premature_closes
+        ));
+    }
+    if tally.transport_errors > 0 {
+        violations.push(format!(
+            "{} transport errors (SLO: 0)",
+            tally.transport_errors
+        ));
+    }
+    if tally.hit_latencies_us.is_empty() {
+        violations.push("no cache-hit samples — the hot path never ran".to_string());
+    } else if hit_p99_us > hit_p99_max_ms * 1000 {
+        violations.push(format!(
+            "cache-hit p99 {:.1} ms exceeds the {hit_p99_max_ms} ms bound",
+            hit_p99_us as f64 / 1e3
+        ));
+    }
+    match &server {
+        Ok(c) if c.worker_respawns < require_respawns => violations.push(format!(
+            "only {} worker respawns (SLO: at least {require_respawns} — the chaos never fired?)",
+            c.worker_respawns
+        )),
+        Ok(_) => {}
+        Err(e) => violations.push(format!("post-run /metrics scrape failed: {e}")),
+    }
+
+    let report = SoakReport {
+        addr,
+        clients,
+        elapsed_seconds: elapsed.as_secs_f64(),
+        requests: tally.requests,
+        throughput_rps: tally.requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        ok: tally.ok,
+        shed_429: tally.shed_429,
+        timeout_408: tally.timeout_408,
+        deadline_503: tally.deadline_503,
+        injected_5xx: tally.injected_5xx,
+        other_5xx: tally.other_5xx,
+        other_4xx: tally.other_4xx,
+        connect_errors: tally.connect_errors,
+        premature_closes: tally.premature_closes,
+        transport_errors: tally.transport_errors,
+        reconnects,
+        hit_samples: tally.hit_latencies_us.len() as u64,
+        hit_p50_us,
+        hit_p99_us,
+        failure_samples: tally.failure_samples,
+        server: server.ok(),
+        slo: SloVerdict {
+            pass: violations.is_empty(),
+            hit_p99_max_ms,
+            require_respawns,
+            violations,
+        },
+    };
+
+    let mut stdout = std::io::stdout();
+    if m.has("--json") {
+        let _ = writeln!(
+            stdout,
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        let _ = writeln!(
+            stdout,
+            "soak: {} requests over {} clients in {:.1} s ({:.1} req/s)",
+            report.requests, report.clients, report.elapsed_seconds, report.throughput_rps
+        );
+        let _ = writeln!(
+            stdout,
+            "  2xx {}  429 {}  408 {}  503-deadline {}  injected-5xx {}  other-5xx {}",
+            report.ok,
+            report.shed_429,
+            report.timeout_408,
+            report.deadline_503,
+            report.injected_5xx,
+            report.other_5xx
+        );
+        let _ = writeln!(
+            stdout,
+            "  transport: connect {}  premature-close {}  other {}  (reconnects {})",
+            report.connect_errors,
+            report.premature_closes,
+            report.transport_errors,
+            report.reconnects
+        );
+        let _ = writeln!(
+            stdout,
+            "  cache-hit latency over {} samples: p50 {:.2} ms  p99 {:.2} ms (bound {} ms)",
+            report.hit_samples,
+            report.hit_p50_us as f64 / 1e3,
+            report.hit_p99_us as f64 / 1e3,
+            report.slo.hit_p99_max_ms
+        );
+        if let Some(c) = &report.server {
+            let _ = writeln!(
+                stdout,
+                "  server: {} worker respawns, {} requeued jobs",
+                c.worker_respawns, c.requeued_jobs
+            );
+        }
+        if report.slo.pass {
+            let _ = writeln!(stdout, "  SLO: PASS");
+        } else {
+            let _ = writeln!(stdout, "  SLO: FAIL");
+            for v in &report.slo.violations {
+                let _ = writeln!(stdout, "    - {v}");
+            }
+        }
+    }
+    Ok(report.slo.pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_covers_every_class() {
+        let mut hot = 0;
+        let mut miss = 0;
+        let mut health = 0;
+        let mut metrics = 0;
+        for client in 0..4u64 {
+            for seq in 0..500u64 {
+                let (class, h) = pick(client, seq);
+                assert_eq!(h, pick(client, seq).1, "replay must agree");
+                match class {
+                    Class::Hot => hot += 1,
+                    Class::Miss => miss += 1,
+                    Class::Health => health += 1,
+                    Class::Metrics => metrics += 1,
+                }
+            }
+        }
+        // Shares land near 70/15/10/5 over 2000 draws.
+        assert!(hot > 1200 && miss > 150 && health > 100 && metrics > 40);
+    }
+
+    #[test]
+    fn hot_bodies_cycle_the_eight_named_configs() {
+        let configs: std::collections::BTreeSet<String> = (0..800u64).map(hot_body).collect();
+        assert_eq!(configs.len(), 8);
+        for c in &configs {
+            assert!(c.contains(r#""workload": "FFT""#));
+        }
+    }
+
+    #[test]
+    fn miss_bodies_are_distinct_inline_specs() {
+        let a = miss_body(0, 1).unwrap();
+        let b = miss_body(0, 2).unwrap();
+        let c = miss_body(1, 1).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Inline specs carry the machine object, not a config name.
+        assert!(a.contains("machine"), "{a}");
+        assert!(a.contains("memory_bytes"), "{a}");
+    }
+}

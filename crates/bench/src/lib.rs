@@ -28,6 +28,7 @@ pub mod calib;
 pub mod experiments;
 pub mod faults;
 pub mod flags;
+pub mod loadgen;
 pub mod names;
 pub mod optimrun;
 pub mod record;
@@ -38,6 +39,7 @@ pub mod tables;
 
 pub use faults::{FaultAction, FaultKind, FaultPlan, FaultRule, FaultSite};
 pub use flags::{FlagParser, Matches};
+pub use loadgen::{quantile_us, LoadClient, LoadError, Reply};
 pub use names::{config_by_name, paper_params, sizes_by_name, workload_kind_by_name};
 pub use optimrun::{run_optimize, run_recommend};
 pub use record::{record_scenario, RecordSummary, TraceRecorder};

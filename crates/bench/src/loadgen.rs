@@ -1,0 +1,419 @@
+//! A keep-alive HTTP/1.1 load client for `memhierd`.
+//!
+//! `serve_load` and `serve_soak` both drive the daemon through
+//! [`LoadClient`]: one persistent connection per client thread, with
+//! `content-length` framing (the server is keep-alive by default, so
+//! read-to-EOF no longer terminates a response).  The client classifies
+//! transport failures the way an SLO cares about them:
+//!
+//! * [`LoadError::Connect`] — TCP connect refused/failed; the service is
+//!   not reachable at all.
+//! * [`LoadError::PrematureClose`] — the server dropped the connection
+//!   **mid-response** (or before answering a fresh connection's first
+//!   request).  This is the "dropped in-flight request" signal the soak
+//!   SLO gates on: a healthy drain or worker respawn must never produce
+//!   one.
+//! * [`LoadError::Transport`] / [`LoadError::Malformed`] — I/O errors
+//!   and unparseable response bytes.
+//!
+//! One race is *not* an error: the server may reap an idle keep-alive
+//! connection (its `keepalive_timeout`) at the same instant the client
+//! reuses it.  HTTP/1.1 clients handle this by retrying the request once
+//! on a fresh connection; [`LoadClient::exchange`] does exactly that
+//! (the retry is visible in [`LoadClient::reconnects`], not in the error
+//! counts) — but only when the old connection died **before yielding any
+//! response bytes**, so a genuine mid-response drop is never masked.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Largest response the client will buffer before declaring the stream
+/// malformed (the daemon's own response cap is far smaller).
+const MAX_RESPONSE: usize = 64 * 1024 * 1024;
+
+/// Nearest-rank quantile of an ascending-sorted latency sample
+/// (microseconds); 0 for an empty sample.
+pub fn quantile_us(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+/// A transport-level failure, classified for SLO accounting.
+#[derive(Debug)]
+pub enum LoadError {
+    /// TCP connect failed (service down or unreachable).
+    Connect(String),
+    /// The connection closed before a complete response arrived.
+    PrematureClose,
+    /// A read or write error mid-exchange.
+    Transport(String),
+    /// Response bytes that do not parse as framed HTTP/1.1.
+    Malformed(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Connect(e) => write!(f, "connect: {e}"),
+            LoadError::PrematureClose => write!(f, "connection closed mid-response"),
+            LoadError::Transport(e) => write!(f, "transport: {e}"),
+            LoadError::Malformed(e) => write!(f, "malformed response: {e}"),
+        }
+    }
+}
+
+/// One complete response off the wire.
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// The raw head (status line + headers, without the blank line).
+    pub head: String,
+    /// The response body.
+    pub body: Vec<u8>,
+    /// Wall time from first write byte to last body byte.
+    pub latency: Duration,
+}
+
+impl Reply {
+    /// Case-insensitive header lookup (trimmed value).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.head.lines().skip(1).find_map(|line| {
+            let (n, v) = line.split_once(':')?;
+            n.trim().eq_ignore_ascii_case(name).then(|| v.trim())
+        })
+    }
+
+    /// `Retry-After` in whole seconds, when present and numeric.
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        self.header("retry-after")?.parse().ok()
+    }
+
+    /// Did the server frame this response `connection: close`?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// How one exchange attempt failed, before the retry policy is applied.
+enum Attempt {
+    Connect(String),
+    /// The write failed on a reused connection (stale keep-alive).
+    WriteFailed(String),
+    /// EOF arrived before any byte of this response.
+    EofBeforeResponse,
+    /// EOF arrived mid-response.
+    EofMidResponse,
+    Io(String),
+    Malformed(String),
+}
+
+/// A persistent keep-alive connection to one `memhierd` address.
+pub struct LoadClient {
+    addr: String,
+    stream: Option<TcpStream>,
+    /// Bytes read past the end of the previous response (pipelining
+    /// slack); consumed before touching the socket again.
+    carry: Vec<u8>,
+    read_timeout: Duration,
+    reconnects: u64,
+}
+
+impl LoadClient {
+    /// A client for `addr`; no connection is opened until the first
+    /// [`exchange`](Self::exchange).
+    pub fn new(addr: impl Into<String>, read_timeout: Duration) -> Self {
+        LoadClient {
+            addr: addr.into(),
+            stream: None,
+            carry: Vec::new(),
+            read_timeout,
+            reconnects: 0,
+        }
+    }
+
+    /// How many times a stale keep-alive connection was transparently
+    /// replaced (the idle-close race; not an error).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Send `wire` and read one framed response, reusing the connection
+    /// across calls.  A stale keep-alive connection (write failure or
+    /// clean EOF before any response byte on a **reused** stream) is
+    /// replaced and the request retried once.
+    pub fn exchange(&mut self, wire: &[u8]) -> Result<Reply, LoadError> {
+        let reused = self.stream.is_some();
+        match self.attempt(wire) {
+            Ok(reply) => Ok(reply),
+            Err(Attempt::WriteFailed(_)) | Err(Attempt::EofBeforeResponse)
+                if reused && self.carry.is_empty() =>
+            {
+                // Idle-close race: the server reaped the connection
+                // between our requests.  Retry once, fresh.
+                self.stream = None;
+                self.reconnects += 1;
+                self.attempt(wire).map_err(|e| self.classify(e))
+            }
+            Err(e) => Err(self.classify(e)),
+        }
+    }
+
+    /// Drop the connection (the next exchange reconnects).
+    pub fn disconnect(&mut self) {
+        self.stream = None;
+        self.carry.clear();
+    }
+
+    fn classify(&mut self, e: Attempt) -> LoadError {
+        self.stream = None;
+        match e {
+            Attempt::Connect(m) => LoadError::Connect(m),
+            Attempt::EofBeforeResponse | Attempt::EofMidResponse => LoadError::PrematureClose,
+            Attempt::WriteFailed(m) | Attempt::Io(m) => LoadError::Transport(m),
+            Attempt::Malformed(m) => LoadError::Malformed(m),
+        }
+    }
+
+    fn attempt(&mut self, wire: &[u8]) -> Result<Reply, Attempt> {
+        if self.stream.is_none() {
+            let stream =
+                TcpStream::connect(&self.addr).map_err(|e| Attempt::Connect(e.to_string()))?;
+            stream
+                .set_read_timeout(Some(self.read_timeout))
+                .map_err(|e| Attempt::Io(e.to_string()))?;
+            self.carry.clear();
+            self.stream = Some(stream);
+        }
+        let started = Instant::now();
+        {
+            let stream = self.stream.as_mut().expect("connected above");
+            if let Err(e) = stream.write_all(wire) {
+                self.stream = None;
+                return Err(Attempt::WriteFailed(e.to_string()));
+            }
+        }
+        let reply = self.read_one(started)?;
+        if reply.wants_close() {
+            self.stream = None;
+            self.carry.clear();
+        }
+        Ok(reply)
+    }
+
+    /// Read exactly one `content-length`-framed response, leaving any
+    /// extra bytes in `carry`.
+    fn read_one(&mut self, started: Instant) -> Result<Reply, Attempt> {
+        let mut acc = std::mem::take(&mut self.carry);
+        let mut chunk = [0u8; 8192];
+        loop {
+            if let Some(head_end) = acc.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&acc[..head_end]).to_string();
+                let clen: usize = head
+                    .lines()
+                    .skip(1)
+                    .find_map(|l| {
+                        let (n, v) = l.split_once(':')?;
+                        n.trim()
+                            .eq_ignore_ascii_case("content-length")
+                            .then(|| v.trim().parse().ok())?
+                    })
+                    .ok_or_else(|| Attempt::Malformed("missing content-length".into()))?;
+                let total = head_end + 4 + clen;
+                if total > MAX_RESPONSE {
+                    return Err(Attempt::Malformed(format!("response of {total} bytes")));
+                }
+                if acc.len() >= total {
+                    let status: u16 = head
+                        .strip_prefix("HTTP/1.1 ")
+                        .and_then(|r| r.get(..3))
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| Attempt::Malformed("bad status line".into()))?;
+                    self.carry = acc.split_off(total);
+                    let body = acc.split_off(head_end + 4);
+                    return Ok(Reply {
+                        status,
+                        head,
+                        body,
+                        latency: started.elapsed(),
+                    });
+                }
+            }
+            let n = match self.stream.as_mut().expect("connected").read(&mut chunk) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.stream = None;
+                    return Err(Attempt::Io(e.to_string()));
+                }
+            };
+            if n == 0 {
+                self.stream = None;
+                return Err(if acc.is_empty() {
+                    Attempt::EofBeforeResponse
+                } else {
+                    Attempt::EofMidResponse
+                });
+            }
+            acc.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn framed(status: &str, body: &str, close: bool) -> String {
+        let conn = if close { "close" } else { "keep-alive" };
+        format!(
+            "HTTP/1.1 {status}\r\ncontent-length: {}\r\nconnection: {conn}\r\n\r\n{body}",
+            body.len()
+        )
+    }
+
+    /// Accept connections and run `script` per connection: each entry is
+    /// (bytes to read before answering, bytes to write, hang up after).
+    fn scripted_server(
+        scripts: Vec<Vec<(usize, String)>>,
+    ) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            for script in scripts {
+                let (mut s, _) = listener.accept().expect("accept");
+                for (read_n, reply) in script {
+                    let mut buf = vec![0u8; read_n];
+                    s.read_exact(&mut buf).expect("scripted read");
+                    s.write_all(reply.as_bytes()).expect("scripted write");
+                }
+                // Connection drops when `s` goes out of scope.
+            }
+        });
+        (addr, handle)
+    }
+
+    const REQ: &str = "GET /x HTTP/1.1\r\n\r\n";
+
+    #[test]
+    fn keepalive_reuses_one_connection() {
+        let (addr, server) = scripted_server(vec![vec![
+            (REQ.len(), framed("200 OK", "one", false)),
+            (REQ.len(), framed("200 OK", "two", false)),
+        ]]);
+        let mut c = LoadClient::new(addr.to_string(), Duration::from_secs(5));
+        for expect in ["one", "two"] {
+            let r = c.exchange(REQ.as_bytes()).expect("exchange");
+            assert_eq!(r.status, 200);
+            assert_eq!(r.body, expect.as_bytes());
+        }
+        assert_eq!(c.reconnects(), 0, "same connection served both");
+        drop(c);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn idle_close_race_reconnects_once_not_an_error() {
+        // First connection answers one request then hangs up; the second
+        // request must transparently land on a new connection.
+        let (addr, server) = scripted_server(vec![
+            vec![(REQ.len(), framed("200 OK", "first", false))],
+            vec![(REQ.len(), framed("200 OK", "second", false))],
+        ]);
+        let mut c = LoadClient::new(addr.to_string(), Duration::from_secs(5));
+        assert_eq!(c.exchange(REQ.as_bytes()).expect("first").body, b"first");
+        let r = c
+            .exchange(REQ.as_bytes())
+            .expect("second (after reconnect)");
+        assert_eq!(r.body, b"second");
+        assert_eq!(c.reconnects(), 1);
+        drop(c);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn mid_response_drop_is_a_premature_close() {
+        // Half a response, then hang up: this must NOT be retried.
+        let half = "HTTP/1.1 200 OK\r\ncontent-length: 100\r\n\r\npartial";
+        let (addr, server) = scripted_server(vec![vec![(REQ.len(), half.to_string())]]);
+        let mut c = LoadClient::new(addr.to_string(), Duration::from_secs(5));
+        match c.exchange(REQ.as_bytes()) {
+            Err(LoadError::PrematureClose) => {}
+            other => panic!("expected PrematureClose, got {:?}", other.map(|r| r.status)),
+        }
+        assert_eq!(c.reconnects(), 0);
+        drop(c);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connection_close_header_is_honored() {
+        // The server frames `connection: close`; the client must open a
+        // fresh connection for the next request without counting a
+        // reconnect (it is an orderly close, not a race).
+        let (addr, server) = scripted_server(vec![
+            vec![(REQ.len(), framed("200 OK", "a", true))],
+            vec![(REQ.len(), framed("200 OK", "b", false))],
+        ]);
+        let mut c = LoadClient::new(addr.to_string(), Duration::from_secs(5));
+        assert!(c.exchange(REQ.as_bytes()).expect("a").wants_close());
+        assert_eq!(c.exchange(REQ.as_bytes()).expect("b").body, b"b");
+        assert_eq!(c.reconnects(), 0);
+        drop(c);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connect_failure_is_classified() {
+        // A bound-then-dropped listener yields a port nothing listens on.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let mut c = LoadClient::new(format!("127.0.0.1:{port}"), Duration::from_secs(1));
+        assert!(matches!(
+            c.exchange(REQ.as_bytes()),
+            Err(LoadError::Connect(_))
+        ));
+    }
+
+    #[test]
+    fn pipelining_slack_is_carried_between_calls() {
+        // Two responses arrive in one burst; the second exchange must be
+        // satisfied from the carry buffer without reading the socket.
+        let burst = format!(
+            "{}{}",
+            framed("200 OK", "one", false),
+            framed("200 OK", "two", false)
+        );
+        let (addr, server) = scripted_server(vec![vec![
+            (REQ.len(), burst),
+            // Second request is read by the server but needs no reply:
+            // the client already holds response two.
+            (REQ.len(), String::new()),
+        ]]);
+        let mut c = LoadClient::new(addr.to_string(), Duration::from_secs(5));
+        assert_eq!(c.exchange(REQ.as_bytes()).expect("one").body, b"one");
+        assert_eq!(c.exchange(REQ.as_bytes()).expect("two").body, b"two");
+        drop(c);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn retry_after_and_headers_parse() {
+        let r = Reply {
+            status: 429,
+            head: "HTTP/1.1 429 Too Many Requests\r\nRetry-After: 7\r\nX-Cache: miss".into(),
+            body: Vec::new(),
+            latency: Duration::ZERO,
+        };
+        assert_eq!(r.retry_after_secs(), Some(7));
+        assert_eq!(r.header("x-cache"), Some("miss"));
+        assert_eq!(r.header("absent"), None);
+        assert!(!r.wants_close());
+    }
+}

@@ -100,7 +100,9 @@ USAGE:
                     [--measure [--size <tier>]] [--budget <dollars> [--top <k>]]
                     [--format text|json]
   memhier serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
-                   [--timeout-ms MS] [--addr-file PATH] [--faults SPEC]
+                   [--timeout-ms MS] [--read-timeout-ms MS] [--keepalive-timeout-ms MS]
+                   [--cache-ttl-ms MS] [--drain-grace-ms MS]
+                   [--addr-file PATH] [--faults SPEC]
   memhier sweep    --configs C1,C2,...|@plan.json --workloads FFT,LU,... [--json]
                    [--small|--paper] [--jobs N] [--sim-threads N]
                    [--checkpoint PATH] [--resume] [--max-retries N] [--faults SPEC]
@@ -1063,6 +1065,26 @@ fn cmd_serve(rest: &[String]) -> Result<(), MemhierError> {
             "response-cache entries (default 256)",
         )
         .option("--cache-shards", "N", "response-cache shards (default 8)")
+        .option(
+            "--read-timeout-ms",
+            "MS",
+            "slow-client request deadline before 408 (default 10000)",
+        )
+        .option(
+            "--keepalive-timeout-ms",
+            "MS",
+            "idle keep-alive connection lifetime (default 30000)",
+        )
+        .option(
+            "--cache-ttl-ms",
+            "MS",
+            "cache entry age before stale-while-revalidate (default 0 = never stale)",
+        )
+        .option(
+            "--drain-grace-ms",
+            "MS",
+            "after a shutdown signal, keep serving with /readyz at 503 for MS (default 0)",
+        )
         .option("--addr-file", "PATH", "write the bound address to PATH")
         .option(
             "--faults",
@@ -1091,6 +1113,16 @@ fn cmd_serve(rest: &[String]) -> Result<(), MemhierError> {
     if let Some(n) = m.parsed::<usize>("--cache-shards")? {
         config.cache_shards = n;
     }
+    if let Some(ms) = m.parsed::<u64>("--read-timeout-ms")? {
+        config.read_timeout = Duration::from_millis(ms);
+    }
+    if let Some(ms) = m.parsed::<u64>("--keepalive-timeout-ms")? {
+        config.keepalive_timeout = Duration::from_millis(ms);
+    }
+    if let Some(ms) = m.parsed::<u64>("--cache-ttl-ms")? {
+        config.cache_ttl = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    let drain_grace = Duration::from_millis(m.parsed::<u64>("--drain-grace-ms")?.unwrap_or(0));
     config.faults = m.fault_plan()?;
     if !config.faults.is_empty() {
         eprintln!("memhierd: fault injection active: {}", config.faults);
@@ -1110,9 +1142,17 @@ fn cmd_serve(rest: &[String]) -> Result<(), MemhierError> {
     while !memhier_serve::signal::shutdown_requested() {
         std::thread::sleep(Duration::from_millis(50));
     }
+    // Drain: readiness drops first (so load balancers stop routing
+    // here), traffic keeps being served through the grace window, then
+    // the listener closes and in-flight work completes.
+    eprintln!(
+        "memhierd: shutdown signal received, draining ({}ms grace, /readyz now 503)",
+        drain_grace.as_millis()
+    );
+    server.begin_drain();
+    std::thread::sleep(drain_grace);
     let m = &server.state().metrics;
     let (ok, rejected) = (m.ok_count(), m.rejected_count());
-    eprintln!("memhierd: shutdown signal received, draining admitted requests");
     server.shutdown();
     eprintln!("memhierd: stopped cleanly ({ok} ok, {rejected} rejected busy)");
     Ok(())

@@ -25,7 +25,7 @@ fn serve_body(server: &Server, path: &str, body: &str) -> String {
     s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
     s.write_all(
         format!(
-            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         )
         .as_bytes(),
@@ -165,5 +165,67 @@ fn v1_optimize_matches_cli_json_bytes() {
         from_request, from_cli,
         "--request and flag spellings diverge"
     );
+    server.shutdown();
+}
+
+/// Parity must also hold through a **keep-alive** connection: the same
+/// request sent twice on one connection (a cold miss computed by a
+/// worker, then a warm hit served inline by the event loop) must both be
+/// byte-identical to the CLI.
+#[test]
+fn parity_holds_over_a_keepalive_connection() {
+    let server = server();
+    let mut s = TcpStream::connect(server.local_addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let body = r#"{"config": "C2", "workload": "Radix", "size": "small"}"#;
+    let payload = format!(
+        "POST /v1/simulate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let read_one = |s: &mut TcpStream| {
+        let mut acc = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(head_end) = acc.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&acc[..head_end]).to_string();
+                let clen: usize = head
+                    .lines()
+                    .find_map(|l| {
+                        let (name, v) = l.split_once(':')?;
+                        name.eq_ignore_ascii_case("content-length")
+                            .then(|| v.trim().parse().ok())?
+                    })
+                    .expect("content-length");
+                if acc.len() >= head_end + 4 + clen {
+                    let head = String::from_utf8_lossy(&acc[..head_end]).to_string();
+                    let body = String::from_utf8_lossy(&acc[head_end + 4..head_end + 4 + clen])
+                        .to_string();
+                    return (head, body);
+                }
+            }
+            let n = s.read(&mut chunk).expect("read");
+            assert!(n > 0, "connection closed mid-response");
+            acc.extend_from_slice(&chunk[..n]);
+        }
+    };
+    let from_cli = memhier_stdout(&[
+        "simulate",
+        "--config",
+        "C2",
+        "--workload",
+        "Radix",
+        "--small",
+        "--json",
+    ]);
+
+    s.write_all(payload.as_bytes()).expect("send cold");
+    let (head, cold) = read_one(&mut s);
+    assert!(head.contains("X-Cache: miss"), "{head}");
+    assert_eq!(cold, from_cli, "cold keep-alive bytes diverge from CLI");
+
+    s.write_all(payload.as_bytes()).expect("send warm");
+    let (head, warm) = read_one(&mut s);
+    assert!(head.contains("X-Cache: hit"), "{head}");
+    assert_eq!(warm, from_cli, "warm keep-alive bytes diverge from CLI");
     server.shutdown();
 }

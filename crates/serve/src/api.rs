@@ -2,7 +2,8 @@
 //!
 //! | endpoint | verb | body | answer |
 //! |----------|------|------|--------|
-//! | `/healthz` | GET | — | liveness + version |
+//! | `/healthz`, `/livez` | GET | — | liveness + version (200 while the process runs) |
+//! | `/readyz` | GET | — | readiness: 200 accepting, 503 starting/draining |
 //! | `/metrics` | GET | — | counters, latency histogram, cache stats |
 //! | `/v1/model` | POST | [`Scenario`] JSON (`{config, workload}`) | analytic `E(Instr)` prediction |
 //! | `/v1/simulate` | POST | [`Scenario`] JSON (`{config, workload, size?, ...}`) | full `SimReport` |
@@ -45,8 +46,9 @@ use memhier_core::model::AnalyticModel;
 use memhier_cost::{CostError, OptimizeRequest, RecommendRequest};
 use memhier_trace::{run_fit, FitRequest};
 use serde_json::Value;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::mpsc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Largest `configs × workloads` grid `/v1/sweep` accepts.
 pub const MAX_SWEEP_POINTS: usize = 64;
@@ -61,6 +63,21 @@ pub const MAX_OPTIMIZE_CANDIDATES: usize = 250_000;
 /// endpoint's cap.
 pub const MAX_OPTIMIZE_CONFIRM: usize = MAX_SWEEP_POINTS;
 
+/// Lifecycle phase reported by `GET /readyz`, so load balancers can
+/// route around a memhierd that is starting up or draining while
+/// `/livez` (and `/healthz`) still answer 200 — "the process is fine,
+/// just don't send it new traffic".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Readiness {
+    /// Constructed but not yet accepting (readyz answers 503).
+    Starting,
+    /// Accepting traffic (readyz answers 200).
+    Ready,
+    /// Shutdown requested: existing connections are completing, new
+    /// traffic should go elsewhere (readyz answers 503).
+    Draining,
+}
+
 /// Shared per-service state: the response cache plus the metric registry.
 pub struct AppState {
     /// Memoized successful responses.
@@ -71,10 +88,13 @@ pub struct AppState {
     pub queue_capacity: usize,
     /// Worker-pool width (rendered in `/metrics`).
     pub workers: usize,
+    /// Lifecycle phase behind `/readyz` (0 starting / 1 ready / 2 draining).
+    readiness: AtomicU8,
 }
 
 impl AppState {
-    /// Fresh state for a server with the given shape.
+    /// Fresh state for a server with the given shape, in
+    /// [`Readiness::Starting`].
     pub fn new(
         cache_capacity: usize,
         cache_shards: usize,
@@ -86,7 +106,28 @@ impl AppState {
             metrics: Metrics::default(),
             queue_capacity,
             workers,
+            readiness: AtomicU8::new(0),
         }
+    }
+
+    /// Current lifecycle phase.
+    pub fn readiness(&self) -> Readiness {
+        match self.readiness.load(Ordering::Acquire) {
+            1 => Readiness::Ready,
+            2 => Readiness::Draining,
+            _ => Readiness::Starting,
+        }
+    }
+
+    /// The listener is bound and accepting: `/readyz` starts answering 200.
+    pub fn set_ready(&self) {
+        self.readiness.store(1, Ordering::Release);
+    }
+
+    /// Shutdown has been requested: `/readyz` answers 503 while existing
+    /// connections finish.
+    pub fn begin_drain(&self) {
+        self.readiness.store(2, Ordering::Release);
     }
 }
 
@@ -155,7 +196,8 @@ fn body_object(req: &Request) -> Result<Value, HttpError> {
 /// configured per-request timeout).
 pub fn handle(req: &Request, state: &AppState, deadline: Instant) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => healthz(state),
+        ("GET", "/healthz") | ("GET", "/livez") => healthz(state),
+        ("GET", "/readyz") => readyz(state),
         ("GET", "/metrics") => metrics(state),
         ("POST", "/v1/model")
         | ("POST", "/v1/simulate")
@@ -188,6 +230,24 @@ fn healthz(state: &AppState) -> Response {
     }
 }
 
+/// `GET /readyz`: 200 only while the listener is accepting and no drain
+/// has begun; 503 with the phase name otherwise.
+fn readyz(state: &AppState) -> Response {
+    let (status, phase) = match state.readiness() {
+        Readiness::Ready => (200, "ready"),
+        Readiness::Starting => (503, "starting"),
+        Readiness::Draining => (503, "draining"),
+    };
+    let body = serde_json::json!({
+        "status": phase,
+        "service": "memhierd",
+    });
+    match pretty_body(&body) {
+        Ok(b) => Response::json(status, b),
+        Err(e) => Response::error(e.status, &e.message),
+    }
+}
+
 fn metrics(state: &AppState) -> Response {
     let doc = state
         .metrics
@@ -198,35 +258,159 @@ fn metrics(state: &AppState) -> Response {
     }
 }
 
+/// The memoization key for a cacheable POST: method, path, and the
+/// request JSON canonicalized (sorted keys, compact form).
+fn cache_key(req: &Request, parsed: &Value) -> String {
+    let canon = canonicalize(parsed);
+    let compact = serde_json::to_string(&canon).unwrap_or_default();
+    format!("{} {}\n{compact}", req.method, req.path)
+}
+
+/// Compute one cacheable POST body (no cache involvement).
+fn compute_cacheable(path: &str, parsed: &Value, deadline: Instant) -> Result<String, HttpError> {
+    match path {
+        "/v1/model" => v1_model(parsed),
+        "/v1/simulate" => v1_simulate(parsed, deadline),
+        "/v1/recommend" => v1_recommend(parsed, deadline),
+        "/v1/optimize" => v1_optimize(parsed, deadline),
+        "/v1/sweep" => v1_sweep(parsed, deadline),
+        // Routing only sends the five paths above here.
+        other => Err(HttpError::status(500, format!("unroutable path {other}"))),
+    }
+}
+
 /// The shared memoization wrapper for every `/v1` POST.
 fn cached_post(req: &Request, state: &AppState, deadline: Instant) -> Response {
     let parsed = match body_object(req) {
         Ok(v) => v,
         Err(e) => return Response::error(e.status, &e.message),
     };
-    let key = {
-        let canon = canonicalize(&parsed);
-        let compact = serde_json::to_string(&canon).unwrap_or_default();
-        format!("{} {}\n{compact}", req.method, req.path)
-    };
+    let key = cache_key(req, &parsed);
     if let Some(hit) = state.cache.get(&key) {
         return Response::json(hit.status, hit.body.clone()).with_header("X-Cache", "hit");
     }
-    let computed = match req.path.as_str() {
-        "/v1/model" => v1_model(&parsed),
-        "/v1/simulate" => v1_simulate(&parsed, deadline),
-        "/v1/recommend" => v1_recommend(&parsed, deadline),
-        "/v1/optimize" => v1_optimize(&parsed, deadline),
-        "/v1/sweep" => v1_sweep(&parsed, deadline),
-        // handle() only routes the five paths above here.
-        other => Err(HttpError::status(500, format!("unroutable path {other}"))),
-    };
-    match computed {
+    match compute_cacheable(&req.path, &parsed, deadline) {
         Ok(body) => {
             state.cache.insert(key, 200, body.clone());
             Response::json(200, body).with_header("X-Cache", "miss")
         }
         Err(e) => Response::error(e.status, &e.message),
+    }
+}
+
+/// What the event loop should do with one parsed request — the split
+/// behind "hits answered on the loop, misses handed to the pool".
+#[derive(Debug)]
+pub enum FastRoute {
+    /// Fully answered without a worker: health/readiness/metrics, every
+    /// routing or parse error, and fresh cache hits.
+    Done(Response),
+    /// A stale cache hit: serve `response` (already stamped
+    /// `X-Cache: stale`) immediately, **and** dispatch a background
+    /// revalidation of `key` — this arm is only returned when the
+    /// caller allowed revalidation and this request won the entry's
+    /// single-flight latch.
+    StaleRevalidate {
+        /// The stale body to serve right now.
+        response: Response,
+        /// Cache key the background recomputation must refresh.
+        key: String,
+    },
+    /// A genuine miss: hand the request to a worker
+    /// ([`compute_response`]), which memoizes under `key` (`None` for
+    /// `/v1/fit`, which is never cached).
+    Miss {
+        /// Memoization key, when the endpoint is cacheable.
+        key: Option<String>,
+    },
+}
+
+/// Route one request as far as it can go **on the event loop** without
+/// blocking: GETs, errors, and cache hits are answered inline; only
+/// work that actually computes reaches a worker.
+///
+/// `cache_ttl` bounds memoized-entry age (`None` = entries never go
+/// stale).  `allow_revalidate` is the load-shedding input: when `false`
+/// (queue above its watermark) stale entries are served without
+/// queueing a refresh, shedding recomputation load first.
+pub fn route_fast(
+    req: &Request,
+    state: &AppState,
+    cache_ttl: Option<Duration>,
+    allow_revalidate: bool,
+) -> FastRoute {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/model")
+        | ("POST", "/v1/simulate")
+        | ("POST", "/v1/recommend")
+        | ("POST", "/v1/optimize")
+        | ("POST", "/v1/sweep") => {
+            let parsed = match body_object(req) {
+                Ok(v) => v,
+                Err(e) => return FastRoute::Done(Response::error(e.status, &e.message)),
+            };
+            let key = cache_key(req, &parsed);
+            match state.cache.get(&key) {
+                Some(hit) if !hit.is_stale(cache_ttl) => FastRoute::Done(
+                    Response::json(hit.status, hit.body.clone()).with_header("X-Cache", "hit"),
+                ),
+                Some(stale) => {
+                    let response = Response::json(stale.status, stale.body.clone())
+                        .with_header("X-Cache", "stale");
+                    state.metrics.on_stale_served();
+                    if allow_revalidate && stale.try_begin_revalidate() {
+                        state.metrics.on_revalidate();
+                        FastRoute::StaleRevalidate { response, key }
+                    } else {
+                        FastRoute::Done(response)
+                    }
+                }
+                None => FastRoute::Miss { key: Some(key) },
+            }
+        }
+        ("POST", "/v1/fit") => FastRoute::Miss { key: None },
+        // Everything else — health probes, metrics, 404s, 405s — is
+        // cheap enough to answer inline.
+        _ => FastRoute::Done(handle(req, state, Instant::now())),
+    }
+}
+
+/// Worker-side computation for a [`FastRoute::Miss`]: compute the body,
+/// memoize 200s under `key`, and stamp `X-Cache: miss`.
+pub fn compute_response(
+    req: &Request,
+    state: &AppState,
+    deadline: Instant,
+    key: Option<&str>,
+) -> Response {
+    if req.path == "/v1/fit" {
+        return fit_post(req, deadline);
+    }
+    let parsed = match body_object(req) {
+        Ok(v) => v,
+        Err(e) => return Response::error(e.status, &e.message),
+    };
+    match compute_cacheable(&req.path, &parsed, deadline) {
+        Ok(body) => {
+            if let Some(k) = key {
+                state.cache.insert(k.to_string(), 200, body.clone());
+            }
+            Response::json(200, body).with_header("X-Cache", "miss")
+        }
+        Err(e) => Response::error(e.status, &e.message),
+    }
+}
+
+/// Worker-side background refresh for a [`FastRoute::StaleRevalidate`]:
+/// recompute and re-insert (a fresh insert resets both the entry's age
+/// and its single-flight latch); on failure release the old entry's
+/// latch so a later stale hit can try again.
+pub fn revalidate(req: &Request, state: &AppState, deadline: Instant, key: &str) {
+    let response = compute_response(req, state, deadline, Some(key));
+    if response.status != 200 {
+        if let Some(entry) = state.cache.get(key) {
+            entry.end_revalidate();
+        }
     }
 }
 
@@ -543,6 +727,165 @@ mod tests {
         req.method = "GET".into();
         req.path = "/v1/model".into();
         assert_eq!(handle(&req, &state(), far_deadline()).status, 405);
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: vec![],
+            body: vec![],
+        }
+    }
+
+    #[test]
+    fn liveness_is_200_in_every_phase_readiness_tracks_lifecycle() {
+        let s = state();
+        // Starting: alive but not ready.
+        assert_eq!(handle(&get("/healthz"), &s, far_deadline()).status, 200);
+        assert_eq!(handle(&get("/livez"), &s, far_deadline()).status, 200);
+        let r = handle(&get("/readyz"), &s, far_deadline());
+        assert_eq!(r.status, 503);
+        assert!(String::from_utf8(r.body).unwrap().contains("starting"));
+        // Ready.
+        s.set_ready();
+        assert_eq!(s.readiness(), Readiness::Ready);
+        assert_eq!(handle(&get("/readyz"), &s, far_deadline()).status, 200);
+        // Draining: readiness drops, liveness does not.
+        s.begin_drain();
+        assert_eq!(s.readiness(), Readiness::Draining);
+        let r = handle(&get("/readyz"), &s, far_deadline());
+        assert_eq!(r.status, 503);
+        assert!(String::from_utf8(r.body).unwrap().contains("draining"));
+        assert_eq!(handle(&get("/livez"), &s, far_deadline()).status, 200);
+        assert_eq!(handle(&get("/healthz"), &s, far_deadline()).status, 200);
+    }
+
+    #[test]
+    fn route_fast_answers_gets_and_errors_inline() {
+        let s = state();
+        for req in [
+            get("/healthz"),
+            get("/metrics"),
+            get("/readyz"),
+            get("/nothing"),
+            post("/v1/model", "not json"),
+        ] {
+            assert!(
+                matches!(route_fast(&req, &s, None, true), FastRoute::Done(_)),
+                "{} {} must not reach a worker",
+                req.method,
+                req.path
+            );
+        }
+        // GET on a POST route: inline 405.
+        match route_fast(&get("/v1/model"), &s, None, true) {
+            FastRoute::Done(r) => assert_eq!(r.status, 405),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn route_fast_miss_then_hit_through_compute_response() {
+        let s = state();
+        let req = post("/v1/model", r#"{"config": "C3", "workload": "FFT"}"#);
+        let key = match route_fast(&req, &s, None, true) {
+            FastRoute::Miss { key: Some(k) } => k,
+            other => panic!("cold cache must be a miss, got {other:?}"),
+        };
+        let computed = compute_response(&req, &s, far_deadline(), Some(&key));
+        assert_eq!(computed.status, 200);
+        // Same request again: answered inline, byte-identical body.
+        match route_fast(&req, &s, None, true) {
+            FastRoute::Done(hit) => {
+                assert_eq!(hit.body, computed.body);
+                let x = hit.headers.iter().find(|(n, _)| *n == "X-Cache").unwrap();
+                assert_eq!(x.1, "hit");
+            }
+            other => panic!("warm cache must be Done, got {other:?}"),
+        }
+        // /v1/fit is a keyless miss (never memoized).
+        assert!(matches!(
+            route_fast(&post("/v1/fit", r#"{"trace": "/nope"}"#), &s, None, true),
+            FastRoute::Miss { key: None }
+        ));
+    }
+
+    #[test]
+    fn stale_entries_serve_immediately_and_revalidate_single_flight() {
+        let s = state();
+        let req = post("/v1/model", r#"{"config": "C2", "workload": "LU"}"#);
+        let key = match route_fast(&req, &s, None, true) {
+            FastRoute::Miss { key: Some(k) } => k,
+            other => panic!("{other:?}"),
+        };
+        compute_response(&req, &s, far_deadline(), Some(&key));
+        std::thread::sleep(Duration::from_millis(10));
+        let ttl = Some(Duration::from_millis(1));
+        // First stale hit: served, wins the revalidation latch.
+        let stale_key = match route_fast(&req, &s, ttl, true) {
+            FastRoute::StaleRevalidate { response, key: k } => {
+                assert_eq!(response.status, 200);
+                let x = response.headers.iter().find(|(n, _)| *n == "X-Cache");
+                assert_eq!(x.unwrap().1, "stale");
+                k
+            }
+            other => panic!("expected StaleRevalidate, got {other:?}"),
+        };
+        // Second stale hit while the first refresh is pending: served,
+        // but no second revalidation.
+        assert!(matches!(
+            route_fast(&req, &s, ttl, true),
+            FastRoute::Done(_)
+        ));
+        // Shedding mode (`allow_revalidate = false`) also just serves.
+        assert!(matches!(
+            route_fast(&req, &s, ttl, false),
+            FastRoute::Done(_)
+        ));
+        assert_eq!(s.metrics.stale_served_count(), 3);
+        // The background refresh re-inserts; the entry is fresh again.
+        revalidate(&req, &s, far_deadline(), &stale_key);
+        match route_fast(&req, &s, Some(Duration::from_secs(3600)), true) {
+            FastRoute::Done(r) => {
+                let x = r.headers.iter().find(|(n, _)| *n == "X-Cache").unwrap();
+                assert_eq!(x.1, "hit", "revalidated entry is fresh");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_revalidation_releases_the_latch() {
+        let s = state();
+        // /v1/simulate goes through run_with_deadline, so an expired
+        // deadline makes the refresh genuinely fail with 503.
+        let req = post(
+            "/v1/simulate",
+            r#"{"config": "C1", "workload": "FFT", "size": "small"}"#,
+        );
+        let key = match route_fast(&req, &s, None, true) {
+            FastRoute::Miss { key: Some(k) } => k,
+            other => panic!("{other:?}"),
+        };
+        compute_response(&req, &s, far_deadline(), Some(&key));
+        std::thread::sleep(Duration::from_millis(10));
+        let ttl = Some(Duration::from_millis(1));
+        match route_fast(&req, &s, ttl, true) {
+            FastRoute::StaleRevalidate { key: k, .. } => {
+                // Simulate the refresh failing (expired deadline → 503,
+                // nothing inserted): the latch must reopen.
+                revalidate(&req, &s, Instant::now() - Duration::from_secs(1), &k);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            matches!(
+                route_fast(&req, &s, ttl, true),
+                FastRoute::StaleRevalidate { .. }
+            ),
+            "a later stale hit can claim the released latch"
+        );
     }
 
     #[test]

@@ -8,12 +8,19 @@
 //! concurrent hits never serialize on a writer lock.  Inserts take the
 //! shard's write lock and evict the least-recently-stamped entry once the
 //! shard is at capacity.
+//!
+//! Entries also carry what **stale-while-revalidate** needs: an
+//! insertion timestamp (so the server can decide an entry is stale past
+//! its TTL yet still serve it immediately) and a single-flight
+//! `revalidating` latch (so only one background recomputation per key
+//! is in flight, however many stale hits arrive meanwhile).
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
 
 /// One memoized response.
 #[derive(Debug)]
@@ -23,6 +30,39 @@ pub struct CachedResponse {
     /// The exact body bytes served on a hit.
     pub body: String,
     last_used: AtomicU64,
+    /// When this body was computed — the basis for staleness.
+    inserted_at: Instant,
+    /// Single-flight latch: `true` while a background revalidation of
+    /// this key is already queued or running.
+    revalidating: AtomicBool,
+}
+
+impl CachedResponse {
+    /// Whether this entry is older than `ttl`.  `None` means entries
+    /// never go stale (the default: responses are pure functions of the
+    /// request, so staleness only matters when operators want bounded
+    /// memoization age).
+    pub fn is_stale(&self, ttl: Option<Duration>) -> bool {
+        match ttl {
+            Some(ttl) => self.inserted_at.elapsed() > ttl,
+            None => false,
+        }
+    }
+
+    /// Claim the single revalidation slot for this entry.  Returns
+    /// `true` exactly once per revalidation cycle; callers that get
+    /// `false` know a refresh is already on its way and just serve the
+    /// stale body.
+    pub fn try_begin_revalidate(&self) -> bool {
+        !self.revalidating.swap(true, Ordering::AcqRel)
+    }
+
+    /// Release the revalidation slot without a fresh insert (the
+    /// recomputation failed or was shed); the next stale hit may claim
+    /// it again.
+    pub fn end_revalidate(&self) {
+        self.revalidating.store(false, Ordering::Release);
+    }
 }
 
 #[derive(Default)]
@@ -110,6 +150,8 @@ impl ResponseCache {
             status,
             body,
             last_used: AtomicU64::new(now),
+            inserted_at: Instant::now(),
+            revalidating: AtomicBool::new(false),
         });
         let mut shard = self.shard_for(&key).write().expect("cache shard poisoned");
         if shard.map.len() >= self.per_shard_capacity && !shard.map.contains_key(&key) {
@@ -181,6 +223,34 @@ mod tests {
         c.insert("a".into(), 200, "A2".into());
         assert_eq!(c.get("a").unwrap().body, "A2");
         assert!(c.get("b").is_some(), "re-insert must not evict a neighbor");
+    }
+
+    #[test]
+    fn staleness_follows_ttl() {
+        let c = ResponseCache::new(8, 1);
+        c.insert("k".into(), 200, "body".into());
+        let e = c.get("k").unwrap();
+        assert!(!e.is_stale(None), "no TTL, never stale");
+        assert!(!e.is_stale(Some(Duration::from_secs(3600))));
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(e.is_stale(Some(Duration::from_millis(1))));
+        // A re-insert refreshes the timestamp.
+        c.insert("k".into(), 200, "body2".into());
+        assert!(!c.get("k").unwrap().is_stale(Some(Duration::from_secs(1))));
+    }
+
+    #[test]
+    fn revalidation_latch_is_single_flight() {
+        let c = ResponseCache::new(8, 1);
+        c.insert("k".into(), 200, "body".into());
+        let e = c.get("k").unwrap();
+        assert!(e.try_begin_revalidate(), "first claimant wins");
+        assert!(!e.try_begin_revalidate(), "second claimant is refused");
+        e.end_revalidate();
+        assert!(e.try_begin_revalidate(), "released latch can be re-claimed");
+        // A fresh insert under the same key starts with a clear latch.
+        c.insert("k".into(), 200, "body2".into());
+        assert!(c.get("k").unwrap().try_begin_revalidate());
     }
 
     #[test]

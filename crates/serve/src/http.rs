@@ -1,14 +1,19 @@
 //! A deliberately small HTTP/1.1 subset: enough for `memhierd`'s JSON
 //! API, nothing more.
 //!
-//! The parser reads one request per connection (`Connection: close`
-//! semantics), enforces hard caps on header-block and body size, and
-//! turns every malformed input — bad request line, truncated headers,
-//! non-numeric or oversized `Content-Length`, short body — into a 400
-//! [`HttpError`] instead of a panic.  `crates/serve/src/http.rs` unit
-//! tests lock that contract in.
+//! The core is [`try_parse`], an **incremental** parser over an
+//! accumulated byte buffer: it answers "not enough bytes yet", "here is
+//! one complete request plus how many bytes it consumed", or a 400
+//! [`HttpError`] — never a panic, whatever the input.  The event loop
+//! calls it in a loop over each connection's read buffer, which is what
+//! makes keep-alive and pipelining work: bytes past the first request
+//! stay in the buffer for the next call.  [`read_request`] (blocking,
+//! one-shot) and [`read_request_deadline`] (blocking with a 408 timeout
+//! for slow bodies) are thin drivers over the same parser, and the unit
+//! tests lock the contract in.
 
 use std::io::{Read, Write};
+use std::time::{Duration, Instant};
 
 /// Hard cap on the request line + header block.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -40,6 +45,14 @@ impl Request {
     /// The body as UTF-8, or a 400.
     pub fn body_str(&self) -> Result<&str, HttpError> {
         std::str::from_utf8(&self.body).map_err(|_| HttpError::bad("request body is not UTF-8"))
+    }
+
+    /// Whether the client asked to end the connection after this
+    /// request (`Connection: close`).  HTTP/1.1 defaults to keep-alive.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
     }
 }
 
@@ -103,37 +116,13 @@ fn find_header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Read and parse one request from `stream`.
-///
-/// Every failure mode — connection closed mid-headers, header block over
-/// [`MAX_HEAD_BYTES`], malformed request line or header, bad or oversized
-/// `Content-Length`, truncated body — is a 400 [`HttpError`]; this
-/// function never panics on hostile input.
-pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
-    let mut head = Vec::new();
-    let mut buf = [0u8; 4096];
-    let header_end = loop {
-        if let Some(pos) = find_header_end(&head) {
-            break pos;
-        }
-        if head.len() > MAX_HEAD_BYTES {
-            return Err(HttpError::bad(format!(
-                "header block exceeds {MAX_HEAD_BYTES} bytes"
-            )));
-        }
-        let n = stream
-            .read(&mut buf)
-            .map_err(|e| HttpError::bad(format!("reading request: {e}")))?;
-        if n == 0 {
-            return Err(HttpError::bad(
-                "truncated request (connection closed before end of headers)",
-            ));
-        }
-        head.extend_from_slice(&buf[..n]);
-    };
+/// Parsed head: `(method, path, headers)`.
+type ParsedHead = (String, String, Vec<(String, String)>);
 
-    let head_str = std::str::from_utf8(&head[..header_end])
-        .map_err(|_| HttpError::bad("request head is not UTF-8"))?;
+/// Parse the head (request line + headers) once `\r\n\r\n` was found.
+fn parse_head(head: &[u8]) -> Result<ParsedHead, HttpError> {
+    let head_str =
+        std::str::from_utf8(head).map_err(|_| HttpError::bad("request head is not UTF-8"))?;
     let mut lines = head_str.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split(' ');
@@ -156,8 +145,12 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
         };
         headers.push((name.trim().to_string(), value.trim().to_string()));
     }
+    Ok((method.to_string(), path.to_string(), headers))
+}
 
-    let content_length = match headers
+/// Declared `Content-Length`, validated against [`MAX_BODY_BYTES`].
+fn content_length(headers: &[(String, String)]) -> Result<usize, HttpError> {
+    let len = match headers
         .iter()
         .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
     {
@@ -166,36 +159,161 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
             .parse::<usize>()
             .map_err(|_| HttpError::bad(format!("bad Content-Length `{v}`")))?,
     };
-    if content_length > MAX_BODY_BYTES {
+    if len > MAX_BODY_BYTES {
         return Err(HttpError::bad(format!(
-            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
+            "body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
         )));
     }
-
-    let mut body = head[header_end + 4..].to_vec();
-    while body.len() < content_length {
-        let n = stream
-            .read(&mut buf)
-            .map_err(|e| HttpError::bad(format!("reading body: {e}")))?;
-        if n == 0 {
-            return Err(HttpError::bad(format!(
-                "truncated body ({} of {content_length} bytes)",
-                body.len()
-            )));
-        }
-        body.extend_from_slice(&buf[..n]);
-    }
-    body.truncate(content_length);
-
-    Ok(Request {
-        method: method.to_string(),
-        path: path.to_string(),
-        headers,
-        body,
-    })
+    Ok(len)
 }
 
-/// One response, written with `Connection: close`.
+/// Try to parse one complete request from the front of `buf`.
+///
+/// This is the event loop's incremental entry point; it never blocks
+/// and never consumes implicitly:
+///
+/// * `Ok(None)` — the buffer does not yet hold a complete request; read
+///   more bytes and call again.
+/// * `Ok(Some((request, consumed)))` — one request parsed; the caller
+///   must drain `consumed` bytes (`buf.drain(..consumed)`) and may call
+///   again on the remainder, which is exactly request **pipelining**.
+/// * `Err(_)` — the bytes at the front are malformed (bad request line
+///   or header, oversized head per [`MAX_HEAD_BYTES`], bad or oversized
+///   `Content-Length`).  The connection has lost framing; answer 400
+///   and close.
+pub fn try_parse(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+    let Some(header_end) = find_header_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::bad(format!(
+                "header block exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        return Ok(None);
+    };
+    if header_end > MAX_HEAD_BYTES {
+        return Err(HttpError::bad(format!(
+            "header block exceeds {MAX_HEAD_BYTES} bytes"
+        )));
+    }
+    let (method, path, headers) = parse_head(&buf[..header_end])?;
+    let body_len = content_length(&headers)?;
+    let body_start = header_end + 4;
+    if buf.len() < body_start + body_len {
+        return Ok(None);
+    }
+    let body = buf[body_start..body_start + body_len].to_vec();
+    Ok(Some((
+        Request {
+            method,
+            path,
+            headers,
+            body,
+        },
+        body_start + body_len,
+    )))
+}
+
+/// How many body bytes of the (possibly incomplete) first request in
+/// `buf` have arrived, as `(received, declared)` — used for the 408 and
+/// truncation diagnostics.  `None` until the header block is complete.
+fn body_progress(buf: &[u8]) -> Option<(usize, usize)> {
+    let header_end = find_header_end(buf)?;
+    let headers = parse_head(&buf[..header_end]).ok()?.2;
+    let declared = content_length(&headers).ok()?;
+    Some((buf.len() - (header_end + 4), declared))
+}
+
+/// Read and parse one request from `stream`, blocking until complete.
+///
+/// Every failure mode — connection closed mid-headers, header block over
+/// [`MAX_HEAD_BYTES`], malformed request line or header, bad or oversized
+/// `Content-Length`, truncated body — is a 400 [`HttpError`]; this
+/// function never panics on hostile input.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    let mut acc = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some((req, _consumed)) = try_parse(&acc)? {
+            return Ok(req);
+        }
+        let n = stream
+            .read(&mut buf)
+            .map_err(|e| HttpError::bad(format!("reading request: {e}")))?;
+        if n == 0 {
+            return Err(truncation_error(&acc));
+        }
+        acc.extend_from_slice(&buf[..n]);
+    }
+}
+
+/// The 400 for a connection that closed before a full request arrived.
+fn truncation_error(acc: &[u8]) -> HttpError {
+    match body_progress(acc) {
+        Some((received, declared)) => {
+            HttpError::bad(format!("truncated body ({received} of {declared} bytes)"))
+        }
+        None => HttpError::bad("truncated request (connection closed before end of headers)"),
+    }
+}
+
+/// Like [`read_request`], but bounded: if a complete request has not
+/// arrived within `timeout`, answer **408 Request Timeout** instead of
+/// blocking forever.
+///
+/// This is the slow-body defense: a client that declares
+/// `Content-Length: 1000` and then stalls after 3 bytes used to tie up
+/// its reader until the peer closed; under a deadline it is cut off
+/// with a 408 naming how far it got.  (The event loop enforces the same
+/// bound internally via its timer pass; this blocking form serves
+/// one-shot readers and the regression tests.)
+pub fn read_request_deadline(
+    stream: &mut std::net::TcpStream,
+    timeout: Duration,
+) -> Result<Request, HttpError> {
+    let deadline = Instant::now() + timeout;
+    let mut acc = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some((req, _consumed)) = try_parse(&acc)? {
+            // Leave the blocking socket unbounded again for the writer.
+            let _ = stream.set_read_timeout(None);
+            return Ok(req);
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(timeout_error(&acc));
+        }
+        stream
+            .set_read_timeout(Some(deadline - now))
+            .map_err(|e| HttpError::bad(format!("reading request: {e}")))?;
+        match stream.read(&mut buf) {
+            Ok(0) => return Err(truncation_error(&acc)),
+            Ok(n) => acc.extend_from_slice(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(timeout_error(&acc));
+            }
+            Err(e) => return Err(HttpError::bad(format!("reading request: {e}"))),
+        }
+    }
+}
+
+/// The 408 for a request that did not complete within its read deadline.
+pub(crate) fn timeout_error(acc: &[u8]) -> HttpError {
+    match body_progress(acc) {
+        Some((received, declared)) => HttpError::status(
+            408,
+            format!("request body timed out ({received} of {declared} bytes received)"),
+        ),
+        None => HttpError::status(408, "request headers timed out"),
+    }
+}
+
+/// One response; [`Response::to_bytes`] chooses between keep-alive and
+/// close framing, [`Response::write_to`] keeps the legacy
+/// `Connection: close` one-shot form.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
@@ -236,6 +354,7 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             422 => "Unprocessable Entity",
             429 => "Too Many Requests",
             500 => "Internal Server Error",
@@ -244,13 +363,17 @@ impl Response {
         }
     }
 
-    /// Serialize onto `w`.
-    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+    /// Serialize to wire bytes.  `keep_alive` selects the `connection:`
+    /// header: the event loop passes `true` for every response except
+    /// the last one before it closes (client asked `Connection: close`,
+    /// framing was lost to a 400/408, or the server is draining).
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             Response::reason(self.status),
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
         );
         for (name, value) in &self.headers {
             head.push_str(name);
@@ -259,8 +382,14 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
-        w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Serialize onto `w` with `Connection: close` (the one-shot form).
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        w.write_all(&self.to_bytes(false))?;
         w.flush()
     }
 }
@@ -374,5 +503,110 @@ mod tests {
         let v: serde_json::Value =
             serde_json::from_str(std::str::from_utf8(&r.body).unwrap().trim()).unwrap();
         assert_eq!(v["error"].as_str(), Some("queue full"));
+    }
+
+    #[test]
+    fn try_parse_is_incremental() {
+        let raw = b"POST /v1/model HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        // Every proper prefix is "not yet"; the full buffer parses.
+        for cut in 0..raw.len() {
+            assert!(
+                try_parse(&raw[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        let (req, consumed) = try_parse(raw).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.path, "/v1/model");
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn try_parse_consumes_exactly_one_pipelined_request() {
+        let mut raw = b"GET /healthz HTTP/1.1\r\n\r\n".to_vec();
+        raw.extend_from_slice(b"POST /v1/model HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}");
+        let (first, consumed) = try_parse(&raw).unwrap().unwrap();
+        assert_eq!(first.path, "/healthz");
+        // The second request must come from the remainder, untouched.
+        let rest = &raw[consumed..];
+        let (second, consumed2) = try_parse(rest).unwrap().unwrap();
+        assert_eq!(second.path, "/v1/model");
+        assert_eq!(second.body, b"{}");
+        assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn try_parse_rejects_oversized_head_without_terminator() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        let err = try_parse(&raw).unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn wants_close_reads_connection_header() {
+        let keep = parse(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(!keep.wants_close(), "HTTP/1.1 defaults to keep-alive");
+        let close = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(close.wants_close());
+        let cased = parse(b"GET / HTTP/1.1\r\nconnection: CLOSE\r\n\r\n").unwrap();
+        assert!(cased.wants_close());
+    }
+
+    /// Regression: a request declaring more `Content-Length` than it
+    /// ever sends used to tie up its reader until the peer closed the
+    /// connection.  Under a deadline it is answered 408 promptly.
+    #[test]
+    fn stalled_body_times_out_with_408() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            s.write_all(b"POST /v1/model HTTP/1.1\r\nContent-Length: 1000\r\n\r\nabc")
+                .unwrap();
+            // Stall: never send the remaining 997 bytes.
+            std::thread::sleep(Duration::from_millis(500));
+            drop(s);
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let started = Instant::now();
+        let err = read_request_deadline(&mut conn, Duration::from_millis(100)).unwrap_err();
+        assert_eq!(err.status, 408, "{}", err.message);
+        assert!(
+            err.message.contains("3 of 1000"),
+            "diagnostic names progress: {}",
+            err.message
+        );
+        assert!(
+            started.elapsed() < Duration::from_millis(450),
+            "must not wait for the peer to close"
+        );
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn complete_request_beats_the_deadline() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            s.write_all(b"POST /v1/model HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}")
+                .unwrap();
+            s
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request_deadline(&mut conn, Duration::from_secs(5)).unwrap();
+        assert_eq!(req.body, b"{}");
+        drop(client.join().unwrap());
+    }
+
+    #[test]
+    fn to_bytes_switches_connection_header() {
+        let r = Response::json(200, "{}\n");
+        let ka = String::from_utf8(r.to_bytes(true)).unwrap();
+        assert!(ka.contains("connection: keep-alive\r\n"), "{ka}");
+        let cl = String::from_utf8(r.to_bytes(false)).unwrap();
+        assert!(cl.contains("connection: close\r\n"), "{cl}");
+        assert_eq!(Response::reason(408), "Request Timeout");
     }
 }

@@ -8,17 +8,23 @@
 //!
 //! The stack, bottom to top:
 //!
-//! * [`http`] — a minimal, panic-free HTTP/1.1 parser and serializer
-//!   (`Connection: close`, hard caps on head and body size).
+//! * [`http`] — a minimal, panic-free, **incremental** HTTP/1.1 parser
+//!   and serializer (keep-alive and pipelining via [`http::try_parse`],
+//!   hard caps on head and body size, 408 slow-body deadlines).
 //! * [`cache`] — the sharded LRU response cache; lookups take only a
-//!   shard read-lock.
+//!   shard read-lock; entries carry the stale-while-revalidate age and
+//!   single-flight latch.
 //! * [`metrics`] — lock-free counters and a latency histogram rendered
 //!   by `GET /metrics`.
-//! * [`api`] — the endpoint handlers and the canonicalized-JSON cache
-//!   keying; `/v1/simulate` and `/v1/recommend` reuse the CLI's exact
-//!   serializers so service and CLI output stay byte-identical.
-//! * [`server`] — acceptor + bounded queue + worker pool, with 429
-//!   admission control, per-request deadlines (503), and graceful
+//! * [`api`] — the endpoint handlers, the canonicalized-JSON cache
+//!   keying, and the event loop's fast/slow routing split
+//!   ([`api::route_fast`]); `/v1/simulate` and `/v1/recommend` reuse
+//!   the CLI's exact serializers so service and CLI output stay
+//!   byte-identical.
+//! * [`server`] — the nonblocking event-loop front end (readiness via
+//!   the hermetic `polling` shim) feeding a bounded queue and a
+//!   supervised worker pool: keep-alive, pipelining, 408/429 shedding
+//!   tiers, stale-while-revalidate, requeue-on-panic, and a
 //!   drain-then-join shutdown.
 //! * [`signal`] — a SIGTERM/SIGINT latch for the CLI's serve loop.
 //!
@@ -42,7 +48,7 @@ pub mod metrics;
 pub mod server;
 pub mod signal;
 
-pub use api::{canonicalize, handle, AppState};
+pub use api::{canonicalize, handle, AppState, Readiness};
 pub use cache::{CacheStats, CachedResponse, ResponseCache};
 pub use http::{read_request, HttpError, Request, Response};
 pub use metrics::{LatencyHistogram, Metrics};

@@ -116,8 +116,15 @@ pub struct Metrics {
     rejected_busy: AtomicU64,
     deadline_exceeded: AtomicU64,
     worker_respawns: AtomicU64,
+    timeouts_408: AtomicU64,
+    keepalive_reuses: AtomicU64,
+    stale_served: AtomicU64,
+    revalidations: AtomicU64,
+    requeued_jobs: AtomicU64,
     /// Live queue depth, maintained by the server.
     pub queue_depth: AtomicUsize,
+    /// Connections currently registered with the event loop.
+    pub connections_open: AtomicUsize,
     latency: LatencyHistogram,
 }
 
@@ -132,7 +139,13 @@ impl Default for Metrics {
             rejected_busy: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             worker_respawns: AtomicU64::new(0),
+            timeouts_408: AtomicU64::new(0),
+            keepalive_reuses: AtomicU64::new(0),
+            stale_served: AtomicU64::new(0),
+            revalidations: AtomicU64::new(0),
+            requeued_jobs: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
+            connections_open: AtomicUsize::new(0),
             latency: LatencyHistogram::default(),
         }
     }
@@ -179,6 +192,46 @@ impl Metrics {
         self.worker_respawns.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A read deadline expired and the connection was answered 408.
+    pub fn on_timeout_408(&self) {
+        self.timeouts_408.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A second (or later) request arrived on an existing connection.
+    pub fn on_keepalive_reuse(&self) {
+        self.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A stale cache entry was served while (or instead of) refreshing.
+    pub fn on_stale_served(&self) {
+        self.stale_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A background revalidation was dispatched for a stale key.
+    pub fn on_revalidate(&self) {
+        self.revalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job held by a panicking worker was put back on the queue.
+    pub fn on_requeue(&self) {
+        self.requeued_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Jobs requeued after a worker panic so far.
+    pub fn requeue_count(&self) -> u64 {
+        self.requeued_jobs.load(Ordering::Relaxed)
+    }
+
+    /// Keep-alive reuses so far.
+    pub fn keepalive_reuse_count(&self) -> u64 {
+        self.keepalive_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Stale responses served so far.
+    pub fn stale_served_count(&self) -> u64 {
+        self.stale_served.load(Ordering::Relaxed)
+    }
+
     /// Worker threads respawned after a panic so far.
     pub fn worker_respawn_count(&self) -> u64 {
         self.worker_respawns.load(Ordering::Relaxed)
@@ -205,6 +258,11 @@ impl Metrics {
                 "server_errors": self.server_errors_5xx.load(Ordering::Relaxed),
                 "rejected_busy": self.rejected_busy.load(Ordering::Relaxed),
                 "deadline_exceeded": self.deadline_exceeded.load(Ordering::Relaxed),
+                "timeouts_408": self.timeouts_408.load(Ordering::Relaxed),
+            }),
+            "connections": serde_json::json!({
+                "open": self.connections_open.load(Ordering::Relaxed) as u64,
+                "keepalive_reuses": self.keepalive_reuses.load(Ordering::Relaxed),
             }),
             "latency_us": self.latency.to_json(),
             "cache": serde_json::json!({
@@ -213,6 +271,8 @@ impl Metrics {
                 "hit_rate": cache.hit_rate(),
                 "entries": cache.entries as u64,
                 "capacity": cache.capacity as u64,
+                "stale_served": self.stale_served.load(Ordering::Relaxed),
+                "revalidations": self.revalidations.load(Ordering::Relaxed),
             }),
             "queue": serde_json::json!({
                 "depth": self.queue_depth.load(Ordering::Relaxed) as u64,
@@ -220,6 +280,7 @@ impl Metrics {
             }),
             "workers": workers as u64,
             "worker_respawns": self.worker_respawns.load(Ordering::Relaxed),
+            "requeued_jobs": self.requeued_jobs.load(Ordering::Relaxed),
         })
     }
 }
@@ -281,5 +342,38 @@ mod tests {
         assert_eq!(v["latency_us"]["count"].as_u64(), Some(2));
         assert_eq!(v["queue"]["capacity"].as_u64(), Some(64));
         assert_eq!(v["worker_respawns"].as_u64(), Some(1));
+        assert_eq!(v["requests"]["timeouts_408"].as_u64(), Some(0));
+        assert_eq!(v["connections"]["keepalive_reuses"].as_u64(), Some(0));
+        assert_eq!(v["cache"]["stale_served"].as_u64(), Some(0));
+        assert_eq!(v["requeued_jobs"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn robustness_counters_accumulate() {
+        let m = Metrics::default();
+        m.on_timeout_408();
+        m.on_keepalive_reuse();
+        m.on_keepalive_reuse();
+        m.on_stale_served();
+        m.on_revalidate();
+        m.on_requeue();
+        let v = m.render(
+            CacheStats {
+                hits: 0,
+                misses: 0,
+                entries: 0,
+                capacity: 8,
+            },
+            64,
+            4,
+        );
+        assert_eq!(v["requests"]["timeouts_408"].as_u64(), Some(1));
+        assert_eq!(v["connections"]["keepalive_reuses"].as_u64(), Some(2));
+        assert_eq!(m.keepalive_reuse_count(), 2);
+        assert_eq!(v["cache"]["stale_served"].as_u64(), Some(1));
+        assert_eq!(v["cache"]["revalidations"].as_u64(), Some(1));
+        assert_eq!(v["requeued_jobs"].as_u64(), Some(1));
+        assert_eq!(m.requeue_count(), 1);
+        assert_eq!(m.stale_served_count(), 1);
     }
 }

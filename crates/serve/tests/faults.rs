@@ -1,9 +1,15 @@
 //! Deterministic fault injection against a real listening `memhierd`:
-//! injected worker panics must be healed by the supervisor (and counted
-//! in `/metrics`), injected delays must drive the existing 503 deadline
-//! and 429 admission machinery, and injected I/O faults must surface as
-//! 500s — all without wall-clock randomness, so these tests replay the
-//! exact same failures every run.
+//! injected worker panics must be healed by the supervisor (respawn) and
+//! survived by the client (the in-flight job is requeued, so the
+//! keep-alive connection sees a 200, not a reset), injected delays must
+//! drive the existing 503 deadline and 429 admission machinery, and
+//! injected I/O faults must surface as 500s — all without wall-clock
+//! randomness, so these tests replay the exact same failures every run.
+//!
+//! Fault decisions are made per **popped worker job**, so only requests
+//! that miss the cache (distinct `/v1/model` bodies here) consume fault
+//! indices; probes and cache hits are answered on the event loop and
+//! never see a fault.
 
 use memhier_bench::FaultPlan;
 use memhier_serve::{ServeConfig, Server};
@@ -11,9 +17,9 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-/// Send `payload` raw and read to EOF.  A dropped connection (the
-/// injected-panic case) yields whatever arrived before the reset,
-/// usually the empty string — never a test panic.
+/// Send `payload` raw and read to EOF.  A dropped connection yields
+/// whatever arrived before the reset, usually the empty string — never
+/// a test panic.
 fn raw_request(addr: SocketAddr, payload: &str) -> String {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
@@ -26,13 +32,22 @@ fn raw_request(addr: SocketAddr, payload: &str) -> String {
 }
 
 fn get(path: &str) -> String {
-    format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n")
+    format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
 }
 
 fn post(path: &str, body: &str) -> String {
     format!(
-        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
+    )
+}
+
+/// A `/v1/model` request no other test in this process has cached:
+/// `tag` picks the config so each call is a genuine worker-bound miss.
+fn miss(tag: usize) -> String {
+    post(
+        "/v1/model",
+        &format!(r#"{{"config": "C{}", "workload": "LU"}}"#, (tag % 8) + 1),
     )
 }
 
@@ -48,39 +63,97 @@ fn server_with(faults: &str, workers: usize, queue_depth: usize, timeout: Durati
     .expect("start")
 }
 
-/// `serve:panic:nth=3` kills the worker on the 3rd popped request; the
+/// `serve:panic:nth=3` kills the worker on the 3rd popped job.  The
 /// supervisor must respawn it (visible in `/metrics` as
-/// `worker_respawns`) and the service must keep answering.
+/// `worker_respawns`) and — new with the event-loop front end — the
+/// client must NOT notice: the dying worker's job is requeued and a
+/// fresh worker answers it on the same connection.
 #[test]
-fn injected_worker_panic_is_respawned_and_counted() {
+fn injected_worker_panic_is_respawned_and_the_request_survives() {
     let server = server_with("serve:panic:nth=3", 2, 8, Duration::from_secs(5));
     let addr = server.local_addr();
 
-    // Requests 1-2 (indices 0-1) succeed; request 3 (index 2) hits the
-    // panic rule and the client sees a dropped connection.
-    for _ in 0..2 {
-        let reply = raw_request(addr, &get("/healthz"));
-        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    // Jobs 1-2 (indices 0-1) succeed outright; job 3 (index 2) hits the
+    // panic rule, kills its worker, and is requeued (index 3 on the
+    // replacement pop) — the client still gets its 200.
+    for tag in 0..3 {
+        let reply = raw_request(addr, &miss(tag));
+        assert!(reply.starts_with("HTTP/1.1 200"), "job {tag}: {reply}");
     }
-    let reply = raw_request(addr, &get("/healthz"));
-    assert!(
-        !reply.starts_with("HTTP/1.1 2"),
-        "request at a panic index must not succeed: {reply}"
-    );
-
     // The supervisor notices within a poll tick or two.
     let deadline = Instant::now() + Duration::from_secs(5);
     while server.state().metrics.worker_respawn_count() < 1 && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(10));
     }
     assert_eq!(server.state().metrics.worker_respawn_count(), 1);
+    assert_eq!(server.state().metrics.requeue_count(), 1);
 
-    // Index 3: alive again, full pool.
-    let reply = raw_request(addr, &get("/healthz"));
-    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
-    // Index 4: the respawn is visible through the public endpoint.
+    // The respawn and requeue are visible through the public endpoint.
     let reply = raw_request(addr, &get("/metrics"));
     assert!(reply.contains("\"worker_respawns\": 1"), "{reply}");
+    assert!(reply.contains("\"requeued_jobs\": 1"), "{reply}");
+    server.shutdown();
+}
+
+/// A panic mid-stream on a keep-alive connection: the same connection
+/// carries requests before, during, and after the worker dies, and every
+/// one of them gets its response in order.
+#[test]
+fn keepalive_connection_survives_a_worker_panic_mid_stream() {
+    let server = server_with("serve:panic:nth=2", 1, 8, Duration::from_secs(5));
+    let addr = server.local_addr();
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Three sequential misses on ONE connection.  With nth=2 every even
+    // pop panics: job 2 (index 1) kills the worker and is requeued
+    // (pop index 2 would panic again under nth=2?  no — nth counts pops,
+    // and the requeued job reappears at index 2, which is odd under the
+    // 1-based "every 2nd" rule, so it completes).
+    let read_one = |s: &mut TcpStream| {
+        let mut acc = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            if let Some(head_end) = acc.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&acc[..head_end]).to_string();
+                let clen: usize = head
+                    .lines()
+                    .find_map(|l| {
+                        let (name, v) = l.split_once(':')?;
+                        name.eq_ignore_ascii_case("content-length")
+                            .then(|| v.trim().parse().ok())?
+                    })
+                    .expect("content-length");
+                if acc.len() >= head_end + 4 + clen {
+                    return String::from_utf8_lossy(&acc[..head_end + 4 + clen]).to_string();
+                }
+            }
+            let n = s.read(&mut chunk).expect("read (reset mid-stream?)");
+            assert!(n > 0, "connection reset mid-stream");
+            acc.extend_from_slice(&chunk[..n]);
+        }
+    };
+    for tag in 0..3 {
+        let body = format!(r#"{{"config": "C{}", "workload": "Radix"}}"#, tag + 1);
+        let payload = format!(
+            "POST /v1/model HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        s.write_all(payload.as_bytes()).unwrap();
+        let reply = read_one(&mut s);
+        assert!(reply.starts_with("HTTP/1.1 200"), "job {tag}: {reply}");
+        assert!(
+            reply.contains("connection: keep-alive\r\n"),
+            "job {tag}: {reply}"
+        );
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.state().metrics.worker_respawn_count() < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(server.state().metrics.worker_respawn_count() >= 1);
+    assert!(server.state().metrics.requeue_count() >= 1);
     server.shutdown();
 }
 
@@ -89,7 +162,7 @@ fn injected_worker_panic_is_respawned_and_counted() {
 /// a hang or a success.
 #[test]
 fn injected_delay_drives_the_503_deadline_path() {
-    // Every request sleeps 300ms against a 100ms deadline.
+    // Every job sleeps 300ms against a 100ms deadline.
     let server = server_with("serve:delay:ms=300", 1, 8, Duration::from_millis(100));
     let addr = server.local_addr();
     let reply = raw_request(
@@ -107,21 +180,21 @@ fn injected_delay_drives_the_503_deadline_path() {
 }
 
 /// With one worker pinned by an injected delay and a queue of one, the
-/// third connection must be shed with 429 + Retry-After — admission
-/// control driven deterministically, no idle-socket trickery needed.
+/// third distinct miss must be shed with 429 + Retry-After — admission
+/// control driven deterministically.
 #[test]
 fn injected_delay_fills_the_queue_and_sheds_429() {
     let server = server_with("serve:delay:ms=600", 1, 1, Duration::from_secs(5));
     let addr = server.local_addr();
 
-    // First request: popped by the worker, now sleeping 600ms.
-    let h1 = std::thread::spawn(move || raw_request(addr, &get("/healthz")));
+    // First miss: popped by the worker, now sleeping 600ms.
+    let h1 = std::thread::spawn(move || raw_request(addr, &miss(0)));
     std::thread::sleep(Duration::from_millis(150));
-    // Second request: admitted, fills the queue while the worker sleeps.
-    let h2 = std::thread::spawn(move || raw_request(addr, &get("/healthz")));
+    // Second miss: admitted, fills the queue while the worker sleeps.
+    let h2 = std::thread::spawn(move || raw_request(addr, &miss(1)));
     std::thread::sleep(Duration::from_millis(150));
-    // Third request: the queue is full, the acceptor sheds it.
-    let reply = raw_request(addr, &get("/healthz"));
+    // Third miss: the queue is full, the event loop sheds it inline.
+    let reply = raw_request(addr, &miss(2));
     assert!(reply.starts_with("HTTP/1.1 429"), "{reply}");
     assert!(reply.contains("Retry-After: 1\r\n"), "{reply}");
     assert!(server.state().metrics.rejected_count() >= 1);
@@ -134,14 +207,14 @@ fn injected_delay_fills_the_queue_and_sheds_429() {
     server.shutdown();
 }
 
-/// `serve:io:nth=2` fails every 2nd request with a synthetic 500 whose
-/// body names the injection, while odd requests are untouched.
+/// `serve:io:nth=2` fails every 2nd popped job with a synthetic 500
+/// whose body names the injection, while odd jobs are untouched.
 #[test]
 fn injected_io_fault_answers_500_and_service_stays_up() {
     let server = server_with("serve:io:nth=2", 1, 8, Duration::from_secs(5));
     let addr = server.local_addr();
     for index in 0..4u64 {
-        let reply = raw_request(addr, &get("/healthz"));
+        let reply = raw_request(addr, &miss(index as usize));
         if (index + 1) % 2 == 0 {
             assert!(reply.starts_with("HTTP/1.1 500"), "index {index}: {reply}");
             assert!(reply.contains("injected fault: serve:io"), "{reply}");
@@ -155,15 +228,16 @@ fn injected_io_fault_answers_500_and_service_stays_up() {
 }
 
 /// The default (empty) plan injects nothing: the fault plane costs one
-/// emptiness check per request and changes no behavior.
+/// emptiness check per popped job and changes no behavior.
 #[test]
 fn empty_plan_is_inert() {
     let server = server_with("", 2, 8, Duration::from_secs(5));
     let addr = server.local_addr();
-    for _ in 0..5 {
-        let reply = raw_request(addr, &get("/healthz"));
+    for tag in 0..5 {
+        let reply = raw_request(addr, &miss(tag));
         assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
     }
     assert_eq!(server.state().metrics.worker_respawn_count(), 0);
+    assert_eq!(server.state().metrics.requeue_count(), 0);
     server.shutdown();
 }

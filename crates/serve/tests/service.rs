@@ -1,6 +1,10 @@
 //! End-to-end tests against a real listening `memhierd`: the response
 //! cache's warm/cold ratio, admission control under a saturating burst,
 //! and deadline enforcement.
+//!
+//! These clients speak `Connection: close` so plain read-to-EOF framing
+//! works; keep-alive and pipelining are covered by the server's unit
+//! tests and by `serve_soak`.
 
 use memhier_serve::{ServeConfig, Server};
 use std::io::{Read, Write};
@@ -26,7 +30,7 @@ fn timed_request(addr: SocketAddr, payload: &str) -> (u16, String, Duration) {
 
 fn post(path: &str, body: &str) -> String {
     format!(
-        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     )
 }
@@ -165,7 +169,8 @@ fn deadline_aborts_long_simulation_with_503() {
         "503 should arrive promptly, took {elapsed:?}"
     );
     // Deadline failures are not cached: metrics must show a server error.
-    let (status, reply, _) = timed_request(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+    let (status, reply, _) =
+        timed_request(addr, "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
     assert_eq!(status, 200);
     assert!(reply.contains("\"deadline_exceeded\": 1"), "{reply}");
     server.shutdown();

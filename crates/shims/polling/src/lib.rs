@@ -1,0 +1,659 @@
+//! Hermetic shim of the `polling` crate API subset `memhierd`'s event
+//! loop uses: a level-triggered readiness [`Poller`] over registered
+//! file descriptors, with a cross-thread [`Poller::notify`] wake-up.
+//!
+//! Like the workspace's other shims this is std-only and offline: no
+//! libc crate, no registry access.  On Linux it wraps the `epoll`
+//! syscalls through raw FFI (mirroring the `signal(2)` FFI in
+//! `memhier-serve`'s `signal.rs`); on other unixes it degrades to
+//! `poll(2)` over a registration table; elsewhere [`Poller::new`]
+//! returns an `Unsupported` error so callers can fall back or refuse to
+//! start.
+//!
+//! Semantics intentionally kept from upstream `polling`:
+//!
+//! * **Level-triggered**: a key stays ready while its condition holds;
+//!   callers drain until `WouldBlock` but are not forced to.
+//! * **One key per source**: [`Poller::add`] associates a `usize` key;
+//!   [`Poller::modify`] rewrites the interest; [`Poller::delete`]
+//!   removes the registration.  Sources must be nonblocking.
+//! * **`notify`**: wakes a concurrent or future [`Poller::wait`] from
+//!   any thread.  Wake-ups coalesce and are consumed by the wait that
+//!   observes them; they never surface as user events.
+//!
+//! ```no_run
+//! use polling::{Event, Events, Poller};
+//! let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+//! listener.set_nonblocking(true).unwrap();
+//! let poller = Poller::new().unwrap();
+//! poller.add(&listener, Event::readable(7)).unwrap();
+//! let mut events = Events::new();
+//! poller.wait(&mut events, Some(std::time::Duration::from_millis(10))).unwrap();
+//! for ev in events.iter() {
+//!     assert_eq!(ev.key, 7);
+//! }
+//! ```
+
+/// Interest in (or readiness of) one registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier reported back by [`Poller::wait`].
+    pub key: usize,
+    /// Interested in (or observed) readability.
+    pub readable: bool,
+    /// Interested in (or observed) writability.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in readability only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in writability only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest (keeps the registration alive for a later
+    /// [`Poller::modify`]).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// Reusable buffer of events filled by [`Poller::wait`].
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+}
+
+impl Events {
+    /// An empty buffer.
+    pub fn new() -> Events {
+        Events::default()
+    }
+
+    /// Iterate the events of the last [`Poller::wait`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.inner.iter().copied()
+    }
+
+    /// Number of events delivered by the last wait.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the last wait delivered nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drop all buffered events.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+pub use sys::Poller;
+
+/// Key reserved for the internal notify pipe; user keys must not use it.
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! epoll(7) backend: one epoll instance plus a nonblocking socket
+    //! pair whose read end implements [`Poller::notify`].
+
+    use super::{Event, Events, NOTIFY_KEY};
+    use std::io::{self, Read, Write};
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::os::unix::net::UnixStream;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Kernel epoll_event.  x86-64 packs it to match the 32-bit layout;
+    /// other Linux targets use natural alignment — mirror both.
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn interest_bits(interest: Event) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    /// The epoll-backed poller.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+        /// Read end, registered under [`NOTIFY_KEY`]; drained in `wait`.
+        wake_rx: UnixStream,
+        /// Write end; `notify` sends one byte (coalescing is fine — any
+        /// pending byte wakes the next wait).
+        wake_tx: UnixStream,
+    }
+
+    // SAFETY: every operation is a thread-safe syscall on owned fds;
+    // the UnixStream halves are only used through &self write/read,
+    // both of which are atomic for the 1-byte payloads used here.
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+
+    impl Poller {
+        /// A fresh epoll instance with its notify pipe registered.
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: plain syscall; the fd is owned by the Poller and
+            // closed in Drop.
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let (wake_rx, wake_tx) = match UnixStream::pair() {
+                Ok(pair) => pair,
+                Err(e) => {
+                    // SAFETY: closing the fd we just created.
+                    unsafe { close(epfd) };
+                    return Err(e);
+                }
+            };
+            wake_rx.set_nonblocking(true)?;
+            wake_tx.set_nonblocking(true)?;
+            let poller = Poller {
+                epfd,
+                wake_rx,
+                wake_tx,
+            };
+            poller.ctl(
+                EPOLL_CTL_ADD,
+                poller.wake_rx.as_raw_fd(),
+                Some(Event::readable(NOTIFY_KEY)),
+            )?;
+            Ok(poller)
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, interest: Option<Event>) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest.map(interest_bits).unwrap_or(0),
+                data: interest.map(|e| e.key as u64).unwrap_or(0),
+            };
+            // SAFETY: `ev` outlives the call; epoll copies it.
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        /// Register `source` under `interest.key`.
+        pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), Some(interest))
+        }
+
+        /// Replace the interest of an already-registered `source`.
+        pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), Some(interest))
+        }
+
+        /// Remove `source`'s registration.
+        pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+        }
+
+        /// Block until at least one registered source is ready, `timeout`
+        /// elapses (`None` = forever), or [`Poller::notify`] is called.
+        /// Returns the number of user events delivered into `events`
+        /// (the notify wake-up itself is consumed, not reported).
+        pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            events.clear();
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+            };
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 64];
+            let n = loop {
+                // SAFETY: buf is a valid writable array of buf.len()
+                // entries for the duration of the call.
+                match cvt(unsafe {
+                    epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+                }) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                        // Retriable; honor the timeout loosely (a signal
+                        // storm extending a bounded wait is acceptable).
+                        if timeout_ms >= 0 {
+                            break 0;
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            for slot in &buf[..n] {
+                let key = { slot.data } as usize;
+                let bits = { slot.events };
+                if key == NOTIFY_KEY {
+                    // Drain every pending wake byte so level-triggered
+                    // epoll does not spin on the pipe.
+                    let mut sink = [0u8; 64];
+                    while let Ok(k) = (&self.wake_rx).read(&mut sink) {
+                        if k == 0 {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                // Errors and hang-ups surface as read+write readiness so
+                // the owner discovers them from the failing I/O call.
+                let err = bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+                events.inner.push(Event {
+                    key,
+                    readable: bits & EPOLLIN != 0 || err,
+                    writable: bits & EPOLLOUT != 0 || err,
+                });
+            }
+            Ok(events.inner.len())
+        }
+
+        /// Wake a concurrent or future [`Poller::wait`] from any thread.
+        pub fn notify(&self) -> io::Result<()> {
+            // A full pipe already guarantees a pending wake-up.
+            match (&self.wake_tx).write(&[1u8]) {
+                Ok(_) => Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+                Err(e) => Err(e),
+            }
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: closing the epoll fd this struct owns; the socket
+            // pair closes itself.
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! poll(2) fallback for non-Linux unixes: a registration table
+    //! rebuilt into a pollfd array on every wait.  O(n) per wait, which
+    //! is fine at the connection counts this workspace tests.
+
+    use super::{Event, Events, NOTIFY_KEY};
+    use std::collections::HashMap;
+    use std::io::{self, Read, Write};
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::os::unix::net::UnixStream;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// The poll(2)-backed poller.
+    #[derive(Debug)]
+    pub struct Poller {
+        registry: Mutex<HashMap<RawFd, Event>>,
+        wake_rx: UnixStream,
+        wake_tx: UnixStream,
+    }
+
+    impl Poller {
+        /// A fresh poller with its notify pipe registered.
+        pub fn new() -> io::Result<Poller> {
+            let (wake_rx, wake_tx) = UnixStream::pair()?;
+            wake_rx.set_nonblocking(true)?;
+            wake_tx.set_nonblocking(true)?;
+            Ok(Poller {
+                registry: Mutex::new(HashMap::new()),
+                wake_rx,
+                wake_tx,
+            })
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<RawFd, Event>> {
+            self.registry
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner())
+        }
+
+        /// Register `source` under `interest.key`.
+        pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            self.lock().insert(source.as_raw_fd(), interest);
+            Ok(())
+        }
+
+        /// Replace the interest of an already-registered `source`.
+        pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            self.lock().insert(source.as_raw_fd(), interest);
+            Ok(())
+        }
+
+        /// Remove `source`'s registration.
+        pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+            self.lock().remove(&source.as_raw_fd());
+            Ok(())
+        }
+
+        /// Block until readiness, timeout, or [`Poller::notify`].
+        pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            events.clear();
+            let mut fds: Vec<PollFd> = vec![PollFd {
+                fd: self.wake_rx.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            }];
+            let mut keys = vec![NOTIFY_KEY];
+            for (fd, ev) in self.lock().iter() {
+                let mut bits = 0i16;
+                if ev.readable {
+                    bits |= POLLIN;
+                }
+                if ev.writable {
+                    bits |= POLLOUT;
+                }
+                fds.push(PollFd {
+                    fd: *fd,
+                    events: bits,
+                    revents: 0,
+                });
+                keys.push(ev.key);
+            }
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+            };
+            // SAFETY: fds is a valid array of fds.len() pollfd entries.
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+            if rc < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(e);
+            }
+            for (i, slot) in fds.iter().enumerate() {
+                if slot.revents == 0 {
+                    continue;
+                }
+                if keys[i] == NOTIFY_KEY {
+                    let mut sink = [0u8; 64];
+                    while let Ok(k) = (&self.wake_rx).read(&mut sink) {
+                        if k == 0 {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                let err = slot.revents & (POLLERR | POLLHUP) != 0;
+                events.inner.push(Event {
+                    key: keys[i],
+                    readable: slot.revents & POLLIN != 0 || err,
+                    writable: slot.revents & POLLOUT != 0 || err,
+                });
+            }
+            Ok(events.inner.len())
+        }
+
+        /// Wake a concurrent or future [`Poller::wait`] from any thread.
+        pub fn notify(&self) -> io::Result<()> {
+            match (&self.wake_tx).write(&[1u8]) {
+                Ok(_) => Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+                Err(e) => Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    //! Stub for non-unix targets: construction fails with `Unsupported`
+    //! so callers can refuse to start (the workspace only deploys the
+    //! event loop on unix hosts).
+
+    use super::{Event, Events};
+    use std::io;
+    use std::time::Duration;
+
+    /// Unsupported-platform poller: every constructor errors.
+    #[derive(Debug)]
+    pub struct Poller {
+        _unconstructible: (),
+    }
+
+    impl Poller {
+        /// Always fails on this platform.
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "polling shim: no readiness backend on this platform",
+            ))
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn add<T>(&self, _source: &T, _interest: Event) -> io::Result<()> {
+            unreachable!("no Poller instance exists on this platform")
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn modify<T>(&self, _source: &T, _interest: Event) -> io::Result<()> {
+            unreachable!("no Poller instance exists on this platform")
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn delete<T>(&self, _source: &T) -> io::Result<()> {
+            unreachable!("no Poller instance exists on this platform")
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn wait(&self, _events: &mut Events, _timeout: Option<Duration>) -> io::Result<usize> {
+            unreachable!("no Poller instance exists on this platform")
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn notify(&self) -> io::Result<()> {
+            unreachable!("no Poller instance exists on this platform")
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&listener, Event::readable(3)).unwrap();
+
+        let mut events = Events::new();
+        // Nothing pending: a bounded wait returns empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 3);
+        assert!(ev.readable);
+    }
+
+    #[test]
+    fn modify_to_writable_and_delete() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&client, Event::none(9)).unwrap();
+        let mut events = Events::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0, "no interest, no events");
+
+        poller.modify(&client, Event::all(9)).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1, "an idle socket is writable");
+        assert!(events.iter().next().unwrap().writable);
+
+        poller.delete(&client).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0, "deleted registrations stay silent");
+        drop(server);
+    }
+
+    #[test]
+    fn readable_data_is_level_triggered() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::readable(1)).unwrap();
+        client.write_all(b"ping").unwrap();
+
+        let mut events = Events::new();
+        for round in 0..2 {
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(n, 1, "unread data must stay ready (round {round})");
+            assert!(events.iter().next().unwrap().readable);
+        }
+        let mut server = server;
+        let mut buf = [0u8; 16];
+        assert_eq!(server.read(&mut buf).unwrap(), 4);
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.notify().unwrap();
+        });
+        let started = Instant::now();
+        let mut events = Events::new();
+        // Would block for 10s without the notify.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(n, 0, "notify is consumed, not reported");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "wait returned via notify, not timeout"
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn notify_before_wait_is_not_lost() {
+        let poller = Poller::new().unwrap();
+        poller.notify().unwrap();
+        poller.notify().unwrap(); // coalesces
+        let started = Instant::now();
+        let mut events = Events::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(started.elapsed() < Duration::from_secs(5));
+        // Drained: the next bounded wait times out quietly.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+}
