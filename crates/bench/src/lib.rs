@@ -32,6 +32,7 @@ pub mod loadgen;
 pub mod names;
 pub mod optimrun;
 pub mod record;
+pub mod registry_info;
 pub mod runner;
 pub mod scenario;
 pub mod sweeprun;
@@ -43,6 +44,7 @@ pub use loadgen::{quantile_us, LoadClient, LoadError, Reply};
 pub use names::{config_by_name, paper_params, sizes_by_name, workload_kind_by_name};
 pub use optimrun::{run_optimize, run_recommend};
 pub use record::{record_scenario, RecordSummary, TraceRecorder};
+pub use registry_info::registry_json;
 pub use runner::{
     characterize, simulate_workload, simulate_workload_observed, simulate_workload_threads,
     simulate_workload_with, Characterization, ObservedRun, ObserverConfig, SimRun, Sizes,

@@ -1,34 +1,33 @@
 //! Canonical string names for configs, workloads, and size tiers.
 //!
 //! The CLI, the experiment binaries, and the `memhierd` service all take
-//! the same spellings (`C1..C15`, `FFT|LU|Radix|EDGE|TPC-C`,
-//! `small|medium|paper`); resolving them lives here so every entry point
-//! accepts and rejects exactly the same inputs.
+//! the same spellings (`C1..C15` plus the extended `N4/N8/FT8/FT16`
+//! configs, any workload-registry key, `small|medium|paper`); resolving
+//! them lives here so every entry point accepts and rejects exactly the
+//! same inputs.
 
 use crate::runner::Sizes;
 use memhier_core::locality::WorkloadParams;
 use memhier_core::params::{self, configs};
 use memhier_core::platform::ClusterSpec;
 use memhier_workloads::registry::WorkloadKind;
+use memhier_workloads::{workload_by_key, workload_keys};
 
-/// Resolve a paper configuration by name (`C1`..`C15`).
+/// Resolve a named configuration: the paper's `C1`..`C15` or the
+/// extended `N4`/`N8`/`FT8`/`FT16` NUMA and fat-tree configs.
 pub fn config_by_name(name: &str) -> Result<ClusterSpec, String> {
     configs::all_configs()
         .into_iter()
+        .chain(configs::extended_configs())
         .find(|c| c.name.as_deref() == Some(name))
         .ok_or_else(|| format!("unknown config `{name}` (try `memhier configs`)"))
 }
 
-/// Resolve a workload kind by its display name (case-insensitive).
+/// Resolve a workload kind by registry key or alias (case-insensitive).
 pub fn workload_kind_by_name(name: &str) -> Result<WorkloadKind, String> {
-    match name.to_ascii_uppercase().as_str() {
-        "FFT" => Ok(WorkloadKind::Fft),
-        "LU" => Ok(WorkloadKind::Lu),
-        "RADIX" => Ok(WorkloadKind::Radix),
-        "EDGE" => Ok(WorkloadKind::Edge),
-        "TPC-C" | "TPCC" => Ok(WorkloadKind::Tpcc),
-        other => Err(format!("unknown workload `{other}`")),
-    }
+    workload_by_key(name)
+        .and_then(|spec| spec.kind())
+        .ok_or_else(|| format!("unknown workload `{name}` ({})", workload_keys().join("|")))
 }
 
 /// Resolve a problem-size tier by name.
@@ -49,8 +48,12 @@ pub fn paper_params(kind: WorkloadKind) -> WorkloadParams {
         WorkloadKind::Radix => params::workload_radix(),
         WorkloadKind::Edge => params::workload_edge(),
         WorkloadKind::Tpcc => params::workload_tpcc(),
+        WorkloadKind::Stencil4D => params::workload_stencil4d(),
+        WorkloadKind::Stream => params::workload_stream(),
+        WorkloadKind::GraphWalk => params::workload_graphwalk(),
+        WorkloadKind::Inference => params::workload_inference(),
         // WorkloadKind is non_exhaustive; workload_kind_by_name only emits
-        // the five above.
+        // the kinds above.
         other => unreachable!("no paper parameters for {other:?}"),
     }
 }
@@ -72,7 +75,34 @@ mod tests {
     fn workload_names_case_insensitive() {
         assert_eq!(workload_kind_by_name("fft").unwrap(), WorkloadKind::Fft);
         assert_eq!(workload_kind_by_name("TPCC").unwrap(), WorkloadKind::Tpcc);
-        assert!(workload_kind_by_name("SORT").is_err());
+        assert_eq!(
+            workload_kind_by_name("stencil").unwrap(),
+            WorkloadKind::Stencil4D
+        );
+        assert_eq!(
+            workload_kind_by_name("GraphWalk").unwrap(),
+            WorkloadKind::GraphWalk
+        );
+        let err = workload_kind_by_name("SORT").unwrap_err();
+        assert!(
+            err.contains("Stencil4D"),
+            "error lists registry keys: {err}"
+        );
+    }
+
+    #[test]
+    fn extended_configs_resolve_by_name() {
+        for name in ["N4", "N8", "FT8", "FT16"] {
+            assert_eq!(config_by_name(name).unwrap().name.as_deref(), Some(name));
+        }
+    }
+
+    #[test]
+    fn every_kind_has_paper_params() {
+        for kind in WorkloadKind::ALL {
+            let p = paper_params(kind);
+            assert!(p.locality.alpha > 1.0, "{}", kind.name());
+        }
     }
 
     #[test]

@@ -39,7 +39,9 @@ use crate::runner::{simulate_workload_threads, ObservedRun, ObserverConfig, Size
 use crate::sweeprun::SweepPlan;
 use memhier_core::machine::LatencyParams;
 use memhier_core::platform::ClusterSpec;
-use memhier_workloads::registry::WorkloadKind;
+use memhier_core::{platform_by_key, platform_keys};
+use memhier_workloads::registry::{Workload, WorkloadKind};
+use memhier_workloads::{workload_by_key, workload_keys, ResolvedWorkload};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::fmt;
@@ -74,7 +76,13 @@ impl fmt::Display for ScenarioError {
                 write!(f, "unknown config `{name}` (try `memhier configs`)")
             }
             ScenarioError::UnknownWorkload(name) => {
-                write!(f, "unknown workload `{name}` (FFT|LU|Radix|EDGE|TPC-C)")
+                // The alternatives come from the live registry, so a
+                // workload registered at runtime appears here too.
+                write!(
+                    f,
+                    "unknown workload `{name}` ({})",
+                    workload_keys().join("|")
+                )
             }
             ScenarioError::UnknownSize(name) => {
                 write!(f, "unknown size `{name}` (small|medium|paper)")
@@ -102,6 +110,11 @@ pub struct Scenario {
     pub config: ClusterSpec,
     /// The kernel to run on it.
     pub workload: WorkloadKind,
+    /// Registry parameter overrides for the workload (the JSON `params`
+    /// map of the `{"key": ..., "params": {...}}` form); `None` runs the
+    /// size tier's stock problem.  Validated against the workload's
+    /// parameter schema when the scenario is built.
+    pub workload_params: Option<Value>,
     /// Problem-size tier.
     pub size: Sizes,
     /// Observers attached to the run (default: none — the engine's hot
@@ -127,12 +140,22 @@ impl Scenario {
     /// paper's latency table.
     pub fn run(&self) -> ObservedRun {
         simulate_workload_threads(
-            &self.size.workload(self.workload),
+            &self.resolved_workload(),
             &self.config,
             &LatencyParams::paper(),
             &self.observers,
             self.resolved_sim_threads(),
         )
+    }
+
+    /// The sized workload this scenario simulates: the size tier's stock
+    /// problem, with any registry parameter overrides applied.
+    pub fn resolved_workload(&self) -> Workload {
+        match &self.workload_params {
+            None => self.size.workload(self.workload),
+            Some(params) => resolve_workload_params(self.workload, self.size, params)
+                .expect("workload params were validated when the scenario was built"),
+        }
     }
 
     /// The engine selection this scenario runs with: its own pin, else
@@ -159,7 +182,16 @@ impl Scenario {
             ),
             (
                 "workload".to_string(),
-                Value::String(self.workload.name().to_string()),
+                match &self.workload_params {
+                    None => Value::String(self.workload.name().to_string()),
+                    Some(params) => Value::Object(vec![
+                        (
+                            "key".to_string(),
+                            Value::String(self.workload.name().to_string()),
+                        ),
+                        ("params".to_string(), params.clone()),
+                    ]),
+                },
             ),
             (
                 "size".to_string(),
@@ -215,6 +247,9 @@ impl Scenario {
                 "config" => {
                     b = match value {
                         Value::String(name) => b.config_name(name),
+                        Value::Object(_) if value.get("platform").is_some() => {
+                            b.config(platform_config_from_json(value)?)
+                        }
                         Value::Object(_) => {
                             let spec = ClusterSpec::from_json_value(value.clone())
                                 .map_err(|e| ScenarioError::Invalid("config", e))?;
@@ -223,17 +258,40 @@ impl Scenario {
                         _ => {
                             return Err(ScenarioError::Invalid(
                                 "config",
-                                "must be a name string or a cluster-spec object".to_string(),
+                                "must be a name string, a {platform, params} object, \
+                                 or a cluster-spec object"
+                                    .to_string(),
                             ))
                         }
                     };
                 }
                 "workload" => {
-                    let name = value.as_str().ok_or(ScenarioError::Invalid(
-                        "workload",
-                        "must be a string".to_string(),
-                    ))?;
-                    b = b.workload_name(name);
+                    b = match value {
+                        Value::String(name) => b.workload_name(name),
+                        Value::Object(fields) => {
+                            for (k, _) in fields {
+                                if k != "key" && k != "params" {
+                                    return Err(ScenarioError::UnknownField(format!(
+                                        "workload.{k}"
+                                    )));
+                                }
+                            }
+                            let key = value.get("key").and_then(Value::as_str).ok_or(
+                                ScenarioError::Invalid(
+                                    "workload",
+                                    "object form needs a `key` string".to_string(),
+                                ),
+                            )?;
+                            let params = value.get("params").cloned().unwrap_or(Value::Null);
+                            b.workload_name(key).workload_params(params)
+                        }
+                        _ => {
+                            return Err(ScenarioError::Invalid(
+                                "workload",
+                                "must be a string or a {key, params} object".to_string(),
+                            ))
+                        }
+                    };
                 }
                 "size" => {
                     let name = value.as_str().ok_or(ScenarioError::Invalid(
@@ -374,6 +432,14 @@ impl Scenario {
         if scenarios.iter().any(|s| s.sim_threads != first.sim_threads) {
             return Err(ScenarioError::Mixed("sim_threads"));
         }
+        if scenarios.iter().any(|s| s.workload_params.is_some()) {
+            // Sweep grids are (config × kind) points at the plan's size
+            // tier; per-point parameter maps have nowhere to live there.
+            return Err(ScenarioError::Invalid(
+                "workload",
+                "parameter maps are not supported in sweep batches".to_string(),
+            ));
+        }
         let mut plan = SweepPlan::new(name, first.size)
             .with_observers(first.observers)
             .with_sim_threads(first.sim_threads);
@@ -390,7 +456,8 @@ impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let plain = self.observers == ObserverConfig::default()
             && self.faults.is_empty()
-            && self.sim_threads.is_none();
+            && self.sim_threads.is_none()
+            && self.workload_params.is_none();
         match (&self.config.name, plain) {
             (Some(name), true) => write!(
                 f,
@@ -463,6 +530,7 @@ impl Deserialize for Scenario {
 pub struct ScenarioBuilder {
     config: Option<Result<ClusterSpec, ScenarioError>>,
     workload: Option<Result<WorkloadKind, ScenarioError>>,
+    workload_params: Option<Value>,
     size: Option<Result<Sizes, ScenarioError>>,
     observers: ObserverConfig,
     sim_threads: Option<usize>,
@@ -496,6 +564,19 @@ impl ScenarioBuilder {
             workload_kind_by_name(name)
                 .map_err(|_| ScenarioError::UnknownWorkload(name.to_string())),
         );
+        self
+    }
+
+    /// Set registry parameter overrides for the workload (validated
+    /// against its schema at `build`).  `Null` or an empty object means
+    /// "no overrides".
+    pub fn workload_params(mut self, params: Value) -> Self {
+        let empty = matches!(&params, Value::Object(f) if f.is_empty());
+        self.workload_params = if params.is_null() || empty {
+            None
+        } else {
+            Some(params)
+        };
         self
     }
 
@@ -550,10 +631,18 @@ impl ScenarioBuilder {
     /// Resolve deferred names and produce the scenario.  `config` and
     /// `workload` are required; `size` defaults to [`Sizes::Medium`].
     pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let workload = self.workload.ok_or(ScenarioError::Missing("workload"))??;
+        let size = self.size.unwrap_or(Ok(Sizes::Medium))?;
+        if let Some(params) = &self.workload_params {
+            // Validate against the registry schema now so `run` can't
+            // fail later.
+            resolve_workload_params(workload, size, params)?;
+        }
         Ok(Scenario {
             config: self.config.ok_or(ScenarioError::Missing("config"))??,
-            workload: self.workload.ok_or(ScenarioError::Missing("workload"))??,
-            size: self.size.unwrap_or(Ok(Sizes::Medium))?,
+            workload,
+            workload_params: self.workload_params,
+            size,
             observers: self.observers,
             sim_threads: self.sim_threads,
             faults: self.faults,
@@ -568,6 +657,76 @@ pub fn size_name(size: Sizes) -> &'static str {
         Sizes::Small => "small",
         Sizes::Medium => "medium",
         Sizes::Paper => "paper",
+    }
+}
+
+/// Build a [`ClusterSpec`] from the `{"platform": key, "params": {...}}`
+/// config form via the platform registry.
+fn platform_config_from_json(v: &Value) -> Result<ClusterSpec, ScenarioError> {
+    if let Value::Object(fields) = v {
+        for (k, _) in fields {
+            if k != "platform" && k != "params" {
+                return Err(ScenarioError::UnknownField(format!("config.{k}")));
+            }
+        }
+    }
+    let key = v
+        .get("platform")
+        .and_then(Value::as_str)
+        .ok_or(ScenarioError::Invalid(
+            "config",
+            "`platform` must be a registry key string".to_string(),
+        ))?;
+    let spec = platform_by_key(key).ok_or_else(|| {
+        ScenarioError::Invalid(
+            "config",
+            format!(
+                "unknown platform `{key}` (known: {})",
+                platform_keys().join("|")
+            ),
+        )
+    })?;
+    let params = v.get("params").cloned().unwrap_or(Value::Null);
+    spec.build(&params)
+        .map_err(|e| ScenarioError::Invalid("config", e.to_string()))
+}
+
+/// Resolve a workload parameter map against the registry: the scenario's
+/// size tier supplies the base problem, the map overrides its fields.
+fn resolve_workload_params(
+    kind: WorkloadKind,
+    size: Sizes,
+    params: &Value,
+) -> Result<Workload, ScenarioError> {
+    if params.get("size").is_some() {
+        return Err(ScenarioError::Invalid(
+            "workload",
+            "set `size` at the scenario level, not inside `params`".to_string(),
+        ));
+    }
+    let mut fields = match params {
+        Value::Object(f) => f.clone(),
+        Value::Null => Vec::new(),
+        _ => {
+            return Err(ScenarioError::Invalid(
+                "workload",
+                "`params` must be a JSON object".to_string(),
+            ))
+        }
+    };
+    fields.push((
+        "size".to_string(),
+        Value::String(size_name(size).to_string()),
+    ));
+    let spec = workload_by_key(kind.name())
+        .ok_or_else(|| ScenarioError::UnknownWorkload(kind.name().to_string()))?;
+    match spec.build(&Value::Object(fields)) {
+        Ok(ResolvedWorkload::Sized(w)) => Ok(w),
+        Ok(ResolvedWorkload::Program(_)) => Err(ScenarioError::Invalid(
+            "workload",
+            format!("`{}` does not build a sized workload", kind.name()),
+        )),
+        Err(e) => Err(ScenarioError::Invalid("workload", e)),
     }
 }
 
@@ -696,5 +855,96 @@ mod tests {
         let out = "C1:EDGE:small".parse::<Scenario>().unwrap().run();
         assert!(out.run.report.wall_cycles > 0);
         assert!(out.metrics.is_none());
+    }
+
+    #[test]
+    fn new_workloads_parse_in_compact_form() {
+        for (text, kind) in [
+            ("N4:Stencil4D:small", WorkloadKind::Stencil4D),
+            ("FT8:Stream:small", WorkloadKind::Stream),
+            ("N8:graphwalk:small", WorkloadKind::GraphWalk),
+            ("FT16:INFER:small", WorkloadKind::Inference),
+        ] {
+            let s = text.parse::<Scenario>().unwrap();
+            assert_eq!(s.workload, kind, "{text}");
+        }
+    }
+
+    #[test]
+    fn unknown_workload_error_lists_registry_keys() {
+        let e = "C5:WAVELET:small".parse::<Scenario>().unwrap_err();
+        assert_eq!(e, ScenarioError::UnknownWorkload("WAVELET".to_string()));
+        let msg = e.to_string();
+        for key in ["FFT", "Stencil4D", "Stream", "GraphWalk", "Inference"] {
+            assert!(msg.contains(key), "`{msg}` should list `{key}`");
+        }
+    }
+
+    #[test]
+    fn platform_registry_config_form() {
+        let v: Value = serde_json::from_str(
+            r#"{"config": {"platform": "numa-smp", "params": {"procs": 8, "domains": 4}},
+                "workload": "Stencil4D", "size": "small"}"#,
+        )
+        .unwrap();
+        let s = Scenario::from_json(&v).unwrap();
+        assert_eq!(s.config.machine.n_procs, 8);
+        assert_eq!(s.config.machine.numa_domains(), 4);
+        // parse(to_json) is still an involution even though the platform
+        // spelling canonicalizes to a full cluster spec.
+        let json = s.to_json();
+        assert_eq!(Scenario::from_json(&json).unwrap(), s);
+
+        let bad: Value =
+            serde_json::from_str(r#"{"config": {"platform": "warp-drive"}, "workload": "FFT"}"#)
+                .unwrap();
+        let msg = Scenario::from_json(&bad).unwrap_err().to_string();
+        assert!(msg.contains("numa-smp"), "{msg}");
+    }
+
+    #[test]
+    fn workload_parameter_map_form() {
+        let v: Value = serde_json::from_str(
+            r#"{"config": "C5", "size": "small",
+                "workload": {"key": "stencil4d", "params": {"iterations": 3}}}"#,
+        )
+        .unwrap();
+        let s = Scenario::from_json(&v).unwrap();
+        assert_eq!(s.workload, WorkloadKind::Stencil4D);
+        assert_eq!(
+            s.resolved_workload(),
+            Workload::Stencil4D {
+                l: 8,
+                iterations: 3
+            }
+        );
+        // The JSON form round-trips with the canonical key.
+        let json = s.to_json();
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), json);
+
+        // Bad parameter names fail at parse, with the schema's keys.
+        let bad: Value = serde_json::from_str(
+            r#"{"config": "C5", "workload": {"key": "Stream", "params": {"stride": 2}}}"#,
+        )
+        .unwrap();
+        let msg = Scenario::from_json(&bad).unwrap_err().to_string();
+        assert!(msg.contains("no parameter `stride`"), "{msg}");
+
+        // `size` belongs to the scenario, not the params map.
+        let bad: Value = serde_json::from_str(
+            r#"{"config": "C5", "workload": {"key": "FFT", "params": {"size": "small"}}}"#,
+        )
+        .unwrap();
+        assert!(Scenario::from_json(&bad).is_err());
+
+        // An empty params map collapses to the plain string form.
+        let v: Value =
+            serde_json::from_str(r#"{"config": "C5", "workload": {"key": "FFT", "params": {}}}"#)
+                .unwrap();
+        let s = Scenario::from_json(&v).unwrap();
+        assert!(s.workload_params.is_none());
+        assert_eq!(s.to_string(), "C5:FFT:medium");
     }
 }

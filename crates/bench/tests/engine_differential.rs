@@ -93,6 +93,31 @@ fn miss_platforms() -> Vec<(&'static str, ClusterSpec)> {
 /// (scattered histogram writes) and the TPC-C-like commercial mix.
 const MISS_WORKLOADS: [WorkloadKind; 2] = [WorkloadKind::Radix, WorkloadKind::Tpcc];
 
+/// The registry-redesign back-ends: a NUMA-aware SMP (two memory
+/// domains behind one coherence fabric) and a multi-rack fat-tree COW
+/// (8 single-processor nodes, 4 per rack).
+fn extended_platforms() -> Vec<(&'static str, ClusterSpec)> {
+    vec![
+        (
+            "numa_smp",
+            ClusterSpec::single(MachineSpec::new(4, 256, 128, 200.0).with_numa(2, 40.0)),
+        ),
+        (
+            "fattree_cow",
+            ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 8, NetworkKind::FatTree),
+        ),
+    ]
+}
+
+/// The four extended workloads ride the extended platforms: every new
+/// address-stream generator is pinned on every new back-end.
+const EXTENDED_WORKLOADS: [WorkloadKind; 4] = [
+    WorkloadKind::Stencil4D,
+    WorkloadKind::Stream,
+    WorkloadKind::GraphWalk,
+    WorkloadKind::Inference,
+];
+
 fn fixture_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/reports")
 }
@@ -184,6 +209,22 @@ fn reports_clump_bus() {
 fn reports_clump_switch() {
     let (name, cluster) = &platforms()[4];
     for kind in WORKLOADS {
+        run_one(name, cluster, kind);
+    }
+}
+
+#[test]
+fn reports_numa_smp() {
+    let (name, cluster) = &extended_platforms()[0];
+    for kind in EXTENDED_WORKLOADS {
+        run_one(name, cluster, kind);
+    }
+}
+
+#[test]
+fn reports_fattree_cow() {
+    let (name, cluster) = &extended_platforms()[1];
+    for kind in EXTENDED_WORKLOADS {
         run_one(name, cluster, kind);
     }
 }

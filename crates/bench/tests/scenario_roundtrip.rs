@@ -24,6 +24,22 @@ fn workload_strategy() -> impl Strategy<Value = WorkloadKind> {
         Just(WorkloadKind::Radix),
         Just(WorkloadKind::Edge),
         Just(WorkloadKind::Tpcc),
+        Just(WorkloadKind::Stencil4D),
+        Just(WorkloadKind::Stream),
+        Just(WorkloadKind::GraphWalk),
+        Just(WorkloadKind::Inference),
+    ]
+}
+
+/// Every named config spelling: the paper's `C1..C15` plus the extended
+/// NUMA and fat-tree configurations.
+fn config_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (1u32..=15).prop_map(|i| format!("C{i}")),
+        Just("N4".to_string()),
+        Just("N8".to_string()),
+        Just("FT8".to_string()),
+        Just("FT16".to_string()),
     ]
 }
 
@@ -50,7 +66,7 @@ proptest! {
     /// spellings (`Display`, compact) parse back to the same scenario.
     #[test]
     fn builder_to_json_to_parse_is_a_fixed_point(
-        cfg in 1u32..=15,
+        cfg in config_strategy(),
         workload in workload_strategy(),
         size in size_strategy(),
         window in 0u64..10_000,
@@ -60,7 +76,7 @@ proptest! {
         fault in fault_strategy(),
     ) {
         let mut b = Scenario::builder()
-            .config_name(&format!("C{cfg}"))
+            .config_name(&cfg)
             .workload(workload)
             .size(size);
         if window > 0 {
@@ -77,7 +93,7 @@ proptest! {
         if !fault.is_empty() {
             b = b.faults(FaultPlan::parse(fault).expect("strategy emits valid specs"));
         }
-        let scenario = b.build().expect("C1..C15 always resolve");
+        let scenario = b.build().expect("named configs always resolve");
 
         // JSON fixed point.
         let json = scenario.to_json();
@@ -147,5 +163,51 @@ fn golden_simulate_request_matches_builder() {
     assert_eq!(
         serde_json::to_string(&parsed.to_json()).unwrap(),
         serde_json::to_string(&body).unwrap()
+    );
+}
+
+/// Golden wire pin for the registry-redesign matrix: every new workload
+/// on both extended back-ends (NUMA SMP `N4`, fat-tree COW `FT8`).  The
+/// compact spelling must parse, survive a JSON round trip, and keep the
+/// exact canonical bytes blessed in
+/// `golden/scenarios/extended_matrix.jsonl` — one scenario per line, so
+/// a diff localizes to the scenario that moved.
+#[test]
+fn golden_extended_matrix_round_trips() {
+    let mut lines = Vec::new();
+    for cfg in ["N4", "FT8"] {
+        for workload in ["Stencil4D", "Stream", "GraphWalk", "Inference"] {
+            let text = format!("{cfg}:{workload}:small");
+            let scenario: Scenario = text.parse().expect("compact extended scenario parses");
+            let json = scenario.to_json();
+            let reparsed = Scenario::from_json(&json).expect("canonical JSON parses back");
+            assert_eq!(reparsed, scenario, "{text} JSON round trip");
+            assert_eq!(
+                scenario.to_string().parse::<Scenario>().unwrap(),
+                scenario,
+                "{text} Display round trip"
+            );
+            lines.push(serde_json::to_string(&json).expect("serialize"));
+        }
+    }
+    let actual = lines.join("\n") + "\n";
+
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/scenarios/extended_matrix.jsonl");
+    if std::env::var_os("MEMHIER_BLESS").is_some() {
+        std::fs::write(&path, &actual).expect("write fixture");
+        eprintln!("[blessed {}]", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing scenario fixture {}; generate it with MEMHIER_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "extended scenario wire bytes drifted; re-bless only with a \
+         conscious wire-format change"
     );
 }

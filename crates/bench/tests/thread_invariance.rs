@@ -31,6 +31,12 @@ const THREADS: [usize; 3] = [1, 2, 8];
 fn fixtures() -> Vec<(&'static str, ClusterSpec, Vec<WorkloadKind>)> {
     let paper = WorkloadKind::PAPER.to_vec();
     let miss = vec![WorkloadKind::Radix, WorkloadKind::Tpcc];
+    let extended = vec![
+        WorkloadKind::Stencil4D,
+        WorkloadKind::Stream,
+        WorkloadKind::GraphWalk,
+        WorkloadKind::Inference,
+    ];
     vec![
         (
             "smp",
@@ -78,6 +84,16 @@ fn fixtures() -> Vec<(&'static str, ClusterSpec, Vec<WorkloadKind>)> {
                 NetworkKind::Ethernet100,
             ),
             miss,
+        ),
+        (
+            "numa_smp",
+            ClusterSpec::single(MachineSpec::new(4, 256, 128, 200.0).with_numa(2, 40.0)),
+            extended.clone(),
+        ),
+        (
+            "fattree_cow",
+            ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 8, NetworkKind::FatTree),
+            extended,
         ),
     ]
 }
@@ -166,6 +182,16 @@ fn invariant_miss_smp_stream() {
 #[test]
 fn invariant_miss_clump_bigset() {
     check_platform(6);
+}
+
+#[test]
+fn invariant_numa_smp() {
+    check_platform(7);
+}
+
+#[test]
+fn invariant_fattree_cow() {
+    check_platform(8);
 }
 
 /// The observer-attached variant: a `TimeSeriesCollector` (plus the

@@ -47,6 +47,8 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match cmd.as_str() {
         "configs" => cmd_configs(),
+        "workloads" => cmd_workloads(rest),
+        "platforms" => cmd_platforms(rest),
         "model" => cmd_model(rest),
         "simulate" => cmd_simulate(rest),
         "record" => cmd_record(rest),
@@ -79,7 +81,9 @@ const USAGE: &str = "memhier — cluster memory-hierarchy model, simulator & opt
 
 USAGE:
   memhier configs
-  memhier model    --config <C1..C15> --workload <FFT|LU|Radix|EDGE|TPC-C> [--json]
+  memhier workloads [--json]                   list the workload registry
+  memhier platforms [--json]                   list platform back-ends & networks
+  memhier model    --config <C1..C15|N4|N8|FT8|FT16> --workload <NAME> [--json]
   memhier model    --all [--json]
   memhier simulate --config <C1..C15> --workload <name> [--small|--paper] [--json]
                    [--sim-threads <N>] [--metrics <out.json> [--window <cycles>]]
@@ -95,7 +99,7 @@ USAGE:
                    [--from-fit report.json] [--jobs N] [--checkpoint PATH] [--resume]
   memhier pareto   --workload <name> [--json]
   memhier upgrade  --budget <dollars> --workload <name> [--machines N --procs n
-                    --cache KB --mem MB --network <eth10|eth100|atm>]
+                    --cache KB --mem MB --network <eth10|eth100|atm|fattree>]
   memhier recommend (--workload <name> | --alpha A --beta B --rho R)
                     [--measure [--size <tier>]] [--budget <dollars> [--top <k>]]
                     [--format text|json]
@@ -133,13 +137,113 @@ fn cmd_configs() -> Result<(), MemhierError> {
     for c in configs::all_configs() {
         println!("  {}", c.describe());
     }
+    println!("Extended configurations (NUMA & fat-tree):");
+    for c in configs::extended_configs() {
+        println!("  {}", c.describe());
+    }
     Ok(())
+}
+
+/// `memhier workloads`: the workload registry with parameter schemas.
+/// `--json` prints the same `workloads` array `GET /v1/registry` serves.
+fn cmd_workloads(rest: &[String]) -> Result<(), MemhierError> {
+    let parser = FlagParser::new("memhier workloads", "list the workload registry")
+        .switch("--json", "machine-readable output (matches /v1/registry)");
+    let Some(m) = sub(&parser, rest)? else {
+        return Ok(());
+    };
+    if m.has("--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&memhier_bench::registry_info::workloads_json())?
+        );
+        return Ok(());
+    }
+    println!("Registered workloads:");
+    for spec in memhier_workloads::workload_specs() {
+        print_registry_entry(
+            spec.key(),
+            spec.aliases(),
+            spec.description(),
+            spec.params(),
+        );
+    }
+    Ok(())
+}
+
+/// `memhier platforms`: platform back-ends and network media.  `--json`
+/// prints the same `platforms` array `GET /v1/registry` serves.
+fn cmd_platforms(rest: &[String]) -> Result<(), MemhierError> {
+    let parser = FlagParser::new(
+        "memhier platforms",
+        "list platform back-ends and network media",
+    )
+    .switch("--json", "machine-readable output (matches /v1/registry)");
+    let Some(m) = sub(&parser, rest)? else {
+        return Ok(());
+    };
+    if m.has("--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({
+                "platforms": memhier_bench::registry_info::platforms_json(),
+                "networks": memhier_bench::registry_info::networks_json(),
+            }))?
+        );
+        return Ok(());
+    }
+    println!("Registered platform back-ends:");
+    for spec in memhier_core::platform_specs() {
+        print_registry_entry(
+            spec.key(),
+            spec.aliases(),
+            spec.description(),
+            spec.params(),
+        );
+    }
+    println!("Registered network media:");
+    for net in NetworkKind::registered() {
+        let s = net.spec();
+        let aliases = if s.aliases.is_empty() {
+            String::new()
+        } else {
+            format!("  (aliases: {})", s.aliases.join(", "))
+        };
+        println!("  {} [{}]{aliases}", s.key, s.wire);
+        println!("      {}", s.description);
+    }
+    Ok(())
+}
+
+fn print_registry_entry(
+    key: &str,
+    aliases: &[&str],
+    description: &str,
+    params: &[memhier_core::ParamInfo],
+) {
+    let alias_note = if aliases.is_empty() {
+        String::new()
+    } else {
+        format!("  (aliases: {})", aliases.join(", "))
+    };
+    println!("  {key}{alias_note}");
+    println!("      {description}");
+    for p in params {
+        println!(
+            "      --{:<14} {:>6}  {} (default {})",
+            p.name, p.kind, p.about, p.default
+        );
+    }
 }
 
 fn cmd_model(rest: &[String]) -> Result<(), MemhierError> {
     let parser = FlagParser::new("memhier model", "analytic E(Instr) prediction")
         .option("--config", "C1..C15", "paper configuration")
-        .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
+        .option(
+            "--workload",
+            "NAME",
+            "any registry workload (see `memhier workloads`)",
+        )
         .switch("--all", "every config x kernel pair")
         .switch("--json", "machine-readable output");
     let Some(m) = sub(&parser, rest)? else {
@@ -215,7 +319,11 @@ fn cmd_model(rest: &[String]) -> Result<(), MemhierError> {
 fn cmd_simulate(rest: &[String]) -> Result<(), MemhierError> {
     let parser = FlagParser::new("memhier simulate", "program-driven simulation of one run")
         .option("--config", "C1..C15", "paper configuration")
-        .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
+        .option(
+            "--workload",
+            "NAME",
+            "any registry workload (see `memhier workloads`)",
+        )
         .switch("--json", "print the SimReport as JSON")
         .sweep_flags()
         .observer_flags();
@@ -326,7 +434,11 @@ fn cmd_fit(rest: &[String]) -> Result<(), MemhierError> {
         "memhier fit",
         "measure alpha/beta/rho from the address trace",
     )
-    .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
+    .option(
+        "--workload",
+        "NAME",
+        "any registry workload (see `memhier workloads`)",
+    )
     .option("--trace", "FILE", "fit a recorded .mtr trace (streaming)")
     .option(
         "--granularity",
@@ -483,7 +595,11 @@ fn cmd_optimize(rest: &[String]) -> Result<(), MemhierError> {
         "DOLLARS",
         "total budget (required unless --request)",
     )
-    .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
+    .option(
+        "--workload",
+        "NAME",
+        "any registry workload (see `memhier workloads`)",
+    )
     .option("--alpha", "A", "custom locality shape (with --beta --rho)")
     .option("--beta", "B", "custom locality scale, bytes")
     .option("--rho", "R", "custom memory-reference fraction")
@@ -524,7 +640,7 @@ fn cmd_optimize(rest: &[String]) -> Result<(), MemhierError> {
         "per-machine memory MB options, e.g. 32,64,128",
     )
     .option("--max-machines", "N", "largest cluster size (default 16)")
-    .option("--networks", "LIST", "subset of eth10,eth100,atm")
+    .option("--networks", "LIST", "subset of eth10,eth100,atm,fattree")
     .option(
         "--clock",
         "MHZ",
@@ -709,7 +825,11 @@ fn print_optimize_report(report: &OptimizeReport) {
 
 fn cmd_pareto(rest: &[String]) -> Result<(), MemhierError> {
     let parser = FlagParser::new("memhier pareto", "cost/performance Pareto frontier")
-        .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
+        .option(
+            "--workload",
+            "NAME",
+            "any registry workload (see `memhier workloads`)",
+        )
         .switch("--json", "machine-readable output");
     let Some(m) = sub(&parser, rest)? else {
         return Ok(());
@@ -741,12 +861,20 @@ fn cmd_pareto(rest: &[String]) -> Result<(), MemhierError> {
 fn cmd_upgrade(rest: &[String]) -> Result<(), MemhierError> {
     let parser = FlagParser::new("memhier upgrade", "best upgrade for an existing cluster")
         .option("--budget", "DOLLARS", "upgrade budget")
-        .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
+        .option(
+            "--workload",
+            "NAME",
+            "any registry workload (see `memhier workloads`)",
+        )
         .option("--machines", "N", "existing machine count (default 2)")
         .option("--procs", "N", "processors per machine (default 1)")
         .option("--cache", "KB", "cache per processor (default 256)")
         .option("--mem", "MB", "memory per machine (default 32)")
-        .option("--network", "KIND", "eth10|eth100|atm (default eth10)");
+        .option(
+            "--network",
+            "KIND",
+            "eth10|eth100|atm|fattree (default eth10)",
+        );
     let Some(m) = sub(&parser, rest)? else {
         return Ok(());
     };
@@ -851,7 +979,11 @@ fn cmd_reproduce(rest: &[String]) -> Result<(), MemhierError> {
 
 fn cmd_recommend(rest: &[String]) -> Result<(), MemhierError> {
     let parser = FlagParser::new("memhier recommend", "platform recommendation (\u{a7}6)")
-        .option("--workload", "NAME", "FFT|LU|Radix|EDGE|TPC-C")
+        .option(
+            "--workload",
+            "NAME",
+            "any registry workload (see `memhier workloads`)",
+        )
         .option("--alpha", "A", "locality shape (with --beta --rho)")
         .option("--beta", "B", "locality scale, bytes")
         .option("--rho", "R", "memory-reference fraction")

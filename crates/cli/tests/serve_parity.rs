@@ -38,6 +38,31 @@ fn serve_body(server: &Server, path: &str, body: &str) -> String {
     body.to_string()
 }
 
+/// Like [`serve_body`] but without the 200 assertion: returns the status
+/// code and body so error responses can be inspected.  `body: None`
+/// sends a bare GET.
+fn serve_raw(server: &Server, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut s = TcpStream::connect(server.local_addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let payload = match body {
+        Some(b) => format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{b}",
+            b.len()
+        ),
+        None => format!("{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    };
+    s.write_all(payload.as_bytes()).expect("send");
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).expect("read");
+    let (head, body) = reply.split_once("\r\n\r\n").expect("header/body split");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, body.to_string())
+}
+
 fn server() -> Server {
     Server::start(ServeConfig {
         addr: "127.0.0.1:0".to_string(),
@@ -165,6 +190,95 @@ fn v1_optimize_matches_cli_json_bytes() {
         from_request, from_cli,
         "--request and flag spellings diverge"
     );
+    server.shutdown();
+}
+
+/// `GET /v1/registry` must carry the same workload/platform/network
+/// documents the CLI prints: `memhier workloads --json` is the
+/// `workloads` section byte for byte, and `memhier platforms --json` is
+/// the `platforms` + `networks` sections byte for byte.
+#[test]
+fn v1_registry_matches_cli_json_bytes() {
+    let server = server();
+    let (status, body) = serve_raw(&server, "GET", "/v1/registry", None);
+    assert_eq!(status, 200, "{body}");
+    let doc: serde_json::Value = serde_json::from_str(&body).expect("registry parses");
+
+    let workloads = doc.get("workloads").expect("workloads section").clone();
+    let from_cli = memhier_stdout(&["workloads", "--json"]);
+    let section = serde_json::to_string_pretty(&workloads).expect("serialize") + "\n";
+    assert_eq!(section, from_cli, "workloads section diverges from CLI");
+
+    let platforms = serde_json::Value::Object(vec![
+        (
+            "platforms".to_string(),
+            doc.get("platforms").expect("platforms section").clone(),
+        ),
+        (
+            "networks".to_string(),
+            doc.get("networks").expect("networks section").clone(),
+        ),
+    ]);
+    let from_cli = memhier_stdout(&["platforms", "--json"]);
+    let section = serde_json::to_string_pretty(&platforms).expect("serialize") + "\n";
+    assert_eq!(section, from_cli, "platforms section diverges from CLI");
+    server.shutdown();
+}
+
+/// Every `/v1` error leaves the live server inside the one typed
+/// envelope: `{"error": {"status", "code", "message"}}`, for 400
+/// (unknown names), 422 (well-formed but impossible work), 404 (no such
+/// route), and 405 (wrong method).
+#[test]
+fn v1_errors_share_the_typed_envelope_over_the_wire() {
+    let server = server();
+    let cases: Vec<(&str, &str, Option<&str>, u16, &str)> = vec![
+        (
+            "POST",
+            "/v1/simulate",
+            Some(r#"{"config": "C99", "workload": "FFT", "size": "small"}"#),
+            400,
+            "bad_request",
+        ),
+        (
+            "POST",
+            "/v1/fit",
+            Some(r#"{"trace": "/nonexistent/parity.mtr"}"#),
+            422,
+            "unprocessable",
+        ),
+        ("GET", "/v1/nothing", None, 404, "not_found"),
+        (
+            "POST",
+            "/v1/registry",
+            Some("{}"),
+            405,
+            "method_not_allowed",
+        ),
+    ];
+    for (method, path, body, want_status, want_code) in cases {
+        let (status, body) = serve_raw(&server, method, path, body);
+        assert_eq!(status, want_status, "{method} {path}: {body}");
+        let doc: serde_json::Value = serde_json::from_str(&body).expect("error body parses");
+        let e = doc.get("error").expect("envelope has `error`");
+        assert_eq!(
+            e.get("status").and_then(serde_json::Value::as_u64),
+            Some(want_status as u64),
+            "{method} {path}"
+        );
+        assert_eq!(
+            e.get("code").and_then(serde_json::Value::as_str),
+            Some(want_code),
+            "{method} {path}"
+        );
+        assert!(
+            !e.get("message")
+                .and_then(serde_json::Value::as_str)
+                .expect("message is a string")
+                .is_empty(),
+            "{method} {path}: empty message"
+        );
+    }
     server.shutdown();
 }
 

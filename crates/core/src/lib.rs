@@ -46,6 +46,7 @@
 //! assert!(pred.e_instr_seconds > 0.0);
 //! ```
 
+pub mod catalog;
 pub mod contention;
 pub mod error;
 pub mod locality;
@@ -55,6 +56,7 @@ pub mod params;
 pub mod platform;
 pub mod sensitivity;
 
+pub use catalog::{platform_by_key, platform_keys, platform_specs, ParamInfo, PlatformSpec};
 pub use error::ModelError;
 pub use locality::{Locality, WorkloadParams};
 pub use machine::{LatencyParams, MachineSpec, NetworkKind, NetworkTopology};

@@ -447,17 +447,25 @@ impl AnalyticModel {
             PlatformKind::Uniprocessor | PlatformKind::Smp => {
                 // Level 2: shared memory over the SMP bus.  A fraction of
                 // misses is served cache-to-cache at the snoop-hit cost.
+                // On a NUMA machine with d domains, (d−1)/d of accesses hit
+                // a remote domain (page-interleaved placement) and pay the
+                // remote-domain penalty, but each domain's bus is shared by
+                // only n/d processors instead of all n.
                 let f = if m.n_procs > 1 {
                     w.dirty_fraction.clamp(0.0, 1.0)
                 } else {
                     0.0
                 };
-                let service = (1.0 - f) * lat.local_memory + f * lat.smp_remote_cache;
+                let d = m.numa_domains() as f64;
+                let numa_penalty = m.numa.map(|nu| nu.remote_penalty_cycles).unwrap_or(0.0);
+                let service = (1.0 - f) * lat.local_memory
+                    + f * lat.smp_remote_cache
+                    + (d - 1.0) / d * numa_penalty;
                 levels.push(LevelSpec {
                     name: "memory",
                     reach: m2,
                     service,
-                    interferers: n - 1.0,
+                    interferers: (n / d - 1.0).max(0.0),
                     rate_scale: 1.0,
                 });
                 // Level 3: local disk over the shared I/O bus.
@@ -477,12 +485,17 @@ impl AnalyticModel {
                 let coh = 1.0 + self.coherence_adjustment;
 
                 // Level 2: this machine's memory.  Private for a COW node;
-                // bus-contended among n processors inside a CLUMP node.
+                // bus-contended among n processors inside a CLUMP node
+                // (per NUMA domain, when the node is NUMA-aware).
                 let (l2_service, l2_intf) = if clump {
                     let f = w.dirty_fraction.clamp(0.0, 1.0);
+                    let d = m.numa_domains() as f64;
+                    let pen = m.numa.map(|nu| nu.remote_penalty_cycles).unwrap_or(0.0);
                     (
-                        (1.0 - f) * lat.local_memory + f * lat.smp_remote_cache,
-                        n - 1.0,
+                        (1.0 - f) * lat.local_memory
+                            + f * lat.smp_remote_cache
+                            + (d - 1.0) / d * pen,
+                        (n / d - 1.0).max(0.0),
                     )
                 } else {
                     (lat.local_memory, 0.0)
@@ -503,12 +516,27 @@ impl AnalyticModel {
                 // coherence adjustment.  Contention: a bus network is one
                 // server shared by all q processors; a switch contends only
                 // at the destination port, diluting interfering traffic by N.
-                let service = lat.remote_service(net, clump, w.dirty_fraction);
+                let mut service = lat.remote_service(net, clump, w.dirty_fraction);
                 let sharing = w.sharing_fraction.clamp(0.0, 1.0);
                 let remote_reach = ((m3 + sharing * m2) * coh).min(1.0);
                 let (interferers, dilution) = match net.topology() {
                     NetworkTopology::Bus => ((q as f64) - 1.0, 1.0),
                     NetworkTopology::Switch => ((q as f64) - 1.0, 1.0 / cluster.machines as f64),
+                    // A fat tree is switch-like per destination port, but a
+                    // `cross` fraction of transfers leaves the rack, paying
+                    // the uplink crossing cost and squeezing through
+                    // oversubscribed uplinks (which un-dilutes interfering
+                    // traffic by the oversubscription ratio on that share).
+                    NetworkTopology::FatTree => {
+                        let spec = net.spec();
+                        let per_rack = spec.machines_per_rack.max(1) as f64;
+                        let cross = (1.0 - per_rack / cluster.machines as f64).max(0.0);
+                        service += cross * spec.rack_crossing_cycles;
+                        (
+                            (q as f64) - 1.0,
+                            (1.0 + (spec.oversubscription - 1.0) * cross) / cluster.machines as f64,
+                        )
+                    }
                 };
                 levels.push(LevelSpec {
                     name: "remote",
@@ -896,6 +924,55 @@ mod tests {
             model.evaluate(&c, &fft()),
             Err(ModelError::MissingNetwork)
         ));
+    }
+
+    #[test]
+    fn numa_adds_remote_domain_penalty_to_memory_service() {
+        let model = AnalyticModel::default();
+        let w = radix();
+        let flat = ClusterSpec::single(MachineSpec::new(4, 256, 128, 200.0));
+        let numa = ClusterSpec::single(MachineSpec::new(4, 256, 128, 200.0).with_numa(2, 40.0));
+        let p_flat = model.evaluate(&flat, &w).unwrap();
+        let p_numa = model.evaluate(&numa, &w).unwrap();
+        let mem_flat = p_flat.levels.iter().find(|l| l.name == "memory").unwrap();
+        let mem_numa = p_numa.levels.iter().find(|l| l.name == "memory").unwrap();
+        // 2 domains: half the accesses pay the 40-cycle penalty.
+        assert!(
+            (mem_numa.service_cycles - (mem_flat.service_cycles + 20.0)).abs() < 1e-9,
+            "numa {} vs flat {}",
+            mem_numa.service_cycles,
+            mem_flat.service_cycles
+        );
+        // ...but each domain bus carries only n/d clients, so utilization
+        // per bus drops.
+        assert!(mem_numa.utilization < mem_flat.utilization);
+        // A 1-domain NUMA spec is exactly a flat machine.
+        let trivial = ClusterSpec::single(MachineSpec::new(4, 256, 128, 200.0).with_numa(1, 40.0));
+        let p_trivial = model.evaluate(&trivial, &w).unwrap();
+        assert_eq!(p_trivial.t_cycles, p_flat.t_cycles);
+    }
+
+    #[test]
+    fn fat_tree_charges_rack_crossings() {
+        let model = AnalyticModel::default();
+        let w = fft();
+        let lat = LatencyParams::paper();
+        // 8 machines = 2 racks of 4: half the remote traffic crosses racks.
+        let p8 = model.evaluate(&cow(8, NetworkKind::FatTree), &w).unwrap();
+        let r8 = p8.levels.iter().find(|l| l.name == "remote").unwrap();
+        let base = lat.remote_service(NetworkKind::FatTree, false, w.dirty_fraction);
+        assert!(
+            (r8.service_cycles - (base + 0.5 * 400.0)).abs() < 1e-9,
+            "8-machine fat tree service {}",
+            r8.service_cycles
+        );
+        // 4 machines fit one rack: no crossing cost at all.
+        let p4 = model.evaluate(&cow(4, NetworkKind::FatTree), &w).unwrap();
+        let r4 = p4.levels.iter().find(|l| l.name == "remote").unwrap();
+        assert!((r4.service_cycles - base).abs() < 1e-9);
+        // And the gigabit fabric beats ATM on the same geometry.
+        let p_atm = model.evaluate(&cow(8, NetworkKind::Atm155), &w).unwrap();
+        assert!(p8.e_instr_cycles < p_atm.e_instr_cycles);
     }
 
     #[test]

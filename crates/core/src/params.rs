@@ -17,6 +17,18 @@ pub mod sizes {
     pub const RADIX_RADIX: usize = 1024;
     /// EDGE: 128 × 128 bitmap.
     pub const EDGE_DIM: usize = 128;
+    /// Stencil4D: 16⁴ lattice (QCD-style 4-D nearest-neighbor stencil).
+    pub const STENCIL_L: usize = 16;
+    /// Stream: 1 M doubles copied/scanned per pass.
+    pub const STREAM_ELEMS: usize = 1024 * 1024;
+    /// GraphWalk: 256 K-node pointer-chase permutation.
+    pub const GRAPH_NODES: usize = 256 * 1024;
+    /// Inference: 128-wide layers, 4 of them, batch 32.
+    pub const INFER_DIM: usize = 128;
+    /// Inference layer count.
+    pub const INFER_LAYERS: usize = 4;
+    /// Inference batch size.
+    pub const INFER_BATCH: usize = 32;
 
     /// FFT footprint: data + roots-of-unity arrays, 16 B per complex point.
     pub const FFT_FOOTPRINT: f64 = (FFT_POINTS * 16 * 2) as f64;
@@ -26,6 +38,16 @@ pub mod sizes {
     pub const RADIX_FOOTPRINT: f64 = (RADIX_KEYS * 4 * 2 + RADIX_RADIX * 8) as f64;
     /// EDGE footprint: image + 3 working planes, 4 B per pixel.
     pub const EDGE_FOOTPRINT: f64 = (EDGE_DIM * EDGE_DIM * 4 * 4) as f64;
+    /// Stencil4D footprint: two lattice fields (src/dst), 8 B per site.
+    pub const STENCIL_FOOTPRINT: f64 =
+        (STENCIL_L * STENCIL_L * STENCIL_L * STENCIL_L * 8 * 2) as f64;
+    /// Stream footprint: source + destination arrays, 8 B per element.
+    pub const STREAM_FOOTPRINT: f64 = (STREAM_ELEMS * 8 * 2) as f64;
+    /// GraphWalk footprint: successor pointers + payloads, 8 B each.
+    pub const GRAPH_FOOTPRINT: f64 = (GRAPH_NODES * 8 * 2) as f64;
+    /// Inference footprint: layer weights + double-buffered activations.
+    pub const INFER_FOOTPRINT: f64 =
+        (INFER_LAYERS * INFER_DIM * INFER_DIM * 8 + 2 * INFER_BATCH * INFER_DIM * 8) as f64;
 }
 
 /// FFT workload parameters (Table 2: α = 1.21, β = 103.26, ρ = 0.20).
@@ -65,10 +87,53 @@ pub fn workload_tpcc() -> WorkloadParams {
     WorkloadParams::new("TPC-C", 1.73, 1222.66, 0.36).expect("paper constants are valid")
 }
 
-/// Look up a paper workload by name, case-insensitively (`TPCC` is
-/// accepted for `TPC-C`).  Returns `None` for names outside Table 2 —
-/// callers with their own (α, β, ρ) should construct [`WorkloadParams`]
-/// directly.
+/// QCD-style 4-D stencil with halo exchange.  (α, β, ρ) measured with
+/// `memhier record → fit` on the paper-size generator: dense
+/// nearest-neighbor sweeps give FFT-like reuse with a larger memory
+/// fraction (loads of 8 neighbors + 1 center per site update).
+pub fn workload_stencil4d() -> WorkloadParams {
+    WorkloadParams::new("Stencil4D", 1.38, 9.85, 0.33)
+        .expect("measured constants are valid")
+        .with_footprint(sizes::STENCIL_FOOTPRINT)
+        // One barrier per lattice sweep: halo exchange each iteration.
+        .with_barrier_rate(2e-6)
+}
+
+/// Streaming scan: touch-once locality, the pathological corner of the
+/// stack-distance model.  The fit converges with β driven to its floor —
+/// there is no reuse beyond the cache line itself.
+pub fn workload_stream() -> WorkloadParams {
+    WorkloadParams::new("Stream", 1.23, 1.01, 0.40)
+        .expect("measured constants are valid")
+        .with_footprint(sizes::STREAM_FOOTPRINT)
+}
+
+/// Pointer-chasing graph traversal over a random permutation: the
+/// stack-distance distribution is near-uniform, so the power-law fit
+/// diverges (`memhier fit` reports `converged: false` with unbounded
+/// α/β).  ρ is measured; (α, β) is the documented no-locality stand-in
+/// closest to the empirical CDF at cache-sized capacities.
+pub fn workload_graphwalk() -> WorkloadParams {
+    WorkloadParams::new("GraphWalk", 1.08, 400.0, 0.43)
+        .expect("measured constants are valid")
+        .with_footprint(sizes::GRAPH_FOOTPRINT)
+}
+
+/// Batched weight-streaming ML inference: layer weights stream past while
+/// activations stay hot, giving a bimodal reuse profile — steep locality
+/// near the top of the stack (activations), a long weight tail behind it.
+pub fn workload_inference() -> WorkloadParams {
+    WorkloadParams::new("Inference", 2.90, 8818.76, 0.33)
+        .expect("measured constants are valid")
+        .with_footprint(sizes::INFER_FOOTPRINT)
+        // One barrier per layer per batch: weight broadcast points.
+        .with_barrier_rate(1e-6)
+}
+
+/// Look up a registered workload by name, case-insensitively (`TPCC` is
+/// accepted for `TPC-C`).  Covers the paper's Table 2 plus the four
+/// post-paper generators.  Returns `None` for unknown names — callers
+/// with their own (α, β, ρ) should construct [`WorkloadParams`] directly.
 pub fn workload_by_name(name: &str) -> Option<WorkloadParams> {
     match name.to_ascii_uppercase().as_str() {
         "FFT" => Some(workload_fft()),
@@ -76,8 +141,28 @@ pub fn workload_by_name(name: &str) -> Option<WorkloadParams> {
         "RADIX" => Some(workload_radix()),
         "EDGE" => Some(workload_edge()),
         "TPC-C" | "TPCC" => Some(workload_tpcc()),
+        "STENCIL4D" | "STENCIL" => Some(workload_stencil4d()),
+        "STREAM" => Some(workload_stream()),
+        "GRAPHWALK" | "GRAPH" => Some(workload_graphwalk()),
+        "INFERENCE" | "INFER" => Some(workload_inference()),
         _ => None,
     }
+}
+
+/// Canonical names of every characterized workload, Table-2 kernels
+/// first, in [`workload_by_name`] order — the list error messages quote.
+pub fn workload_names() -> Vec<&'static str> {
+    vec![
+        "FFT",
+        "LU",
+        "Radix",
+        "EDGE",
+        "TPC-C",
+        "Stencil4D",
+        "Stream",
+        "GraphWalk",
+        "Inference",
+    ]
 }
 
 /// All four Table-2 kernels, in the paper's order.
@@ -209,6 +294,37 @@ pub mod configs {
         v.extend(clump_configs());
         v
     }
+
+    /// Post-paper — N4: one 4P SMP, 256 KB, 128 MB, 2 NUMA domains with a
+    /// 40-cycle remote-domain penalty (C5's geometry made NUMA-aware).
+    pub fn n4() -> ClusterSpec {
+        ClusterSpec::single(MachineSpec::new(4, 256, 128, 200.0).with_numa(2, 40.0)).named("N4")
+    }
+    /// Post-paper — N8: one 8P SMP, 512 KB, 256 MB, 4 NUMA domains.
+    pub fn n8() -> ClusterSpec {
+        ClusterSpec::single(MachineSpec::new(8, 512, 256, 200.0).with_numa(4, 40.0)).named("N8")
+    }
+    /// Post-paper — FT8: 8 workstations, 256 KB, 64 MB, 1 Gb fat tree
+    /// (2 racks of 4).
+    pub fn ft8() -> ClusterSpec {
+        ClusterSpec::cluster(MachineSpec::new(1, 256, 64, 200.0), 8, NetworkKind::FatTree)
+            .named("FT8")
+    }
+    /// Post-paper — FT16: 16 workstations, 512 KB, 64 MB, 1 Gb fat tree
+    /// (4 racks of 4).
+    pub fn ft16() -> ClusterSpec {
+        ClusterSpec::cluster(
+            MachineSpec::new(1, 512, 64, 200.0),
+            16,
+            NetworkKind::FatTree,
+        )
+        .named("FT16")
+    }
+    /// Post-paper configurations: NUMA SMPs and fat-tree clusters.  Kept
+    /// separate from [`all_configs`] so the paper's C1–C15 net is pinned.
+    pub fn extended_configs() -> Vec<ClusterSpec> {
+        vec![n4(), n8(), ft8(), ft16()]
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +387,45 @@ mod tests {
         assert_eq!(c14.machines, 2);
         assert_eq!(c14.total_procs(), 8);
         assert_eq!(c14.network, Some(NetworkKind::Ethernet100));
+    }
+
+    #[test]
+    fn extended_configs_validate_and_classify() {
+        let ext = configs::extended_configs();
+        assert_eq!(ext.len(), 4);
+        for c in &ext {
+            assert!(c.validate().is_ok(), "{:?}", c.name);
+        }
+        assert_eq!(configs::n4().platform(), PlatformKind::Smp);
+        assert_eq!(configs::n4().machine.numa_domains(), 2);
+        assert_eq!(configs::n8().machine.numa_domains(), 4);
+        assert_eq!(
+            configs::ft8().platform(),
+            PlatformKind::ClusterOfWorkstations
+        );
+        assert_eq!(configs::ft16().machines, 16);
+        assert_eq!(configs::ft8().network, Some(NetworkKind::FatTree));
+        // The paper set stays exactly C1-C15.
+        assert_eq!(configs::all_configs().len(), 15);
+    }
+
+    #[test]
+    fn new_workloads_resolve_by_name() {
+        for (name, expect) in [
+            ("stencil4d", "Stencil4D"),
+            ("Stream", "Stream"),
+            ("GRAPHWALK", "GraphWalk"),
+            ("inference", "Inference"),
+        ] {
+            let w = workload_by_name(name).expect(name);
+            assert_eq!(w.name, expect);
+            assert!(w.locality.alpha > 1.0, "{name} alpha must exceed 1");
+            assert!(w.locality.footprint.is_some(), "{name} needs a footprint");
+        }
+        // Stream's measured fit drives beta to its floor: no reuse
+        // beyond the cache line itself.
+        let s = workload_stream().locality.beta;
+        assert!(s < 1.1, "stream beta {s} should sit at the fit floor");
     }
 
     #[test]

@@ -46,7 +46,9 @@ impl PlatformClass {
             PlatformKind::Smp => PlatformClass::Smp,
             PlatformKind::ClusterOfSmps => PlatformClass::Clump,
             PlatformKind::ClusterOfWorkstations => match cfg.spec.network.map(|n| n.topology()) {
-                Some(NetworkTopology::Switch) => PlatformClass::CowSwitch,
+                Some(NetworkTopology::Switch) | Some(NetworkTopology::FatTree) => {
+                    PlatformClass::CowSwitch
+                }
                 _ => PlatformClass::CowBus,
             },
         }

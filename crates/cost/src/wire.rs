@@ -54,7 +54,11 @@ impl fmt::Display for CostError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CostError::UnknownWorkload(name) => {
-                write!(f, "unknown workload `{name}` (FFT|LU|Radix|EDGE|TPC-C)")
+                write!(
+                    f,
+                    "unknown workload `{name}` ({})",
+                    params::workload_names().join("|")
+                )
             }
             CostError::Missing(field) => write!(f, "`{field}` is required"),
             CostError::Invalid(field, why) => write!(f, "`{field}`: {why}"),
@@ -70,30 +74,26 @@ impl fmt::Display for CostError {
 impl std::error::Error for CostError {}
 
 /// Canonical short name of a network medium on the wire
-/// (`eth10|eth100|atm`, matching the CLI's `--network` spellings).
+/// (`eth10|eth100|atm|fattree`, matching the CLI's `--network`
+/// spellings) — the registry's `wire` spelling, so runtime-registered
+/// media serialize under their own names.
 pub fn network_name(net: NetworkKind) -> &'static str {
-    match net {
-        NetworkKind::Ethernet10 => "eth10",
-        NetworkKind::Ethernet100 => "eth100",
-        NetworkKind::Atm155 => "atm",
-        // `NetworkKind` is non_exhaustive; price unknown media under the
-        // closest known spelling rather than failing serialization.
-        _ => "atm",
-    }
+    net.spec().wire
 }
 
-/// Parse a network medium from its wire spelling (case-insensitive;
-/// `atm155` is accepted for `atm`).
+/// Parse a network medium from any registry spelling (key, wire name,
+/// or alias, case-insensitive; `atm155` is accepted for `atm`).
 pub fn network_by_name(name: &str) -> Result<NetworkKind, CostError> {
-    match name.to_ascii_lowercase().as_str() {
-        "eth10" => Ok(NetworkKind::Ethernet10),
-        "eth100" => Ok(NetworkKind::Ethernet100),
-        "atm" | "atm155" => Ok(NetworkKind::Atm155),
-        _ => Err(CostError::Invalid(
+    NetworkKind::parse(name).ok_or_else(|| {
+        let known: Vec<&str> = NetworkKind::registered()
+            .iter()
+            .map(|n| n.spec().wire)
+            .collect();
+        CostError::Invalid(
             "networks",
-            format!("unknown network `{name}` (eth10|eth100|atm)"),
-        )),
-    }
+            format!("unknown network `{name}` ({})", known.join("|")),
+        )
+    })
 }
 
 /// Problem-size tiers simulation confirmation may run at.  The cost

@@ -5,6 +5,7 @@
 //! | `/healthz`, `/livez` | GET | — | liveness + version (200 while the process runs) |
 //! | `/readyz` | GET | — | readiness: 200 accepting, 503 starting/draining |
 //! | `/metrics` | GET | — | counters, latency histogram, cache stats |
+//! | `/v1/registry` | GET | — | the workload/platform/network registry with parameter schemas (same document `memhier workloads --json` / `memhier platforms --json` render) |
 //! | `/v1/model` | POST | [`Scenario`] JSON (`{config, workload}`) | analytic `E(Instr)` prediction |
 //! | `/v1/simulate` | POST | [`Scenario`] JSON (`{config, workload, size?, ...}`) | full `SimReport` |
 //! | `/v1/recommend` | POST | [`RecommendRequest`] JSON (`{workload \| alpha+beta+rho, measure?, size?, budget?, top?, prices?}`) | §6 platform advice (+ ranked clusters under a budget) |
@@ -199,6 +200,8 @@ pub fn handle(req: &Request, state: &AppState, deadline: Instant) -> Response {
         ("GET", "/healthz") | ("GET", "/livez") => healthz(state),
         ("GET", "/readyz") => readyz(state),
         ("GET", "/metrics") => metrics(state),
+        ("GET", "/v1/registry") => registry(),
+        ("POST", "/v1/registry") => Response::error(405, "use GET without a body"),
         ("POST", "/v1/model")
         | ("POST", "/v1/simulate")
         | ("POST", "/v1/recommend")
@@ -253,6 +256,16 @@ fn metrics(state: &AppState) -> Response {
         .metrics
         .render(state.cache.stats(), state.queue_capacity, state.workers);
     match pretty_body(&doc) {
+        Ok(b) => Response::json(200, b),
+        Err(e) => Response::error(e.status, &e.message),
+    }
+}
+
+/// `GET /v1/registry`: the workload/platform/network registry document.
+/// Static per process (registration happens at startup), so it is
+/// answered inline on the event loop without touching the cache.
+fn registry() -> Response {
+    match pretty_body(&memhier_bench::registry_json()) {
         Ok(b) => Response::json(200, b),
         Err(e) => Response::error(e.status, &e.message),
     }
@@ -727,6 +740,55 @@ mod tests {
         req.method = "GET".into();
         req.path = "/v1/model".into();
         assert_eq!(handle(&req, &state(), far_deadline()).status, 405);
+    }
+
+    #[test]
+    fn registry_lists_workloads_platforms_networks() {
+        let mut req = post("/v1/registry", "");
+        req.method = "GET".into();
+        let r = handle(&req, &state(), far_deadline());
+        assert_eq!(r.status, 200);
+        let v: Value = serde_json::from_str(std::str::from_utf8(&r.body).unwrap().trim()).unwrap();
+        let keys = |section: &str| -> Vec<String> {
+            v[section]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|e| e["key"].as_str().unwrap().to_string())
+                .collect()
+        };
+        assert!(keys("workloads").contains(&"Stencil4D".to_string()));
+        assert!(keys("platforms").contains(&"fattree-cow".to_string()));
+        assert!(keys("networks").contains(&"FatTree".to_string()));
+        // Every workload entry publishes a parameter schema.
+        for w in v["workloads"].as_array().unwrap() {
+            assert!(!w["params"].as_array().unwrap().is_empty());
+        }
+        // POST on the GET route is a 405 in the unified envelope.
+        let r = handle(&post("/v1/registry", "{}"), &state(), far_deadline());
+        assert_eq!(r.status, 405);
+    }
+
+    #[test]
+    fn error_bodies_share_the_typed_envelope() {
+        let cases = [
+            (
+                post("/v1/model", r#"{"config": "C99", "workload": "FFT"}"#),
+                400,
+                "bad_request",
+            ),
+            (post("/v1/nothing", "{}"), 404, "not_found"),
+        ];
+        for (req, status, code) in cases {
+            let r = handle(&req, &state(), far_deadline());
+            assert_eq!(r.status, status);
+            let v: Value =
+                serde_json::from_str(std::str::from_utf8(&r.body).unwrap().trim()).unwrap();
+            let e = &v["error"];
+            assert_eq!(e["status"].as_u64(), Some(status as u64));
+            assert_eq!(e["code"].as_str(), Some(code));
+            assert!(!e["message"].as_str().unwrap().is_empty());
+        }
     }
 
     fn get(path: &str) -> Request {

@@ -334,11 +334,46 @@ impl Response {
         }
     }
 
-    /// A `{"error": message}` JSON response.
+    /// The unified error envelope: every non-2xx body across the API is
+    /// `{"error": {"status": N, "code": "...", "message": "..."}}`, so
+    /// clients branch on one stable machine-readable `code` instead of
+    /// parsing prose (asserted end-to-end by `serve_parity.rs`).
     pub fn error(status: u16, message: &str) -> Self {
-        let body = serde_json::to_string(&serde_json::json!({ "error": message }))
-            .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string());
+        let envelope = serde_json::Value::Object(vec![(
+            "error".to_string(),
+            serde_json::Value::Object(vec![
+                (
+                    "status".to_string(),
+                    serde_json::Value::Number(serde_json::Number::U64(status as u64)),
+                ),
+                (
+                    "code".to_string(),
+                    serde_json::Value::String(Response::error_code(status).to_string()),
+                ),
+                (
+                    "message".to_string(),
+                    serde_json::Value::String(message.to_string()),
+                ),
+            ]),
+        )]);
+        let body = serde_json::to_string(&envelope)
+            .unwrap_or_else(|_| "{\"error\":{\"code\":\"internal\"}}".to_string());
         Response::json(status, format!("{body}\n"))
+    }
+
+    /// Stable machine-readable code for each status the service emits.
+    pub fn error_code(status: u16) -> &'static str {
+        match status {
+            400 => "bad_request",
+            404 => "not_found",
+            405 => "method_not_allowed",
+            408 => "timeout",
+            422 => "unprocessable",
+            429 => "too_many_requests",
+            500 => "internal",
+            503 => "unavailable",
+            _ => "error",
+        }
     }
 
     /// Attach a header.
@@ -502,7 +537,27 @@ mod tests {
         assert_eq!(r.status, 429);
         let v: serde_json::Value =
             serde_json::from_str(std::str::from_utf8(&r.body).unwrap().trim()).unwrap();
-        assert_eq!(v["error"].as_str(), Some("queue full"));
+        let e = &v["error"];
+        assert_eq!(e["status"].as_u64(), Some(429));
+        assert_eq!(e["code"].as_str(), Some("too_many_requests"));
+        assert_eq!(e["message"].as_str(), Some("queue full"));
+    }
+
+    #[test]
+    fn error_codes_cover_every_emitted_status() {
+        for (status, code) in [
+            (400, "bad_request"),
+            (404, "not_found"),
+            (405, "method_not_allowed"),
+            (408, "timeout"),
+            (422, "unprocessable"),
+            (429, "too_many_requests"),
+            (500, "internal"),
+            (503, "unavailable"),
+        ] {
+            assert_eq!(Response::error_code(status), code);
+        }
+        assert_eq!(Response::error_code(418), "error");
     }
 
     #[test]

@@ -492,9 +492,7 @@ impl EventLoop {
         };
         let flushed = !conn.busy && conn.out.is_empty();
         if flushed
-            && (conn.close_requested
-                || conn.peer_closed
-                || (draining && !has_parseable(&conn.buf)))
+            && (conn.close_requested || conn.peer_closed || (draining && !has_parseable(&conn.buf)))
         {
             self.close_conn(key);
             return;

@@ -58,8 +58,9 @@ impl Default for ProtocolParams {
 
 /// One machine of the cluster.
 struct Node {
-    /// The SMP memory bus (also the path to local memory for n = 1).
-    bus: Resource,
+    /// The SMP memory buses, one per NUMA domain (a single element on flat
+    /// machines — also the path to local memory for n = 1).
+    buses: Vec<Resource>,
     /// The I/O bus / disk.
     io: Resource,
     /// Local memory acting as an LRU cache of remote blocks.
@@ -92,8 +93,14 @@ pub struct ClusterBackend {
     net_kind: Option<NetworkKind>,
     /// The shared medium for bus networks.
     net_bus: Resource,
-    /// Per-node ports for switch networks.
+    /// Per-node ports for switch and fat-tree networks.
     ports: Vec<Resource>,
+    /// Per-rack uplinks for fat-tree networks (empty otherwise).
+    uplinks: Vec<Resource>,
+    /// NUMA domains per node (1 = flat).
+    numa_domains: usize,
+    /// Extra cycles for a cross-domain memory access.
+    numa_penalty: u64,
     counts: LevelCounts,
     traffic: Traffic,
 }
@@ -122,9 +129,19 @@ impl ClusterBackend {
         let nn = cluster.machines as usize;
         assert_eq!(home.nodes(), nn, "home map must cover every node");
         let mem = cluster.machine.memory_bytes;
+        let numa_domains = cluster.machine.numa_domains() as usize;
+        let numa_penalty = cluster
+            .machine
+            .numa
+            .map(|nu| nu.remote_penalty_cycles as u64)
+            .unwrap_or(0);
+        let racks = match cluster.network.map(|k| k.spec().machines_per_rack) {
+            Some(per_rack) if per_rack > 0 => nn.div_ceil(per_rack as usize),
+            _ => 0,
+        };
         let nodes = (0..nn)
             .map(|_| Node {
-                bus: Resource::new(),
+                buses: (0..numa_domains).map(|_| Resource::new()).collect(),
                 io: Resource::new(),
                 // Half the memory is available for caching remote blocks;
                 // the other half holds the locally-homed partition.
@@ -152,6 +169,9 @@ impl ClusterBackend {
             net_kind: cluster.network,
             net_bus: Resource::new(),
             ports: (0..nn).map(|_| Resource::new()).collect(),
+            uplinks: (0..racks).map(|_| Resource::new()).collect(),
+            numa_domains,
+            numa_penalty,
             counts: LevelCounts::default(),
             traffic: Traffic::default(),
         }
@@ -177,19 +197,28 @@ impl ClusterBackend {
         self.traffic
     }
 
-    /// Busy cycles of each node's memory bus (index = node id) — divide by
-    /// the wall clock for utilization, the simulator-side counterpart of
-    /// the model's M/D/1 utilization per level.
+    /// Busy cycles of each node's memory bus (index = node id; NUMA domain
+    /// buses summed per node) — divide by the wall clock for utilization,
+    /// the simulator-side counterpart of the model's M/D/1 utilization per
+    /// level.
     pub fn bus_busy_cycles(&self) -> Vec<u64> {
-        self.nodes.iter().map(|n| n.bus.busy_cycles()).collect()
+        self.nodes
+            .iter()
+            .map(|n| n.buses.iter().map(|b| b.busy_cycles()).sum())
+            .collect()
     }
 
     /// Busy cycles of the cluster network: the shared bus for Ethernet, the
-    /// per-node ports summed for a switch (0 for a single machine).
+    /// per-node ports summed for a switch, ports + rack uplinks for a fat
+    /// tree (0 for a single machine).
     pub fn network_busy_cycles(&self) -> u64 {
         match self.net_kind.map(|n| n.topology()) {
             Some(NetworkTopology::Bus) => self.net_bus.busy_cycles(),
             Some(NetworkTopology::Switch) => self.ports.iter().map(|p| p.busy_cycles()).sum(),
+            Some(NetworkTopology::FatTree) => {
+                self.ports.iter().map(|p| p.busy_cycles()).sum::<u64>()
+                    + self.uplinks.iter().map(|u| u.busy_cycles()).sum::<u64>()
+            }
             None => 0,
         }
     }
@@ -202,7 +231,11 @@ impl ClusterBackend {
     /// Memory-bus busy cycles summed over all nodes — an allocation-free
     /// aggregate for per-access observer snapshots.
     pub fn total_bus_busy_cycles(&self) -> u64 {
-        self.nodes.iter().map(|n| n.bus.busy_cycles()).sum()
+        self.nodes
+            .iter()
+            .flat_map(|n| n.buses.iter())
+            .map(|b| b.busy_cycles())
+            .sum()
     }
 
     /// I/O-bus busy cycles summed over all nodes (allocation-free).
@@ -232,6 +265,26 @@ impl ClusterBackend {
         proc / self.n_per_node
     }
 
+    /// NUMA domain owning `addr` within a node: pages interleaved across
+    /// domains (always 0 on flat machines).
+    fn domain_of_addr(&self, addr: u64) -> usize {
+        if self.numa_domains == 1 {
+            0
+        } else {
+            ((addr >> self.page_shift) as usize) % self.numa_domains
+        }
+    }
+
+    /// NUMA domain a processor belongs to: procs split contiguously across
+    /// domains (always 0 on flat machines).
+    fn domain_of_proc(&self, proc: usize) -> usize {
+        if self.numa_domains == 1 {
+            0
+        } else {
+            (proc % self.n_per_node) * self.numa_domains / self.n_per_node
+        }
+    }
+
     fn block_of(&self, addr: u64) -> u64 {
         addr >> self.block_shift
     }
@@ -245,12 +298,27 @@ impl ClusterBackend {
         self.is_cluster() && self.n_per_node > 1
     }
 
-    /// Occupy the network for one transaction `to` a destination node.
-    /// Returns the queueing delay.
-    fn network_acquire(&mut self, now: u64, dst: usize, occupancy: u64) -> u64 {
+    /// Occupy the network for one transaction from `src` to a destination
+    /// node.  Returns the extra delay on top of the caller's base cost:
+    /// pure queueing for bus/switch media; queueing plus the rack-crossing
+    /// cost when a fat-tree transfer leaves the source rack (the transfer
+    /// then occupies both the source rack's uplink and the destination
+    /// port).
+    fn network_acquire(&mut self, now: u64, src: usize, dst: usize, occupancy: u64) -> u64 {
         match self.net_kind.map(|n| n.topology()) {
             Some(NetworkTopology::Bus) => self.net_bus.acquire(now, occupancy),
             Some(NetworkTopology::Switch) => self.ports[dst].acquire(now, occupancy),
+            Some(NetworkTopology::FatTree) => {
+                let net = self.net_kind.unwrap();
+                if net.rack_of(src) == net.rack_of(dst) {
+                    return self.ports[dst].acquire(now, occupancy);
+                }
+                let cross = net.spec().rack_crossing_cycles as u64;
+                let occ = occupancy + cross;
+                let up = self.uplinks[net.rack_of(src)].acquire(now, occ);
+                let port = self.ports[dst].acquire(now + up, occ);
+                up + port + cross
+            }
             None => 0,
         }
     }
@@ -323,21 +391,30 @@ impl ClusterBackend {
         self.nodes[node].remote_cache.remove(&block);
     }
 
-    /// Local-memory access at `node`: memory-bus queueing + the 50-cycle
-    /// service.  When `check_residency` is set (accesses to locally-homed
-    /// data) a non-resident page adds a disk page-in; blocks cached from
-    /// remote homes skip the check — their capacity is modeled by the
-    /// remote-cache LRU, and their pages live at the home node.
+    /// Local-memory access at `node` by `proc`: memory-bus queueing + the
+    /// 50-cycle service (+ the remote-domain penalty when a NUMA machine's
+    /// processor reaches across domains).  When `check_residency` is set
+    /// (accesses to locally-homed data) a non-resident page adds a disk
+    /// page-in; blocks cached from remote homes skip the check — their
+    /// capacity is modeled by the remote-cache LRU, and their pages live at
+    /// the home node.
     fn local_memory_access(
         &mut self,
+        proc: usize,
         node: usize,
         addr: u64,
         now: u64,
         check_residency: bool,
     ) -> u64 {
         let mem = self.lat.local_memory as u64;
-        let wait = self.nodes[node].bus.acquire(now, mem);
-        let mut lat = wait + mem;
+        let dom = self.domain_of_addr(addr);
+        let occ = if dom != self.domain_of_proc(proc) {
+            mem + self.numa_penalty
+        } else {
+            mem
+        };
+        let wait = self.nodes[node].buses[dom].acquire(now, occ);
+        let mut lat = wait + occ;
         if check_residency {
             let page = addr >> self.page_shift;
             if !self.nodes[node].residency.touch(page) {
@@ -429,7 +506,8 @@ impl ClusterBackend {
                 // Victim writeback occupies the node bus asynchronously
                 // (no latency charged to the requester).
                 let mem = self.lat.local_memory as u64;
-                self.nodes[node].bus.acquire(now, mem);
+                let dom = self.domain_of_addr(ev.addr);
+                self.nodes[node].buses[dom].acquire(now, mem);
                 self.traffic.data_bytes += self.params.line_bytes;
             }
         }
@@ -445,7 +523,8 @@ impl ClusterBackend {
         let dropped = self.invalidate_peers_line(node, proc, line);
         if self.n_per_node > 1 {
             let occ = self.lat.smp_remote_cache as u64;
-            let wait = self.nodes[node].bus.acquire(now, occ);
+            let dom = self.domain_of_addr(addr);
+            let wait = self.nodes[node].buses[dom].acquire(now, occ);
             lat += wait + occ;
             self.traffic.coherence_bytes += self.params.ctrl_msg_bytes * (dropped.max(1) as u64);
         }
@@ -460,7 +539,7 @@ impl ClusterBackend {
                 // One network invalidation round (flat §5.1-style cost).
                 let cost = self.lat.remote_node(self.net_kind.unwrap(), self.clump()) as u64;
                 let home = self.home.home(addr);
-                let wait = self.network_acquire(now + lat, home, cost);
+                let wait = self.network_acquire(now + lat, node, home, cost);
                 lat += wait + cost;
                 for s in 0..self.nodes.len() {
                     if sharers & (1 << s) != 0 {
@@ -488,7 +567,8 @@ impl ClusterBackend {
         //    cache-to-cache at 15 cycles.
         if let Some(peer) = self.peer_with_modified(node, proc, line) {
             let occ = self.lat.smp_remote_cache as u64;
-            let wait = self.nodes[node].bus.acquire(now, occ);
+            let dom = self.domain_of_addr(addr);
+            let wait = self.nodes[node].buses[dom].acquire(now, occ);
             if write {
                 self.caches[peer].invalidate(line);
             } else {
@@ -516,7 +596,7 @@ impl ClusterBackend {
 
         if !self.is_cluster() {
             // 2a. SMP: local memory (with paging).
-            return self.local_memory_access(node, addr, now, true);
+            return self.local_memory_access(proc, node, addr, now, true);
         }
 
         // 2b. Cluster: directory protocol on 256-byte blocks.
@@ -529,7 +609,7 @@ impl ClusterBackend {
             Some(DirEntry::Exclusive(owner)) if owner != node => {
                 // Dirty at another node: fetched at the remote-cached cost.
                 let cost = self.lat.remote_cached(self.net_kind.unwrap(), self.clump()) as u64;
-                let wait = self.network_acquire(now, owner, cost);
+                let wait = self.network_acquire(now, node, owner, cost);
                 self.counts.remote_dirty += 1;
                 self.traffic.data_bytes += self.params.block_bytes;
                 self.traffic.coherence_bytes += self.params.ctrl_msg_bytes;
@@ -569,14 +649,14 @@ impl ClusterBackend {
                     // Served by this node's memory: paging applies only to
                     // locally-homed data; cached remote blocks are bounded
                     // by the remote-cache LRU instead.
-                    lat = self.local_memory_access(node, addr, now, node == home);
+                    lat = self.local_memory_access(proc, node, addr, now, node == home);
                     if node != home {
                         self.nodes[node].remote_cache.touch(block);
                     }
                 } else {
                     // Fetch from the home node's memory over the network.
                     let cost = self.lat.remote_node(self.net_kind.unwrap(), self.clump()) as u64;
-                    let wait = self.network_acquire(now, home, cost);
+                    let wait = self.network_acquire(now, node, home, cost);
                     lat = wait + cost;
                     // Home page-in if its memory doesn't hold the page.
                     let page = addr >> self.page_shift;
@@ -616,7 +696,7 @@ impl ClusterBackend {
                     if others != 0 {
                         let cost =
                             self.lat.remote_node(self.net_kind.unwrap(), self.clump()) as u64;
-                        let wait = self.network_acquire(now + lat, home, cost);
+                        let wait = self.network_acquire(now + lat, node, home, cost);
                         lat += wait + cost;
                         for s in 0..self.nodes.len() {
                             if others & (1 << s) != 0 {
@@ -652,7 +732,7 @@ impl ClusterBackend {
                     // Dirty writeback to the victim's home node.
                     let victim_home = self.home.home(evicted * self.params.block_bytes);
                     let cost = self.lat.remote_node(self.net_kind.unwrap(), self.clump()) as u64;
-                    self.network_acquire(now, victim_home, cost);
+                    self.network_acquire(now, node, victim_home, cost);
                     self.traffic.data_bytes += self.params.block_bytes;
                     // Home memory now holds the clean data; drop the entry
                     // (uncached-clean).
@@ -891,6 +971,85 @@ mod tests {
         // proving no stale silent upgrade happened.
         let lat = b.access(1, 0, false, 300_000);
         assert_eq!(lat, 1 + 9150);
+    }
+
+    #[test]
+    fn numa_remote_domain_pays_penalty() {
+        // 4P, 2 domains, 40-cycle penalty.  Procs 0-1 live in domain 0,
+        // procs 2-3 in domain 1; pages interleave across domains.
+        let c = ClusterSpec::single(MachineSpec::new(4, 256, 64, 200.0).with_numa(2, 40.0));
+        let mut b = ClusterBackend::new(&c, LatencyParams::paper(), HomeMap::new(1, 256));
+        // Page 0 (addr 0) lives in domain 0: local for proc 0.
+        assert_eq!(b.access(0, 0, false, 0), 1 + 50 + 2000, "local domain");
+        // Page 1 (addr 4096) lives in domain 1: remote for proc 0.
+        assert_eq!(
+            b.access(0, 4096, false, 10_000),
+            1 + 50 + 40 + 2000,
+            "cross-domain access pays the penalty"
+        );
+        // ...but is local for proc 2 (domain 1).
+        assert_eq!(b.access(2, 4096 + 64, false, 20_000), 1 + 50);
+    }
+
+    #[test]
+    fn numa_domains_have_independent_buses() {
+        let c = ClusterSpec::single(MachineSpec::new(4, 256, 64, 200.0).with_numa(2, 40.0));
+        let mut b = ClusterBackend::new(&c, LatencyParams::paper(), HomeMap::new(1, 256));
+        // Warm both pages.
+        b.access(0, 0, false, 0);
+        b.access(2, 4096, false, 0);
+        // Simultaneous same-domain misses queue; cross-domain pairs do not.
+        let l0 = b.access(0, 0x40, false, 1_000_000); // domain 0
+        let l2 = b.access(2, 4096 + 0x40, false, 1_000_000); // domain 1
+        assert_eq!(l0, 1 + 50);
+        assert_eq!(l2, 1 + 50, "distinct domain buses never contend");
+        let l1 = b.access(1, 0x80, false, 2_000_000); // domain 0
+        let l3 = b.access(0, 0xc0, false, 2_000_000); // domain 0 again
+        assert_eq!(l1, 1 + 50);
+        assert_eq!(l3, 1 + 50 + 50, "same-domain misses still queue");
+    }
+
+    #[test]
+    fn flat_machine_is_unchanged_by_numa_plumbing() {
+        // The NUMA-aware bus vector with one domain must reproduce the
+        // pinned flat-SMP cycles exactly.
+        let mut b = smp(2);
+        assert_eq!(b.access(0, 0x1000, false, 0), 1 + 50 + 2000);
+        assert_eq!(b.access(0, 0x1040, false, 6000), 1 + 50);
+        assert_eq!(b.bus_busy_cycles(), vec![100], "one bus, summed busy");
+    }
+
+    #[test]
+    fn fat_tree_in_rack_behaves_like_a_switch() {
+        // 4 machines fit one rack: no crossing cost, per-port contention.
+        let mut b = cow(4, NetworkKind::FatTree);
+        b.access(1, 256, false, 0); // warm home page at node 1
+        let lat = b.access(0, 256, false, 1_000_000);
+        assert_eq!(lat, 1 + 1475, "in-rack fetch at the registry cost");
+    }
+
+    #[test]
+    fn fat_tree_cross_rack_pays_uplink_crossing() {
+        // 8 machines = racks {0-3} and {4-7}.  Node 0 fetching from node 4
+        // crosses racks: +400 cycles.
+        let mut b = cow(8, NetworkKind::FatTree);
+        let addr = 4 * 256u64; // block 4 → home node 4
+        b.access(4, addr, false, 0); // warm home page
+        let lat = b.access(0, addr, false, 1_000_000);
+        assert_eq!(lat, 1 + 1475 + 400, "cross-rack fetch adds the crossing");
+        // Two simultaneous cross-rack fetches from the same source rack
+        // serialize on the rack's uplink.
+        let addr5 = 5 * 256u64;
+        b.access(5, addr5, false, 2_000_000); // warm
+        let a = b.access(1, addr, false, 3_000_000); // rack 0 → rack 1 (dirty? no: shared clean)
+        let c = b.access(2, addr5, false, 3_000_000); // rack 0 → rack 1, different port
+        assert_eq!(a, 1 + 1475 + 400);
+        assert_eq!(
+            c,
+            1 + 1475 + 400 + (1475 + 400),
+            "second transfer queues behind the shared uplink"
+        );
+        assert!(b.network_busy_cycles() > 0);
     }
 
     #[test]

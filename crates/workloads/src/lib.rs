@@ -15,6 +15,20 @@
 //!   TPC-C locality (α ≈ 1.73, β ≈ 1222.66, ρ ≈ 0.36); real TPC-C traces
 //!   are proprietary (DESIGN.md substitution 3).
 //!
+//! Beyond the paper's set, four generators broaden the locality spectrum:
+//!
+//! * **Stencil4D** — QCD-style 4-D nearest-neighbor relaxation with halo
+//!   exchange over slab partitions.
+//! * **Stream** — touch-once streaming scan, the α → 1 corner of the
+//!   stack-distance model.
+//! * **GraphWalk** — pointer chase over a random single-cycle permutation:
+//!   dependent loads, no spatial locality.
+//! * **Inference** — batched weight-streaming MLP forward pass.
+//!
+//! The [`catalog`] module is the open face of this universe: a
+//! string-keyed registry of [`catalog::WorkloadSpec`] trait objects with
+//! typed parameter schemas, extensible at runtime by downstream crates.
+//!
 //! Every kernel is a *real computation* — tests check numeric results —
 //! executed under the [`spmd`] harness, which runs one OS thread per
 //! logical process, routes all data accesses through [`traced::TracedArray`]
@@ -25,14 +39,23 @@
 //! Problem sizes are configurable; the paper sizes (§5.2) and a small fast
 //! test size are provided by [`registry::Workload`].
 
+pub mod catalog;
 pub mod edge;
 pub mod fft;
+pub mod graphwalk;
+pub mod inference;
 pub mod lu;
 pub mod radix;
 pub mod registry;
 pub mod spmd;
+pub mod stencil4d;
+pub mod stream;
 pub mod tpcc;
 pub mod traced;
 
+pub use catalog::{
+    register_workload, workload_by_key, workload_keys, workload_specs, ResolvedWorkload,
+    WorkloadSpec,
+};
 pub use registry::{Workload, WorkloadKind};
 pub use spmd::{run_spmd, SpmdCtx, SpmdProgram, TraceSink};

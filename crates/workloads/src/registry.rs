@@ -3,15 +3,21 @@
 
 use crate::edge::EdgeProgram;
 use crate::fft::FftProgram;
+use crate::graphwalk::GraphWalkProgram;
+use crate::inference::InferenceProgram;
 use crate::lu::LuProgram;
 use crate::radix::RadixProgram;
 use crate::spmd::SpmdProgram;
+use crate::stencil4d::Stencil4dProgram;
+use crate::stream::StreamProgram;
 use crate::tpcc::TpccProgram;
 use std::sync::Arc;
 
-/// The five workloads.
+/// The built-in workloads.
 ///
 /// `#[non_exhaustive]`: more kernels may be added; match with a wildcard.
+/// Out-of-tree generators enter through [`crate::catalog::register_workload`]
+/// rather than this enum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum WorkloadKind {
@@ -25,6 +31,14 @@ pub enum WorkloadKind {
     Edge,
     /// Synthetic TPC-C-like commercial workload.
     Tpcc,
+    /// QCD-style 4-D nearest-neighbor stencil with halo exchange.
+    Stencil4D,
+    /// Streaming scan: touch-once locality (α → 1).
+    Stream,
+    /// Pointer-chasing traversal of a random single-cycle permutation.
+    GraphWalk,
+    /// Batched weight-streaming neural-network inference.
+    Inference,
 }
 
 impl WorkloadKind {
@@ -36,6 +50,19 @@ impl WorkloadKind {
         WorkloadKind::Edge,
     ];
 
+    /// Every built-in workload, paper kernels first.
+    pub const ALL: [WorkloadKind; 9] = [
+        WorkloadKind::Fft,
+        WorkloadKind::Lu,
+        WorkloadKind::Radix,
+        WorkloadKind::Edge,
+        WorkloadKind::Tpcc,
+        WorkloadKind::Stencil4D,
+        WorkloadKind::Stream,
+        WorkloadKind::GraphWalk,
+        WorkloadKind::Inference,
+    ];
+
     /// Canonical display name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -44,6 +71,10 @@ impl WorkloadKind {
             WorkloadKind::Radix => "Radix",
             WorkloadKind::Edge => "EDGE",
             WorkloadKind::Tpcc => "TPC-C",
+            WorkloadKind::Stencil4D => "Stencil4D",
+            WorkloadKind::Stream => "Stream",
+            WorkloadKind::GraphWalk => "GraphWalk",
+            WorkloadKind::Inference => "Inference",
         }
     }
 }
@@ -65,6 +96,10 @@ impl serde::Deserialize for WorkloadKind {
             "RADIX" => Ok(WorkloadKind::Radix),
             "EDGE" => Ok(WorkloadKind::Edge),
             "TPC-C" | "TPCC" => Ok(WorkloadKind::Tpcc),
+            "STENCIL4D" | "STENCIL" => Ok(WorkloadKind::Stencil4D),
+            "STREAM" => Ok(WorkloadKind::Stream),
+            "GRAPHWALK" | "GRAPH" => Ok(WorkloadKind::GraphWalk),
+            "INFERENCE" | "INFER" => Ok(WorkloadKind::Inference),
             other => Err(format!("unknown workload `{other}`")),
         }
     }
@@ -112,6 +147,36 @@ pub enum Workload {
         /// References each process issues.
         refs_per_proc: usize,
     },
+    /// 4-D stencil sweep over an `l⁴` lattice for `iterations` rounds.
+    Stencil4D {
+        /// Lattice extent per dimension.
+        l: usize,
+        /// Relaxation sweeps.
+        iterations: usize,
+    },
+    /// Streaming scan over `elems` cells for `passes` passes.
+    Stream {
+        /// Elements per array.
+        elems: usize,
+        /// Scan passes.
+        passes: usize,
+    },
+    /// Pointer chase over a `nodes`-cycle for `steps` hops per process.
+    GraphWalk {
+        /// Permutation size.
+        nodes: usize,
+        /// Hops each process takes.
+        steps: usize,
+    },
+    /// Forward inference: `layers` of `dim × dim` weights over `batch` rows.
+    Inference {
+        /// Layer width.
+        dim: usize,
+        /// Layer count.
+        layers: usize,
+        /// Batch rows.
+        batch: usize,
+    },
 }
 
 impl Workload {
@@ -134,6 +199,23 @@ impl Workload {
                 db_cells: 1 << 17,
                 refs_per_proc: 500_000,
             },
+            WorkloadKind::Stencil4D => Workload::Stencil4D {
+                l: 16,
+                iterations: 8,
+            },
+            WorkloadKind::Stream => Workload::Stream {
+                elems: 1024 * 1024,
+                passes: 4,
+            },
+            WorkloadKind::GraphWalk => Workload::GraphWalk {
+                nodes: 256 * 1024,
+                steps: 500_000,
+            },
+            WorkloadKind::Inference => Workload::Inference {
+                dim: 128,
+                layers: 4,
+                batch: 32,
+            },
         }
     }
 
@@ -154,6 +236,23 @@ impl Workload {
             WorkloadKind::Tpcc => Workload::Tpcc {
                 db_cells: 1 << 12,
                 refs_per_proc: 20_000,
+            },
+            WorkloadKind::Stencil4D => Workload::Stencil4D {
+                l: 8,
+                iterations: 2,
+            },
+            WorkloadKind::Stream => Workload::Stream {
+                elems: 64 * 1024,
+                passes: 2,
+            },
+            WorkloadKind::GraphWalk => Workload::GraphWalk {
+                nodes: 16 * 1024,
+                steps: 20_000,
+            },
+            WorkloadKind::Inference => Workload::Inference {
+                dim: 48,
+                layers: 2,
+                batch: 16,
             },
         }
     }
@@ -181,6 +280,23 @@ impl Workload {
                 db_cells: 1 << 16,
                 refs_per_proc: 100_000,
             },
+            WorkloadKind::Stencil4D => Workload::Stencil4D {
+                l: 16,
+                iterations: 2,
+            }, // 1 MB of field data
+            WorkloadKind::Stream => Workload::Stream {
+                elems: 256 * 1024,
+                passes: 2,
+            }, // 4 MB
+            WorkloadKind::GraphWalk => Workload::GraphWalk {
+                nodes: 64 * 1024,
+                steps: 100_000,
+            }, // 1 MB
+            WorkloadKind::Inference => Workload::Inference {
+                dim: 96,
+                layers: 3,
+                batch: 16,
+            }, // 216 KB of weights
         }
     }
 
@@ -192,6 +308,10 @@ impl Workload {
             Workload::Radix { .. } => WorkloadKind::Radix,
             Workload::Edge { .. } => WorkloadKind::Edge,
             Workload::Tpcc { .. } => WorkloadKind::Tpcc,
+            Workload::Stencil4D { .. } => WorkloadKind::Stencil4D,
+            Workload::Stream { .. } => WorkloadKind::Stream,
+            Workload::GraphWalk { .. } => WorkloadKind::GraphWalk,
+            Workload::Inference { .. } => WorkloadKind::Inference,
         }
     }
 
@@ -217,6 +337,10 @@ impl Workload {
             Workload::Radix { keys, .. } => keys.is_multiple_of(processes),
             Workload::Edge { dim, .. } => dim.is_multiple_of(processes),
             Workload::Tpcc { .. } => true,
+            Workload::Stencil4D { l, .. } => l.is_multiple_of(processes),
+            Workload::Stream { elems, .. } => elems.is_multiple_of(processes),
+            Workload::GraphWalk { nodes, .. } => processes <= nodes,
+            Workload::Inference { batch, .. } => batch.is_multiple_of(processes),
         }
     }
 
@@ -243,6 +367,16 @@ impl Workload {
                 db_cells,
                 refs_per_proc,
             } => TpccProgram::new(db_cells, refs_per_proc, processes, seed),
+            Workload::Stencil4D { l, iterations } => {
+                Stencil4dProgram::random_field(l, iterations, processes, seed)
+            }
+            Workload::Stream { elems, passes } => StreamProgram::new(elems, passes, processes),
+            Workload::GraphWalk { nodes, steps } => {
+                GraphWalkProgram::random_cycle(nodes, steps, processes, seed)
+            }
+            Workload::Inference { dim, layers, batch } => {
+                InferenceProgram::random_weights(dim, layers, batch, processes, seed)
+            }
         }
     }
 }
@@ -281,13 +415,7 @@ mod tests {
 
     #[test]
     fn kinds_roundtrip() {
-        for k in [
-            WorkloadKind::Fft,
-            WorkloadKind::Lu,
-            WorkloadKind::Radix,
-            WorkloadKind::Edge,
-            WorkloadKind::Tpcc,
-        ] {
+        for k in WorkloadKind::ALL {
             assert_eq!(Workload::paper(k).kind(), k);
             assert_eq!(Workload::small(k).kind(), k);
             assert_eq!(Workload::medium(k).kind(), k);
@@ -314,7 +442,7 @@ mod tests {
 
     #[test]
     fn every_small_workload_runs_on_1_2_4_procs() {
-        for k in WorkloadKind::PAPER {
+        for k in WorkloadKind::ALL {
             for procs in [1usize, 2, 4] {
                 let p = Workload::small(k).instantiate(procs);
                 assert_eq!(p.processes(), procs);
@@ -328,6 +456,38 @@ mod tests {
     fn names() {
         assert_eq!(WorkloadKind::Fft.name(), "FFT");
         assert_eq!(WorkloadKind::Tpcc.name(), "TPC-C");
+        assert_eq!(WorkloadKind::Stencil4D.name(), "Stencil4D");
+        assert_eq!(WorkloadKind::GraphWalk.name(), "GraphWalk");
         assert_eq!(WorkloadKind::PAPER.len(), 4);
+        assert_eq!(WorkloadKind::ALL.len(), 9);
+    }
+
+    #[test]
+    fn new_kind_spellings_deserialize() {
+        use serde::{__private::Value, Deserialize};
+        for (spelling, kind) in [
+            ("stencil4d", WorkloadKind::Stencil4D),
+            ("STENCIL", WorkloadKind::Stencil4D),
+            ("Stream", WorkloadKind::Stream),
+            ("graph", WorkloadKind::GraphWalk),
+            ("GraphWalk", WorkloadKind::GraphWalk),
+            ("INFER", WorkloadKind::Inference),
+            ("Inference", WorkloadKind::Inference),
+        ] {
+            let v = Value::String(spelling.to_string());
+            assert_eq!(WorkloadKind::from_json_value(v), Ok(kind), "{spelling}");
+        }
+    }
+
+    #[test]
+    fn new_workload_divisibility() {
+        let st = Workload::small(WorkloadKind::Stencil4D);
+        assert!(st.supports_processes(8) && !st.supports_processes(3));
+        let s = Workload::small(WorkloadKind::Stream);
+        assert!(s.supports_processes(16) && !s.supports_processes(7));
+        let g = Workload::small(WorkloadKind::GraphWalk);
+        assert!(g.supports_processes(5) && !g.supports_processes(0));
+        let i = Workload::small(WorkloadKind::Inference);
+        assert!(i.supports_processes(8) && !i.supports_processes(3));
     }
 }

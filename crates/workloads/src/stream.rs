@@ -1,0 +1,194 @@
+//! A streaming scan: the α → 1 corner of the stack-distance model.
+//!
+//! Each process owns a contiguous chunk of a large array and computes a
+//! running (wrapping) prefix sum over it, writing every partial into a
+//! second array; the next pass scans the previous pass's output, with the
+//! roles of the two arrays swapped.  Every cell is touched exactly once
+//! per pass and never revisited, so reuse distances equal the working-set
+//! size — the pathological "no temporal locality" stream that defeats any
+//! cache smaller than the arrays.
+//!
+//! Cross-process traffic: at the start of every pass after the first, each
+//! process seeds its running sum with the *last* output cell of its left
+//! neighbor (wrapping around), a carry-propagation read that lands in
+//! remote memory on clustered platforms.
+
+use crate::spmd::{SpmdCtx, SpmdProgram};
+use crate::traced::{AddressSpace, TracedArray};
+use std::sync::Arc;
+
+/// Non-memory instructions per element: one add, plus loop and address
+/// bookkeeping.
+const ELEM_COMPUTE: u32 = 3;
+
+/// The streaming-scan instance (double-buffered by pass parity).
+pub struct StreamProgram {
+    procs: usize,
+    elems: usize,
+    passes: usize,
+    /// Initial data; read by even passes, written by odd passes.
+    a: TracedArray<u64>,
+    /// Written by even passes, read by odd passes.
+    b: TracedArray<u64>,
+}
+
+/// Deterministic initial value for cell `i` (a splitmix-style hash, so the
+/// scan results are nontrivial without an RNG).
+fn seed_cell(i: usize) -> u64 {
+    (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl StreamProgram {
+    /// Build a scan over `elems` cells for `passes` passes by `procs`
+    /// processes (`procs` must divide `elems`).
+    pub fn new(elems: usize, passes: usize, procs: usize) -> Arc<Self> {
+        assert!(
+            elems.is_multiple_of(procs),
+            "processes ({procs}) must divide the element count ({elems})"
+        );
+        assert!(passes >= 1);
+        let mut sp = AddressSpace::default();
+        let a = TracedArray::new_with(sp.alloc(elems), elems, seed_cell);
+        let b = TracedArray::new(sp.alloc(elems), elems);
+        Arc::new(StreamProgram {
+            procs,
+            elems,
+            passes,
+            a,
+            b,
+        })
+    }
+
+    fn chunk(&self) -> usize {
+        self.elems / self.procs
+    }
+
+    /// The array holding the final pass's output.
+    fn result_array(&self) -> &TracedArray<u64> {
+        if self.passes % 2 == 1 {
+            &self.b
+        } else {
+            &self.a
+        }
+    }
+
+    /// Untraced replication of the whole computation — the expected final
+    /// output, for verification.
+    pub fn expected(&self) -> Vec<u64> {
+        let mut src: Vec<u64> = (0..self.elems).map(seed_cell).collect();
+        let mut dst = vec![0u64; self.elems];
+        let chunk = self.chunk();
+        for pass in 0..self.passes {
+            for pid in 0..self.procs {
+                let lo = pid * chunk;
+                let mut running = if pass == 0 {
+                    0
+                } else {
+                    let left = (pid + self.procs - 1) % self.procs;
+                    src[left * chunk + chunk - 1]
+                };
+                for i in lo..lo + chunk {
+                    running = running.wrapping_add(src[i]);
+                    dst[i] = running;
+                }
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        src
+    }
+
+    /// Untraced snapshot of the final output.
+    pub fn result(&self) -> Vec<u64> {
+        self.result_array().snapshot()
+    }
+}
+
+impl SpmdProgram for StreamProgram {
+    fn processes(&self) -> usize {
+        self.procs
+    }
+
+    fn run(&self, pid: usize, ctx: &mut SpmdCtx) {
+        let chunk = self.chunk();
+        let lo = pid * chunk;
+        for pass in 0..self.passes {
+            let (src, dst) = if pass % 2 == 0 {
+                (&self.a, &self.b)
+            } else {
+                (&self.b, &self.a)
+            };
+            // Carry-propagation read from the left neighbor's chunk.
+            let mut running = if pass == 0 {
+                0
+            } else {
+                let left = (pid + self.procs - 1) % self.procs;
+                src.get(ctx, left * chunk + chunk - 1)
+            };
+            for i in lo..lo + chunk {
+                running = running.wrapping_add(src.get(ctx, i));
+                dst.set(ctx, i, running);
+                ctx.compute(ELEM_COMPUTE);
+            }
+            // The neighbor's carry cell must be final before the next pass
+            // reads it.
+            ctx.barrier();
+        }
+    }
+
+    fn partitions(&self) -> Vec<(u64, u64, usize)> {
+        let chunk = self.chunk();
+        let mut v = Vec::with_capacity(2 * self.procs);
+        for pid in 0..self.procs {
+            let (lo, hi) = (pid * chunk, (pid + 1) * chunk);
+            v.push((self.a.addr_of(lo), self.a.addr_of(hi), pid));
+            v.push((self.b.addr_of(lo), self.b.addr_of(hi), pid));
+        }
+        v
+    }
+
+    fn name(&self) -> &str {
+        "Stream"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmd::run_spmd;
+
+    #[test]
+    fn scan_matches_untraced_replication() {
+        for procs in [1usize, 2, 4] {
+            let p = StreamProgram::new(256, 3, procs);
+            let want = p.expected();
+            run_spmd(Arc::clone(&p));
+            assert_eq!(p.result(), want, "procs = {procs}");
+        }
+    }
+
+    #[test]
+    fn touch_once_reference_counts() {
+        let (elems, passes, procs) = (512usize, 2usize, 2usize);
+        let c = run_spmd(StreamProgram::new(elems, passes, procs));
+        // Per pass: one read + one write per element, plus the carry reads
+        // (one per process per pass after the first).
+        let carries = (procs * (passes - 1)) as u64;
+        assert_eq!(c.reads, (elems * passes) as u64 + carries);
+        assert_eq!(c.writes, (elems * passes) as u64);
+        assert_eq!(c.barriers, (passes * procs) as u64);
+        // ρ ≈ 2/(2+3) = 0.4.
+        assert!((c.rho() - 0.4).abs() < 0.01, "rho {}", c.rho());
+    }
+
+    #[test]
+    fn single_pass_is_a_plain_prefix_sum() {
+        let p = StreamProgram::new(64, 1, 1);
+        run_spmd(Arc::clone(&p));
+        let out = p.result();
+        let mut acc = 0u64;
+        for (i, v) in out.iter().enumerate() {
+            acc = acc.wrapping_add(seed_cell(i));
+            assert_eq!(*v, acc, "cell {i}");
+        }
+    }
+}
